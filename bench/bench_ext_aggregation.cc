@@ -1,0 +1,62 @@
+// Extension bench (beyond the paper's evaluation): how does the DQM family
+// interact with *better label aggregation*? The related work (Section 7)
+// aggregates noisy votes with EM (Dawid–Skene); that sharpens the
+// descriptive count but — like VOTING — cannot see errors that have no
+// votes yet. SWITCH remains the forward-looking component.
+//
+// Series: VOTING, EM-VOTING (Dawid–Skene posterior count), SWITCH, truth.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/ascii.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "estimators/em_voting.h"
+#include "figure_common.h"
+
+int main() {
+  std::printf("== Extension — EM label aggregation vs DQM ==\n");
+  // A noisy crowd with real spread in worker quality, where EM has
+  // something to learn (identical workers make EM equal to VOTING).
+  dqm::core::Scenario scenario = dqm::core::SimulationScenario(0.03, 0.20, 15);
+  scenario.workers.variation = 0.10;
+  scenario.workers.qualification_max_fp = 0.45;
+  scenario.workers.qualification_max_fn = 0.60;
+  scenario.tasks_per_worker = 5;  // enough votes per worker to profile them
+  const size_t num_tasks = 500;
+  dqm::core::SimulatedRun run =
+      dqm::core::SimulateScenario(scenario, num_tasks, 909);
+
+  std::vector<std::pair<std::string, dqm::estimators::EstimatorFactory>>
+      factories = {
+          {"VOTING",
+           dqm::core::MakeEstimatorFactory(dqm::core::Method::kVoting)},
+          {"EM-VOTING",
+           [](size_t num_items)
+               -> std::unique_ptr<dqm::estimators::TotalErrorEstimator> {
+             return std::make_unique<dqm::estimators::EmVotingEstimator>(
+                 num_items);
+           }},
+          {"SWITCH",
+           dqm::core::MakeEstimatorFactory(dqm::core::Method::kSwitch)},
+      };
+  dqm::core::ExperimentRunner runner({.permutations = 5, .seed = 11});
+  std::vector<dqm::core::SeriesResult> series =
+      runner.Run(run.log, scenario.num_items, factories);
+
+  dqm::bench::PrintSeriesTable({"VOTING", "EM-VOTING", "SWITCH"}, series, 10,
+                               static_cast<double>(scenario.num_dirty()));
+  std::vector<double> x(series.front().mean.size());
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i + 1);
+  dqm::AsciiChart chart("EM aggregation vs DQM (truth = 100)", x);
+  for (const auto& s : series) chart.AddSeries(s.name, s.mean);
+  chart.AddHorizontalLine("truth", 100.0);
+  std::fputs(chart.Render().c_str(), stdout);
+  std::printf(
+      "reading: EM sharpens the descriptive count over VOTING by profiling\n"
+      "workers, but neither is forward-looking — SWITCH still supplies the\n"
+      "undiscovered-error tail. The techniques compose, not compete.\n");
+  return 0;
+}

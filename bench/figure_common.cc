@@ -1,0 +1,140 @@
+#include "figure_common.h"
+
+#include <cstdio>
+
+#include "common/ascii.h"
+#include "common/string_util.h"
+#include "estimators/extrapolation.h"
+
+namespace dqm::bench {
+
+std::vector<size_t> SampleIndices(size_t n, size_t count) {
+  std::vector<size_t> indices;
+  if (n == 0) return indices;
+  count = std::min(count, n);
+  for (size_t i = 0; i < count; ++i) {
+    indices.push_back((i + 1) * n / count - 1);
+  }
+  return indices;
+}
+
+void PrintSeriesTable(const std::vector<std::string>& names,
+                      const std::vector<core::SeriesResult>& series,
+                      size_t table_points, double ground_truth) {
+  if (series.empty() || series.front().mean.empty()) return;
+  size_t n = series.front().mean.size();
+  std::vector<std::string> header = {"tasks"};
+  for (const auto& name : names) {
+    header.push_back(name);
+    header.push_back("+/-");
+  }
+  header.push_back("truth");
+  AsciiTable table(header);
+  for (size_t x : SampleIndices(n, table_points)) {
+    std::vector<std::string> row = {StrFormat("%zu", x + 1)};
+    for (const auto& s : series) {
+      row.push_back(StrFormat("%.1f", s.mean[x]));
+      row.push_back(StrFormat("%.1f", s.std_dev[x]));
+    }
+    row.push_back(StrFormat("%.0f", ground_truth));
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.Render().c_str(), stdout);
+}
+
+std::vector<double> RunTotalErrorFigure(const FigureSpec& spec) {
+  std::printf("== %s ==\n", spec.title.c_str());
+  std::printf(
+      "items=%zu true-errors=%zu items/task=%zu tasks=%zu "
+      "fp=%.3f fn=%.3f permutations=%zu seed=%llu\n",
+      spec.scenario.num_items, spec.scenario.num_dirty(),
+      spec.scenario.items_per_task, spec.num_tasks,
+      spec.scenario.workers.base.false_positive_rate,
+      spec.scenario.workers.base.false_negative_rate, spec.permutations,
+      static_cast<unsigned long long>(spec.seed));
+
+  core::SimulatedRun run =
+      core::SimulateScenario(spec.scenario, spec.num_tasks, spec.seed);
+  double truth = static_cast<double>(spec.scenario.num_dirty());
+
+  std::vector<std::pair<std::string, estimators::EstimatorFactory>> factories;
+  std::vector<std::string> names;
+  for (const auto& [name, method] : spec.methods) {
+    factories.emplace_back(name, core::MakeEstimatorFactory(method));
+    names.push_back(name);
+  }
+  core::ExperimentRunner runner(
+      {.permutations = spec.permutations, .seed = spec.seed ^ 0xbeef});
+  std::vector<core::SeriesResult> series =
+      runner.Run(run.log, spec.scenario.num_items, factories);
+
+  PrintSeriesTable(names, series, spec.table_points, truth);
+
+  if (spec.extrapol_fraction > 0.0) {
+    Rng rng(spec.seed ^ 0x1234);
+    estimators::ExtrapolationBand band = estimators::OracleExtrapolationBand(
+        run.truth, spec.extrapol_fraction, spec.extrapol_trials, rng);
+    std::printf(
+        "EXTRAPOL (oracle %.0f%% sample, %zu trials): %.1f +/- %.1f\n",
+        spec.extrapol_fraction * 100.0, spec.extrapol_trials, band.mean,
+        band.std_dev);
+  }
+  if (spec.show_scm) {
+    std::printf("SCM (3 votes x %zu items / %zu per task): %.0f tasks\n",
+                spec.scenario.num_items, spec.scenario.items_per_task,
+                core::SampleCleanMinimumTasks(spec.scenario.num_items,
+                                              spec.scenario.items_per_task));
+  }
+
+  std::vector<double> x(series.front().mean.size());
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i + 1);
+  AsciiChart chart(spec.title + " — total error estimates vs tasks", x);
+  for (const auto& s : series) chart.AddSeries(s.name, s.mean);
+  chart.AddHorizontalLine("ground truth", truth);
+  std::fputs(chart.Render().c_str(), stdout);
+
+  std::vector<double> finals;
+  for (const auto& s : series) finals.push_back(s.mean.back());
+  std::printf("final estimates:");
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("  %s=%.1f", names[i].c_str(), finals[i]);
+  }
+  std::printf("  truth=%.0f\n\n", truth);
+  return finals;
+}
+
+void RunSwitchPanels(const FigureSpec& spec) {
+  core::SimulatedRun run =
+      core::SimulateScenario(spec.scenario, spec.num_tasks, spec.seed);
+  core::ExperimentRunner runner(
+      {.permutations = spec.permutations, .seed = spec.seed ^ 0xbeef});
+  estimators::SwitchTotalErrorEstimator::Config config;
+  core::ExperimentRunner::SwitchDiagnostics diagnostics =
+      runner.RunSwitchDiagnostics(run.log, spec.scenario.num_items, run.truth,
+                                  config);
+
+  std::printf("-- %s — remaining positive switches (panel b) --\n",
+              spec.title.c_str());
+  PrintSeriesTable(
+      {"xi+ (est)", "needed+ (truth)"},
+      {diagnostics.remaining_positive_estimate, diagnostics.needed_positive_truth},
+      spec.table_points, 0.0);
+  std::printf("-- %s — remaining negative switches (panel c) --\n",
+              spec.title.c_str());
+  PrintSeriesTable(
+      {"xi- (est)", "needed- (truth)"},
+      {diagnostics.remaining_negative_estimate, diagnostics.needed_negative_truth},
+      spec.table_points, 0.0);
+
+  std::vector<double> x(diagnostics.remaining_positive_estimate.mean.size());
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i + 1);
+  AsciiChart chart(spec.title + " — remaining switches vs tasks", x);
+  chart.AddSeries("xi+ est", diagnostics.remaining_positive_estimate.mean);
+  chart.AddSeries("needed+", diagnostics.needed_positive_truth.mean);
+  chart.AddSeries("xi- est", diagnostics.remaining_negative_estimate.mean);
+  chart.AddSeries("needed-", diagnostics.needed_negative_truth.mean);
+  std::fputs(chart.Render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace dqm::bench

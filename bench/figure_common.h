@@ -1,0 +1,53 @@
+#ifndef DQM_BENCH_FIGURE_COMMON_H_
+#define DQM_BENCH_FIGURE_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dqm.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace dqm::bench {
+
+/// Everything needed to regenerate one total-error panel of Figures 3-5 / 7:
+/// simulate the scenario once, evaluate each method over task-order
+/// permutations, print a sampled table and an ASCII chart with the ground
+/// truth (and optionally the EXTRAPOL band and the SCM marker).
+struct FigureSpec {
+  std::string title;
+  core::Scenario scenario;
+  size_t num_tasks = 500;
+  size_t permutations = 10;
+  uint64_t seed = 42;
+  std::vector<std::pair<std::string, core::Method>> methods;
+  /// Oracle extrapolation band (Figures 3-5): sample fraction; 0 disables.
+  double extrapol_fraction = 0.0;
+  size_t extrapol_trials = 20;
+  /// Print the Sample Clean Minimum marker (Figures 3-5).
+  bool show_scm = false;
+  /// Number of x positions in the sampled table.
+  size_t table_points = 12;
+};
+
+/// Runs the spec's total-error panel and prints it to stdout.
+/// Returns the per-method final mean estimates (same order as methods).
+std::vector<double> RunTotalErrorFigure(const FigureSpec& spec);
+
+/// Runs the (b)/(c) panels of Figures 3-5: estimated remaining positive and
+/// negative switches vs the ground-truth switches still needed.
+void RunSwitchPanels(const FigureSpec& spec);
+
+/// Prints a mean +/- std series as a sampled table.
+void PrintSeriesTable(const std::vector<std::string>& names,
+                      const std::vector<core::SeriesResult>& series,
+                      size_t table_points, double ground_truth);
+
+/// Evenly spaced sample indices over [0, n).
+std::vector<size_t> SampleIndices(size_t n, size_t count);
+
+}  // namespace dqm::bench
+
+#endif  // DQM_BENCH_FIGURE_COMMON_H_

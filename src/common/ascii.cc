@@ -1,0 +1,175 @@
+#include "common/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dqm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DQM_CHECK(!header_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  DQM_CHECK_EQ(row.size(), header_.size())
+      << "row width must match header width";
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddNumericRow(const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) {
+    row.push_back(StrFormat("%.*f", precision, v));
+  }
+  AddRow(std::move(row));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      // Right-align; headers and values line up for numeric columns.
+      line += std::string(widths[c] - row[c].size(), ' ');
+      line += row[c];
+    }
+    return line;
+  };
+  std::string out = render_row(header_);
+  out.push_back('\n');
+  size_t rule_width = out.size() - 1;
+  out += std::string(rule_width, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+AsciiChart::AsciiChart(std::string title, std::vector<double> x)
+    : title_(std::move(title)), x_(std::move(x)) {}
+
+void AsciiChart::AddSeries(std::string name, std::vector<double> y) {
+  DQM_CHECK_EQ(y.size(), x_.size()) << "series must match the x grid";
+  series_.push_back(ChartSeries{std::move(name), std::move(y)});
+}
+
+void AsciiChart::AddHorizontalLine(std::string name, double y) {
+  hlines_.emplace_back(std::move(name), y);
+}
+
+std::string AsciiChart::Render(int width, int height) const {
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+  DQM_CHECK_GT(width, 8);
+  DQM_CHECK_GT(height, 2);
+  if (x_.empty() || series_.empty()) return title_ + " (no data)\n";
+
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (double v : s.y) {
+      if (std::isfinite(v)) {
+        y_min = std::min(y_min, v);
+        y_max = std::max(y_max, v);
+      }
+    }
+  }
+  for (const auto& [name, v] : hlines_) {
+    y_min = std::min(y_min, v);
+    y_max = std::max(y_max, v);
+  }
+  if (!std::isfinite(y_min) || !std::isfinite(y_max)) {
+    return title_ + " (no finite data)\n";
+  }
+  if (y_max == y_min) {
+    y_max = y_min + 1.0;
+  }
+  // A little headroom so curves do not sit on the frame.
+  double pad = (y_max - y_min) * 0.05;
+  y_min -= pad;
+  y_max += pad;
+
+  double x_min = x_.front();
+  double x_max = x_.back();
+  if (x_max == x_min) x_max = x_min + 1.0;
+
+  const size_t w = static_cast<size_t>(width);
+  const size_t h = static_cast<size_t>(height);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  auto col_of = [&](double x) {
+    double t = (x - x_min) / (x_max - x_min);
+    auto c = static_cast<long>(std::lround(t * static_cast<double>(w - 1)));
+    return static_cast<size_t>(std::clamp<long>(c, 0, static_cast<long>(w - 1)));
+  };
+  auto row_of = [&](double y) {
+    double t = (y - y_min) / (y_max - y_min);
+    auto r = static_cast<long>(
+        std::lround((1.0 - t) * static_cast<double>(h - 1)));
+    return static_cast<size_t>(std::clamp<long>(r, 0, static_cast<long>(h - 1)));
+  };
+
+  for (const auto& [name, v] : hlines_) {
+    size_t r = row_of(v);
+    for (size_t c = 0; c < w; ++c) {
+      if (canvas[r][c] == ' ') canvas[r][c] = '-';
+    }
+  }
+
+  for (size_t si = 0; si < series_.size(); ++si) {
+    char glyph = kGlyphs[si % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))];
+    const auto& s = series_[si];
+    for (size_t i = 0; i < x_.size(); ++i) {
+      if (!std::isfinite(s.y[i])) continue;
+      canvas[row_of(s.y[i])][col_of(x_[i])] = glyph;
+    }
+  }
+
+  std::string out = title_ + "\n";
+  std::string y_hi = StrFormat("%10.1f |", y_max);
+  std::string y_lo = StrFormat("%10.1f |", y_min);
+  std::string y_blank(12, ' ');
+  y_blank[11] = '|';
+  for (size_t r = 0; r < h; ++r) {
+    if (r == 0) {
+      out += y_hi;
+    } else if (r == h - 1) {
+      out += y_lo;
+    } else {
+      out += y_blank;
+    }
+    out += canvas[r];
+    out.push_back('\n');
+  }
+  out += std::string(12, ' ') + std::string(w, '-') + "\n";
+  out += StrFormat("%12s%-10.1f%*s%.1f\n", "", x_min,
+                   static_cast<int>(w) - 10, "", x_max);
+  out += "  legend: ";
+  for (size_t si = 0; si < series_.size(); ++si) {
+    char glyph = kGlyphs[si % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))];
+    if (si > 0) out += "  ";
+    out.push_back(glyph);
+    out += "=" + series_[si].name;
+  }
+  for (const auto& [name, v] : hlines_) {
+    out += "  -=" + name;
+  }
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace dqm

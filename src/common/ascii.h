@@ -1,0 +1,62 @@
+#ifndef DQM_COMMON_ASCII_H_
+#define DQM_COMMON_ASCII_H_
+
+#include <string>
+#include <vector>
+
+namespace dqm {
+
+/// Renders aligned, human-readable tables and line charts for the benchmark
+/// harness. Every figure-reproduction bench prints its series both as a
+/// machine-readable table (easy to diff / plot externally) and as an inline
+/// ASCII chart so the paper's curve *shapes* are visible in a terminal.
+class AsciiTable {
+ public:
+  /// `header` labels the columns; added rows must match its width.
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row. Number of cells must equal the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` digits.
+  void AddNumericRow(const std::vector<double>& values, int precision = 2);
+
+  /// Renders with column alignment and a header rule.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named series for AsciiChart.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Multi-series ASCII line chart over a shared x grid.
+class AsciiChart {
+ public:
+  /// `x` is the shared grid; every series added must match its length.
+  AsciiChart(std::string title, std::vector<double> x);
+
+  void AddSeries(std::string name, std::vector<double> y);
+
+  /// Adds a horizontal reference line (e.g., the ground truth).
+  void AddHorizontalLine(std::string name, double y);
+
+  /// Renders `height` rows by `width` columns of plot area plus axes and a
+  /// legend (each series drawn with its own glyph).
+  std::string Render(int width = 72, int height = 18) const;
+
+ private:
+  std::string title_;
+  std::vector<double> x_;
+  std::vector<ChartSeries> series_;
+  std::vector<std::pair<std::string, double>> hlines_;
+};
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_ASCII_H_

@@ -1,0 +1,186 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dqm {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<CsvRow>> Csv::Parse(std::string_view text, char delimiter) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+        } else if (c == delimiter) {
+          end_field();
+        } else if (c == '\n') {
+          end_row();
+        } else if (c == '\r') {
+          // swallow; \r\n handled when \n arrives, lone \r treated as \n
+          if (i + 1 >= text.size() || text[i + 1] != '\n') end_row();
+        } else {
+          field.push_back(c);
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == delimiter) {
+          end_field();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          end_row();
+          state = State::kFieldStart;
+        } else if (c == '\r') {
+          if (i + 1 >= text.size() || text[i + 1] != '\n') {
+            end_row();
+            state = State::kFieldStart;
+          }
+        } else if (c == '"') {
+          return Status::InvalidArgument(StrFormat(
+              "csv: stray quote in unquoted field at offset %zu", i));
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state = State::kQuoteInQuoted;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == '"') {
+          field.push_back('"');
+          state = State::kQuoted;
+        } else if (c == delimiter) {
+          end_field();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          end_row();
+          state = State::kFieldStart;
+        } else if (c == '\r') {
+          if (i + 1 >= text.size() || text[i + 1] != '\n') {
+            end_row();
+            state = State::kFieldStart;
+          }
+        } else {
+          return Status::InvalidArgument(StrFormat(
+              "csv: unexpected character after closing quote at offset %zu",
+              i));
+        }
+        break;
+    }
+  }
+  if (state == State::kQuoted) {
+    return Status::InvalidArgument("csv: unterminated quoted field at EOF");
+  }
+  // Flush the final row unless the document ended with a newline (or is
+  // empty).
+  if (!field.empty() || !row.empty() ||
+      (state == State::kQuoteInQuoted)) {
+    end_row();
+  } else if (state == State::kUnquoted || state == State::kFieldStart) {
+    if (!text.empty() && text.back() != '\n' && text.back() != '\r') {
+      end_row();
+    }
+  }
+  return rows;
+}
+
+Result<CsvRow> Csv::ParseLine(std::string_view line, char delimiter) {
+  DQM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, Parse(line, delimiter));
+  if (rows.empty()) return CsvRow{};
+  if (rows.size() != 1) {
+    return Status::InvalidArgument("csv: ParseLine given multiple lines");
+  }
+  return std::move(rows.front());
+}
+
+std::string Csv::FormatRow(const CsvRow& row, char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    const std::string& field = row[i];
+    if (NeedsQuoting(field, delimiter)) {
+      out.push_back('"');
+      for (char c : field) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += field;
+    }
+  }
+  return out;
+}
+
+std::string Csv::Format(const std::vector<CsvRow>& rows, char delimiter) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    out += FormatRow(row, delimiter);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> Csv::ReadFile(const std::string& path,
+                                          char delimiter) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("csv: cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("csv: read failure: " + path);
+  }
+  return Parse(buffer.str(), delimiter);
+}
+
+Status Csv::WriteFile(const std::string& path, const std::vector<CsvRow>& rows,
+                      char delimiter) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("csv: cannot open for writing: " + path);
+  }
+  out << Format(rows, delimiter);
+  out.flush();
+  if (!out) {
+    return Status::IOError("csv: write failure: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dqm

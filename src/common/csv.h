@@ -1,0 +1,51 @@
+#ifndef DQM_COMMON_CSV_H_
+#define DQM_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dqm {
+
+/// One parsed CSV row; fields are unescaped values.
+using CsvRow = std::vector<std::string>;
+
+/// RFC-4180 CSV parsing and serialization.
+///
+/// Supports quoted fields, embedded delimiters, embedded quotes (doubled),
+/// and embedded newlines inside quoted fields. The reader is strict: a stray
+/// quote in an unquoted field or a dangling open quote is an error, because
+/// silently mis-parsing data in a *data-quality* library would be ironic.
+class Csv {
+ public:
+  /// Parses an entire CSV document. Rows may have differing field counts;
+  /// callers validate shape against their schema.
+  static Result<std::vector<CsvRow>> Parse(std::string_view text,
+                                           char delimiter = ',');
+
+  /// Parses a single line that is known to contain no embedded newlines.
+  static Result<CsvRow> ParseLine(std::string_view line, char delimiter = ',');
+
+  /// Serializes one row, quoting fields that need it.
+  static std::string FormatRow(const CsvRow& row, char delimiter = ',');
+
+  /// Serializes a document (rows joined by '\n', trailing newline included).
+  static std::string Format(const std::vector<CsvRow>& rows,
+                            char delimiter = ',');
+
+  /// Reads and parses a file.
+  static Result<std::vector<CsvRow>> ReadFile(const std::string& path,
+                                              char delimiter = ',');
+
+  /// Writes a document to a file (overwrites).
+  static Status WriteFile(const std::string& path,
+                          const std::vector<CsvRow>& rows,
+                          char delimiter = ',');
+};
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_CSV_H_

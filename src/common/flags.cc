@@ -1,0 +1,153 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace dqm {
+
+int64_t* FlagParser::AddInt(const std::string& name, int64_t default_value,
+                            const std::string& help) {
+  int_storage_.push_back(std::make_unique<int64_t>(default_value));
+  int64_t* slot = int_storage_.back().get();
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = help;
+  flag.default_repr = StrFormat("%lld", static_cast<long long>(default_value));
+  flag.int_value = slot;
+  flags_[name] = std::move(flag);
+  return slot;
+}
+
+double* FlagParser::AddDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  double_storage_.push_back(std::make_unique<double>(default_value));
+  double* slot = double_storage_.back().get();
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.default_repr = StrFormat("%g", default_value);
+  flag.double_value = slot;
+  flags_[name] = std::move(flag);
+  return slot;
+}
+
+std::string* FlagParser::AddString(const std::string& name,
+                                   const std::string& default_value,
+                                   const std::string& help) {
+  string_storage_.push_back(std::make_unique<std::string>(default_value));
+  std::string* slot = string_storage_.back().get();
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.default_repr = default_value;
+  flag.string_value = slot;
+  flags_[name] = std::move(flag);
+  return slot;
+}
+
+bool* FlagParser::AddBool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  bool_storage_.push_back(std::make_unique<bool>(default_value));
+  bool* slot = bool_storage_.back().get();
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.default_repr = default_value ? "true" : "false";
+  flag.bool_value = slot;
+  flags_[name] = std::move(flag);
+  return slot;
+}
+
+Status FlagParser::SetValue(Flag& flag, const std::string& name,
+                            const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not an integer: " + value);
+      }
+      *flag.int_value = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a number: " + value);
+      }
+      *flag.double_value = parsed;
+      return Status::OK();
+    }
+    case Type::kString:
+      *flag.string_value = value;
+      return Status::OK();
+    case Type::kBool: {
+      std::string lower = ToLower(value);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        *flag.bool_value = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        *flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a boolean: " + value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      std::printf("%s", Usage().c_str());
+      return Status::FailedPrecondition("help requested");
+    }
+    std::string name;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a boolean
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + ": missing value");
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    DQM_RETURN_NOT_OK(SetValue(it->second, name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "usage: " + program_name_ + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_repr.c_str());
+  }
+  return out;
+}
+
+}  // namespace dqm

@@ -1,0 +1,76 @@
+#ifndef DQM_COMMON_FLAGS_H_
+#define DQM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dqm {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+///
+/// Accepts `--name=value` and `--name value`; `--help` prints registered
+/// flags. Not a general-purpose library — just enough to make every bench
+/// reproducible and tweakable (seed, task counts, permutations) without
+/// pulling in a dependency.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Registers a flag with a default value and help text. Returns a pointer
+  /// whose pointee is updated by Parse(). Pointers remain valid while the
+  /// parser lives.
+  int64_t* AddInt(const std::string& name, int64_t default_value,
+                  const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Unknown flags are an error; positional arguments are
+  /// collected into `positional()`. When `--help` is seen, prints usage to
+  /// stdout and returns a FailedPrecondition status the caller can use to
+  /// exit(0).
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Rendered help text (flag, default, description).
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_repr;
+    // Only the member matching `type` is used.
+    int64_t* int_value = nullptr;
+    double* double_value = nullptr;
+    std::string* string_value = nullptr;
+    bool* bool_value = nullptr;
+  };
+
+  Status SetValue(Flag& flag, const std::string& name,
+                  const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  // Owning storage for the values handed out by Add*.
+  std::vector<std::unique_ptr<int64_t>> int_storage_;
+  std::vector<std::unique_ptr<double>> double_storage_;
+  std::vector<std::unique_ptr<std::string>> string_storage_;
+  std::vector<std::unique_ptr<bool>> bool_storage_;
+  std::vector<std::string> positional_;
+  std::string program_name_;
+};
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_FLAGS_H_

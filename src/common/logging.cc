@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace dqm {
+namespace internal {
+
+namespace {
+LogLevel* MutableLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return &level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return *MutableLogLevel(); }
+void SetLogLevel(LogLevel level) { *MutableLogLevel() = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace dqm

@@ -1,0 +1,82 @@
+#ifndef DQM_COMMON_LOGGING_H_
+#define DQM_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dqm {
+
+/// Severity for runtime log messages.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Minimum level that is actually emitted; default kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style log message collector. Emits on destruction; aborts the
+/// process for kFatal messages (used by DQM_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Sets the global minimum emitted log level.
+inline void SetLogLevel(LogLevel level) { internal::SetLogLevel(level); }
+
+}  // namespace dqm
+
+#define DQM_LOG(level)                                                 \
+  ::dqm::internal::LogMessage(::dqm::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts the process with a message when `condition` is false. Active in all
+/// build modes: used for API contract violations that indicate a programming
+/// error (not data-dependent failures, which return Status).
+#define DQM_CHECK(condition)                                           \
+  if (!(condition))                                                    \
+  ::dqm::internal::LogMessage(::dqm::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #condition " "
+
+#define DQM_CHECK_EQ(a, b) DQM_CHECK((a) == (b))
+#define DQM_CHECK_NE(a, b) DQM_CHECK((a) != (b))
+#define DQM_CHECK_LE(a, b) DQM_CHECK((a) <= (b))
+#define DQM_CHECK_LT(a, b) DQM_CHECK((a) < (b))
+#define DQM_CHECK_GE(a, b) DQM_CHECK((a) >= (b))
+#define DQM_CHECK_GT(a, b) DQM_CHECK((a) > (b))
+
+/// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DQM_DCHECK(condition) \
+  if (false) ::dqm::internal::NullStream()
+#else
+#define DQM_DCHECK(condition) DQM_CHECK(condition)
+#endif
+
+#endif  // DQM_COMMON_LOGGING_H_

@@ -1,0 +1,123 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace dqm {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : s_) word = mixer.Next();
+}
+
+uint64_t Rng::Next64() {
+  // xoshiro256** step.
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork(uint64_t stream) {
+  // Mix the child stream id with fresh output so forks are independent.
+  SplitMix64 mixer(Next64() ^ (stream * 0x9e3779b97f4a7c15ULL + 1));
+  return Rng(mixer.Next());
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  DQM_CHECK_GT(bound, 0u) << "UniformU64 bound must be positive";
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DQM_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next64());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0, 1) double.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box–Muller transform; one value per call keeps the stream simple and
+  // reproducible (no cached second variate).
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  while (u1 <= 0.0) u1 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  DQM_CHECK_LE(k, n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher–Yates over the identity permutation.
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(UniformU64(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: Floyd's algorithm, then a shuffle for uniform order.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformU64(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  Shuffle(out);
+  return out;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(perm);
+  return perm;
+}
+
+}  // namespace dqm

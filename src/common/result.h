@@ -1,0 +1,95 @@
+#ifndef DQM_COMMON_RESULT_H_
+#define DQM_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace dqm {
+
+/// Value-or-error return type (Arrow-style `Result`).
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the value
+/// of an errored result is a programming error and aborts via `DQM_CHECK`.
+///
+///     Result<Table> table = Table::FromCsv(path);
+///     if (!table.ok()) return table.status();
+///     Use(*table);
+///
+/// or with the helper macro:
+///
+///     DQM_ASSIGN_OR_RETURN(Table table, Table::FromCsv(path));
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return status;` works).
+  /// Passing an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    DQM_CHECK(!std::get<Status>(repr_).ok())
+        << "Result<T> constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const& {
+    DQM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    DQM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    DQM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace dqm
+
+#define DQM_RESULT_CONCAT_INNER_(a, b) a##b
+#define DQM_RESULT_CONCAT_(a, b) DQM_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status from the
+/// enclosing function, otherwise declares `lhs` bound to the moved value.
+#define DQM_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  DQM_ASSIGN_OR_RETURN_IMPL_(                                              \
+      DQM_RESULT_CONCAT_(_dqm_result_, __LINE__), lhs, rexpr)
+
+#define DQM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // DQM_COMMON_RESULT_H_

@@ -1,0 +1,97 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dqm {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double PopulationVariance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double m = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(values.size());
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  DQM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double ScaledRmse(const std::vector<double>& estimates, double truth) {
+  if (estimates.empty()) return 0.0;
+  DQM_CHECK(truth != 0.0) << "ScaledRmse requires a non-zero ground truth";
+  double ss = 0.0;
+  for (double e : estimates) ss += (e - truth) * (e - truth);
+  return std::sqrt(ss / static_cast<double>(estimates.size())) /
+         std::abs(truth);
+}
+
+double Slope(const std::vector<double>& values) {
+  size_t n = values.size();
+  if (n < 2) return 0.0;
+  // OLS slope with x = 0..n-1: cov(x, y) / var(x).
+  double x_mean = static_cast<double>(n - 1) / 2.0;
+  double y_mean = Mean(values);
+  double cov = 0.0;
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = static_cast<double>(i) - x_mean;
+    cov += dx * (values[i] - y_mean);
+    var += dx * dx;
+  }
+  return cov / var;
+}
+
+SeriesBand AggregateSeries(const std::vector<std::vector<double>>& rows) {
+  SeriesBand band;
+  if (rows.empty()) return band;
+  size_t width = rows.front().size();
+  for (const auto& row : rows) {
+    DQM_CHECK_EQ(row.size(), width) << "AggregateSeries rows must align";
+  }
+  band.mean.resize(width);
+  band.std_dev.resize(width);
+  std::vector<double> column(rows.size());
+  for (size_t x = 0; x < width; ++x) {
+    for (size_t r = 0; r < rows.size(); ++r) column[r] = rows[r][x];
+    band.mean[x] = Mean(column);
+    band.std_dev[x] = StdDev(column);
+  }
+  return band;
+}
+
+}  // namespace dqm

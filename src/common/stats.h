@@ -1,0 +1,45 @@
+#ifndef DQM_COMMON_STATS_H_
+#define DQM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dqm {
+
+/// Mean of `values`; 0.0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0.0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Population variance (n denominator); 0.0 for an empty vector.
+double PopulationVariance(const std::vector<double>& values);
+
+/// Linear-interpolated percentile; `q` in [0, 1]. Sorts a copy.
+double Percentile(std::vector<double> values, double q);
+
+/// Minimum / maximum; 0.0 for an empty vector.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Scaled root-mean-square error as used in the paper's simulation study:
+///   SRMSE = (1/D) * sqrt( (1/r) * sum_r (estimate_r - D)^2 )
+/// where `truth` = D and `estimates` holds the r per-permutation estimates.
+/// Returns 0.0 when `estimates` is empty; requires truth != 0.
+double ScaledRmse(const std::vector<double>& estimates, double truth);
+
+/// Ordinary least-squares slope of `values` against their indices 0..n-1.
+/// Returns 0.0 for fewer than 2 values. Used by the SWITCH trend detector.
+double Slope(const std::vector<double>& values);
+
+/// Aggregates per-permutation series (each a vector over the same x-grid)
+/// into mean and sample-std series. All rows must have equal length.
+struct SeriesBand {
+  std::vector<double> mean;
+  std::vector<double> std_dev;
+};
+SeriesBand AggregateSeries(const std::vector<std::vector<double>>& rows);
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_STATS_H_

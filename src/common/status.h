@@ -1,0 +1,123 @@
+#ifndef DQM_COMMON_STATUS_H_
+#define DQM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dqm {
+
+/// Machine-readable category of a `Status`.
+///
+/// The set mirrors the categories used by production database libraries
+/// (RocksDB / Arrow): broad enough to route on, small enough to stay stable.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...). Never returns an empty view.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Error-signalling value used by every fallible DQM API.
+///
+/// The library does not use C++ exceptions (see DESIGN.md); functions that
+/// can fail return `Status` (or `Result<T>`, see result.h). An OK status
+/// carries no allocation; error statuses carry a code and a message.
+///
+/// Typical use:
+///
+///     Status s = table.AppendRow(row);
+///     if (!s.ok()) return s;
+///
+/// or with the helper macro:
+///
+///     DQM_RETURN_NOT_OK(table.AppendRow(row));
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; `kOk` for success.
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty for success.
+  const std::string& message() const;
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Statuses compare equal when both code and message match.
+  friend bool operator==(const Status& a, const Status& b);
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps the success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace dqm
+
+/// Propagates a non-OK status to the caller. Evaluates `expr` exactly once.
+#define DQM_RETURN_NOT_OK(expr)                   \
+  do {                                            \
+    ::dqm::Status _dqm_status = (expr);           \
+    if (!_dqm_status.ok()) return _dqm_status;    \
+  } while (false)
+
+#endif  // DQM_COMMON_STATUS_H_

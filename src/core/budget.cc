@@ -1,0 +1,24 @@
+#include "core/budget.h"
+
+namespace dqm::core {
+
+StoppingRule::StoppingRule(const Options& options, const CostModel& cost)
+    : options_(options), cost_(cost) {}
+
+StoppingRule::Decision StoppingRule::Evaluate(const DataQualityMetric& metric,
+                                              size_t tasks_run) const {
+  Decision decision;
+  decision.estimated_undetected = metric.EstimatedUndetectedErrors();
+  decision.mean_votes_per_item =
+      metric.num_items() == 0
+          ? 0.0
+          : static_cast<double>(metric.num_votes()) /
+                static_cast<double>(metric.num_items());
+  decision.cost_spent = cost_.CostOfTasks(tasks_run);
+  decision.stop =
+      decision.mean_votes_per_item >= options_.min_mean_votes_per_item &&
+      decision.estimated_undetected <= options_.max_undetected_errors;
+  return decision;
+}
+
+}  // namespace dqm::core

@@ -1,0 +1,59 @@
+#ifndef DQM_CORE_BUDGET_H_
+#define DQM_CORE_BUDGET_H_
+
+#include <cstddef>
+
+#include "core/dqm.h"
+
+namespace dqm::core {
+
+/// Task pricing for cost-aware reporting; defaults match the paper's AMT
+/// deployment ($0.03 per task, 10 records per task).
+struct CostModel {
+  double cost_per_task = 0.03;
+  size_t items_per_task = 10;
+
+  double CostOfTasks(size_t tasks) const {
+    return cost_per_task * static_cast<double>(tasks);
+  }
+};
+
+/// Data-driven stopping rule for a crowdsourced cleaning deployment — the
+/// operational answer to the paper's motivating question, "quantifying the
+/// utility of hiring additional workers".
+///
+/// Stop when the estimated number of undetected errors drops to
+/// `max_undetected_errors` or below (optionally also requiring a minimum
+/// average vote coverage so the estimate itself is trustworthy).
+class StoppingRule {
+ public:
+  struct Options {
+    double max_undetected_errors = 1.0;
+    /// Require at least this many votes per item on average before any
+    /// stop decision (guards against optimistic early estimates).
+    double min_mean_votes_per_item = 2.0;
+  };
+
+  struct Decision {
+    bool stop = false;
+    double estimated_undetected = 0.0;
+    double mean_votes_per_item = 0.0;
+    /// Cost spent so far under the model.
+    double cost_spent = 0.0;
+  };
+
+  StoppingRule(const Options& options, const CostModel& cost);
+  StoppingRule() : StoppingRule(Options(), CostModel()) {}
+
+  /// Evaluates the rule against the metric's current state. `tasks_run` is
+  /// used for the cost report.
+  Decision Evaluate(const DataQualityMetric& metric, size_t tasks_run) const;
+
+ private:
+  Options options_;
+  CostModel cost_;
+};
+
+}  // namespace dqm::core
+
+#endif  // DQM_CORE_BUDGET_H_

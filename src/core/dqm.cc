@@ -1,0 +1,97 @@
+#include "core/dqm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "estimators/baselines.h"
+#include "estimators/chao92.h"
+
+namespace dqm::core {
+
+namespace {
+
+std::unique_ptr<estimators::TotalErrorEstimator> MakeEstimator(
+    Method method, size_t num_items, const DataQualityMetric::Options& options) {
+  switch (method) {
+    case Method::kSwitch:
+      return std::make_unique<estimators::SwitchTotalErrorEstimator>(
+          num_items, options.switch_config);
+    case Method::kChao92:
+      return std::make_unique<estimators::Chao92Estimator>(num_items, true);
+    case Method::kGoodTuring:
+      return std::make_unique<estimators::Chao92Estimator>(num_items, false);
+    case Method::kVChao92:
+      return std::make_unique<estimators::VChao92Estimator>(
+          num_items, options.vchao_shift);
+    case Method::kVoting:
+      return std::make_unique<estimators::VotingEstimator>(num_items);
+    case Method::kNominal:
+      return std::make_unique<estimators::NominalEstimator>(num_items);
+  }
+  DQM_CHECK(false) << "unknown method";
+  return nullptr;
+}
+
+}  // namespace
+
+DataQualityMetric::DataQualityMetric(size_t num_items)
+    : DataQualityMetric(num_items, Options()) {}
+
+DataQualityMetric::DataQualityMetric(size_t num_items, const Options& options)
+    : log_(num_items),
+      estimator_(MakeEstimator(options.method, num_items, options)) {}
+
+void DataQualityMetric::AddVote(uint32_t task, uint32_t worker, uint32_t item,
+                                bool is_dirty) {
+  crowd::VoteEvent event{task, worker, item,
+                         is_dirty ? crowd::Vote::kDirty : crowd::Vote::kClean};
+  log_.Append(event);
+  estimator_->Observe(event);
+}
+
+double DataQualityMetric::EstimatedTotalErrors() const {
+  return estimator_->Estimate();
+}
+
+double DataQualityMetric::EstimatedUndetectedErrors() const {
+  double undetected =
+      EstimatedTotalErrors() - static_cast<double>(log_.MajorityCount());
+  return std::max(undetected, 0.0);
+}
+
+double DataQualityMetric::QualityScore() const {
+  if (log_.num_items() == 0) return 1.0;
+  double fraction = EstimatedUndetectedErrors() /
+                    static_cast<double>(log_.num_items());
+  return std::clamp(1.0 - fraction, 0.0, 1.0);
+}
+
+estimators::EstimatorFactory MakeEstimatorFactory(Method method,
+                                                  uint32_t vchao_shift) {
+  return [method, vchao_shift](size_t num_items)
+             -> std::unique_ptr<estimators::TotalErrorEstimator> {
+    DataQualityMetric::Options options;
+    options.vchao_shift = vchao_shift;
+    return MakeEstimator(method, num_items, options);
+  };
+}
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kSwitch:
+      return "SWITCH";
+    case Method::kChao92:
+      return "CHAO92";
+    case Method::kGoodTuring:
+      return "GOOD-TURING";
+    case Method::kVChao92:
+      return "V-CHAO";
+    case Method::kVoting:
+      return "VOTING";
+    case Method::kNominal:
+      return "NOMINAL";
+  }
+  return "?";
+}
+
+}  // namespace dqm::core

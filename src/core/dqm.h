@@ -1,0 +1,94 @@
+#ifndef DQM_CORE_DQM_H_
+#define DQM_CORE_DQM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "crowd/response_log.h"
+#include "estimators/estimator.h"
+#include "estimators/switch_total.h"
+
+namespace dqm::core {
+
+/// Estimation method selector for the facade.
+enum class Method {
+  kSwitch,      // the paper's SWITCH estimator (default, most robust)
+  kChao92,      // plain species estimation (fast convergence, FP-fragile)
+  kGoodTuring,  // Chao92 without the skew correction
+  kVChao92,     // shifted, majority-based Chao92
+  kVoting,      // descriptive majority baseline
+  kNominal,     // descriptive union baseline
+};
+
+/// The user-facing Data Quality Metric (the library's quickstart API).
+///
+/// Feed it worker votes as they arrive; ask at any time how many errors the
+/// dataset is estimated to contain, how many are still undetected, and what
+/// that means as a quality score. Example:
+///
+///     dqm::core::DataQualityMetric metric(num_records);
+///     for (auto& vote : collected_votes)
+///       metric.AddVote(vote.task, vote.worker, vote.record, vote.is_dirty);
+///     double total = metric.EstimatedTotalErrors();
+///     double undetected = metric.EstimatedUndetectedErrors();
+///     double quality = metric.QualityScore();  // in [0, 1]
+class DataQualityMetric {
+ public:
+  struct Options {
+    Method method = Method::kSwitch;
+    /// vChao92 shift parameter (only used by kVChao92).
+    uint32_t vchao_shift = 1;
+    /// SWITCH configuration (only used by kSwitch).
+    estimators::SwitchTotalErrorEstimator::Config switch_config;
+  };
+
+  /// `num_items` — size of the record (or candidate-pair) universe N.
+  explicit DataQualityMetric(size_t num_items);
+  DataQualityMetric(size_t num_items, const Options& options);
+
+  /// Records one worker vote. Tasks must arrive in non-decreasing task id
+  /// order (append-only stream).
+  void AddVote(uint32_t task, uint32_t worker, uint32_t item, bool is_dirty);
+
+  /// Estimated total number of dirty items |R_dirty| under the configured
+  /// method.
+  double EstimatedTotalErrors() const;
+
+  /// Estimated errors not yet reflected in the current majority consensus:
+  /// max(EstimatedTotalErrors() - MajorityCount(), 0). The "how many errors
+  /// would more workers still find" number.
+  double EstimatedUndetectedErrors() const;
+
+  /// Quality score in [0, 1]: fraction of records whose current consensus
+  /// label is believed correct, 1 - undetected/N.
+  double QualityScore() const;
+
+  /// Descriptive counts from the underlying log.
+  size_t MajorityCount() const { return log_.MajorityCount(); }
+  size_t NominalCount() const { return log_.NominalCount(); }
+  size_t num_votes() const { return log_.num_events(); }
+  size_t num_items() const { return log_.num_items(); }
+
+  /// The underlying log (e.g., for re-analysis with other estimators).
+  const crowd::ResponseLog& log() const { return log_; }
+
+  /// Name of the active method.
+  std::string_view method_name() const { return estimator_->name(); }
+
+ private:
+  crowd::ResponseLog log_;
+  std::unique_ptr<estimators::TotalErrorEstimator> estimator_;
+};
+
+/// Builds a factory for any Method, usable with the ExperimentRunner.
+estimators::EstimatorFactory MakeEstimatorFactory(Method method,
+                                                  uint32_t vchao_shift = 1);
+
+/// Canonical display name for a method ("SWITCH", "CHAO92", ...).
+std::string_view MethodName(Method method);
+
+}  // namespace dqm::core
+
+#endif  // DQM_CORE_DQM_H_

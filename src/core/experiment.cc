@@ -1,0 +1,142 @@
+#include "core/experiment.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace dqm::core {
+
+crowd::ResponseLog PermuteTasks(const crowd::ResponseLog& log, uint64_t seed) {
+  // Group event index ranges by task in first-appearance order. Simulator
+  // logs have contiguous per-task runs; grouping by scan keeps this general.
+  std::vector<std::vector<const crowd::VoteEvent*>> groups;
+  std::unordered_map<uint32_t, size_t> group_of_task;
+  for (const crowd::VoteEvent& event : log.events()) {
+    auto [it, inserted] = group_of_task.emplace(event.task, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(&event);
+  }
+
+  Rng rng(seed);
+  std::vector<size_t> order = rng.Permutation(groups.size());
+
+  crowd::ResponseLog permuted(log.num_items());
+  std::unordered_map<uint32_t, uint32_t> worker_renumber;
+  for (size_t new_task = 0; new_task < order.size(); ++new_task) {
+    for (const crowd::VoteEvent* event : groups[order[new_task]]) {
+      auto [it, inserted] = worker_renumber.emplace(
+          event->worker, static_cast<uint32_t>(worker_renumber.size()));
+      permuted.Append(crowd::VoteEvent{static_cast<uint32_t>(new_task),
+                                       it->second, event->item, event->vote});
+    }
+  }
+  return permuted;
+}
+
+SimulatedRun SimulateScenario(const Scenario& scenario, size_t num_tasks,
+                              uint64_t seed) {
+  std::vector<bool> truth = BuildTruth(scenario, seed);
+  crowd::CrowdSimulator simulator =
+      MakeSimulator(scenario, truth, seed ^ 0xc2b2ae3d27d4eb4fULL);
+  crowd::ResponseLog log(scenario.num_items);
+  simulator.RunTasks(log, num_tasks);
+  return SimulatedRun{std::move(log), std::move(truth)};
+}
+
+std::vector<SeriesResult> ExperimentRunner::Run(
+    const crowd::ResponseLog& log, size_t num_items,
+    const std::vector<std::pair<std::string, estimators::EstimatorFactory>>&
+        factories) const {
+  DQM_CHECK_GT(config_.permutations, 0u);
+  // rows[f][p] = series of estimator f on permutation p.
+  std::vector<std::vector<std::vector<double>>> rows(factories.size());
+  for (size_t p = 0; p < config_.permutations; ++p) {
+    crowd::ResponseLog permuted =
+        PermuteTasks(log, config_.seed + 0x9e37 * (p + 1));
+    for (size_t f = 0; f < factories.size(); ++f) {
+      std::unique_ptr<estimators::TotalErrorEstimator> estimator =
+          factories[f].second(num_items);
+      rows[f].push_back(
+          estimators::EstimateSeriesByTask(permuted, *estimator));
+    }
+  }
+  std::vector<SeriesResult> results;
+  results.reserve(factories.size());
+  for (size_t f = 0; f < factories.size(); ++f) {
+    SeriesBand band = AggregateSeries(rows[f]);
+    results.push_back(
+        SeriesResult{factories[f].first, std::move(band.mean),
+                     std::move(band.std_dev)});
+  }
+  return results;
+}
+
+ExperimentRunner::SwitchDiagnostics ExperimentRunner::RunSwitchDiagnostics(
+    const crowd::ResponseLog& log, size_t num_items,
+    const std::vector<bool>& truth,
+    const estimators::SwitchTotalErrorEstimator::Config& config) const {
+  DQM_CHECK_EQ(truth.size(), num_items);
+  std::vector<std::vector<double>> pos_est, neg_est, pos_needed, neg_needed;
+  for (size_t p = 0; p < config_.permutations; ++p) {
+    crowd::ResponseLog permuted =
+        PermuteTasks(log, config_.seed + 0x9e37 * (p + 1));
+    estimators::SwitchTotalErrorEstimator estimator(num_items, config);
+    std::vector<uint32_t> positive(num_items, 0), total(num_items, 0);
+    std::vector<double> s_pos, s_neg, s_pos_needed, s_neg_needed;
+
+    auto sample = [&]() {
+      s_pos.push_back(estimator.RemainingPositive());
+      s_neg.push_back(estimator.RemainingNegative());
+      estimators::SwitchesNeeded needed =
+          estimators::ComputeSwitchesNeeded(positive, total, truth);
+      s_pos_needed.push_back(static_cast<double>(needed.positive));
+      s_neg_needed.push_back(static_cast<double>(needed.negative));
+    };
+
+    const auto& events = permuted.events();
+    uint32_t current_task = events.empty() ? 0 : events.front().task;
+    for (const crowd::VoteEvent& event : events) {
+      if (event.task != current_task) {
+        sample();
+        current_task = event.task;
+      }
+      estimator.Observe(event);
+      ++total[event.item];
+      if (event.vote == crowd::Vote::kDirty) ++positive[event.item];
+    }
+    if (!events.empty()) sample();
+
+    pos_est.push_back(std::move(s_pos));
+    neg_est.push_back(std::move(s_neg));
+    pos_needed.push_back(std::move(s_pos_needed));
+    neg_needed.push_back(std::move(s_neg_needed));
+  }
+
+  auto aggregate = [](const std::string& name,
+                      const std::vector<std::vector<double>>& series) {
+    SeriesBand band = AggregateSeries(series);
+    return SeriesResult{name, std::move(band.mean), std::move(band.std_dev)};
+  };
+  SwitchDiagnostics diagnostics;
+  diagnostics.remaining_positive_estimate =
+      aggregate("remaining positive switches (est)", pos_est);
+  diagnostics.remaining_negative_estimate =
+      aggregate("remaining negative switches (est)", neg_est);
+  diagnostics.needed_positive_truth =
+      aggregate("positive switches needed (truth)", pos_needed);
+  diagnostics.needed_negative_truth =
+      aggregate("negative switches needed (truth)", neg_needed);
+  return diagnostics;
+}
+
+double SampleCleanMinimumTasks(size_t sample_size, size_t records_per_task,
+                               size_t workers_per_record) {
+  DQM_CHECK_GT(records_per_task, 0u);
+  return static_cast<double>(workers_per_record) *
+         static_cast<double>(sample_size) /
+         static_cast<double>(records_per_task);
+}
+
+}  // namespace dqm::core

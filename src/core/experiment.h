@@ -1,0 +1,85 @@
+#ifndef DQM_CORE_EXPERIMENT_H_
+#define DQM_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/scenario.h"
+#include "crowd/response_log.h"
+#include "estimators/estimator.h"
+#include "estimators/switch_total.h"
+#include "estimators/switch_tracker.h"
+
+namespace dqm::core {
+
+/// Reorders a log's tasks by a random permutation, renumbering tasks and
+/// workers in the new arrival order (votes within a task keep their order).
+/// This reproduces the paper's evaluation protocol: "we randomly permute the
+/// workers and average the results over r = 10 such permutations".
+crowd::ResponseLog PermuteTasks(const crowd::ResponseLog& log, uint64_t seed);
+
+/// Simulates `num_tasks` tasks of `scenario` and returns the log plus the
+/// hidden truth (for ground-truth lines in reports).
+struct SimulatedRun {
+  crowd::ResponseLog log;
+  std::vector<bool> truth;
+};
+SimulatedRun SimulateScenario(const Scenario& scenario, size_t num_tasks,
+                              uint64_t seed);
+
+/// A named mean +/- std series over task counts.
+struct SeriesResult {
+  std::string name;
+  std::vector<double> mean;
+  std::vector<double> std_dev;
+};
+
+/// Evaluates estimators over task-order permutations of one response log.
+class ExperimentRunner {
+ public:
+  struct Config {
+    /// r — number of task-order permutations averaged.
+    size_t permutations = 10;
+    uint64_t seed = 42;
+  };
+
+  explicit ExperimentRunner(const Config& config) : config_(config) {}
+
+  /// For each named factory: replays `permutations` shuffles of `log` and
+  /// aggregates the per-task estimate series into mean/std. All series share
+  /// the x grid 1..num_tasks.
+  std::vector<SeriesResult> Run(
+      const crowd::ResponseLog& log, size_t num_items,
+      const std::vector<std::pair<std::string, estimators::EstimatorFactory>>&
+          factories) const;
+
+  /// SWITCH diagnostics for Figures 3-5 (b)/(c): per-task series of the
+  /// estimated remaining positive/negative switches and the ground-truth
+  /// switches still needed (from the evolving majority labels vs `truth`),
+  /// permutation-averaged.
+  struct SwitchDiagnostics {
+    SeriesResult remaining_positive_estimate;
+    SeriesResult remaining_negative_estimate;
+    SeriesResult needed_positive_truth;
+    SeriesResult needed_negative_truth;
+  };
+  SwitchDiagnostics RunSwitchDiagnostics(
+      const crowd::ResponseLog& log, size_t num_items,
+      const std::vector<bool>& truth,
+      const estimators::SwitchTotalErrorEstimator::Config& config) const;
+
+ private:
+  Config config_;
+};
+
+/// Sample Clean Minimum (Section 6.1): the number of tasks needed to clean a
+/// sample of size `sample_size` with `workers_per_record` fixed votes per
+/// record at `records_per_task` records per task.
+double SampleCleanMinimumTasks(size_t sample_size, size_t records_per_task,
+                               size_t workers_per_record = 3);
+
+}  // namespace dqm::core
+
+#endif  // DQM_CORE_EXPERIMENT_H_

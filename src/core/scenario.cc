@@ -1,0 +1,193 @@
+#include "core/scenario.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "crowd/assignment.h"
+
+namespace dqm::core {
+
+std::vector<bool> BuildTruth(const Scenario& scenario, uint64_t seed) {
+  DQM_CHECK_GT(scenario.num_items, 0u);
+  DQM_CHECK_LE(scenario.num_candidates, scenario.num_items);
+  DQM_CHECK_LE(scenario.dirty_in_candidates, scenario.num_candidates);
+  DQM_CHECK_LE(scenario.dirty_in_complement,
+               scenario.num_items - scenario.num_candidates);
+  Rng rng(seed);
+  std::vector<bool> truth(scenario.num_items, false);
+  for (size_t index :
+       rng.SampleIndices(scenario.num_candidates, scenario.dirty_in_candidates)) {
+    truth[index] = true;
+  }
+  size_t complement = scenario.num_items - scenario.num_candidates;
+  for (size_t index :
+       rng.SampleIndices(complement, scenario.dirty_in_complement)) {
+    truth[scenario.num_candidates + index] = true;
+  }
+  return truth;
+}
+
+namespace {
+
+// Assigns the scenario's per-item difficulty; deterministic for a seed.
+std::vector<crowd::ItemNoise> BuildItemNoise(const Scenario& scenario,
+                                             const std::vector<bool>& truth,
+                                             uint64_t seed) {
+  if (scenario.hard_dirty_fraction <= 0.0 &&
+      scenario.confusing_clean_fraction <= 0.0) {
+    return {};
+  }
+  Rng rng(seed ^ 0x6a09e667f3bcc909ULL);
+  std::vector<crowd::ItemNoise> noise(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i]) {
+      if (rng.Bernoulli(scenario.hard_dirty_fraction)) {
+        noise[i].extra_false_negative =
+            static_cast<float>(scenario.hard_extra_fn);
+      }
+    } else if (rng.Bernoulli(scenario.confusing_clean_fraction)) {
+      noise[i].extra_false_positive =
+          static_cast<float>(scenario.confusing_extra_fp);
+    }
+  }
+  return noise;
+}
+
+}  // namespace
+
+crowd::CrowdSimulator MakeSimulator(const Scenario& scenario,
+                                    std::vector<bool> truth, uint64_t seed) {
+  DQM_CHECK_EQ(truth.size(), scenario.num_items);
+  std::unique_ptr<crowd::AssignmentStrategy> assignment;
+  if (scenario.num_candidates == scenario.num_items) {
+    assignment = std::make_unique<crowd::UniformAssignment>(
+        scenario.num_items, scenario.items_per_task);
+  } else {
+    assignment = std::make_unique<crowd::PrioritizedAssignment>(
+        scenario.num_items, scenario.num_candidates, scenario.items_per_task,
+        scenario.epsilon);
+  }
+  crowd::CrowdSimulator::Config config;
+  config.tasks_per_worker = scenario.tasks_per_worker;
+  config.seed = seed;
+  std::vector<crowd::ItemNoise> noise = BuildItemNoise(scenario, truth, seed);
+  crowd::CrowdSimulator simulator(
+      std::move(truth), std::move(assignment),
+      crowd::WorkerPool(scenario.workers, Rng(seed ^ 0x9e3779b97f4a7c15ULL)),
+      config);
+  simulator.SetItemNoise(std::move(noise));
+  return simulator;
+}
+
+crowd::CrowdSimulator MakeFixedQuorumSimulator(const Scenario& scenario,
+                                               std::vector<bool> truth,
+                                               size_t quorum, uint64_t seed) {
+  DQM_CHECK_EQ(truth.size(), scenario.num_items);
+  auto assignment = std::make_unique<crowd::FixedQuorumAssignment>(
+      scenario.num_items, scenario.items_per_task, quorum,
+      Rng(seed ^ 0xda3e39cb94b95bdbULL));
+  crowd::CrowdSimulator::Config config;
+  config.tasks_per_worker = scenario.tasks_per_worker;
+  config.seed = seed;
+  std::vector<crowd::ItemNoise> noise = BuildItemNoise(scenario, truth, seed);
+  crowd::CrowdSimulator simulator(
+      std::move(truth), std::move(assignment),
+      crowd::WorkerPool(scenario.workers, Rng(seed ^ 0x9e3779b97f4a7c15ULL)),
+      config);
+  simulator.SetItemNoise(std::move(noise));
+  return simulator;
+}
+
+Scenario RestaurantScenario() {
+  Scenario s;
+  s.name = "restaurant";
+  // 1264 candidate pairs with 12 true duplicates (Section 6.1.1); the
+  // crowd's dominant failure mode on this dataset is false positives.
+  s.num_items = 1264;
+  s.num_candidates = 1264;
+  s.dirty_in_candidates = 12;
+  s.items_per_task = 10;
+  s.workers.base.false_positive_rate = 0.035;
+  s.workers.base.false_negative_rate = 0.15;
+  s.workers.variation = 0.015;
+  s.workers.qualification_max_fp = 0.12;
+  s.workers.qualification_max_fn = 0.5;
+  return s;
+}
+
+Scenario ProductScenario() {
+  Scenario s;
+  s.name = "product";
+  // 13022 candidate pairs, 607 true duplicates (Section 6.1.2); the harder
+  // matching task produces mostly false negatives.
+  s.num_items = 13022;
+  s.num_candidates = 13022;
+  s.dirty_in_candidates = 607;
+  s.items_per_task = 10;
+  s.workers.base.false_positive_rate = 0.004;
+  s.workers.base.false_negative_rate = 0.15;
+  s.workers.variation = 0.02;
+  s.workers.qualification_max_fp = 0.05;
+  s.workers.qualification_max_fn = 0.7;
+  // "a few difficult pairs on which more than just a single worker make
+  // mistakes" (Section 6.1.2): hard matches most workers miss, and a few
+  // look-alike non-matches many workers accept.
+  s.hard_dirty_fraction = 0.25;
+  s.hard_extra_fn = 0.30;
+  s.confusing_clean_fraction = 0.012;
+  s.confusing_extra_fp = 0.45;
+  return s;
+}
+
+Scenario AddressScenario() {
+  Scenario s;
+  s.name = "address";
+  // 1000 addresses, 90 malformed (Section 6.1.3); fair amounts of both
+  // error types.
+  s.num_items = 1000;
+  s.num_candidates = 1000;
+  s.dirty_in_candidates = 90;
+  s.items_per_task = 10;
+  s.workers.base.false_positive_rate = 0.05;
+  s.workers.base.false_negative_rate = 0.25;
+  s.workers.variation = 0.02;
+  s.workers.qualification_max_fp = 0.15;
+  s.workers.qualification_max_fn = 0.6;
+  return s;
+}
+
+Scenario SimulationScenario(double false_positive_rate,
+                            double false_negative_rate,
+                            size_t items_per_task) {
+  Scenario s;
+  s.name = "simulation";
+  // Section 6.2: 1000 candidate pairs, 100 true duplicates.
+  s.num_items = 1000;
+  s.num_candidates = 1000;
+  s.dirty_in_candidates = 100;
+  s.items_per_task = items_per_task;
+  s.workers.base.false_positive_rate = false_positive_rate;
+  s.workers.base.false_negative_rate = false_negative_rate;
+  return s;
+}
+
+Scenario PrioritizationScenario(double heuristic_error, double epsilon) {
+  DQM_CHECK(heuristic_error >= 0.0 && heuristic_error <= 1.0);
+  Scenario s;
+  s.name = "prioritization";
+  // 1000-pair candidate set R_H inside a 5000-pair universe; 100 true
+  // errors total of which `heuristic_error` were misplaced into R_H^c.
+  s.num_items = 5000;
+  s.num_candidates = 1000;
+  auto misplaced = static_cast<size_t>(heuristic_error * 100.0 + 0.5);
+  s.dirty_in_candidates = 100 - misplaced;
+  s.dirty_in_complement = misplaced;
+  s.items_per_task = 15;
+  s.epsilon = epsilon;
+  s.workers.base.false_positive_rate = 0.01;
+  s.workers.base.false_negative_rate = 0.10;
+  return s;
+}
+
+}  // namespace dqm::core

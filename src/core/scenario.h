@@ -1,0 +1,85 @@
+#ifndef DQM_CORE_SCENARIO_H_
+#define DQM_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crowd/simulator.h"
+#include "crowd/worker.h"
+
+namespace dqm::core {
+
+/// A fully-specified crowdsourced-cleaning workload: the item universe with
+/// its hidden truth layout, the worker error regime, and the task shape.
+/// Scenarios are the bench harness's reproducible stand-ins for the paper's
+/// AMT deployments (see DESIGN.md, substitutions table).
+struct Scenario {
+  std::string name;
+
+  /// Total item universe |R|. Items [0, num_candidates) form the heuristic
+  /// candidate set R_H; the rest form the complement R_H^c.
+  size_t num_items = 0;
+  size_t num_candidates = 0;  // == num_items when no prioritization
+
+  /// True-dirty counts per stratum.
+  size_t dirty_in_candidates = 0;
+  size_t dirty_in_complement = 0;
+
+  size_t items_per_task = 10;
+  /// Probability a task slot draws from R_H^c (Section 5.3); ignored when
+  /// num_candidates == num_items.
+  double epsilon = 0.1;
+
+  crowd::WorkerPool::Config workers;
+  /// Consecutive tasks taken by one worker.
+  size_t tasks_per_worker = 1;
+
+  /// Per-item difficulty ("a few difficult pairs on which more than just a
+  /// single worker make mistakes", Section 6.1.2): a random
+  /// `hard_dirty_fraction` of the dirty items carries `hard_extra_fn`
+  /// additional miss probability, and a random `confusing_clean_fraction`
+  /// of the clean items carries `confusing_extra_fp` additional
+  /// false-positive probability for every worker.
+  double hard_dirty_fraction = 0.0;
+  double hard_extra_fn = 0.0;
+  double confusing_clean_fraction = 0.0;
+  double confusing_extra_fp = 0.0;
+
+  size_t num_dirty() const { return dirty_in_candidates + dirty_in_complement; }
+};
+
+/// Materializes the hidden truth vector for a scenario: dirty items placed
+/// uniformly at random within each stratum.
+std::vector<bool> BuildTruth(const Scenario& scenario, uint64_t seed);
+
+/// Builds a ready-to-run simulator over `truth` (uniform assignment when the
+/// scenario has no complement stratum, prioritized otherwise).
+crowd::CrowdSimulator MakeSimulator(const Scenario& scenario,
+                                    std::vector<bool> truth, uint64_t seed);
+
+/// As MakeSimulator but with the conventional fixed-quorum assignment
+/// (exactly `quorum` votes per item) used by the SCM cost baseline.
+crowd::CrowdSimulator MakeFixedQuorumSimulator(const Scenario& scenario,
+                                               std::vector<bool> truth,
+                                               size_t quorum, uint64_t seed);
+
+/// Paper-shaped presets (Sections 6.1-6.2). Worker regimes follow the
+/// paper's qualitative characterization of each crowd: Restaurant FP-heavy,
+/// Product FN-heavy, Address both; the simulation preset matches the
+/// "1000 candidate pairs, 100 duplicates, 15 items per task" study.
+Scenario RestaurantScenario();
+Scenario ProductScenario();
+Scenario AddressScenario();
+Scenario SimulationScenario(double false_positive_rate,
+                            double false_negative_rate,
+                            size_t items_per_task = 15);
+
+/// Prioritization study preset (Figure 8): `heuristic_error` is the fraction
+/// of true errors the heuristic misplaces into R_H^c.
+Scenario PrioritizationScenario(double heuristic_error, double epsilon);
+
+}  // namespace dqm::core
+
+#endif  // DQM_CORE_SCENARIO_H_

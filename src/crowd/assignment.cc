@@ -1,0 +1,99 @@
+#include "crowd/assignment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dqm::crowd {
+
+UniformAssignment::UniformAssignment(size_t num_items, size_t items_per_task)
+    : num_items_(num_items),
+      items_per_task_(std::min(items_per_task, num_items)) {
+  DQM_CHECK_GT(num_items, 0u);
+  DQM_CHECK_GT(items_per_task, 0u);
+}
+
+std::vector<uint32_t> UniformAssignment::NextTask(Rng& rng) {
+  std::vector<size_t> sample = rng.SampleIndices(num_items_, items_per_task_);
+  return {sample.begin(), sample.end()};
+}
+
+PrioritizedAssignment::PrioritizedAssignment(size_t num_items,
+                                             size_t num_candidates,
+                                             size_t items_per_task,
+                                             double epsilon)
+    : num_items_(num_items),
+      num_candidates_(num_candidates),
+      items_per_task_(items_per_task),
+      epsilon_(epsilon) {
+  DQM_CHECK_GT(num_items, 0u);
+  DQM_CHECK_GT(num_candidates, 0u);
+  DQM_CHECK_LE(num_candidates, num_items);
+  DQM_CHECK_GT(items_per_task, 0u);
+  DQM_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+}
+
+std::vector<uint32_t> PrioritizedAssignment::NextTask(Rng& rng) {
+  const size_t num_complement = num_items_ - num_candidates_;
+  std::vector<uint32_t> items;
+  items.reserve(items_per_task_);
+  std::unordered_set<uint32_t> chosen;
+  // Rejection loop over distinct items; bounded because items_per_task is
+  // far below the universe in all supported configurations.
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * items_per_task_ + 1000;
+  while (items.size() < std::min(items_per_task_, num_items_) &&
+         attempts < max_attempts) {
+    ++attempts;
+    uint32_t item;
+    if (num_complement == 0 || !rng.Bernoulli(epsilon_)) {
+      item = static_cast<uint32_t>(rng.UniformIndex(num_candidates_));
+    } else {
+      item = static_cast<uint32_t>(num_candidates_ +
+                                   rng.UniformIndex(num_complement));
+    }
+    if (chosen.insert(item).second) items.push_back(item);
+  }
+  return items;
+}
+
+FixedQuorumAssignment::FixedQuorumAssignment(size_t num_items,
+                                             size_t items_per_task,
+                                             size_t quorum, Rng deck_rng)
+    : num_items_(num_items), items_per_task_(items_per_task) {
+  DQM_CHECK_GT(num_items, 0u);
+  DQM_CHECK_GT(items_per_task, 0u);
+  DQM_CHECK_GT(quorum, 0u);
+  deck_.reserve(num_items * quorum);
+  for (size_t round = 0; round < quorum; ++round) {
+    std::vector<size_t> perm = deck_rng.Permutation(num_items);
+    for (size_t item : perm) deck_.push_back(static_cast<uint32_t>(item));
+  }
+}
+
+std::vector<uint32_t> FixedQuorumAssignment::NextTask(Rng& rng) {
+  std::vector<uint32_t> items;
+  items.reserve(items_per_task_);
+  std::unordered_set<uint32_t> chosen;
+  while (items.size() < items_per_task_ && next_ < deck_.size()) {
+    uint32_t item = deck_[next_++];
+    if (chosen.insert(item).second) {
+      items.push_back(item);
+    } else {
+      // The same item twice in one task is not useful; push it to the end
+      // of the deck for a later task.
+      deck_.push_back(item);
+    }
+  }
+  if (items.size() < items_per_task_) {
+    // Deck exhausted: top up with uniform sampling.
+    while (items.size() < std::min(items_per_task_, num_items_)) {
+      auto item = static_cast<uint32_t>(rng.UniformIndex(num_items_));
+      if (chosen.insert(item).second) items.push_back(item);
+    }
+  }
+  return items;
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,86 @@
+#ifndef DQM_CROWD_ASSIGNMENT_H_
+#define DQM_CROWD_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dqm::crowd {
+
+/// Chooses which items go into each crowd task.
+///
+/// The paper's estimators rely on *random* worker assignment with overlap
+/// (Section 1.2): redundancy across workers is what produces the f-statistics.
+/// The fixed-quorum strategy models the conventional "exactly three votes per
+/// item" assignment used by the SCM cost baseline.
+class AssignmentStrategy {
+ public:
+  virtual ~AssignmentStrategy() = default;
+
+  /// Items for the next task. Within one task items are distinct; across
+  /// tasks items repeat (sampling with replacement at the task level).
+  virtual std::vector<uint32_t> NextTask(Rng& rng) = 0;
+
+  /// Number of items per task this strategy was configured with.
+  virtual size_t items_per_task() const = 0;
+};
+
+/// Uniform random assignment over the whole item universe [0, num_items):
+/// each task samples `items_per_task` distinct items uniformly.
+class UniformAssignment : public AssignmentStrategy {
+ public:
+  UniformAssignment(size_t num_items, size_t items_per_task);
+
+  std::vector<uint32_t> NextTask(Rng& rng) override;
+  size_t items_per_task() const override { return items_per_task_; }
+
+ private:
+  size_t num_items_;
+  size_t items_per_task_;
+};
+
+/// Prioritized assignment of Section 5.3: each task slot draws from the
+/// heuristic candidate set R_H with probability 1-epsilon and from the
+/// complement R_H^c with probability epsilon. Item ids [0, num_candidates)
+/// form R_H; ids [num_candidates, num_items) form R_H^c.
+class PrioritizedAssignment : public AssignmentStrategy {
+ public:
+  PrioritizedAssignment(size_t num_items, size_t num_candidates,
+                        size_t items_per_task, double epsilon);
+
+  std::vector<uint32_t> NextTask(Rng& rng) override;
+  size_t items_per_task() const override { return items_per_task_; }
+
+ private:
+  size_t num_items_;
+  size_t num_candidates_;
+  size_t items_per_task_;
+  double epsilon_;
+};
+
+/// Fixed-quorum assignment: every item receives exactly `quorum` votes in
+/// total. Items are dealt from `quorum` independent random permutations,
+/// chunked into tasks, mirroring the conventional "assign a fixed number of
+/// workers (e.g., three) to all items" scheme the paper compares against.
+/// After quorum * num_items / items_per_task tasks the deck is exhausted and
+/// further tasks fall back to uniform sampling.
+class FixedQuorumAssignment : public AssignmentStrategy {
+ public:
+  FixedQuorumAssignment(size_t num_items, size_t items_per_task, size_t quorum,
+                        Rng deck_rng);
+
+  std::vector<uint32_t> NextTask(Rng& rng) override;
+  size_t items_per_task() const override { return items_per_task_; }
+
+ private:
+  size_t num_items_;
+  size_t items_per_task_;
+  std::vector<uint32_t> deck_;  // quorum concatenated permutations
+  size_t next_ = 0;
+};
+
+}  // namespace dqm::crowd
+
+#endif  // DQM_CROWD_ASSIGNMENT_H_

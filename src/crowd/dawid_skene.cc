@@ -1,0 +1,111 @@
+#include "crowd/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dqm::crowd {
+
+DawidSkene::DawidSkene(const Options& options) : options_(options) {
+  DQM_CHECK_GT(options.max_iterations, 0u);
+  DQM_CHECK_GT(options.smoothing, 0.0);
+}
+
+DawidSkene::Result DawidSkene::Fit(const ResponseLog& log) const {
+  const size_t num_items = log.num_items();
+  const size_t num_workers = std::max<size_t>(log.num_workers(), 1);
+  const double s = options_.smoothing;
+
+  Result result;
+  result.sensitivity.assign(num_workers, 0.8);
+  result.specificity.assign(num_workers, 0.8);
+
+  // Initialize posteriors from the majority vote (soft: fraction of dirty
+  // votes, pulled toward 0.5 by one pseudo-vote each way).
+  result.posterior_dirty.assign(num_items, 0.5);
+  for (size_t i = 0; i < num_items; ++i) {
+    double pos = log.positive_votes(i);
+    double tot = log.total_votes(i);
+    result.posterior_dirty[i] = (pos + 1.0) / (tot + 2.0);
+  }
+
+  if (log.num_events() == 0) {
+    result.prior_dirty = 0.5;
+    result.converged = true;
+    return result;
+  }
+
+  for (size_t iteration = 1; iteration <= options_.max_iterations;
+       ++iteration) {
+    // ---- M step: worker rates and the class prior from soft labels.
+    std::vector<double> dirty_agree(num_workers, s);   // dirty & voted dirty
+    std::vector<double> dirty_total(num_workers, 2 * s);
+    std::vector<double> clean_agree(num_workers, s);   // clean & voted clean
+    std::vector<double> clean_total(num_workers, 2 * s);
+    for (const VoteEvent& event : log.events()) {
+      double p = result.posterior_dirty[event.item];
+      dirty_total[event.worker] += p;
+      clean_total[event.worker] += 1.0 - p;
+      if (event.vote == Vote::kDirty) {
+        dirty_agree[event.worker] += p;
+      } else {
+        clean_agree[event.worker] += 1.0 - p;
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      result.sensitivity[w] = dirty_agree[w] / dirty_total[w];
+      result.specificity[w] = clean_agree[w] / clean_total[w];
+    }
+    double prior_num = s;
+    for (size_t i = 0; i < num_items; ++i) {
+      prior_num += result.posterior_dirty[i];
+    }
+    result.prior_dirty = prior_num / (static_cast<double>(num_items) + 2 * s);
+
+    // ---- E step: per-item posteriors from worker rates (log domain).
+    std::vector<double> log_dirty(num_items,
+                                  std::log(result.prior_dirty));
+    std::vector<double> log_clean(num_items,
+                                  std::log(1.0 - result.prior_dirty));
+    for (const VoteEvent& event : log.events()) {
+      double sens = std::clamp(result.sensitivity[event.worker], 1e-6,
+                               1.0 - 1e-6);
+      double spec = std::clamp(result.specificity[event.worker], 1e-6,
+                               1.0 - 1e-6);
+      if (event.vote == Vote::kDirty) {
+        log_dirty[event.item] += std::log(sens);
+        log_clean[event.item] += std::log(1.0 - spec);
+      } else {
+        log_dirty[event.item] += std::log(1.0 - sens);
+        log_clean[event.item] += std::log(spec);
+      }
+    }
+    double max_delta = 0.0;
+    for (size_t i = 0; i < num_items; ++i) {
+      double m = std::max(log_dirty[i], log_clean[i]);
+      double dirty = std::exp(log_dirty[i] - m);
+      double clean = std::exp(log_clean[i] - m);
+      double posterior = dirty / (dirty + clean);
+      max_delta = std::max(max_delta,
+                           std::abs(posterior - result.posterior_dirty[i]));
+      result.posterior_dirty[i] = posterior;
+    }
+    result.iterations = iteration;
+    if (max_delta < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+size_t DawidSkene::DirtyCount(const Result& result) {
+  size_t count = 0;
+  for (double p : result.posterior_dirty) {
+    if (p > 0.5) ++count;
+  }
+  return count;
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,36 @@
+#ifndef DQM_CROWD_LOG_IO_H_
+#define DQM_CROWD_LOG_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "crowd/response_log.h"
+
+namespace dqm::crowd {
+
+/// CSV persistence for vote logs, so real crowd results (e.g., an AMT
+/// result export) can be fed to the estimators and simulated logs can be
+/// archived for re-analysis.
+///
+/// Format: a header row `task,worker,item,vote` followed by one row per
+/// vote in arrival order; `vote` is `dirty` or `clean` (also accepts
+/// `1`/`0`). Arrival order is preserved — it is load-bearing for the
+/// SWITCH estimator.
+class ResponseLogIo {
+ public:
+  /// Serializes `log` (with header).
+  static std::string ToCsv(const ResponseLog& log);
+
+  /// Parses a CSV document; `num_items` fixes the item universe size and
+  /// must exceed every item id in the file.
+  static Result<ResponseLog> FromCsv(std::string_view text, size_t num_items);
+
+  /// File convenience wrappers.
+  static Status WriteFile(const ResponseLog& log, const std::string& path);
+  static Result<ResponseLog> ReadFile(const std::string& path,
+                                      size_t num_items);
+};
+
+}  // namespace dqm::crowd
+
+#endif  // DQM_CROWD_LOG_IO_H_

@@ -1,0 +1,36 @@
+#include "crowd/response_log.h"
+
+#include "common/logging.h"
+
+namespace dqm::crowd {
+
+ResponseLog::ResponseLog(size_t num_items)
+    : positive_(num_items, 0), total_(num_items, 0) {}
+
+void ResponseLog::Append(const VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size()) << "item id out of range";
+  const size_t item = event.item;
+
+  bool was_nominal = positive_[item] > 0;
+  bool was_majority = MajorityDirty(item);
+
+  ++total_[item];
+  if (event.vote == Vote::kDirty) {
+    ++positive_[item];
+    ++total_positive_;
+  }
+
+  if (!was_nominal && positive_[item] > 0) ++nominal_count_;
+  bool is_majority = MajorityDirty(item);
+  if (!was_majority && is_majority) {
+    ++majority_count_;
+  } else if (was_majority && !is_majority) {
+    --majority_count_;
+  }
+
+  num_tasks_ = std::max(num_tasks_, static_cast<size_t>(event.task) + 1);
+  num_workers_ = std::max(num_workers_, static_cast<size_t>(event.worker) + 1);
+  events_.push_back(event);
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,72 @@
+#ifndef DQM_CROWD_RESPONSE_LOG_H_
+#define DQM_CROWD_RESPONSE_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crowd/vote.h"
+
+namespace dqm::crowd {
+
+/// The ordered collection of worker votes: the concrete realization of the
+/// paper's response matrix `I` plus arrival order.
+///
+/// Maintains per-item tallies and the NOMINAL / VOTING counts incrementally,
+/// so appending an event is O(1) and estimators can be evaluated after every
+/// task without rescanning.
+class ResponseLog {
+ public:
+  /// `num_items` = N, the size of the record (or pair) universe.
+  explicit ResponseLog(size_t num_items);
+
+  size_t num_items() const { return positive_.size(); }
+  size_t num_events() const { return events_.size(); }
+
+  /// Number of distinct tasks / workers seen so far (max id + 1).
+  size_t num_tasks() const { return num_tasks_; }
+  size_t num_workers() const { return num_workers_; }
+
+  /// Appends one vote. `event.item` must be < num_items().
+  void Append(const VoteEvent& event);
+
+  /// All events in arrival order.
+  const std::vector<VoteEvent>& events() const { return events_; }
+
+  /// n_i^+ — votes marking `item` dirty.
+  uint32_t positive_votes(size_t item) const { return positive_[item]; }
+  /// n_i — total votes on `item`.
+  uint32_t total_votes(size_t item) const { return total_[item]; }
+  /// n^+ — total positive votes across items.
+  uint64_t total_positive_votes() const { return total_positive_; }
+  /// Total votes across items.
+  uint64_t total_votes_all() const { return events_.size(); }
+
+  /// Majority label of `item`: dirty iff n_i^+ > n_i / 2 (strictly more
+  /// dirty than clean votes; ties and unseen items default to clean, the
+  /// paper's default label).
+  bool MajorityDirty(size_t item) const {
+    return positive_[item] * 2 > total_[item];
+  }
+
+  /// NOMINAL(I): items with at least one dirty vote (Section 2.2.1).
+  size_t NominalCount() const { return nominal_count_; }
+
+  /// VOTING(I) = c_majority: items whose majority label is dirty
+  /// (Section 2.2.2).
+  size_t MajorityCount() const { return majority_count_; }
+
+ private:
+  std::vector<VoteEvent> events_;
+  std::vector<uint32_t> positive_;
+  std::vector<uint32_t> total_;
+  uint64_t total_positive_ = 0;
+  size_t nominal_count_ = 0;
+  size_t majority_count_ = 0;
+  size_t num_tasks_ = 0;
+  size_t num_workers_ = 0;
+};
+
+}  // namespace dqm::crowd
+
+#endif  // DQM_CROWD_RESPONSE_LOG_H_

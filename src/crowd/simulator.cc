@@ -1,0 +1,65 @@
+#include "crowd/simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dqm::crowd {
+
+CrowdSimulator::CrowdSimulator(std::vector<bool> truth,
+                               std::unique_ptr<AssignmentStrategy> assignment,
+                               WorkerPool pool, const Config& config)
+    : truth_(std::move(truth)),
+      assignment_(std::move(assignment)),
+      pool_(std::move(pool)),
+      config_(config),
+      rng_(config.seed) {
+  DQM_CHECK(!truth_.empty());
+  DQM_CHECK(assignment_ != nullptr);
+  DQM_CHECK_GT(config_.tasks_per_worker, 0u);
+  current_worker_ = pool_.DrawWorker();
+}
+
+void CrowdSimulator::SetItemNoise(std::vector<ItemNoise> noise) {
+  DQM_CHECK(noise.empty() || noise.size() == truth_.size())
+      << "item noise must align with the truth vector";
+  item_noise_ = std::move(noise);
+}
+
+void CrowdSimulator::RunTask(ResponseLog& log) {
+  if (tasks_by_current_worker_ >= config_.tasks_per_worker) {
+    current_worker_ = pool_.DrawWorker();
+    ++next_worker_;
+    tasks_by_current_worker_ = 0;
+  }
+  const uint32_t task = next_task_++;
+  std::vector<uint32_t> items = assignment_->NextTask(rng_);
+  for (uint32_t item : items) {
+    DQM_CHECK_LT(item, truth_.size());
+    WorkerProfile effective = current_worker_;
+    if (!item_noise_.empty()) {
+      const ItemNoise& noise = item_noise_[item];
+      effective.false_positive_rate =
+          std::min(0.95, effective.false_positive_rate +
+                             static_cast<double>(noise.extra_false_positive));
+      effective.false_negative_rate =
+          std::min(0.95, effective.false_negative_rate +
+                             static_cast<double>(noise.extra_false_negative));
+    }
+    Vote vote = effective.Answer(truth_[item], rng_);
+    log.Append(VoteEvent{task, next_worker_, item, vote});
+  }
+  ++tasks_by_current_worker_;
+}
+
+void CrowdSimulator::RunTasks(ResponseLog& log, size_t count) {
+  for (size_t i = 0; i < count; ++i) RunTask(log);
+}
+
+size_t CrowdSimulator::NumDirty() const {
+  size_t count = 0;
+  for (bool dirty : truth_) count += dirty ? 1 : 0;
+  return count;
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,76 @@
+#ifndef DQM_CROWD_SIMULATOR_H_
+#define DQM_CROWD_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "crowd/assignment.h"
+#include "crowd/response_log.h"
+#include "crowd/worker.h"
+
+namespace dqm::crowd {
+
+/// Extra, item-specific error probability: some items are intrinsically
+/// hard ("a few difficult pairs on which more than just a single worker
+/// make mistakes", Section 6.1.2). Added on top of the worker's own rates
+/// and clamped to [0, 0.95].
+struct ItemNoise {
+  float extra_false_positive = 0.0f;
+  float extra_false_negative = 0.0f;
+};
+
+/// Drives the crowdsourcing process: draws workers from the pool, asks the
+/// assignment strategy for task contents, and applies each worker's error
+/// model to the hidden ground truth, appending the resulting votes to a
+/// ResponseLog.
+///
+/// This is the synthetic stand-in for the paper's Amazon Mechanical Turk
+/// deployment (10 items per task, $0.03 each, qualification-screened
+/// workers); see DESIGN.md for the substitution rationale.
+class CrowdSimulator {
+ public:
+  struct Config {
+    /// Consecutive tasks answered by the same worker before a fresh worker
+    /// is drawn ("a worker may take on more than a single task").
+    size_t tasks_per_worker = 1;
+    uint64_t seed = 1;
+  };
+
+  /// `truth[i]` is the hidden true label of item i (true = dirty).
+  CrowdSimulator(std::vector<bool> truth,
+                 std::unique_ptr<AssignmentStrategy> assignment,
+                 WorkerPool pool, const Config& config);
+
+  /// Installs per-item difficulty. `noise` must be empty or match the truth
+  /// vector's size.
+  void SetItemNoise(std::vector<ItemNoise> noise);
+
+  /// Runs one task end-to-end, appending its votes to `log`.
+  void RunTask(ResponseLog& log);
+
+  /// Runs `count` tasks.
+  void RunTasks(ResponseLog& log, size_t count);
+
+  const std::vector<bool>& truth() const { return truth_; }
+
+  /// True number of dirty items — the ground-truth target |R_dirty| that the
+  /// estimators try to recover (never shown to them).
+  size_t NumDirty() const;
+
+ private:
+  std::vector<bool> truth_;
+  std::vector<ItemNoise> item_noise_;  // empty = uniform difficulty
+  std::unique_ptr<AssignmentStrategy> assignment_;
+  WorkerPool pool_;
+  Config config_;
+  Rng rng_;
+  WorkerProfile current_worker_{};
+  uint32_t next_task_ = 0;
+  uint32_t next_worker_ = 0;
+  size_t tasks_by_current_worker_ = 0;
+};
+
+}  // namespace dqm::crowd
+
+#endif  // DQM_CROWD_SIMULATOR_H_

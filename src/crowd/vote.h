@@ -1,0 +1,32 @@
+#ifndef DQM_CROWD_VOTE_H_
+#define DQM_CROWD_VOTE_H_
+
+#include <cstdint>
+
+namespace dqm::crowd {
+
+/// A worker's verdict on one item. The third matrix state of the paper
+/// ("unseen", ∅) is represented by absence of a VoteEvent.
+enum class Vote : uint8_t {
+  kClean = 0,
+  kDirty = 1,
+};
+
+/// One cell of the paper's N x K response matrix `I`, in arrival order.
+/// Arrival order matters: the SWITCH estimator is defined over the vote
+/// sequence, not just the tallies.
+struct VoteEvent {
+  /// Task (HIT) this vote belongs to; tasks arrive in increasing order.
+  uint32_t task = 0;
+  /// Worker who produced the vote (column of `I`).
+  uint32_t worker = 0;
+  /// Item voted on (row of `I`).
+  uint32_t item = 0;
+  Vote vote = Vote::kClean;
+
+  friend bool operator==(const VoteEvent&, const VoteEvent&) = default;
+};
+
+}  // namespace dqm::crowd
+
+#endif  // DQM_CROWD_VOTE_H_

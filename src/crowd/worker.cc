@@ -1,0 +1,43 @@
+#include "crowd/worker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dqm::crowd {
+
+WorkerPool::WorkerPool(const Config& config, Rng rng)
+    : config_(config), rng_(rng) {
+  DQM_CHECK(config.base.false_positive_rate >= 0.0 &&
+            config.base.false_positive_rate <= 1.0);
+  DQM_CHECK(config.base.false_negative_rate >= 0.0 &&
+            config.base.false_negative_rate <= 1.0);
+  DQM_CHECK_GE(config.variation, 0.0);
+  // The qualification screen must be satisfiable by the base profile,
+  // otherwise DrawWorker could loop for a very long time.
+  DQM_CHECK_LE(config.base.false_positive_rate, config.qualification_max_fp);
+  DQM_CHECK_LE(config.base.false_negative_rate, config.qualification_max_fn);
+}
+
+WorkerProfile WorkerPool::DrawWorker() {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    WorkerProfile profile = config_.base;
+    if (config_.variation > 0.0) {
+      profile.false_positive_rate = std::clamp(
+          profile.false_positive_rate + rng_.Gaussian(0.0, config_.variation),
+          0.0, 0.95);
+      profile.false_negative_rate = std::clamp(
+          profile.false_negative_rate + rng_.Gaussian(0.0, config_.variation),
+          0.0, 0.95);
+    }
+    if (profile.false_positive_rate <= config_.qualification_max_fp &&
+        profile.false_negative_rate <= config_.qualification_max_fn) {
+      return profile;
+    }
+  }
+  // Qualification is so strict that sampling keeps failing; fall back to the
+  // base profile (which the constructor verified to qualify).
+  return config_.base;
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,60 @@
+#ifndef DQM_CROWD_WORKER_H_
+#define DQM_CROWD_WORKER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "crowd/vote.h"
+
+namespace dqm::crowd {
+
+/// Error behavior of a single (fallible) worker.
+///
+/// `false_positive_rate` — probability of marking a *clean* item dirty.
+/// `false_negative_rate` — probability of marking a *dirty* item clean
+/// (1 - the paper's "error detection rate").
+struct WorkerProfile {
+  double false_positive_rate = 0.0;
+  double false_negative_rate = 0.0;
+
+  /// Applies the error model to the true label of an item.
+  Vote Answer(bool truly_dirty, Rng& rng) const {
+    if (truly_dirty) {
+      return rng.Bernoulli(false_negative_rate) ? Vote::kClean : Vote::kDirty;
+    }
+    return rng.Bernoulli(false_positive_rate) ? Vote::kDirty : Vote::kClean;
+  }
+};
+
+/// Population model for crowd workers: workers are drawn i.i.d. from an
+/// infinite pool (the paper's main assumption) whose individual error rates
+/// scatter around the base profile. A qualification screen (as used in the
+/// paper's AMT setup) rejects workers whose rates exceed the configured
+/// ceilings; rejected workers are redrawn.
+class WorkerPool {
+ public:
+  struct Config {
+    WorkerProfile base;
+    /// Std-dev of the per-worker Gaussian perturbation applied to both
+    /// rates (clamped into [0, 0.95]). 0 = identical workers.
+    double variation = 0.0;
+    /// Qualification-test ceilings; workers above either are rejected.
+    double qualification_max_fp = 1.0;
+    double qualification_max_fn = 1.0;
+  };
+
+  WorkerPool(const Config& config, Rng rng);
+
+  /// Draws the profile of a fresh worker (redrawing until qualified).
+  WorkerProfile DrawWorker();
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace dqm::crowd
+
+#endif  // DQM_CROWD_WORKER_H_

@@ -1,0 +1,283 @@
+#include "dataset/address.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace dqm::dataset {
+
+namespace {
+
+constexpr std::string_view kDirections[] = {"n", "ne", "e", "se",
+                                            "s", "sw", "w", "nw"};
+constexpr std::string_view kStreetNames[] = {
+    "alder",   "burnside", "couch",   "davis",    "everett", "flanders",
+    "glisan",  "hoyt",     "irving",  "johnson",  "kearney", "lovejoy",
+    "marshall", "northrup", "overton", "pettygrove", "quimby", "raleigh",
+    "savier",  "thurman",  "upshur",  "vaughn",   "wilson",  "york",
+    "hawthorne", "belmont", "division", "clinton", "woodstock", "fremont",
+};
+constexpr std::string_view kStreetTypes[] = {"st", "ave", "blvd", "ct", "ln"};
+
+// Streets that look plausible but are not in the registry: the
+// kFakeWellFormed class that rule systems cannot catch.
+constexpr std::string_view kFakeStreets[] = {
+    "imaginary", "nonesuch", "phantom", "mirage", "specter", "wraith",
+};
+
+constexpr std::string_view kCityTypos[] = {"protland", "porland", "portlnd",
+                                           "potland"};
+
+constexpr std::string_view kNonHomePrefixes[] = {
+    "po box", "pmb", "general delivery",
+};
+constexpr std::string_view kNonHomeSuffixes[] = {
+    "warehouse", "loading dock", "storefront",
+};
+
+template <size_t N>
+std::string_view Pick(Rng& rng, const std::string_view (&pool)[N]) {
+  return pool[rng.UniformIndex(N)];
+}
+
+std::string PortlandZip(Rng& rng) {
+  return StrFormat("972%02d", static_cast<int>(rng.UniformInt(1, 33)));
+}
+
+}  // namespace
+
+const std::vector<std::string>& AddressValidator::StreetRegistry() {
+  static const auto& registry = *new std::vector<std::string>([] {
+    std::vector<std::string> names;
+    for (std::string_view dir : kDirections) {
+      for (std::string_view name : kStreetNames) {
+        for (std::string_view type : kStreetTypes) {
+          names.push_back(StrFormat("%s %s %s", std::string(dir).c_str(),
+                                    std::string(name).c_str(),
+                                    std::string(type).c_str()));
+        }
+      }
+    }
+    return names;
+  }());
+  return registry;
+}
+
+const std::vector<AddressValidator::ZipEntry>&
+AddressValidator::ZipRegistry() {
+  static const auto& registry = *new std::vector<ZipEntry>([] {
+    std::vector<ZipEntry> entries;
+    for (int z = 1; z <= 33; ++z) {
+      entries.push_back({StrFormat("972%02d", z), "portland", "or"});
+    }
+    // Valid zips of *other* cities; using one with city=portland is an FD
+    // violation (zip -> city, state).
+    entries.push_back({"97301", "salem", "or"});
+    entries.push_back({"97401", "eugene", "or"});
+    entries.push_back({"98101", "seattle", "wa"});
+    entries.push_back({"94103", "san francisco", "ca"});
+    return entries;
+  }());
+  return registry;
+}
+
+AddressValidation AddressValidator::Validate(std::string_view address) const {
+  auto fail = [](AddressErrorKind kind, std::string detail) {
+    return AddressValidation{false, kind, std::move(detail)};
+  };
+
+  std::vector<std::string> parts = Split(address, ',');
+  for (auto& part : parts) part = std::string(StripWhitespace(part));
+  if (parts.size() != 4) {
+    return fail(AddressErrorKind::kMissingField,
+                StrFormat("expected 4 comma-separated parts, got %zu",
+                          parts.size()));
+  }
+  const std::string& street_part = parts[0];
+  const std::string& city = parts[1];
+  const std::string& state = parts[2];
+  const std::string& zip = parts[3];
+
+  if (street_part.empty() || city.empty() || state.empty() || zip.empty()) {
+    return fail(AddressErrorKind::kMissingField, "empty address component");
+  }
+
+  // Non-home keyword screen.
+  std::string lower_street = ToLower(street_part);
+  for (std::string_view prefix : kNonHomePrefixes) {
+    if (StartsWith(lower_street, prefix)) {
+      return fail(AddressErrorKind::kNotHomeAddress,
+                  "not a residential street address");
+    }
+  }
+  for (std::string_view suffix : kNonHomeSuffixes) {
+    if (EndsWith(lower_street, suffix)) {
+      return fail(AddressErrorKind::kNotHomeAddress,
+                  "commercial address keyword");
+    }
+  }
+
+  // Street part: leading house number, then street tokens, optional unit.
+  std::vector<std::string> tokens = SplitWhitespace(lower_street);
+  if (tokens.size() < 2 || !IsDigits(tokens[0])) {
+    return fail(AddressErrorKind::kMissingField,
+                "street must start with a house number");
+  }
+
+  // Zip format: exactly five digits.
+  if (zip.size() != 5 || !IsDigits(zip)) {
+    return fail(AddressErrorKind::kInvalidZip, "zip must be 5 digits");
+  }
+
+  // City must be a known city in the registry.
+  static const auto& known_cities = *new std::unordered_set<std::string>([] {
+    std::unordered_set<std::string> cities;
+    for (const ZipEntry& entry : ZipRegistry()) cities.insert(entry.city);
+    return cities;
+  }());
+  std::string lower_city = ToLower(city);
+  if (!known_cities.contains(lower_city)) {
+    return fail(AddressErrorKind::kInvalidCity, "unknown city: " + city);
+  }
+
+  // Functional dependency zip -> (city, state).
+  static const auto& zip_index =
+      *new std::unordered_map<std::string, const ZipEntry*>([] {
+        std::unordered_map<std::string, const ZipEntry*> index;
+        for (const ZipEntry& entry : ZipRegistry()) {
+          index.emplace(entry.zip, &entry);
+        }
+        return index;
+      }());
+  auto it = zip_index.find(zip);
+  if (it == zip_index.end()) {
+    return fail(AddressErrorKind::kInvalidZip, "zip not in registry: " + zip);
+  }
+  std::string lower_state = ToLower(state);
+  if (it->second->city != lower_city || it->second->state != lower_state) {
+    return fail(
+        AddressErrorKind::kFdViolation,
+        StrFormat("zip %s implies %s, %s", zip.c_str(),
+                  it->second->city.c_str(), it->second->state.c_str()));
+  }
+
+  // Note: the street name is deliberately NOT checked against the registry;
+  // kFakeWellFormed errors pass validation (the rule system's long tail).
+  return AddressValidation{};
+}
+
+Result<AddressDataset> GenerateAddressDataset(const AddressConfig& config) {
+  if (config.num_errors > config.num_records) {
+    return Status::InvalidArgument("num_errors cannot exceed num_records");
+  }
+  Rng rng(config.seed);
+
+  auto valid_address = [&]() {
+    std::string street = StrFormat(
+        "%d %s %s %s", static_cast<int>(rng.UniformInt(1, 9999)),
+        std::string(Pick(rng, kDirections)).c_str(),
+        std::string(Pick(rng, kStreetNames)).c_str(),
+        std::string(Pick(rng, kStreetTypes)).c_str());
+    if (rng.Bernoulli(0.3)) {
+      street += StrFormat(" apt %d", static_cast<int>(rng.UniformInt(1, 40)));
+    }
+    return StrFormat("%s, portland, or, %s", street.c_str(),
+                     PortlandZip(rng).c_str());
+  };
+
+  auto corrupt = [&](AddressErrorKind kind) -> std::string {
+    switch (kind) {
+      case AddressErrorKind::kMissingField: {
+        std::string addr = valid_address();
+        std::vector<std::string> parts = Split(addr, ',');
+        // Drop the city, state, or zip component.
+        size_t drop = 1 + rng.UniformIndex(3);
+        parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(drop));
+        return Join(parts, ",");
+      }
+      case AddressErrorKind::kInvalidCity: {
+        std::string addr = valid_address();
+        std::vector<std::string> parts = Split(addr, ',');
+        parts[1] = " " + std::string(Pick(rng, kCityTypos));
+        return Join(parts, ",");
+      }
+      case AddressErrorKind::kInvalidZip: {
+        std::string addr = valid_address();
+        std::vector<std::string> parts = Split(addr, ',');
+        parts[3] = rng.Bernoulli(0.5)
+                       ? StrFormat(" 97%d", static_cast<int>(rng.UniformInt(0, 99)))
+                       : StrFormat(" 972%02dx", static_cast<int>(rng.UniformInt(1, 33)));
+        return Join(parts, ",");
+      }
+      case AddressErrorKind::kFdViolation: {
+        std::string addr = valid_address();
+        std::vector<std::string> parts = Split(addr, ',');
+        constexpr std::string_view kForeignZips[] = {"97301", "97401", "98101",
+                                                     "94103"};
+        parts[3] = " " + std::string(Pick(rng, kForeignZips));
+        return Join(parts, ",");
+      }
+      case AddressErrorKind::kNotHomeAddress: {
+        if (rng.Bernoulli(0.5)) {
+          return StrFormat("po box %d, portland, or, %s",
+                           static_cast<int>(rng.UniformInt(1, 9999)),
+                           PortlandZip(rng).c_str());
+        }
+        std::string street = StrFormat(
+            "%d %s %s %s %s", static_cast<int>(rng.UniformInt(1, 9999)),
+            std::string(Pick(rng, kDirections)).c_str(),
+            std::string(Pick(rng, kStreetNames)).c_str(),
+            std::string(Pick(rng, kStreetTypes)).c_str(),
+            std::string(Pick(rng, kNonHomeSuffixes)).c_str());
+        return StrFormat("%s, portland, or, %s", street.c_str(),
+                         PortlandZip(rng).c_str());
+      }
+      case AddressErrorKind::kFakeWellFormed: {
+        std::string street = StrFormat(
+            "%d %s %s %s", static_cast<int>(rng.UniformInt(1, 9999)),
+            std::string(Pick(rng, kDirections)).c_str(),
+            std::string(Pick(rng, kFakeStreets)).c_str(),
+            std::string(Pick(rng, kStreetTypes)).c_str());
+        return StrFormat("%s, portland, or, %s", street.c_str(),
+                         PortlandZip(rng).c_str());
+      }
+      case AddressErrorKind::kNone:
+        break;
+    }
+    return valid_address();
+  };
+
+  // Which rows are dirty, and with which error kind (uniform over taxonomy).
+  std::vector<size_t> dirty =
+      rng.SampleIndices(config.num_records, config.num_errors);
+  std::unordered_map<size_t, AddressErrorKind> dirty_kind;
+  constexpr AddressErrorKind kKinds[] = {
+      AddressErrorKind::kMissingField, AddressErrorKind::kInvalidCity,
+      AddressErrorKind::kInvalidZip,   AddressErrorKind::kFdViolation,
+      AddressErrorKind::kNotHomeAddress, AddressErrorKind::kFakeWellFormed,
+  };
+  for (size_t row : dirty) {
+    dirty_kind[row] = kKinds[rng.UniformIndex(6)];
+  }
+
+  Table table{Schema({"id", "address"})};
+  std::vector<AddressErrorKind> row_kinds(config.num_records,
+                                          AddressErrorKind::kNone);
+  for (size_t row = 0; row < config.num_records; ++row) {
+    auto it = dirty_kind.find(row);
+    std::string address =
+        (it == dirty_kind.end()) ? valid_address() : corrupt(it->second);
+    if (it != dirty_kind.end()) row_kinds[row] = it->second;
+    DQM_RETURN_NOT_OK(
+        table.AppendRow({StrFormat("a%zu", row), std::move(address)}));
+  }
+
+  std::sort(dirty.begin(), dirty.end());
+  RecordDataset base{std::move(table), std::move(dirty)};
+  return AddressDataset{std::move(base), std::move(row_kinds)};
+}
+
+}  // namespace dqm::dataset

@@ -1,0 +1,87 @@
+#ifndef DQM_DATASET_ADDRESS_H_
+#define DQM_DATASET_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/generated.h"
+
+namespace dqm::dataset {
+
+/// Error classes for the synthetic Address dataset, mirroring the taxonomy
+/// of the paper's Figure 1 (missing values, invalid city/zip, functional-
+/// dependency violations, not-a-home-address, fake-but-well-formed).
+enum class AddressErrorKind : int {
+  kNone = 0,
+  kMissingField = 1,      // e.g., no zip
+  kInvalidCity = 2,       // misspelled city name
+  kInvalidZip = 3,        // malformed zip (wrong length / non-digits)
+  kFdViolation = 4,       // zip belongs to a different city/state
+  kNotHomeAddress = 5,    // e.g., a PO box
+  kFakeWellFormed = 6,    // plausible format, nonexistent street
+};
+
+/// Configuration for the synthetic Address dataset. Substitutes for the
+/// paper's 1000 registered Portland, OR home addresses containing 90
+/// malformed entries. Error kinds are drawn uniformly from the taxonomy.
+struct AddressConfig {
+  size_t num_records = 1000;
+  size_t num_errors = 90;
+  uint64_t seed = 13;
+};
+
+/// Address dataset: the generic record dataset plus the per-row error kind
+/// (kNone for clean rows), which tests and the algorithmic-worker example
+/// use to reason about detectability per class.
+struct AddressDataset {
+  RecordDataset data;
+  std::vector<AddressErrorKind> row_kinds;
+};
+
+/// Generates a table with schema (id, address) where `address` conforms to
+/// `<number street unit, city, state, zip>` (unit optional), plus the
+/// ground-truth dirty row ids.
+Result<AddressDataset> GenerateAddressDataset(const AddressConfig& config);
+
+/// Per-record verdict from the rule-based validator.
+struct AddressValidation {
+  bool valid = true;
+  AddressErrorKind kind = AddressErrorKind::kNone;
+  std::string detail;
+};
+
+/// Rule-based address validator: parses the `<number street unit, city,
+/// state, zip>` format and checks the city registry, the zip format, and the
+/// zip -> (city, state) functional dependency.
+///
+/// Deliberately *incomplete*: it cannot detect kFakeWellFormed errors and
+/// detects kNotHomeAddress only via a keyword list — this models the
+/// "long tail" of errors that rule systems miss and only (some) humans
+/// catch, which is the gap the DQM estimators quantify. It also serves as
+/// one of the semi-independent algorithmic workers in the future-work
+/// extension example.
+class AddressValidator {
+ public:
+  AddressValidator() = default;
+
+  /// Validates one address string.
+  AddressValidation Validate(std::string_view address) const;
+
+  /// Known-good street names for the generator's city.
+  static const std::vector<std::string>& StreetRegistry();
+
+  /// Zip codes with their canonical (city, state).
+  struct ZipEntry {
+    std::string zip;
+    std::string city;
+    std::string state;
+  };
+  static const std::vector<ZipEntry>& ZipRegistry();
+};
+
+}  // namespace dqm::dataset
+
+#endif  // DQM_DATASET_ADDRESS_H_

@@ -1,0 +1,30 @@
+#ifndef DQM_DATASET_GENERATED_H_
+#define DQM_DATASET_GENERATED_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dataset/table.h"
+
+namespace dqm::dataset {
+
+/// A generated entity-resolution dataset: the table plus the ground-truth
+/// set of duplicate record pairs (each pair ordered `first < second`,
+/// commutative/transitive duplicates already reduced as in Section 2.1 of
+/// the paper).
+struct ErDataset {
+  Table table;
+  std::vector<std::pair<size_t, size_t>> duplicate_pairs;
+};
+
+/// A generated record-level cleaning dataset: the table plus the ground-
+/// truth ids of dirty rows (e.g., malformed addresses).
+struct RecordDataset {
+  Table table;
+  std::vector<size_t> dirty_rows;
+};
+
+}  // namespace dqm::dataset
+
+#endif  // DQM_DATASET_GENERATED_H_

@@ -1,0 +1,133 @@
+#include "dataset/perturbation.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace dqm::dataset {
+
+namespace {
+constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+}  // namespace
+
+Perturber::Perturber(Rng* rng) : rng_(rng) { DQM_CHECK(rng != nullptr); }
+
+std::string Perturber::Typo(std::string_view input) {
+  std::string out(input);
+  if (out.empty()) {
+    out.push_back(kAlphabet[rng_->UniformIndex(kAlphabet.size())]);
+    return out;
+  }
+  enum { kInsert, kDelete, kSubstitute, kTranspose };
+  int op = static_cast<int>(rng_->UniformIndex(4));
+  if (out.size() == 1 && (op == kDelete || op == kTranspose)) {
+    op = kSubstitute;
+  }
+  switch (op) {
+    case kInsert: {
+      size_t pos = rng_->UniformIndex(out.size() + 1);
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 kAlphabet[rng_->UniformIndex(kAlphabet.size())]);
+      break;
+    }
+    case kDelete: {
+      size_t pos = rng_->UniformIndex(out.size());
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      break;
+    }
+    case kSubstitute: {
+      size_t pos = rng_->UniformIndex(out.size());
+      char replacement = kAlphabet[rng_->UniformIndex(kAlphabet.size())];
+      // Ensure the substitution changes the string.
+      if (replacement == out[pos]) {
+        replacement = kAlphabet[(static_cast<size_t>(replacement - 'a') + 1) %
+                                kAlphabet.size()];
+      }
+      out[pos] = replacement;
+      break;
+    }
+    case kTranspose: {
+      size_t pos = rng_->UniformIndex(out.size() - 1);
+      std::swap(out[pos], out[pos + 1]);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+std::string Perturber::Typos(std::string_view input, int count) {
+  std::string out(input);
+  for (int i = 0; i < count; ++i) out = Typo(out);
+  return out;
+}
+
+std::string Perturber::SwapAdjacentTokens(std::string_view input) {
+  std::vector<std::string> tokens = SplitWhitespace(input);
+  if (tokens.size() < 2) return std::string(input);
+  size_t pos = rng_->UniformIndex(tokens.size() - 1);
+  std::swap(tokens[pos], tokens[pos + 1]);
+  return Join(tokens, " ");
+}
+
+std::string Perturber::DropToken(std::string_view input) {
+  std::vector<std::string> tokens = SplitWhitespace(input);
+  if (tokens.size() < 2) return std::string(input);
+  size_t pos = rng_->UniformIndex(tokens.size());
+  tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(pos));
+  return Join(tokens, " ");
+}
+
+std::string Perturber::Abbreviate(
+    std::string_view input,
+    const std::vector<std::pair<std::string, std::string>>& dictionary) {
+  std::vector<std::string> tokens = SplitWhitespace(input);
+  for (auto& token : tokens) {
+    std::string lower = ToLower(token);
+    for (const auto& [key, value] : dictionary) {
+      if (lower == key) {
+        token = value;
+        return Join(tokens, " ");
+      }
+    }
+  }
+  return std::string(input);
+}
+
+std::string Perturber::CaseNoise(std::string_view input) {
+  std::vector<std::string> tokens = SplitWhitespace(input);
+  if (tokens.empty()) return std::string(input);
+  size_t pos = rng_->UniformIndex(tokens.size());
+  tokens[pos] = rng_->Bernoulli(0.5) ? ToUpper(tokens[pos])
+                                     : ToLower(tokens[pos]);
+  return Join(tokens, " ");
+}
+
+std::string Perturber::DuplicateNoise(
+    std::string_view input,
+    const std::vector<std::pair<std::string, std::string>>& dictionary) {
+  std::string out(input);
+  int edits = rng_->Bernoulli(0.5) ? 1 : 2;
+  for (int i = 0; i < edits; ++i) {
+    switch (rng_->UniformIndex(4)) {
+      case 0:
+        out = Typo(out);
+        break;
+      case 1:
+        out = SwapAdjacentTokens(out);
+        break;
+      case 2:
+        out = Abbreviate(out, dictionary);
+        break;
+      default:
+        out = CaseNoise(out);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dqm::dataset

@@ -1,0 +1,63 @@
+#ifndef DQM_DATASET_PERTURBATION_H_
+#define DQM_DATASET_PERTURBATION_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dqm::dataset {
+
+/// String-corruption toolbox used by the dataset generators to create
+/// realistic duplicates and malformed records: the "natural" noise sources
+/// the paper's real datasets contain (typos, token reordering, dropped
+/// fields, abbreviations like "Cafe Ritz-Carlton Buckhead" vs
+/// "Ritz-Carlton Cafe (buckhead)").
+///
+/// All operations are deterministic given the Rng stream and never produce
+/// the empty string from a non-empty input unless stated.
+class Perturber {
+ public:
+  /// The perturber draws randomness from `rng`, which must outlive it.
+  explicit Perturber(Rng* rng);
+
+  /// Applies one random character edit (insert, delete, substitute, or
+  /// transpose) at a random position. Single-character strings are never
+  /// deleted to emptiness.
+  std::string Typo(std::string_view input);
+
+  /// Applies `count` independent typos.
+  std::string Typos(std::string_view input, int count);
+
+  /// Swaps two adjacent word tokens (no-op when fewer than two tokens).
+  std::string SwapAdjacentTokens(std::string_view input);
+
+  /// Drops one random word token (no-op when fewer than two tokens).
+  std::string DropToken(std::string_view input);
+
+  /// Replaces the first dictionary key found (case-insensitive, whole token)
+  /// with its expansion, e.g. {"street", "st."}. No-op when nothing matches.
+  std::string Abbreviate(
+      std::string_view input,
+      const std::vector<std::pair<std::string, std::string>>& dictionary);
+
+  /// Random case damage: upper-cases or lower-cases one token.
+  std::string CaseNoise(std::string_view input);
+
+  /// Draws a perturbation from the duplicate-record noise model: one or two
+  /// of {typo, token swap, abbreviation, case noise} so that the duplicate
+  /// stays recognizably similar (similarity typically in the paper's
+  /// "candidate" band rather than the auto-match band).
+  std::string DuplicateNoise(
+      std::string_view input,
+      const std::vector<std::pair<std::string, std::string>>& dictionary);
+
+ private:
+  Rng* rng_;  // not owned
+};
+
+}  // namespace dqm::dataset
+
+#endif  // DQM_DATASET_PERTURBATION_H_

@@ -1,0 +1,163 @@
+#include "dataset/product_generator.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "dataset/perturbation.h"
+
+namespace dqm::dataset {
+
+namespace {
+
+constexpr std::string_view kBrands[] = {
+    "apex",    "nimbus",  "vertex",  "quanta",  "zephyr", "orion",
+    "helix",   "lumina",  "pinnacle", "strata",  "vortex", "kinetic",
+    "aurora",  "polaris", "sierra",  "tundra",  "cobalt", "onyx",
+    "titan",   "atlas",   "nova",    "pulsar",  "quasar", "radian",
+    "spectra", "vector",  "zenith",  "matrix",  "cipher", "delta",
+};
+
+constexpr std::string_view kLines[] = {
+    "laser printer", "inkjet printer", "office scanner", "photo scanner",
+    "wireless router", "network switch", "usb hub", "external drive",
+    "flash drive", "memory card", "keyboard", "mouse", "webcam",
+    "headset", "speaker system", "lcd monitor", "graphics tablet",
+    "label maker", "projector", "docking station", "tax software",
+    "photo software", "antivirus suite", "office suite", "backup software",
+};
+
+constexpr std::string_view kQualifiers[] = {
+    "pro", "plus", "deluxe", "premium", "standard", "home", "office",
+    "portable", "compact", "wireless", "elite", "max",
+};
+
+constexpr std::string_view kAmazonFluff[] = {
+    "(new)", "with bonus pack", "retail box", "- 2 pack", "oem",
+    "(latest version)", "bundle", "",
+};
+
+constexpr std::string_view kVendors[] = {
+    "apex systems", "nimbus corp", "vertex inc", "quanta ltd",
+    "zephyr tech", "orion devices", "helix labs", "lumina co",
+};
+
+template <size_t N>
+std::string_view Pick(Rng& rng, const std::string_view (&pool)[N]) {
+  return pool[rng.UniformIndex(N)];
+}
+
+struct ProductEntity {
+  std::string base_name;   // brand + line + model + qualifier
+  std::string brand;
+  std::string vendor;
+  double price;
+};
+
+}  // namespace
+
+Result<ErDataset> GenerateProductDataset(const ProductConfig& config) {
+  if (config.num_matches > std::min(config.num_amazon, config.num_google)) {
+    return Status::InvalidArgument(
+        "num_matches cannot exceed min(num_amazon, num_google)");
+  }
+  Rng rng(config.seed);
+  Perturber perturber(&rng);
+
+  // Distinct product entities: matched ones appear on both sides; the rest
+  // are side-exclusive.
+  size_t num_entities =
+      config.num_amazon + config.num_google - config.num_matches;
+  std::unordered_set<std::string> seen;
+  std::vector<ProductEntity> entities;
+  entities.reserve(num_entities);
+  while (entities.size() < num_entities) {
+    std::string brand(Pick(rng, kBrands));
+    std::string model = StrFormat(
+        "%c%c-%d",
+        static_cast<char>('a' + rng.UniformIndex(26)),
+        static_cast<char>('a' + rng.UniformIndex(26)),
+        static_cast<int>(rng.UniformInt(100, 9999)));
+    std::string name = StrFormat(
+        "%s %s %s %s", brand.c_str(),
+        std::string(Pick(rng, kLines)).c_str(), model.c_str(),
+        std::string(Pick(rng, kQualifiers)).c_str());
+    if (!seen.insert(name).second) continue;
+    double price = static_cast<double>(rng.UniformInt(999, 149999)) / 100.0;
+    entities.push_back(
+        {name, brand, std::string(Pick(rng, kVendors)), price});
+  }
+
+  // Amazon naming: base name plus marketing fluff, sometimes reordered.
+  auto amazon_name = [&](const ProductEntity& e) {
+    std::string name = e.base_name;
+    std::string fluff(Pick(rng, kAmazonFluff));
+    if (!fluff.empty()) name += " " + fluff;
+    if (rng.Bernoulli(0.25)) name = perturber.SwapAdjacentTokens(name);
+    return name;
+  };
+  // Google naming: frequently drops the brand or moves it to the rear, may
+  // introduce a typo; prices deviate slightly.
+  auto google_name = [&](const ProductEntity& e) {
+    std::string name = e.base_name;
+    if (rng.Bernoulli(0.4) && name.size() > e.brand.size() + 1 &&
+        StartsWith(name, e.brand)) {
+      name = name.substr(e.brand.size() + 1) + " by " + e.brand;
+    }
+    if (rng.Bernoulli(0.3)) name = perturber.Typo(name);
+    if (rng.Bernoulli(0.2)) name = perturber.DropToken(name);
+    return name;
+  };
+
+  Table table{Schema({"id", "retailer", "name", "vendor", "price"})};
+  std::vector<std::pair<size_t, size_t>> duplicate_pairs;
+
+  struct PendingRow {
+    std::string retailer;
+    std::string name;
+    std::string vendor;
+    double price;
+    size_t entity;
+  };
+  std::vector<PendingRow> pending;
+  pending.reserve(config.num_amazon + config.num_google);
+
+  // Entities [0, num_matches) are on both sides; then Amazon-only, then
+  // Google-only.
+  size_t amazon_only = config.num_amazon - config.num_matches;
+  for (size_t e = 0; e < config.num_matches + amazon_only; ++e) {
+    const ProductEntity& ent = entities[e];
+    pending.push_back(
+        {"amazon", amazon_name(ent), ent.vendor, ent.price, e});
+  }
+  for (size_t e = 0; e < config.num_matches; ++e) {
+    const ProductEntity& ent = entities[e];
+    double price = ent.price * (1.0 + 0.1 * (rng.UniformDouble() - 0.5));
+    pending.push_back({"google", google_name(ent), ent.vendor, price, e});
+  }
+  for (size_t e = config.num_matches + amazon_only; e < num_entities; ++e) {
+    const ProductEntity& ent = entities[e];
+    pending.push_back(
+        {"google", google_name(ent), ent.vendor, ent.price, e});
+  }
+  rng.Shuffle(pending);
+
+  std::vector<size_t> first_row(num_entities, SIZE_MAX);
+  for (size_t row = 0; row < pending.size(); ++row) {
+    const PendingRow& p = pending[row];
+    DQM_RETURN_NOT_OK(table.AppendRow(
+        {StrFormat("p%zu", row), p.retailer, p.name, p.vendor,
+         StrFormat("%.2f", p.price)}));
+    if (first_row[p.entity] == SIZE_MAX) {
+      first_row[p.entity] = row;
+    } else {
+      size_t a = first_row[p.entity];
+      duplicate_pairs.emplace_back(std::min(a, row), std::max(a, row));
+    }
+  }
+
+  return ErDataset{std::move(table), std::move(duplicate_pairs)};
+}
+
+}  // namespace dqm::dataset

@@ -1,0 +1,35 @@
+#ifndef DQM_DATASET_PRODUCT_GENERATOR_H_
+#define DQM_DATASET_PRODUCT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "dataset/generated.h"
+
+namespace dqm::dataset {
+
+/// Configuration for the synthetic Product dataset.
+///
+/// Substitutes for the Amazon–Google product matching dataset used by the
+/// paper (2336 Amazon records x 1363 Google records, each product matched at
+/// most once). Matched products appear on both sides under retailer-specific
+/// naming conventions, which makes the matching task noticeably harder than
+/// the Restaurant dataset — exactly the paper's setting, where workers make
+/// more false-negative mistakes.
+struct ProductConfig {
+  size_t num_amazon = 2336;
+  size_t num_google = 1363;
+  /// Products present on both sides (ground-truth matches). Must be
+  /// <= min(num_amazon, num_google).
+  size_t num_matches = 1100;
+  uint64_t seed = 11;
+};
+
+/// Generates a product table with schema
+/// (id, retailer, name, vendor, price) and ground-truth matching pairs
+/// (Amazon row, Google row).
+Result<ErDataset> GenerateProductDataset(const ProductConfig& config);
+
+}  // namespace dqm::dataset
+
+#endif  // DQM_DATASET_PRODUCT_GENERATOR_H_

@@ -1,0 +1,169 @@
+#include "dataset/restaurant_generator.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "dataset/perturbation.h"
+
+namespace dqm::dataset {
+
+namespace {
+
+constexpr std::string_view kAdjectives[] = {
+    "golden", "silver", "blue", "red", "jade", "royal", "little", "grand",
+    "old", "new", "happy", "lucky", "sunny", "rustic", "urban", "coastal",
+    "hidden", "twin", "wild", "quiet", "velvet", "copper", "ivory", "amber",
+    "crimson", "emerald", "mellow", "noble", "brave", "gentle", "bright",
+    "misty", "stone", "iron", "cedar", "maple", "willow", "harbor", "garden",
+    "corner",
+};
+
+constexpr std::string_view kNouns[] = {
+    "dragon", "lotus", "olive", "pepper", "basil", "truffle", "lantern",
+    "anchor", "sparrow", "falcon", "orchid", "tulip", "saffron", "ginger",
+    "clove", "juniper", "barrel", "kettle", "skillet", "hearth", "table",
+    "fork", "spoon", "plate", "goblet", "vine", "grove", "meadow", "river",
+    "canyon", "summit", "valley", "prairie", "lagoon", "reef", "tide",
+    "ember", "flame", "smoke", "spice", "salt", "honey", "cocoa", "citrus",
+    "almond", "walnut", "pearl", "coral", "moon", "star", "sun", "cloud",
+    "rain", "breeze", "aurora", "comet", "meteor", "quartz", "onyx", "topaz",
+};
+
+constexpr std::string_view kVenueTypes[] = {
+    "cafe", "grill", "bistro", "diner", "kitchen", "restaurant", "tavern",
+    "cantina", "brasserie", "eatery", "house", "bar",
+};
+
+constexpr std::string_view kStreets[] = {
+    "main", "oak", "pine", "elm", "maple", "cedar", "walnut", "chestnut",
+    "washington", "franklin", "jefferson", "madison", "monroe", "jackson",
+    "lincoln", "grant", "sunset", "ocean", "bay", "hill", "lake", "river",
+    "park", "market", "mission", "valencia", "geary", "fillmore", "divisadero",
+    "broadway", "spring", "grand", "central", "highland", "prospect",
+    "fairview", "melrose", "vermont", "western", "vine",
+};
+
+constexpr std::string_view kStreetTypes[] = {"st", "ave", "blvd", "rd", "ln",
+                                             "way", "dr", "pl"};
+
+constexpr std::string_view kCities[] = {
+    "new york", "los angeles", "san francisco", "atlanta", "chicago",
+    "boston", "seattle", "portland", "austin", "denver", "miami",
+    "philadelphia", "new orleans", "san diego", "phoenix", "dallas",
+    "houston", "nashville", "memphis", "baltimore",
+};
+
+constexpr std::string_view kCategories[] = {
+    "american", "italian", "french", "chinese", "japanese", "mexican",
+    "indian", "thai", "mediterranean", "steakhouses", "seafood", "bbq",
+    "delis", "pizza", "vegetarian", "coffee shops",
+};
+
+// Abbreviation dictionary used when perturbing duplicates; mirrors the kind
+// of variation in the paper's example ("Ritz-Carlton Cafe (buckhead)" vs
+// "Cafe Ritz-Carlton Buckhead").
+const std::vector<std::pair<std::string, std::string>>& AbbreviationDict() {
+  static const auto& dict =
+      *new std::vector<std::pair<std::string, std::string>>{
+          {"restaurant", "rest."}, {"cafe", "caffe"},   {"grill", "grille"},
+          {"street", "st."},       {"avenue", "ave."},  {"boulevard", "blvd."},
+          {"saint", "st."},        {"and", "&"},        {"house", "hse."},
+          {"kitchen", "kitchn"},
+      };
+  return dict;
+}
+
+template <size_t N>
+std::string_view Pick(Rng& rng, const std::string_view (&pool)[N]) {
+  return pool[rng.UniformIndex(N)];
+}
+
+}  // namespace
+
+Result<ErDataset> GenerateRestaurantDataset(const RestaurantConfig& config) {
+  if (config.num_duplicates > config.num_entities) {
+    return Status::InvalidArgument(
+        "num_duplicates cannot exceed num_entities");
+  }
+  const size_t max_distinct_names = (sizeof(kAdjectives) / sizeof(kAdjectives[0])) *
+                                    (sizeof(kNouns) / sizeof(kNouns[0])) *
+                                    (sizeof(kVenueTypes) / sizeof(kVenueTypes[0]));
+  if (config.num_entities > max_distinct_names / 2) {
+    return Status::InvalidArgument(StrFormat(
+        "num_entities %zu too large for the name pool (max %zu)",
+        config.num_entities, max_distinct_names / 2));
+  }
+
+  Rng rng(config.seed);
+  Perturber perturber(&rng);
+
+  Table table{Schema({"id", "name", "address", "city", "category"})};
+  std::vector<std::pair<size_t, size_t>> duplicate_pairs;
+
+  // Distinct entity names via rejection sampling against a seen-set.
+  std::unordered_set<std::string> seen_names;
+  std::vector<std::vector<std::string>> entities;
+  entities.reserve(config.num_entities);
+  while (entities.size() < config.num_entities) {
+    std::string name = StrFormat(
+        "%s %s %s", std::string(Pick(rng, kAdjectives)).c_str(),
+        std::string(Pick(rng, kNouns)).c_str(),
+        std::string(Pick(rng, kVenueTypes)).c_str());
+    if (!seen_names.insert(name).second) continue;
+    std::string address = StrFormat(
+        "%d %s %s", static_cast<int>(rng.UniformInt(1, 9999)),
+        std::string(Pick(rng, kStreets)).c_str(),
+        std::string(Pick(rng, kStreetTypes)).c_str());
+    entities.push_back({name, address, std::string(Pick(rng, kCities)),
+                        std::string(Pick(rng, kCategories))});
+  }
+
+  // Emit all originals first, then duplicates of a random subset, then
+  // shuffle row order so duplicates are not adjacent.
+  struct PendingRow {
+    std::vector<std::string> fields;  // name, address, city, category
+    // Index into `entities`; duplicates share it with their original.
+    size_t entity;
+    bool is_duplicate;
+  };
+  std::vector<PendingRow> pending;
+  pending.reserve(config.num_entities + config.num_duplicates);
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    pending.push_back({entities[e], e, false});
+  }
+  std::vector<size_t> dup_entities =
+      rng.SampleIndices(config.num_entities, config.num_duplicates);
+  for (size_t e : dup_entities) {
+    PendingRow dup{entities[e], e, true};
+    dup.fields[0] = perturber.DuplicateNoise(dup.fields[0], AbbreviationDict());
+    // Address noise: abbreviation or typo, sometimes untouched.
+    if (rng.Bernoulli(0.6)) {
+      dup.fields[1] = rng.Bernoulli(0.5)
+                          ? perturber.Abbreviate(dup.fields[1], AbbreviationDict())
+                          : perturber.Typo(dup.fields[1]);
+    }
+    pending.push_back(std::move(dup));
+  }
+  rng.Shuffle(pending);
+
+  // First row index seen per entity; the second occurrence forms the pair.
+  std::vector<size_t> first_row(config.num_entities, SIZE_MAX);
+  for (size_t row = 0; row < pending.size(); ++row) {
+    const PendingRow& p = pending[row];
+    std::vector<std::string> fields = p.fields;
+    fields.insert(fields.begin(), StrFormat("r%zu", row));
+    DQM_RETURN_NOT_OK(table.AppendRow(std::move(fields)));
+    if (first_row[p.entity] == SIZE_MAX) {
+      first_row[p.entity] = row;
+    } else {
+      size_t a = first_row[p.entity];
+      duplicate_pairs.emplace_back(std::min(a, row), std::max(a, row));
+    }
+  }
+
+  return ErDataset{std::move(table), std::move(duplicate_pairs)};
+}
+
+}  // namespace dqm::dataset

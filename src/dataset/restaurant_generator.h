@@ -1,0 +1,35 @@
+#ifndef DQM_DATASET_RESTAURANT_GENERATOR_H_
+#define DQM_DATASET_RESTAURANT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "dataset/generated.h"
+
+namespace dqm::dataset {
+
+/// Configuration for the synthetic Restaurant dataset.
+///
+/// Substitutes for the Fodor's/Zagat restaurant dataset used by the paper
+/// (858 records, each restaurant duplicated at most once, 106 duplicate
+/// pairs). Defaults reproduce the paper's shape: 858 = 752 entities + 106
+/// duplicated entities.
+struct RestaurantConfig {
+  /// Distinct restaurant entities.
+  size_t num_entities = 752;
+  /// Entities that additionally appear as a perturbed duplicate record.
+  size_t num_duplicates = 106;
+  uint64_t seed = 7;
+};
+
+/// Generates a restaurant table with schema
+/// (id, name, address, city, category) and ground-truth duplicate pairs.
+/// Duplicate records are derived from their originals through the
+/// Perturber's duplicate-noise model (typos, token swaps, abbreviations),
+/// so a similarity heuristic places most of them in the ambiguous band —
+/// the regime the paper's crowd experiments operate in.
+Result<ErDataset> GenerateRestaurantDataset(const RestaurantConfig& config);
+
+}  // namespace dqm::dataset
+
+#endif  // DQM_DATASET_RESTAURANT_GENERATOR_H_

@@ -1,0 +1,143 @@
+#include "dataset/table.h"
+
+#include <unordered_set>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dqm::dataset {
+
+Schema::Schema(std::vector<std::string> field_names)
+    : names_(std::move(field_names)) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& name : names_) {
+    DQM_CHECK(!name.empty()) << "schema field names must be non-empty";
+    DQM_CHECK(seen.insert(name).second)
+        << "duplicate schema field name: " << name;
+  }
+}
+
+const std::string& Schema::field_name(size_t index) const {
+  DQM_CHECK_LT(index, names_.size());
+  return names_[index];
+}
+
+std::optional<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Table::AppendRow(std::vector<std::string> row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "row width %zu does not match schema width %zu", row.size(),
+        schema_.num_fields()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const std::vector<std::string>& Table::row(size_t row_index) const {
+  DQM_CHECK_LT(row_index, rows_.size());
+  return rows_[row_index];
+}
+
+const std::string& Table::cell(size_t row_index, size_t column_index) const {
+  DQM_CHECK_LT(row_index, rows_.size());
+  DQM_CHECK_LT(column_index, schema_.num_fields());
+  return rows_[row_index][column_index];
+}
+
+Result<std::string> Table::CellByName(size_t row_index,
+                                      std::string_view column_name) const {
+  std::optional<size_t> column = schema_.FieldIndex(column_name);
+  if (!column.has_value()) {
+    return Status::NotFound("no such column: " + std::string(column_name));
+  }
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange(StrFormat("row %zu >= %zu", row_index,
+                                        rows_.size()));
+  }
+  return rows_[row_index][*column];
+}
+
+Status Table::SetCell(size_t row_index, size_t column_index,
+                      std::string value) {
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange(StrFormat("row %zu >= %zu", row_index,
+                                        rows_.size()));
+  }
+  if (column_index >= schema_.num_fields()) {
+    return Status::OutOfRange(StrFormat("column %zu >= %zu", column_index,
+                                        schema_.num_fields()));
+  }
+  rows_[row_index][column_index] = std::move(value);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Table::Column(
+    std::string_view column_name) const {
+  std::optional<size_t> column = schema_.FieldIndex(column_name);
+  if (!column.has_value()) {
+    return Status::NotFound("no such column: " + std::string(column_name));
+  }
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[*column]);
+  return out;
+}
+
+Result<Table> Table::FromCsv(std::string_view text, bool has_header) {
+  DQM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, Csv::Parse(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("csv document is empty");
+  }
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (has_header) {
+    names = rows[0];
+    first_data_row = 1;
+  } else {
+    names.reserve(rows[0].size());
+    for (size_t i = 0; i < rows[0].size(); ++i) {
+      names.push_back(StrFormat("c%zu", i));
+    }
+  }
+  Table table{Schema(std::move(names))};
+  for (size_t i = first_data_row; i < rows.size(); ++i) {
+    if (rows[i].size() != table.schema().num_fields()) {
+      return Status::InvalidArgument(
+          StrFormat("csv row %zu has %zu fields, expected %zu", i,
+                    rows[i].size(), table.schema().num_fields()));
+    }
+    DQM_RETURN_NOT_OK(table.AppendRow(std::move(rows[i])));
+  }
+  return table;
+}
+
+std::string Table::ToCsv() const {
+  std::vector<CsvRow> rows;
+  rows.reserve(rows_.size() + 1);
+  rows.push_back(schema_.field_names());
+  for (const auto& r : rows_) rows.push_back(r);
+  return Csv::Format(rows);
+}
+
+Result<Table> Table::ReadCsvFile(const std::string& path, bool has_header) {
+  DQM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, Csv::ReadFile(path));
+  std::string text = Csv::Format(rows);
+  return FromCsv(text, has_header);
+}
+
+Status Table::WriteCsvFile(const std::string& path) const {
+  std::vector<CsvRow> rows;
+  rows.reserve(rows_.size() + 1);
+  rows.push_back(schema_.field_names());
+  for (const auto& r : rows_) rows.push_back(r);
+  return Csv::WriteFile(path, rows);
+}
+
+}  // namespace dqm::dataset

@@ -1,0 +1,86 @@
+#ifndef DQM_DATASET_TABLE_H_
+#define DQM_DATASET_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dqm::dataset {
+
+/// Ordered, named columns of a Table. Field names must be unique and
+/// non-empty.
+class Schema {
+ public:
+  /// Builds a schema; aborts on duplicate or empty names (programming error).
+  explicit Schema(std::vector<std::string> field_names);
+
+  size_t num_fields() const { return names_.size(); }
+  const std::string& field_name(size_t index) const;
+  const std::vector<std::string>& field_names() const { return names_; }
+
+  /// Index of `name`, or nullopt when absent.
+  std::optional<size_t> FieldIndex(std::string_view name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// In-memory, row-oriented string table: the dataset representation cleaned
+/// by the crowd in this library. Row-oriented because the cleaning workloads
+/// (ER pair formation, record validation) consume whole records.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Appends a row; errors if the width does not match the schema.
+  Status AppendRow(std::vector<std::string> row);
+
+  /// Whole-row access; `row` must be < num_rows().
+  const std::vector<std::string>& row(size_t row_index) const;
+
+  /// Cell access; both indices checked.
+  const std::string& cell(size_t row_index, size_t column_index) const;
+
+  /// Cell access by column name; errors on unknown column.
+  Result<std::string> CellByName(size_t row_index,
+                                 std::string_view column_name) const;
+
+  /// Replaces a cell value (cleaning repairs use this).
+  Status SetCell(size_t row_index, size_t column_index, std::string value);
+
+  /// Entire column as a vector.
+  Result<std::vector<std::string>> Column(std::string_view column_name) const;
+
+  /// Parses a CSV document; when `has_header` the first row names the
+  /// columns, otherwise columns are named "c0".."cN-1". All rows must have
+  /// equal width.
+  static Result<Table> FromCsv(std::string_view text, bool has_header = true);
+
+  /// Serializes with a header row.
+  std::string ToCsv() const;
+
+  /// File convenience wrappers.
+  static Result<Table> ReadCsvFile(const std::string& path,
+                                   bool has_header = true);
+  Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dqm::dataset
+
+#endif  // DQM_DATASET_TABLE_H_

@@ -1,0 +1,144 @@
+#include "er/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace dqm::er {
+
+CandidateGenerator::CandidateGenerator(double alpha, double beta,
+                                       std::string key_column)
+    : alpha_(alpha), beta_(beta), key_column_(std::move(key_column)) {
+  DQM_CHECK(alpha >= 0.0 && alpha <= beta && beta <= 1.0)
+      << "require 0 <= alpha <= beta <= 1";
+}
+
+CandidateSet CandidateGenerator::Partition(
+    const dataset::Table& table, const std::vector<std::string>& keys,
+    const std::vector<RecordPair>& pairs_to_score,
+    uint64_t num_total_pairs) const {
+  (void)table;
+  CandidateSet out;
+  out.num_total_pairs = num_total_pairs;
+  uint64_t scored_below_alpha = 0;
+  for (const RecordPair& pair : pairs_to_score) {
+    double sim =
+        text::HybridSimilarity(keys[pair.first], keys[pair.second]);
+    if (sim > beta_) {
+      out.likely_matches.push_back({pair, sim});
+    } else if (sim >= alpha_) {
+      out.candidates.push_back({pair, sim});
+    } else {
+      ++scored_below_alpha;
+    }
+  }
+  // Unscored pairs (pruned by blocking) are below alpha by construction.
+  uint64_t scored = pairs_to_score.size();
+  out.num_unlikely = num_total_pairs - scored + scored_below_alpha;
+  return out;
+}
+
+Result<CandidateSet> CandidateGenerator::AllPairs(
+    const dataset::Table& table) const {
+  DQM_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                       table.Column(key_column_));
+  size_t n = keys.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two records");
+  }
+  std::vector<RecordPair> pairs;
+  pairs.reserve(NumPairs(n));
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+  return Partition(table, keys, pairs, NumPairs(n));
+}
+
+namespace {
+
+/// Pairs sharing >= min_shared tokens, restricted by `allowed` when set.
+std::vector<RecordPair> SharedTokenPairs(
+    const std::vector<std::string>& keys, size_t min_shared,
+    const std::function<bool(uint32_t, uint32_t)>& allowed) {
+  std::unordered_map<std::string, std::vector<uint32_t>> postings;
+  for (uint32_t row = 0; row < keys.size(); ++row) {
+    std::vector<std::string> tokens = text::WordTokens(keys[row]);
+    std::unordered_set<std::string> distinct(tokens.begin(), tokens.end());
+    for (const auto& token : distinct) {
+      postings[token].push_back(row);
+    }
+  }
+  std::unordered_map<uint64_t, size_t> shared_counts;
+  for (const auto& [token, rows] : postings) {
+    // Extremely frequent tokens (stop-word behavior) explode the candidate
+    // set quadratically while carrying no signal; skip them.
+    if (rows.size() > keys.size() / 4 && rows.size() > 50) continue;
+    for (size_t a = 0; a + 1 < rows.size(); ++a) {
+      for (size_t b = a + 1; b < rows.size(); ++b) {
+        if (allowed && !allowed(rows[a], rows[b])) continue;
+        ++shared_counts[RecordPair(rows[a], rows[b]).Key()];
+      }
+    }
+  }
+  std::vector<RecordPair> pairs;
+  pairs.reserve(shared_counts.size());
+  for (const auto& [key, count] : shared_counts) {
+    if (count >= min_shared) {
+      pairs.emplace_back(static_cast<uint32_t>(key >> 32),
+                         static_cast<uint32_t>(key & 0xffffffffULL));
+    }
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace
+
+Result<CandidateSet> CandidateGenerator::TokenBlocking(
+    const dataset::Table& table, size_t min_shared_tokens) const {
+  DQM_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                       table.Column(key_column_));
+  if (keys.size() < 2) {
+    return Status::InvalidArgument("need at least two records");
+  }
+  std::vector<RecordPair> pairs =
+      SharedTokenPairs(keys, min_shared_tokens, nullptr);
+  return Partition(table, keys, pairs, NumPairs(keys.size()));
+}
+
+Result<CandidateSet> CandidateGenerator::TokenBlockingTwoSided(
+    const dataset::Table& table, const std::string& side_column) const {
+  DQM_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                       table.Column(key_column_));
+  DQM_ASSIGN_OR_RETURN(std::vector<std::string> sides,
+                       table.Column(side_column));
+  if (keys.size() < 2) {
+    return Status::InvalidArgument("need at least two records");
+  }
+  auto cross_side = [&sides](uint32_t a, uint32_t b) {
+    return sides[a] != sides[b];
+  };
+  std::vector<RecordPair> pairs = SharedTokenPairs(keys, 1, cross_side);
+  // The covered pair space is the cross product of the two sides.
+  std::unordered_map<std::string, uint64_t> side_counts;
+  for (const auto& side : sides) ++side_counts[side];
+  uint64_t cross_pairs = 0;
+  std::vector<uint64_t> counts;
+  counts.reserve(side_counts.size());
+  for (const auto& [side, count] : side_counts) counts.push_back(count);
+  for (size_t a = 0; a + 1 < counts.size(); ++a) {
+    for (size_t b = a + 1; b < counts.size(); ++b) {
+      cross_pairs += counts[a] * counts[b];
+    }
+  }
+  return Partition(table, keys, pairs, cross_pairs);
+}
+
+}  // namespace dqm::er

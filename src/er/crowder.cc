@@ -1,0 +1,58 @@
+#include "er/crowder.h"
+
+namespace dqm::er {
+
+Result<CrowdErProblem> BuildCrowdErProblem(
+    const dataset::Table& table, const GroundTruth& ground_truth,
+    const CandidateGenerator& generator, BlockingStrategy strategy,
+    const std::string& side_column) {
+  CandidateSet partition;
+  switch (strategy) {
+    case BlockingStrategy::kAllPairs: {
+      DQM_ASSIGN_OR_RETURN(partition, generator.AllPairs(table));
+      break;
+    }
+    case BlockingStrategy::kTokenBlocking: {
+      if (side_column.empty()) {
+        DQM_ASSIGN_OR_RETURN(partition, generator.TokenBlocking(table));
+      } else {
+        DQM_ASSIGN_OR_RETURN(
+            partition, generator.TokenBlockingTwoSided(table, side_column));
+      }
+      break;
+    }
+  }
+
+  CrowdErProblem problem;
+  problem.truth.reserve(partition.candidates.size());
+  for (const ScoredPair& scored : partition.likely_matches) {
+    if (ground_truth.IsDuplicate(scored.pair)) {
+      ++problem.quality.auto_accepted_duplicates;
+    } else {
+      ++problem.quality.auto_accepted_clean;
+    }
+  }
+  for (const ScoredPair& scored : partition.candidates) {
+    bool dup = ground_truth.IsDuplicate(scored.pair);
+    problem.truth.push_back(dup);
+    if (dup) {
+      ++problem.quality.candidate_duplicates;
+      ++problem.num_dirty_candidates;
+    }
+  }
+  problem.quality.missed_duplicates =
+      ground_truth.num_duplicates() -
+      problem.quality.auto_accepted_duplicates -
+      problem.quality.candidate_duplicates;
+  problem.candidates = partition.candidates;
+  problem.partition = std::move(partition);
+  return problem;
+}
+
+double ComposeFullDatasetEstimate(double candidate_estimate,
+                                  const CandidateSet& partition) {
+  return candidate_estimate +
+         static_cast<double>(partition.likely_matches.size());
+}
+
+}  // namespace dqm::er

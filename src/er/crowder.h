@@ -1,0 +1,70 @@
+#ifndef DQM_ER_CROWDER_H_
+#define DQM_ER_CROWDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/table.h"
+#include "er/blocking.h"
+#include "er/ground_truth.h"
+
+namespace dqm::er {
+
+/// Accounting for how the heuristic partition relates to the ground truth —
+/// the quantities Section 5 of the paper reasons about (perfect vs imperfect
+/// heuristic).
+struct HeuristicQuality {
+  /// True duplicates auto-accepted by similarity > beta (correct).
+  size_t auto_accepted_duplicates = 0;
+  /// Clean pairs auto-accepted by similarity > beta (heuristic false
+  /// positives: violates the perfect-heuristic assumption).
+  size_t auto_accepted_clean = 0;
+  /// True duplicates inside the candidate band [alpha, beta].
+  size_t candidate_duplicates = 0;
+  /// True duplicates below alpha (heuristic false negatives).
+  size_t missed_duplicates = 0;
+};
+
+/// The crowd-facing cleaning problem produced by the CrowdER-style
+/// two-stage pipeline: the candidate items (pairs) the crowd will vote on,
+/// with their hidden true labels, plus partition bookkeeping.
+struct CrowdErProblem {
+  /// Candidate pairs in heuristic-score order (as produced by blocking).
+  std::vector<ScoredPair> candidates;
+  /// truth[i] == true iff candidates[i] is a true duplicate.
+  std::vector<bool> truth;
+  /// Number of true duplicates among the candidates.
+  size_t num_dirty_candidates = 0;
+  HeuristicQuality quality;
+  CandidateSet partition;
+};
+
+/// Strategy used to enumerate/score the pair space.
+enum class BlockingStrategy {
+  kAllPairs,
+  kTokenBlocking,
+};
+
+/// Runs stage one of CrowdER (algorithmic partition of the pair space) and
+/// assembles the crowd problem for stage two. `side_column` may be empty;
+/// when set, only cross-side pairs are considered (record linkage).
+Result<CrowdErProblem> BuildCrowdErProblem(
+    const dataset::Table& table, const GroundTruth& ground_truth,
+    const CandidateGenerator& generator, BlockingStrategy strategy,
+    const std::string& side_column = "");
+
+/// Eq. (9) of the paper (perfect-heuristic composition): the full-dataset
+/// error estimate is the crowd-side estimate over the candidate band plus
+/// the pairs the heuristic auto-accepted above beta:
+///   |R_dirty| = D_hat(R_H) + |{r in R : H(r) > beta}|.
+/// Valid under the perfect-heuristic assumption of Section 5.2 (no true
+/// duplicates below alpha, no clean pairs above beta); with an imperfect
+/// heuristic use epsilon-sampling over the full universe instead
+/// (Section 5.3 / PrioritizedAssignment).
+double ComposeFullDatasetEstimate(double candidate_estimate,
+                                  const CandidateSet& partition);
+
+}  // namespace dqm::er
+
+#endif  // DQM_ER_CROWDER_H_

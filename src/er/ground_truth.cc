@@ -1,0 +1,14 @@
+#include "er/ground_truth.h"
+
+namespace dqm::er {
+
+GroundTruth::GroundTruth(
+    const std::vector<std::pair<size_t, size_t>>& duplicate_pairs) {
+  duplicates_.reserve(duplicate_pairs.size());
+  for (const auto& [a, b] : duplicate_pairs) {
+    duplicates_.insert(
+        RecordPair(static_cast<uint32_t>(a), static_cast<uint32_t>(b)));
+  }
+}
+
+}  // namespace dqm::er

@@ -1,0 +1,41 @@
+#ifndef DQM_ER_GROUND_TRUTH_H_
+#define DQM_ER_GROUND_TRUTH_H_
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "er/pair.h"
+
+namespace dqm::er {
+
+/// Ground-truth duplicate labels over the pair space. Built from the
+/// generator's duplicate list; collapses commutative duplicates (enforced by
+/// RecordPair ordering) and, when transitive clusters are supplied, reduces
+/// them to a spanning set as in Section 2.1 of the paper
+/// ({q1-q2, q1-q4, q2-q1, q2-q4} -> {q1-q2, q1-q4}).
+class GroundTruth {
+ public:
+  /// Builds from explicit duplicate pairs (already one per duplicate
+  /// relation). Pairs are deduplicated.
+  explicit GroundTruth(
+      const std::vector<std::pair<size_t, size_t>>& duplicate_pairs);
+
+  /// True iff the pair is a true duplicate ("dirty" in the paper's mapping).
+  bool IsDuplicate(const RecordPair& pair) const {
+    return duplicates_.contains(pair);
+  }
+
+  size_t num_duplicates() const { return duplicates_.size(); }
+
+  const std::unordered_set<RecordPair, RecordPairHash>& duplicates() const {
+    return duplicates_;
+  }
+
+ private:
+  std::unordered_set<RecordPair, RecordPairHash> duplicates_;
+};
+
+}  // namespace dqm::er
+
+#endif  // DQM_ER_GROUND_TRUTH_H_

@@ -1,0 +1,39 @@
+#include "er/pair.h"
+
+#include <cmath>
+
+namespace dqm::er {
+
+namespace {
+// Dense index of the first pair whose smaller element is `i`:
+// sum over rows 0..i-1 of (n - 1 - row) = i*n - i*(i+1)/2.
+inline uint64_t RowOffset(uint64_t i, uint64_t n) {
+  return i * n - i * (i + 1) / 2;
+}
+}  // namespace
+
+uint64_t PairIndexer::ToIndex(const RecordPair& pair) const {
+  DQM_CHECK_LT(pair.second, n_);
+  uint64_t i = pair.first;
+  uint64_t j = pair.second;
+  return RowOffset(i, n_) + (j - i - 1);
+}
+
+RecordPair PairIndexer::FromIndex(uint64_t index) const {
+  DQM_CHECK_LT(index, num_pairs());
+  const uint64_t n = n_;
+  // Invert the triangular offset with the quadratic formula, then correct
+  // for floating-point error (at most one step in either direction for the
+  // sizes this library works with).
+  double nd = static_cast<double>(n);
+  double kd = static_cast<double>(index);
+  double disc = (2.0 * nd - 1.0) * (2.0 * nd - 1.0) - 8.0 * kd;
+  double root = std::sqrt(std::max(disc, 0.0));
+  auto i = static_cast<uint64_t>(std::max(0.0, ((2.0 * nd - 1.0) - root) / 2.0));
+  while (i > 0 && RowOffset(i, n) > index) --i;
+  while (i + 1 < n && RowOffset(i + 1, n) <= index) ++i;
+  uint64_t j = i + 1 + (index - RowOffset(i, n));
+  return RecordPair(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+}
+
+}  // namespace dqm::er

@@ -1,0 +1,73 @@
+#ifndef DQM_ER_PAIR_H_
+#define DQM_ER_PAIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dqm::er {
+
+/// Identifier of an unordered record pair (a, b) with a < b — the unit of
+/// work in entity resolution. The paper defines R = Q x Q with commutative
+/// pairs collapsed; RecordPair enforces that canonical order.
+struct RecordPair {
+  uint32_t first = 0;
+  uint32_t second = 0;
+
+  RecordPair() = default;
+  /// Canonicalizes order; `a` must differ from `b` (no self-pairs).
+  RecordPair(uint32_t a, uint32_t b)
+      : first(a < b ? a : b), second(a < b ? b : a) {
+    DQM_CHECK_NE(a, b) << "self-pairs are not valid entity-resolution units";
+  }
+
+  friend bool operator==(const RecordPair&, const RecordPair&) = default;
+  friend auto operator<=>(const RecordPair&, const RecordPair&) = default;
+
+  /// Packs into a single 64-bit key (useful as a hash-map key).
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(first) << 32) | second;
+  }
+};
+
+/// Total number of unordered pairs over n records: n*(n-1)/2.
+inline uint64_t NumPairs(uint64_t n) { return n * (n - 1) / 2; }
+
+/// Bijection between unordered pairs over n records and the dense index
+/// range [0, NumPairs(n)). Lets samplers draw uniform random pairs from the
+/// quadratic pair space without materializing it — the paper's Figure 2(a)
+/// experiment samples from 367,653 restaurant pairs this way.
+class PairIndexer {
+ public:
+  explicit PairIndexer(uint32_t num_records) : n_(num_records) {
+    DQM_CHECK_GE(num_records, 2u);
+  }
+
+  uint64_t num_pairs() const { return NumPairs(n_); }
+
+  /// Dense index of a pair.
+  uint64_t ToIndex(const RecordPair& pair) const;
+
+  /// Pair for a dense index in [0, num_pairs()).
+  RecordPair FromIndex(uint64_t index) const;
+
+ private:
+  uint32_t n_;
+};
+
+struct RecordPairHash {
+  size_t operator()(const RecordPair& pair) const {
+    // splitmix-style mix of the packed key.
+    uint64_t z = pair.Key() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace dqm::er
+
+#endif  // DQM_ER_PAIR_H_

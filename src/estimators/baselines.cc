@@ -1,0 +1,32 @@
+#include "estimators/baselines.h"
+
+#include "common/logging.h"
+
+namespace dqm::estimators {
+
+NominalEstimator::NominalEstimator(size_t num_items)
+    : positive_(num_items, 0) {}
+
+void NominalEstimator::Observe(const crowd::VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size());
+  if (event.vote == crowd::Vote::kDirty) {
+    if (positive_[event.item] == 0) ++count_;
+    ++positive_[event.item];
+  }
+}
+
+VotingEstimator::VotingEstimator(size_t num_items)
+    : positive_(num_items, 0), total_(num_items, 0) {}
+
+void VotingEstimator::Observe(const crowd::VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size());
+  size_t item = event.item;
+  bool was_majority = MajorityDirty(item);
+  ++total_[item];
+  if (event.vote == crowd::Vote::kDirty) ++positive_[item];
+  bool is_majority = MajorityDirty(item);
+  if (is_majority && !was_majority) ++count_;
+  if (!is_majority && was_majority) --count_;
+}
+
+}  // namespace dqm::estimators

@@ -1,0 +1,106 @@
+#include "estimators/chao92.h"
+
+#include "common/logging.h"
+
+namespace dqm::estimators {
+
+Chao92Estimator::Chao92Estimator(size_t num_items, bool skew_correction)
+    : positive_(num_items, 0), skew_correction_(skew_correction) {}
+
+void Chao92Estimator::Observe(const crowd::VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size());
+  if (event.vote != crowd::Vote::kDirty) return;  // clean votes are no-ops
+  uint32_t& count = positive_[event.item];
+  if (count == 0) {
+    f_.AddSingleton();
+  } else {
+    f_.Promote(count);
+  }
+  ++count;
+}
+
+double Chao92Estimator::Estimate() const {
+  return Chao92Point(f_.NumSpecies(), f_.singletons(),
+                     f_.TotalObservations(), f_.SumIiMinus1(),
+                     skew_correction_);
+}
+
+Chao1Estimator::Chao1Estimator(size_t num_items) : positive_(num_items, 0) {}
+
+void Chao1Estimator::Observe(const crowd::VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size());
+  if (event.vote != crowd::Vote::kDirty) return;
+  uint32_t& count = positive_[event.item];
+  if (count == 0) {
+    f_.AddSingleton();
+  } else {
+    f_.Promote(count);
+  }
+  ++count;
+}
+
+double Chao1Estimator::Estimate() const {
+  double c = static_cast<double>(f_.NumSpecies());
+  double f1 = static_cast<double>(f_.singletons());
+  double f2 = static_cast<double>(f_.f(2));
+  return c + f1 * (f1 - 1.0) / (2.0 * (f2 + 1.0));
+}
+
+JackknifeEstimator::JackknifeEstimator(size_t num_items)
+    : positive_(num_items, 0) {}
+
+void JackknifeEstimator::Observe(const crowd::VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size());
+  if (event.vote != crowd::Vote::kDirty) return;
+  uint32_t& count = positive_[event.item];
+  if (count == 0) {
+    f_.AddSingleton();
+  } else {
+    f_.Promote(count);
+  }
+  ++count;
+}
+
+double JackknifeEstimator::Estimate() const {
+  uint64_t n = f_.TotalObservations();
+  if (n == 0) return 0.0;
+  double nd = static_cast<double>(n);
+  return static_cast<double>(f_.NumSpecies()) +
+         static_cast<double>(f_.singletons()) * (nd - 1.0) / nd;
+}
+
+VChao92Estimator::VChao92Estimator(size_t num_items, uint32_t shift,
+                                   bool skew_correction)
+    : voting_(num_items),
+      positive_(num_items, 0),
+      shift_(shift),
+      skew_correction_(skew_correction) {}
+
+void VChao92Estimator::Observe(const crowd::VoteEvent& event) {
+  DQM_CHECK_LT(event.item, positive_.size());
+  voting_.Observe(event);
+  if (event.vote != crowd::Vote::kDirty) return;
+  uint32_t& count = positive_[event.item];
+  if (count == 0) {
+    f_.AddSingleton();
+  } else {
+    f_.Promote(count);
+  }
+  ++count;
+  ++total_positive_;
+}
+
+double VChao92Estimator::Estimate() const {
+  FStatistics::ShiftedView view = f_.Shifted(shift_, total_positive_);
+  // c_majority replaces c_nominal (Eq. 6); the f-statistics and the skew
+  // term come from the shifted fingerprint.
+  uint64_t c = voting_.MajorityCount();
+  if (c == 0) {
+    // No majority-dirty records yet; fall back to the shifted species count
+    // so the estimate is still defined in the earliest tasks.
+    c = view.c;
+  }
+  return Chao92Point(c, view.f1, view.n, view.sum_ii1, skew_correction_);
+}
+
+}  // namespace dqm::estimators

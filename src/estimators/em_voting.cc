@@ -1,0 +1,25 @@
+#include "estimators/em_voting.h"
+
+namespace dqm::estimators {
+
+EmVotingEstimator::EmVotingEstimator(
+    size_t num_items, const crowd::DawidSkene::Options& options)
+    : em_(options), log_(num_items) {}
+
+void EmVotingEstimator::Observe(const crowd::VoteEvent& event) {
+  log_.Append(event);
+}
+
+const crowd::DawidSkene::Result& EmVotingEstimator::FitResult() const {
+  if (cached_at_votes_ != log_.num_events()) {
+    cached_result_ = em_.Fit(log_);
+    cached_at_votes_ = log_.num_events();
+  }
+  return cached_result_;
+}
+
+double EmVotingEstimator::Estimate() const {
+  return static_cast<double>(crowd::DawidSkene::DirtyCount(FitResult()));
+}
+
+}  // namespace dqm::estimators

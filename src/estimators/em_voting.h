@@ -1,0 +1,41 @@
+#ifndef DQM_ESTIMATORS_EM_VOTING_H_
+#define DQM_ESTIMATORS_EM_VOTING_H_
+
+#include "crowd/dawid_skene.h"
+#include "crowd/response_log.h"
+#include "estimators/estimator.h"
+
+namespace dqm::estimators {
+
+/// EM-VOTING: the Dawid–Skene posterior dirty count as a (descriptive)
+/// total-error estimator — the strongest label-aggregation baseline from
+/// the paper's related work. Like VOTING it is not forward-looking: it can
+/// only count errors that already have votes, so it lower-bounds the truth
+/// under sparse coverage; unlike VOTING it downweights unreliable workers.
+///
+/// EM is re-fit lazily on Estimate() (cached per vote count); suitable for
+/// per-task estimate series at simulation scale.
+class EmVotingEstimator : public TotalErrorEstimator {
+ public:
+  EmVotingEstimator(size_t num_items, const crowd::DawidSkene::Options& options);
+  explicit EmVotingEstimator(size_t num_items)
+      : EmVotingEstimator(num_items, crowd::DawidSkene::Options()) {}
+
+  void Observe(const crowd::VoteEvent& event) override;
+  double Estimate() const override;
+  std::string_view name() const override { return "EM-VOTING"; }
+
+  /// Full EM result at the current log state (re-fit if stale).
+  const crowd::DawidSkene::Result& FitResult() const;
+
+ private:
+  crowd::DawidSkene em_;
+  crowd::ResponseLog log_;
+  // Lazy fit cache: refreshed when the vote count changes.
+  mutable crowd::DawidSkene::Result cached_result_;
+  mutable size_t cached_at_votes_ = SIZE_MAX;
+};
+
+}  // namespace dqm::estimators
+
+#endif  // DQM_ESTIMATORS_EM_VOTING_H_

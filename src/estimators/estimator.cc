@@ -1,0 +1,22 @@
+#include "estimators/estimator.h"
+
+namespace dqm::estimators {
+
+std::vector<double> EstimateSeriesByTask(const crowd::ResponseLog& log,
+                                         TotalErrorEstimator& estimator) {
+  std::vector<double> series;
+  const auto& events = log.events();
+  if (events.empty()) return series;
+  uint32_t current_task = events.front().task;
+  for (const crowd::VoteEvent& event : events) {
+    if (event.task != current_task) {
+      series.push_back(estimator.Estimate());
+      current_task = event.task;
+    }
+    estimator.Observe(event);
+  }
+  series.push_back(estimator.Estimate());
+  return series;
+}
+
+}  // namespace dqm::estimators

@@ -1,0 +1,48 @@
+#ifndef DQM_ESTIMATORS_ESTIMATOR_H_
+#define DQM_ESTIMATORS_ESTIMATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "crowd/response_log.h"
+#include "crowd/vote.h"
+
+namespace dqm::estimators {
+
+/// Interface of every total-error estimator: consume the vote stream one
+/// event at a time, answer "how many dirty items does the dataset contain"
+/// at any moment (the paper's Problem 1).
+///
+/// Implementations keep their own compact per-item state so a full estimate
+/// series over T tasks costs O(#events) amortized, not O(#events * T).
+class TotalErrorEstimator {
+ public:
+  virtual ~TotalErrorEstimator() = default;
+
+  /// Consumes the next vote. Events must arrive in the same order the
+  /// ResponseLog received them.
+  virtual void Observe(const crowd::VoteEvent& event) = 0;
+
+  /// Current point estimate of |R_dirty|.
+  virtual double Estimate() const = 0;
+
+  /// Short display name used in reports ("CHAO92", "SWITCH", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// Creates a fresh estimator for a universe of `num_items` items. The
+/// experiment runner uses factories to evaluate each estimator on many task
+/// permutations independently.
+using EstimatorFactory =
+    std::function<std::unique_ptr<TotalErrorEstimator>(size_t num_items)>;
+
+/// Replays `log` into `estimator` and returns the estimate after every task
+/// boundary (index t = estimate after tasks 0..t inclusive).
+std::vector<double> EstimateSeriesByTask(const crowd::ResponseLog& log,
+                                         TotalErrorEstimator& estimator);
+
+}  // namespace dqm::estimators
+
+#endif  // DQM_ESTIMATORS_ESTIMATOR_H_

@@ -1,0 +1,51 @@
+#include "estimators/extrapolation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace dqm::estimators {
+
+double ExtrapolateTotal(size_t errors_in_sample, size_t sample_size,
+                        size_t population_size) {
+  DQM_CHECK_GT(sample_size, 0u);
+  double fraction = static_cast<double>(sample_size) /
+                    static_cast<double>(population_size);
+  return static_cast<double>(errors_in_sample) / fraction;
+}
+
+double ExtrapolateRemaining(size_t errors_in_sample, size_t sample_size,
+                            size_t population_size) {
+  return ExtrapolateTotal(errors_in_sample, sample_size, population_size) -
+         static_cast<double>(errors_in_sample);
+}
+
+double OracleExtrapolationTrial(const std::vector<bool>& truth,
+                                size_t sample_size, Rng& rng) {
+  DQM_CHECK_GT(sample_size, 0u);
+  DQM_CHECK_LE(sample_size, truth.size());
+  std::vector<size_t> sample = rng.SampleIndices(truth.size(), sample_size);
+  size_t errors = 0;
+  for (size_t index : sample) {
+    if (truth[index]) ++errors;
+  }
+  return ExtrapolateTotal(errors, sample_size, truth.size());
+}
+
+ExtrapolationBand OracleExtrapolationBand(const std::vector<bool>& truth,
+                                          double sample_fraction,
+                                          size_t trials, Rng& rng) {
+  DQM_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  auto sample_size = static_cast<size_t>(
+      sample_fraction * static_cast<double>(truth.size()));
+  sample_size = std::max<size_t>(sample_size, 1);
+  std::vector<double> estimates;
+  estimates.reserve(trials);
+  for (size_t t = 0; t < trials; ++t) {
+    estimates.push_back(OracleExtrapolationTrial(truth, sample_size, rng));
+  }
+  return ExtrapolationBand{Mean(estimates), StdDev(estimates)};
+}
+
+}  // namespace dqm::estimators

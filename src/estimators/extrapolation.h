@@ -1,0 +1,43 @@
+#ifndef DQM_ESTIMATORS_EXTRAPOLATION_H_
+#define DQM_ESTIMATORS_EXTRAPOLATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dqm::estimators {
+
+/// The EXTRAPOL baseline (Section 2.2.3): clean a sample "perfectly",
+/// extrapolate its error rate to the population:
+///   total_errors = errors_in_sample / sampling_fraction
+/// Requires sample_size > 0.
+double ExtrapolateTotal(size_t errors_in_sample, size_t sample_size,
+                        size_t population_size);
+
+/// Remaining (undetected) errors implied by the extrapolation:
+/// total - errors_in_sample.
+double ExtrapolateRemaining(size_t errors_in_sample, size_t sample_size,
+                            size_t population_size);
+
+/// One oracle extrapolation trial: samples `sample_size` items uniformly
+/// without replacement, counts true errors via the ground-truth oracle, and
+/// extrapolates. This is the idealized upper bound of the baseline — the
+/// paper's point is that even *with* an oracle the estimate is unstable for
+/// rare errors.
+double OracleExtrapolationTrial(const std::vector<bool>& truth,
+                                size_t sample_size, Rng& rng);
+
+/// Mean and +/- one standard deviation of `trials` oracle extrapolations —
+/// the EXTRAPOL band drawn in Figures 3-5.
+struct ExtrapolationBand {
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+ExtrapolationBand OracleExtrapolationBand(const std::vector<bool>& truth,
+                                          double sample_fraction,
+                                          size_t trials, Rng& rng);
+
+}  // namespace dqm::estimators
+
+#endif  // DQM_ESTIMATORS_EXTRAPOLATION_H_

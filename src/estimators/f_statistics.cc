@@ -1,0 +1,82 @@
+#include "estimators/f_statistics.h"
+
+#include <algorithm>
+
+namespace dqm::estimators {
+
+void FStatistics::AddSingleton() {
+  ++f_[1];
+  ++num_species_;
+  ++total_observations_;
+}
+
+void FStatistics::Promote(uint32_t from) {
+  DQM_CHECK_GE(from, 1u);
+  auto it = f_.find(from);
+  DQM_CHECK(it != f_.end() && it->second > 0)
+      << "no species at frequency " << from;
+  if (--it->second == 0) f_.erase(it);
+  ++f_[from + 1];
+  ++total_observations_;
+}
+
+void FStatistics::Remove(uint32_t freq) {
+  auto it = f_.find(freq);
+  DQM_CHECK(it != f_.end() && it->second > 0)
+      << "no species at frequency " << freq;
+  if (--it->second == 0) f_.erase(it);
+  --num_species_;
+  total_observations_ -= freq;
+}
+
+uint64_t FStatistics::f(uint32_t j) const {
+  auto it = f_.find(j);
+  return it == f_.end() ? 0 : it->second;
+}
+
+uint64_t FStatistics::SumIiMinus1() const {
+  uint64_t sum = 0;
+  for (const auto& [freq, count] : f_) {
+    sum += static_cast<uint64_t>(freq) * (freq - 1) * count;
+  }
+  return sum;
+}
+
+FStatistics::ShiftedView FStatistics::Shifted(uint32_t s, uint64_t n) const {
+  ShiftedView view;
+  uint64_t dropped = 0;
+  for (const auto& [freq, count] : f_) {
+    if (freq <= s) {
+      dropped += count;
+      continue;
+    }
+    uint32_t shifted = freq - s;
+    if (shifted == 1) view.f1 += count;
+    view.c += count;
+    view.sum_ii1 += static_cast<uint64_t>(shifted) * (shifted - 1) * count;
+  }
+  view.n = (n >= dropped) ? n - dropped : 0;
+  return view;
+}
+
+double Chao92Point(uint64_t c, uint64_t f1, uint64_t n, uint64_t sum_ii1,
+                   bool skew_correction) {
+  if (c == 0) return 0.0;
+  if (n == 0 || f1 >= n) {
+    // No coverage evidence (all observations are singletons, or nothing
+    // observed): the coverage estimate degenerates; report what was seen.
+    return static_cast<double>(c);
+  }
+  double nd = static_cast<double>(n);
+  double coverage = 1.0 - static_cast<double>(f1) / nd;
+  double d_noskew = static_cast<double>(c) / coverage;
+  if (!skew_correction) return d_noskew;
+  double gamma2 = 0.0;
+  if (n > 1) {
+    gamma2 = d_noskew * static_cast<double>(sum_ii1) / (nd * (nd - 1.0)) - 1.0;
+    gamma2 = std::max(gamma2, 0.0);
+  }
+  return d_noskew + static_cast<double>(f1) * gamma2 / coverage;
+}
+
+}  // namespace dqm::estimators

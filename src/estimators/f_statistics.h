@@ -1,0 +1,85 @@
+#ifndef DQM_ESTIMATORS_F_STATISTICS_H_
+#define DQM_ESTIMATORS_F_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dqm::estimators {
+
+/// The frequency-of-frequencies statistic ("data fingerprint") at the heart
+/// of every species estimator in this library: `f(j)` is the number of
+/// species observed exactly `j` times. For the error estimators a species is
+/// an item marked dirty (Chao92/vChao92) or a consensus switch (SWITCH), and
+/// the frequency is how often it was (re)discovered.
+///
+/// Maintained incrementally: promoting a species from frequency k to k+1 is
+/// O(log #distinct-frequencies), and all aggregate quantities used by the
+/// estimators are O(#distinct-frequencies) to read, which is tiny in
+/// practice (bounded by the deepest vote pile on one item).
+class FStatistics {
+ public:
+  FStatistics() = default;
+
+  /// Records a species observed for the first time (enters class f_1).
+  void AddSingleton();
+
+  /// Moves one species from frequency `from` to frequency `from + 1`.
+  /// Requires that f(from) > 0.
+  void Promote(uint32_t from);
+
+  /// Removes one species of frequency `freq` entirely (used by estimator
+  /// variants that forget species). Requires f(freq) > 0.
+  void Remove(uint32_t freq);
+
+  /// f_j — number of species with exactly `j` observations (j >= 1).
+  uint64_t f(uint32_t j) const;
+
+  /// f_1, the singletons: the paper's key quantity.
+  uint64_t singletons() const { return f(1); }
+
+  /// c — number of distinct observed species: sum_j f_j.
+  uint64_t NumSpecies() const { return num_species_; }
+
+  /// sum_j j * f_j — total observations attached to species.
+  uint64_t TotalObservations() const { return total_observations_; }
+
+  /// sum_j j*(j-1) * f_j — the raw moment in the Chao92 skew term (Eq. 5).
+  uint64_t SumIiMinus1() const;
+
+  /// Shifted view of Section 3.3 (vChao92): treats f_{j+s} as f_j.
+  struct ShiftedView {
+    uint64_t f1 = 0;        // f_{1+s}
+    uint64_t n = 0;         // n^{+,s} = n - sum_{i=1..s} f_i  (paper Eq. 6)
+    uint64_t c = 0;         // species remaining after the shift
+    uint64_t sum_ii1 = 0;   // sum_j j*(j-1) * f_{j+s}
+  };
+  /// Computes the shifted statistics for shift `s` given the unshifted
+  /// observation total `n` (the caller chooses n = n^+ for vChao92).
+  ShiftedView Shifted(uint32_t s, uint64_t n) const;
+
+  /// Iteration over (frequency, count) in increasing frequency order.
+  const std::map<uint32_t, uint64_t>& histogram() const { return f_; }
+
+ private:
+  std::map<uint32_t, uint64_t> f_;
+  uint64_t num_species_ = 0;
+  uint64_t total_observations_ = 0;
+};
+
+/// The Chao92 point estimate (Eqs. 1-5 of the paper) from raw ingredients:
+///   C_hat = 1 - f1/n            (Good-Turing sample coverage)
+///   gamma2 = max((c/C_hat) * sum_ii1 / (n(n-1)) - 1, 0)
+///   D_hat = c/C_hat + f1*gamma2/C_hat
+/// Degenerate inputs (n == 0, or f1 == n giving C_hat == 0) fall back to
+/// returning `c` — the best defensible answer with zero coverage evidence,
+/// and what keeps early-task series plottable like the paper's figures.
+/// `skew_correction` toggles the gamma^2 term (off = the D_noskew /
+/// Good-Turing form of Eq. 3).
+double Chao92Point(uint64_t c, uint64_t f1, uint64_t n, uint64_t sum_ii1,
+                   bool skew_correction);
+
+}  // namespace dqm::estimators
+
+#endif  // DQM_ESTIMATORS_F_STATISTICS_H_

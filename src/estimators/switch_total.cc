@@ -1,0 +1,87 @@
+#include "estimators/switch_total.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace dqm::estimators {
+
+SwitchTotalErrorEstimator::SwitchTotalErrorEstimator(size_t num_items)
+    : SwitchTotalErrorEstimator(num_items, Config()) {}
+
+SwitchTotalErrorEstimator::SwitchTotalErrorEstimator(size_t num_items,
+                                                     const Config& config)
+    : config_(config), voting_(num_items), tracker_(num_items, config.tracker) {}
+
+void SwitchTotalErrorEstimator::Observe(const crowd::VoteEvent& event) {
+  if (any_event_ && event.task != current_task_) {
+    majority_history_.push_back(voting_.Estimate());
+    UpdateDirection();
+  }
+  current_task_ = event.task;
+  any_event_ = true;
+  voting_.Observe(event);
+  tracker_.Observe(event);
+}
+
+void SwitchTotalErrorEstimator::UpdateDirection() {
+  // Moving average of the most recent VOTING samples (including the live
+  // value) so plateau jitter does not reach the regime detector.
+  size_t window = std::max<size_t>(config_.smooth_window, 1);
+  double sum = voting_.Estimate();
+  size_t count = 1;
+  for (size_t i = majority_history_.size();
+       i > 0 && count < window; --i, ++count) {
+    sum += majority_history_[i - 1];
+  }
+  double majority = sum / static_cast<double>(count);
+
+  double threshold = std::max(config_.flip_threshold_abs,
+                              config_.flip_threshold_rel * extreme_);
+  if (direction_ >= 0) {
+    extreme_ = std::max(extreme_, majority);
+    if (majority <= extreme_ - threshold) {
+      direction_ = -1;
+      extreme_ = majority;
+    }
+  } else {
+    extreme_ = std::min(extreme_, majority);
+    if (majority >= extreme_ + threshold * config_.up_flip_factor) {
+      direction_ = 1;
+      extreme_ = majority;
+    }
+  }
+}
+
+double SwitchTotalErrorEstimator::VotingTrend() const {
+  // The trend window always includes the live VOTING value so the detector
+  // reacts before a task boundary is recorded.
+  std::vector<double> window;
+  size_t start = majority_history_.size() > config_.trend_window
+                     ? majority_history_.size() - config_.trend_window
+                     : 0;
+  window.assign(majority_history_.begin() +
+                    static_cast<std::ptrdiff_t>(start),
+                majority_history_.end());
+  window.push_back(voting_.Estimate());
+  return Slope(window);
+}
+
+double SwitchTotalErrorEstimator::Estimate() const {
+  double majority = voting_.Estimate();
+  double xi_pos = tracker_.EstimateRemainingPositive();
+  double xi_neg = tracker_.EstimateRemainingNegative();
+  double estimate;
+  if (config_.two_sided) {
+    estimate = majority + xi_pos - xi_neg;
+  } else {
+    // Dynamic one-sided correction (Section 4.3): an improving VOTING count
+    // means undiscovered errors dominate -> add remaining positive
+    // switches; a shrinking count means false positives are being corrected
+    // -> subtract remaining negative switches.
+    estimate = (direction_ >= 0) ? majority + xi_pos : majority - xi_neg;
+  }
+  return std::max(estimate, 0.0);
+}
+
+}  // namespace dqm::estimators

@@ -1,0 +1,86 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace dqm::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+
+  // One rolling row over the shorter string.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];  // D[i-1][j]
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, above + 1, diag + cost});
+      diag = above;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                  size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  size_t len_diff = a.size() - b.size();
+  if (len_diff > bound) return bound + 1;
+  if (b.empty()) return a.size();
+
+  constexpr size_t kBig = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> row(b.size() + 1, kBig);
+  for (size_t j = 0; j <= std::min(b.size(), bound); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Only cells with |i - j| <= bound can be <= bound.
+    size_t j_lo = (i > bound) ? i - bound : 1;
+    size_t j_hi = std::min(b.size(), i + bound);
+    size_t diag;
+    if (j_lo == 1) {
+      diag = row[0];
+      row[0] = (i <= bound) ? i : kBig;
+    } else {
+      diag = row[j_lo - 1];
+      row[j_lo - 1] = kBig;  // column j_lo-1 left the band at this i
+    }
+    size_t row_min = kBig;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      size_t above = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t left = (j > j_lo || j_lo == 1) ? row[j - 1] : kBig;
+      row[j] = std::min({left + 1, above + 1, diag + cost});
+      diag = above;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row_min > bound) return bound + 1;  // the whole band exceeded bound
+  }
+  return row[b.size()];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  size_t dist = LevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+double BoundedEditSimilarity(std::string_view a, std::string_view b,
+                             double min_similarity) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  // similarity >= min_similarity  <=>  distance <= (1 - min) * longest
+  double max_dist_f = (1.0 - min_similarity) * static_cast<double>(longest);
+  auto bound = static_cast<size_t>(max_dist_f);
+  size_t dist = BoundedLevenshteinDistance(a, b, bound);
+  if (dist > bound) return 0.0;
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+}  // namespace dqm::text

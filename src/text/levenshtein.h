@@ -1,0 +1,33 @@
+#ifndef DQM_TEXT_LEVENSHTEIN_H_
+#define DQM_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace dqm::text {
+
+/// Levenshtein (unit-cost insert/delete/substitute) edit distance.
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Early-exit variant: returns the distance if it is <= `bound`, otherwise
+/// any value > `bound` (exact value unspecified). Uses the standard banded
+/// dynamic program, O(bound * min(|a|,|b|)) time; this is what makes the
+/// all-pairs similarity joins in the ER substrate tractable.
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                  size_t bound);
+
+/// Normalized edit similarity in [0, 1]:
+///   1 - distance(a, b) / max(|a|, |b|)
+/// (1.0 for two empty strings). This is the "normalized edit distance-based
+/// similarity" heuristic used throughout the paper's experiments.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Similarity variant that exits early when the similarity is certainly
+/// below `min_similarity`; returns 0.0 in that case.
+double BoundedEditSimilarity(std::string_view a, std::string_view b,
+                             double min_similarity);
+
+}  // namespace dqm::text
+
+#endif  // DQM_TEXT_LEVENSHTEIN_H_

@@ -1,0 +1,43 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/levenshtein.h"
+#include "text/tokenizer.h"
+
+namespace dqm::text {
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  std::unordered_set<std::string> set_a(a.begin(), a.end());
+  std::unordered_set<std::string> set_b(b.begin(), b.end());
+  if (set_a.empty() && set_b.empty()) return 1.0;
+  size_t intersection = 0;
+  // Iterate the smaller set for the intersection count.
+  const auto& small = set_a.size() <= set_b.size() ? set_a : set_b;
+  const auto& large = set_a.size() <= set_b.size() ? set_b : set_a;
+  for (const auto& token : small) {
+    if (large.contains(token)) ++intersection;
+  }
+  size_t union_size = set_a.size() + set_b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(WordTokens(a), WordTokens(b));
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  return JaccardSimilarity(QGrams(a, q), QGrams(b, q));
+}
+
+double HybridSimilarity(std::string_view a, std::string_view b) {
+  std::string norm_a = NormalizeForMatching(a);
+  std::string norm_b = NormalizeForMatching(b);
+  double edit = NormalizedEditSimilarity(norm_a, norm_b);
+  double jaccard = TokenJaccard(a, b);
+  return std::max(edit, jaccard);
+}
+
+}  // namespace dqm::text

@@ -1,0 +1,33 @@
+#ifndef DQM_TEXT_SIMILARITY_H_
+#define DQM_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dqm::text {
+
+/// Jaccard similarity of two token multisets, computed on the distinct-token
+/// sets: |A ∩ B| / |A ∪ B|. Returns 1.0 when both are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Jaccard similarity of the word-token sets of two strings (CrowdER's
+/// cheap first-stage similarity).
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the q-gram sets of two strings; robust to small
+/// typos where token Jaccard is brittle.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+/// Combined matcher score in [0, 1] used by the ER heuristics: the maximum
+/// of normalized edit similarity (on normalized text) and token Jaccard.
+/// Rationale: edit similarity handles typos, Jaccard handles token
+/// re-ordering ("Cafe Ritz-Carlton Buckhead" vs "Ritz-Carlton Cafe
+/// (buckhead)"), and the paper's heuristic band [alpha, beta] is applied on
+/// top of a single score.
+double HybridSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace dqm::text
+
+#endif  // DQM_TEXT_SIMILARITY_H_

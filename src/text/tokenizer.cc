@@ -1,0 +1,49 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dqm::text {
+
+std::vector<std::string> WordTokens(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : input) {
+    auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> QGrams(std::string_view input, size_t q) {
+  DQM_CHECK_GE(q, 1u);
+  std::string padded;
+  padded.reserve(input.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  for (char raw : input) {
+    padded.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(raw))));
+  }
+  padded.append(q - 1, '#');
+  std::vector<std::string> grams;
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+std::string NormalizeForMatching(std::string_view input) {
+  return Join(WordTokens(input), " ");
+}
+
+}  // namespace dqm::text

@@ -1,0 +1,27 @@
+#ifndef DQM_TEXT_TOKENIZER_H_
+#define DQM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dqm::text {
+
+/// Splits `input` into lower-cased alphanumeric word tokens; every other
+/// character is a separator. "Ritz-Carlton Cafe (buckhead)" ->
+/// {"ritz", "carlton", "cafe", "buckhead"}.
+std::vector<std::string> WordTokens(std::string_view input);
+
+/// Character q-grams of the lower-cased input, with `q-1` boundary pad
+/// characters ('#') on each side so short strings still produce grams.
+/// Requires q >= 1.
+std::vector<std::string> QGrams(std::string_view input, size_t q);
+
+/// Canonical form used before similarity comparison: lower-cased word tokens
+/// joined by single spaces. Makes edit distance robust to punctuation and
+/// spacing noise.
+std::string NormalizeForMatching(std::string_view input);
+
+}  // namespace dqm::text
+
+#endif  // DQM_TEXT_TOKENIZER_H_

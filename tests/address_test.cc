@@ -1,0 +1,178 @@
+#include "dataset/address.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dqm::dataset {
+namespace {
+
+TEST(AddressValidatorTest, AcceptsValidAddress) {
+  AddressValidator validator;
+  AddressValidation v =
+      validator.Validate("123 ne alder st, portland, or, 97201");
+  EXPECT_TRUE(v.valid) << v.detail;
+}
+
+TEST(AddressValidatorTest, AcceptsUnit) {
+  AddressValidator validator;
+  EXPECT_TRUE(
+      validator.Validate("99 sw division ave apt 4, portland, or, 97210")
+          .valid);
+}
+
+TEST(AddressValidatorTest, DetectsMissingComponent) {
+  AddressValidator validator;
+  AddressValidation v = validator.Validate("123 ne alder st, portland, or");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kMissingField);
+}
+
+TEST(AddressValidatorTest, DetectsEmptyComponent) {
+  AddressValidator validator;
+  AddressValidation v = validator.Validate("123 ne alder st, , or, 97201");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kMissingField);
+}
+
+TEST(AddressValidatorTest, DetectsMissingHouseNumber) {
+  AddressValidator validator;
+  AddressValidation v =
+      validator.Validate("ne alder st, portland, or, 97201");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kMissingField);
+}
+
+TEST(AddressValidatorTest, DetectsInvalidCity) {
+  AddressValidator validator;
+  AddressValidation v =
+      validator.Validate("123 ne alder st, protland, or, 97201");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kInvalidCity);
+}
+
+TEST(AddressValidatorTest, DetectsMalformedZip) {
+  AddressValidator validator;
+  for (const char* zip : {"9720", "972011", "97a01"}) {
+    AddressValidation v = validator.Validate(
+        std::string("123 ne alder st, portland, or, ") + zip);
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(v.kind, AddressErrorKind::kInvalidZip) << zip;
+  }
+}
+
+TEST(AddressValidatorTest, DetectsUnknownZip) {
+  AddressValidator validator;
+  AddressValidation v =
+      validator.Validate("123 ne alder st, portland, or, 11111");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kInvalidZip);
+}
+
+TEST(AddressValidatorTest, DetectsFdViolation) {
+  AddressValidator validator;
+  // 98101 is Seattle's zip; zip -> (city, state) is violated.
+  AddressValidation v =
+      validator.Validate("123 ne alder st, portland, or, 98101");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kFdViolation);
+}
+
+TEST(AddressValidatorTest, AcceptsOtherRegistryCity) {
+  AddressValidator validator;
+  EXPECT_TRUE(
+      validator.Validate("10 ne alder st, seattle, wa, 98101").valid);
+}
+
+TEST(AddressValidatorTest, DetectsPoBox) {
+  AddressValidator validator;
+  AddressValidation v = validator.Validate("po box 123, portland, or, 97201");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kNotHomeAddress);
+}
+
+TEST(AddressValidatorTest, DetectsCommercialSuffix) {
+  AddressValidator validator;
+  AddressValidation v = validator.Validate(
+      "400 se belmont st warehouse, portland, or, 97214");
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.kind, AddressErrorKind::kNotHomeAddress);
+}
+
+TEST(AddressValidatorTest, CannotDetectFakeWellFormed) {
+  // The deliberate blind spot: a plausible but nonexistent street passes.
+  // This models the rule system's "long tail" (see address.h).
+  AddressValidator validator;
+  EXPECT_TRUE(
+      validator.Validate("123 ne imaginary st, portland, or, 97201").valid);
+}
+
+TEST(AddressGeneratorTest, PaperShapeDefaults) {
+  auto dataset = GenerateAddressDataset({});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->data.table.num_rows(), 1000u);
+  EXPECT_EQ(dataset->data.dirty_rows.size(), 90u);
+  EXPECT_EQ(dataset->row_kinds.size(), 1000u);
+}
+
+TEST(AddressGeneratorTest, DirtyRowsMatchKinds) {
+  auto dataset = GenerateAddressDataset({});
+  ASSERT_TRUE(dataset.ok());
+  std::set<size_t> dirty(dataset->data.dirty_rows.begin(),
+                         dataset->data.dirty_rows.end());
+  EXPECT_EQ(dirty.size(), 90u);
+  for (size_t row = 0; row < dataset->row_kinds.size(); ++row) {
+    bool is_dirty = dataset->row_kinds[row] != AddressErrorKind::kNone;
+    EXPECT_EQ(is_dirty, dirty.contains(row)) << "row " << row;
+  }
+}
+
+TEST(AddressGeneratorTest, CleanRowsPassValidator) {
+  auto dataset = GenerateAddressDataset({});
+  ASSERT_TRUE(dataset.ok());
+  AddressValidator validator;
+  for (size_t row = 0; row < dataset->data.table.num_rows(); ++row) {
+    if (dataset->row_kinds[row] == AddressErrorKind::kNone) {
+      AddressValidation v = validator.Validate(dataset->data.table.cell(row, 1));
+      EXPECT_TRUE(v.valid)
+          << dataset->data.table.cell(row, 1) << " -> " << v.detail;
+    }
+  }
+}
+
+TEST(AddressGeneratorTest, ValidatorDetectsDetectableClasses) {
+  auto dataset = GenerateAddressDataset({});
+  ASSERT_TRUE(dataset.ok());
+  AddressValidator validator;
+  for (size_t row : dataset->data.dirty_rows) {
+    AddressErrorKind kind = dataset->row_kinds[row];
+    AddressValidation v = validator.Validate(dataset->data.table.cell(row, 1));
+    if (kind == AddressErrorKind::kFakeWellFormed) {
+      // The long tail: undetectable by rules.
+      EXPECT_TRUE(v.valid) << dataset->data.table.cell(row, 1);
+    } else {
+      EXPECT_FALSE(v.valid) << dataset->data.table.cell(row, 1)
+                            << " kind=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(AddressGeneratorTest, DeterministicForSeed) {
+  AddressConfig config{.num_records = 50, .num_errors = 5, .seed = 3};
+  auto a = GenerateAddressDataset(config);
+  auto b = GenerateAddressDataset(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->data.table.ToCsv(), b->data.table.ToCsv());
+  EXPECT_EQ(a->data.dirty_rows, b->data.dirty_rows);
+}
+
+TEST(AddressGeneratorTest, RejectsTooManyErrors) {
+  AddressConfig config;
+  config.num_records = 10;
+  config.num_errors = 11;
+  EXPECT_FALSE(GenerateAddressDataset(config).ok());
+}
+
+}  // namespace
+}  // namespace dqm::dataset

@@ -1,0 +1,94 @@
+#include "common/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(AsciiTableTest, ColumnsAligned) {
+  AsciiTable table({"x", "y"});
+  table.AddRow({"aaaa", "1"});
+  table.AddRow({"b", "2"});
+  std::string out = table.Render();
+  // Every line has equal length (right-aligned columns).
+  size_t first_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTableTest, NumericRowFormatting) {
+  AsciiTable table({"a", "b"});
+  table.AddNumericRow({1.23456, 2.0}, 2);
+  std::string out = table.Render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(AsciiTableDeathTest, RowWidthMismatchAborts) {
+  AsciiTable table({"only"});
+  EXPECT_DEATH(table.AddRow({"a", "b"}), "width");
+}
+
+TEST(AsciiChartTest, RendersSeriesGlyphsAndLegend) {
+  AsciiChart chart("test chart", {0, 1, 2, 3});
+  chart.AddSeries("up", {0, 1, 2, 3});
+  chart.AddSeries("down", {3, 2, 1, 0});
+  std::string out = chart.Render(40, 10);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);  // first series glyph
+  EXPECT_NE(out.find('o'), std::string::npos);  // second series glyph
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("*=up"), std::string::npos);
+  EXPECT_NE(out.find("o=down"), std::string::npos);
+}
+
+TEST(AsciiChartTest, HorizontalLineDrawn) {
+  AsciiChart chart("gt", {0, 1, 2});
+  chart.AddSeries("s", {0, 5, 10});
+  chart.AddHorizontalLine("truth", 5.0);
+  std::string out = chart.Render(30, 8);
+  EXPECT_NE(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find("-=truth"), std::string::npos);
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart("flat", {0, 1});
+  chart.AddSeries("s", {5, 5});
+  std::string out = chart.Render(20, 5);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiChartTest, NoDataHandled) {
+  AsciiChart chart("empty", {});
+  std::string out = chart.Render(20, 5);
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChartTest, NonFiniteValuesSkipped) {
+  AsciiChart chart("nan", {0, 1, 2});
+  chart.AddSeries("s", {1.0, std::nan(""), 3.0});
+  std::string out = chart.Render(20, 5);
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace dqm

@@ -1,0 +1,123 @@
+#include "crowd/assignment.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dqm::crowd {
+namespace {
+
+TEST(UniformAssignmentTest, TaskSizeAndDistinctness) {
+  UniformAssignment assignment(100, 10);
+  Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<uint32_t> task = assignment.NextTask(rng);
+    EXPECT_EQ(task.size(), 10u);
+    std::set<uint32_t> distinct(task.begin(), task.end());
+    EXPECT_EQ(distinct.size(), task.size());
+    for (uint32_t item : task) EXPECT_LT(item, 100u);
+  }
+}
+
+TEST(UniformAssignmentTest, TaskLargerThanUniverseClamped) {
+  UniformAssignment assignment(5, 10);
+  Rng rng(2);
+  EXPECT_EQ(assignment.NextTask(rng).size(), 5u);
+}
+
+TEST(UniformAssignmentTest, CoversUniverseEventually) {
+  UniformAssignment assignment(30, 10);
+  Rng rng(3);
+  std::set<uint32_t> seen;
+  for (int t = 0; t < 40; ++t) {
+    for (uint32_t item : assignment.NextTask(rng)) seen.insert(item);
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(PrioritizedAssignmentTest, EpsilonZeroStaysInCandidates) {
+  PrioritizedAssignment assignment(100, 40, 10, 0.0);
+  Rng rng(4);
+  for (int t = 0; t < 30; ++t) {
+    for (uint32_t item : assignment.NextTask(rng)) {
+      EXPECT_LT(item, 40u);
+    }
+  }
+}
+
+TEST(PrioritizedAssignmentTest, EpsilonOneStaysInComplement) {
+  PrioritizedAssignment assignment(100, 40, 10, 1.0);
+  Rng rng(5);
+  for (int t = 0; t < 30; ++t) {
+    for (uint32_t item : assignment.NextTask(rng)) {
+      EXPECT_GE(item, 40u);
+      EXPECT_LT(item, 100u);
+    }
+  }
+}
+
+TEST(PrioritizedAssignmentTest, EpsilonFractionRoughlyRespected) {
+  const double epsilon = 0.2;
+  PrioritizedAssignment assignment(10000, 5000, 20, epsilon);
+  Rng rng(6);
+  size_t complement_hits = 0, total = 0;
+  for (int t = 0; t < 500; ++t) {
+    for (uint32_t item : assignment.NextTask(rng)) {
+      ++total;
+      if (item >= 5000) ++complement_hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(complement_hits) / static_cast<double>(total),
+              epsilon, 0.03);
+}
+
+TEST(PrioritizedAssignmentTest, ItemsWithinTaskDistinct) {
+  PrioritizedAssignment assignment(50, 25, 10, 0.5);
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<uint32_t> task = assignment.NextTask(rng);
+    std::set<uint32_t> distinct(task.begin(), task.end());
+    EXPECT_EQ(distinct.size(), task.size());
+  }
+}
+
+TEST(FixedQuorumAssignmentTest, ExactCoverage) {
+  const size_t num_items = 40, per_task = 8, quorum = 3;
+  FixedQuorumAssignment assignment(num_items, per_task, quorum, Rng(8));
+  Rng rng(9);
+  std::vector<int> votes(num_items, 0);
+  // quorum * num_items / per_task tasks exhaust the deck exactly.
+  const size_t deck_tasks = quorum * num_items / per_task;
+  for (size_t t = 0; t < deck_tasks; ++t) {
+    std::vector<uint32_t> task = assignment.NextTask(rng);
+    std::set<uint32_t> distinct(task.begin(), task.end());
+    EXPECT_EQ(distinct.size(), task.size());
+    for (uint32_t item : task) ++votes[item];
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    EXPECT_EQ(votes[i], static_cast<int>(quorum)) << "item " << i;
+  }
+}
+
+TEST(FixedQuorumAssignmentTest, FallsBackToUniformAfterDeck) {
+  FixedQuorumAssignment assignment(10, 5, 1, Rng(10));
+  Rng rng(11);
+  // Deck provides 2 tasks; further tasks must still be valid.
+  for (int t = 0; t < 6; ++t) {
+    std::vector<uint32_t> task = assignment.NextTask(rng);
+    EXPECT_EQ(task.size(), 5u);
+    for (uint32_t item : task) EXPECT_LT(item, 10u);
+  }
+}
+
+TEST(AssignmentDeathTest, InvalidConfigurationsAbort) {
+  EXPECT_DEATH({ UniformAssignment a(0, 5); }, "");
+  EXPECT_DEATH({ UniformAssignment a(5, 0); }, "");
+  EXPECT_DEATH({ PrioritizedAssignment a(10, 20, 5, 0.1); }, "");
+  EXPECT_DEATH({ PrioritizedAssignment a(10, 5, 5, 1.5); }, "");
+  EXPECT_DEATH({ FixedQuorumAssignment a(10, 5, 0, Rng(1)); }, "");
+}
+
+}  // namespace
+}  // namespace dqm::crowd

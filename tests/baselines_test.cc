@@ -1,0 +1,101 @@
+#include "estimators/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crowd/response_log.h"
+
+namespace dqm::estimators {
+namespace {
+
+using crowd::Vote;
+using crowd::VoteEvent;
+
+TEST(NominalEstimatorTest, CountsItemsWithAnyDirtyVote) {
+  NominalEstimator nominal(4);
+  EXPECT_DOUBLE_EQ(nominal.Estimate(), 0.0);
+  nominal.Observe({0, 0, 0, Vote::kDirty});
+  nominal.Observe({0, 0, 1, Vote::kClean});
+  EXPECT_DOUBLE_EQ(nominal.Estimate(), 1.0);
+  // Repeat votes on the same item do not double count.
+  nominal.Observe({1, 1, 0, Vote::kDirty});
+  EXPECT_DOUBLE_EQ(nominal.Estimate(), 1.0);
+  nominal.Observe({1, 1, 2, Vote::kDirty});
+  EXPECT_DOUBLE_EQ(nominal.Estimate(), 2.0);
+  // Clean votes never reduce the nominal count.
+  nominal.Observe({2, 2, 0, Vote::kClean});
+  nominal.Observe({2, 2, 2, Vote::kClean});
+  EXPECT_DOUBLE_EQ(nominal.Estimate(), 2.0);
+  EXPECT_EQ(nominal.name(), "NOMINAL");
+}
+
+TEST(VotingEstimatorTest, TracksStrictMajority) {
+  VotingEstimator voting(2);
+  voting.Observe({0, 0, 0, Vote::kDirty});
+  EXPECT_DOUBLE_EQ(voting.Estimate(), 1.0);  // 1-0
+  voting.Observe({1, 1, 0, Vote::kClean});
+  EXPECT_DOUBLE_EQ(voting.Estimate(), 0.0);  // tie -> clean
+  voting.Observe({2, 2, 0, Vote::kDirty});
+  EXPECT_DOUBLE_EQ(voting.Estimate(), 1.0);  // 2-1
+  EXPECT_EQ(voting.name(), "VOTING");
+  EXPECT_EQ(voting.MajorityCount(), 1u);
+}
+
+TEST(VotingEstimatorTest, AgreesWithResponseLog) {
+  Rng rng(42);
+  const size_t num_items = 15;
+  crowd::ResponseLog log(num_items);
+  VotingEstimator voting(num_items);
+  NominalEstimator nominal(num_items);
+  for (uint32_t i = 0; i < 600; ++i) {
+    VoteEvent event{i / 10, i / 10,
+                    static_cast<uint32_t>(rng.UniformIndex(num_items)),
+                    rng.Bernoulli(0.4) ? Vote::kDirty : Vote::kClean};
+    log.Append(event);
+    voting.Observe(event);
+    nominal.Observe(event);
+    ASSERT_DOUBLE_EQ(voting.Estimate(),
+                     static_cast<double>(log.MajorityCount()));
+    ASSERT_DOUBLE_EQ(nominal.Estimate(),
+                     static_cast<double>(log.NominalCount()));
+  }
+}
+
+TEST(BaselinesDeathTest, OutOfRangeItemAborts) {
+  NominalEstimator nominal(2);
+  EXPECT_DEATH(nominal.Observe({0, 0, 5, Vote::kDirty}), "");
+  VotingEstimator voting(2);
+  EXPECT_DEATH(voting.Observe({0, 0, 5, Vote::kDirty}), "");
+}
+
+TEST(EstimateSeriesTest, EmptyLogGivesEmptySeries) {
+  crowd::ResponseLog log(3);
+  VotingEstimator voting(3);
+  EXPECT_TRUE(EstimateSeriesByTask(log, voting).empty());
+}
+
+TEST(EstimateSeriesTest, OneEntryPerTask) {
+  crowd::ResponseLog log(3);
+  log.Append({0, 0, 0, Vote::kDirty});
+  log.Append({0, 0, 1, Vote::kClean});
+  log.Append({1, 1, 2, Vote::kDirty});
+  log.Append({2, 2, 0, Vote::kClean});
+  VotingEstimator voting(3);
+  std::vector<double> series = EstimateSeriesByTask(log, voting);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);  // after task 0: item 0 dirty
+  EXPECT_DOUBLE_EQ(series[1], 2.0);  // after task 1: items 0, 2
+  EXPECT_DOUBLE_EQ(series[2], 1.0);  // after task 2: item 0 tied -> clean
+}
+
+TEST(EstimateSeriesTest, SingleTaskLog) {
+  crowd::ResponseLog log(2);
+  log.Append({0, 0, 0, Vote::kDirty});
+  NominalEstimator nominal(2);
+  std::vector<double> series = EstimateSeriesByTask(log, nominal);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+}
+
+}  // namespace
+}  // namespace dqm::estimators

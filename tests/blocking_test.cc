@@ -1,0 +1,137 @@
+#include "er/blocking.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/table.h"
+
+namespace dqm::er {
+namespace {
+
+dataset::Table MakeNameTable(const std::vector<std::string>& names) {
+  dataset::Table table{dataset::Schema({"id", "name"})};
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_TRUE(table.AppendRow({std::to_string(i), names[i]}).ok());
+  }
+  return table;
+}
+
+TEST(CandidateGeneratorTest, PartitionRespectsThresholds) {
+  dataset::Table table = MakeNameTable({
+      "golden dragon cafe",   // 0
+      "golden dragon cafe",   // 1: exact dup of 0 -> likely match
+      "golden dragon caffe",  // 2: near dup -> candidate band
+      "quantum flux router",  // 3: unrelated -> unlikely
+  });
+  CandidateGenerator generator(0.5, 0.95, "name");
+  auto result = generator.AllPairs(table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_total_pairs, 6u);
+
+  auto contains = [](const std::vector<ScoredPair>& pairs, RecordPair p) {
+    return std::any_of(pairs.begin(), pairs.end(),
+                       [&](const ScoredPair& sp) { return sp.pair == p; });
+  };
+  EXPECT_TRUE(contains(result->likely_matches, RecordPair(0, 1)));
+  EXPECT_TRUE(contains(result->candidates, RecordPair(0, 2)));
+  EXPECT_TRUE(contains(result->candidates, RecordPair(1, 2)));
+  // Accounting: likely + candidates + unlikely == total.
+  EXPECT_EQ(result->likely_matches.size() + result->candidates.size() +
+                result->num_unlikely,
+            result->num_total_pairs);
+}
+
+TEST(CandidateGeneratorTest, ScoresWithinBand) {
+  dataset::Table table = MakeNameTable(
+      {"alpha beta gamma", "alpha beta gamm", "alpha beta", "delta epsilon"});
+  CandidateGenerator generator(0.4, 0.9, "name");
+  auto result = generator.AllPairs(table);
+  ASSERT_TRUE(result.ok());
+  for (const ScoredPair& sp : result->candidates) {
+    EXPECT_GE(sp.similarity, 0.4);
+    EXPECT_LE(sp.similarity, 0.9);
+  }
+  for (const ScoredPair& sp : result->likely_matches) {
+    EXPECT_GT(sp.similarity, 0.9);
+  }
+}
+
+TEST(CandidateGeneratorTest, TokenBlockingFindsTokenSharingPairs) {
+  dataset::Table table = MakeNameTable({
+      "golden dragon cafe",
+      "golden dragon caffe",
+      "zzz qqq www",
+  });
+  CandidateGenerator generator(0.3, 0.95, "name");
+  auto all = generator.AllPairs(table);
+  auto blocked = generator.TokenBlocking(table);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(blocked.ok());
+  // The near-duplicate pair shares tokens, so blocking must find it too.
+  ASSERT_EQ(blocked->candidates.size() + blocked->likely_matches.size(),
+            all->candidates.size() + all->likely_matches.size());
+}
+
+TEST(CandidateGeneratorTest, TokenBlockingSubsetOfAllPairs) {
+  // Blocked candidates are always a subset of the all-pairs candidates.
+  std::vector<std::string> names;
+  const char* words[] = {"red", "blue", "green", "fox", "wolf", "bear"};
+  for (const char* w1 : words) {
+    for (const char* w2 : words) {
+      names.push_back(std::string(w1) + " " + w2);
+    }
+  }
+  dataset::Table table = MakeNameTable(names);
+  CandidateGenerator generator(0.4, 0.99, "name");
+  auto all = generator.AllPairs(table);
+  auto blocked = generator.TokenBlocking(table);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(blocked.ok());
+  std::set<uint64_t> all_keys;
+  for (const auto& sp : all->candidates) all_keys.insert(sp.pair.Key());
+  for (const auto& sp : blocked->candidates) {
+    EXPECT_TRUE(all_keys.contains(sp.pair.Key()));
+  }
+  EXPECT_LE(blocked->candidates.size(), all->candidates.size());
+}
+
+TEST(CandidateGeneratorTest, TwoSidedBlockingOnlyCrossSide) {
+  dataset::Table table{dataset::Schema({"id", "name", "side"})};
+  ASSERT_TRUE(table.AppendRow({"0", "widget pro", "a"}).ok());
+  ASSERT_TRUE(table.AppendRow({"1", "widget pro", "a"}).ok());
+  ASSERT_TRUE(table.AppendRow({"2", "widget pro", "b"}).ok());
+  CandidateGenerator generator(0.3, 0.99, "name");
+  auto result = generator.TokenBlockingTwoSided(table, "side");
+  ASSERT_TRUE(result.ok());
+  // Cross product: 2 (side a) x 1 (side b) = 2 pairs; the same-side exact
+  // duplicate (0, 1) must not appear anywhere.
+  EXPECT_EQ(result->num_total_pairs, 2u);
+  for (const auto& sp : result->likely_matches) {
+    EXPECT_NE(sp.pair, RecordPair(0, 1));
+  }
+  EXPECT_EQ(result->likely_matches.size(), 2u);
+}
+
+TEST(CandidateGeneratorTest, TooFewRecordsRejected) {
+  dataset::Table table = MakeNameTable({"only one"});
+  CandidateGenerator generator(0.3, 0.9, "name");
+  EXPECT_FALSE(generator.AllPairs(table).ok());
+  EXPECT_FALSE(generator.TokenBlocking(table).ok());
+}
+
+TEST(CandidateGeneratorTest, UnknownColumnRejected) {
+  dataset::Table table = MakeNameTable({"a", "b"});
+  CandidateGenerator generator(0.3, 0.9, "nonexistent");
+  EXPECT_FALSE(generator.AllPairs(table).ok());
+}
+
+TEST(CandidateGeneratorDeathTest, InvalidThresholdsAbort) {
+  EXPECT_DEATH({ CandidateGenerator g(0.9, 0.5, "name"); }, "alpha");
+  EXPECT_DEATH({ CandidateGenerator g(-0.1, 0.5, "name"); }, "alpha");
+  EXPECT_DEATH({ CandidateGenerator g(0.5, 1.5, "name"); }, "alpha");
+}
+
+}  // namespace
+}  // namespace dqm::er

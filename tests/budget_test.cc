@@ -1,0 +1,78 @@
+#include "core/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace dqm::core {
+namespace {
+
+TEST(CostModelTest, PaperPricing) {
+  CostModel cost;  // $0.03 per task, as in Section 6.1
+  EXPECT_DOUBLE_EQ(cost.CostOfTasks(100), 3.0);
+  EXPECT_DOUBLE_EQ(cost.CostOfTasks(0), 0.0);
+}
+
+TEST(StoppingRuleTest, DoesNotStopWithoutCoverage) {
+  StoppingRule::Options options;
+  options.max_undetected_errors = 100.0;  // trivially satisfied
+  options.min_mean_votes_per_item = 2.0;
+  StoppingRule rule(options, CostModel());
+  DataQualityMetric metric(100);
+  metric.AddVote(0, 0, 0, false);  // 0.01 votes/item
+  StoppingRule::Decision decision = rule.Evaluate(metric, 1);
+  EXPECT_FALSE(decision.stop);
+  EXPECT_LT(decision.mean_votes_per_item, 2.0);
+}
+
+TEST(StoppingRuleTest, StopsWhenTargetMet) {
+  StoppingRule::Options options;
+  options.max_undetected_errors = 5.0;
+  options.min_mean_votes_per_item = 1.0;
+  StoppingRule rule(options, CostModel());
+  DataQualityMetric metric(10);
+  // Full agreement: every item voted clean twice -> no undetected errors.
+  for (uint32_t round = 0; round < 2; ++round) {
+    for (uint32_t item = 0; item < 10; ++item) {
+      metric.AddVote(round, round, item, false);
+    }
+  }
+  StoppingRule::Decision decision = rule.Evaluate(metric, 2);
+  EXPECT_TRUE(decision.stop);
+  EXPECT_DOUBLE_EQ(decision.mean_votes_per_item, 2.0);
+  EXPECT_DOUBLE_EQ(decision.cost_spent, 0.06);
+}
+
+TEST(StoppingRuleTest, EndToEndStopsNearConvergence) {
+  Scenario scenario = SimulationScenario(0.01, 0.10);
+  SimulatedRun run = SimulateScenario(scenario, 800, 5);
+  StoppingRule::Options options;
+  options.max_undetected_errors = 2.0;
+  options.min_mean_votes_per_item = 3.0;
+  StoppingRule rule(options, CostModel());
+  DataQualityMetric metric(scenario.num_items);
+  size_t stop_task = 0;
+  uint32_t current_task = 0;
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    if (event.task != current_task) {
+      StoppingRule::Decision decision = rule.Evaluate(metric, event.task);
+      if (decision.stop) {
+        stop_task = event.task;
+        break;
+      }
+    }
+    current_task = event.task;
+    metric.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+  }
+  // It must stop before exhausting the budget, but not before coverage.
+  ASSERT_GT(stop_task, 0u);
+  EXPECT_GE(stop_task, 3 * scenario.num_items / scenario.items_per_task / 2);
+  EXPECT_LT(stop_task, 800u);
+  // At the stop point the consensus is close to the truth.
+  EXPECT_NEAR(static_cast<double>(metric.MajorityCount()), 100.0, 15.0);
+}
+
+}  // namespace
+}  // namespace dqm::core

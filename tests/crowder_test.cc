@@ -1,0 +1,107 @@
+#include "er/crowder.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/restaurant_generator.h"
+
+namespace dqm::er {
+namespace {
+
+class CrowdErPipelineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dataset::RestaurantConfig config;
+    config.num_entities = 300;
+    config.num_duplicates = 40;
+    config.seed = 17;
+    auto dataset = dataset::GenerateRestaurantDataset(config);
+    ASSERT_TRUE(dataset.ok());
+    table_ = std::make_unique<dataset::Table>(std::move(dataset->table));
+    ground_truth_ = std::make_unique<GroundTruth>(dataset->duplicate_pairs);
+  }
+
+  std::unique_ptr<dataset::Table> table_;
+  std::unique_ptr<GroundTruth> ground_truth_;
+};
+
+TEST_F(CrowdErPipelineTest, GroundTruthMembership) {
+  EXPECT_EQ(ground_truth_->num_duplicates(), 40u);
+  for (const RecordPair& pair : ground_truth_->duplicates()) {
+    EXPECT_TRUE(ground_truth_->IsDuplicate(pair));
+  }
+  EXPECT_FALSE(ground_truth_->IsDuplicate(RecordPair(0, 339)) &&
+               ground_truth_->IsDuplicate(RecordPair(1, 338)) &&
+               ground_truth_->IsDuplicate(RecordPair(2, 337)));
+}
+
+TEST_F(CrowdErPipelineTest, QualityAccountingAddsUp) {
+  CandidateGenerator generator(0.45, 0.92, "name");
+  auto problem = BuildCrowdErProblem(*table_, *ground_truth_, generator,
+                                     BlockingStrategy::kAllPairs);
+  ASSERT_TRUE(problem.ok());
+  const HeuristicQuality& q = problem->quality;
+  // Every ground-truth duplicate is exactly one of: auto-accepted, a
+  // candidate, or missed.
+  EXPECT_EQ(q.auto_accepted_duplicates + q.candidate_duplicates +
+                q.missed_duplicates,
+            ground_truth_->num_duplicates());
+  EXPECT_EQ(problem->num_dirty_candidates, q.candidate_duplicates);
+  EXPECT_EQ(problem->truth.size(), problem->candidates.size());
+}
+
+TEST_F(CrowdErPipelineTest, TruthVectorMatchesGroundTruth) {
+  CandidateGenerator generator(0.45, 0.92, "name");
+  auto problem = BuildCrowdErProblem(*table_, *ground_truth_, generator,
+                                     BlockingStrategy::kAllPairs);
+  ASSERT_TRUE(problem.ok());
+  for (size_t i = 0; i < problem->candidates.size(); ++i) {
+    EXPECT_EQ(problem->truth[i],
+              ground_truth_->IsDuplicate(problem->candidates[i].pair));
+  }
+}
+
+TEST_F(CrowdErPipelineTest, MostDuplicatesSurviveTheHeuristic) {
+  CandidateGenerator generator(0.45, 0.97, "name");
+  auto problem = BuildCrowdErProblem(*table_, *ground_truth_, generator,
+                                     BlockingStrategy::kAllPairs);
+  ASSERT_TRUE(problem.ok());
+  // The perturbation model is calibrated so that the majority of true
+  // duplicates are not silently dropped below alpha.
+  EXPECT_LT(problem->quality.missed_duplicates,
+            ground_truth_->num_duplicates() / 2);
+  // And the candidate band is where most crowd work lies.
+  EXPECT_GT(problem->candidates.size(), 0u);
+}
+
+TEST_F(CrowdErPipelineTest, EquationNineComposition) {
+  CandidateGenerator generator(0.45, 0.97, "name");
+  auto problem = BuildCrowdErProblem(*table_, *ground_truth_, generator,
+                                     BlockingStrategy::kAllPairs);
+  ASSERT_TRUE(problem.ok());
+  // With an oracle estimate over the candidates, Eq. (9) recovers the full
+  // duplicate count up to (a) heuristic false negatives below alpha and
+  // (b) heuristic false positives above beta.
+  double oracle_candidate_estimate =
+      static_cast<double>(problem->num_dirty_candidates);
+  double composed = ComposeFullDatasetEstimate(oracle_candidate_estimate,
+                                               problem->partition);
+  double expected = static_cast<double>(ground_truth_->num_duplicates()) -
+                    static_cast<double>(problem->quality.missed_duplicates) +
+                    static_cast<double>(problem->quality.auto_accepted_clean);
+  EXPECT_DOUBLE_EQ(composed, expected);
+}
+
+TEST_F(CrowdErPipelineTest, TokenBlockingProducesConsistentProblem) {
+  CandidateGenerator generator(0.45, 0.92, "name");
+  auto problem = BuildCrowdErProblem(*table_, *ground_truth_, generator,
+                                     BlockingStrategy::kTokenBlocking);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ(problem->truth.size(), problem->candidates.size());
+  EXPECT_EQ(problem->quality.auto_accepted_duplicates +
+                problem->quality.candidate_duplicates +
+                problem->quality.missed_duplicates,
+            ground_truth_->num_duplicates());
+}
+
+}  // namespace
+}  // namespace dqm::er

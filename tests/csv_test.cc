@@ -1,0 +1,138 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  auto rows = Csv::Parse("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto rows = Csv::Parse("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved) {
+  auto rows = Csv::Parse(",,\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithDelimiter) {
+  auto rows = Csv::Parse("\"a,b\",c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  auto rows = Csv::Parse("\"say \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, EmbeddedNewlineInQuotedField) {
+  auto rows = Csv::Parse("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto rows = Csv::Parse("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, LoneCrTreatedAsRowEnd) {
+  auto rows = Csv::Parse("a,b\rc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvParseTest, StrayQuoteIsError) {
+  auto rows = Csv::Parse("ab\"c,d\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto rows = Csv::Parse("\"abc\n");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(CsvParseTest, GarbageAfterClosingQuoteIsError) {
+  auto rows = Csv::Parse("\"abc\"x,d\n");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(CsvParseTest, EmptyDocument) {
+  auto rows = Csv::Parse("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  auto rows = Csv::Parse("a;b;c\n", ';');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvFormatTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(Csv::FormatRow({"plain", "with,comma", "with\"quote", "multi\nline"}),
+            "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"");
+}
+
+TEST(CsvFormatTest, RoundTrip) {
+  std::vector<CsvRow> original = {
+      {"id", "name", "notes"},
+      {"1", "caf\"e, the", "line1\nline2"},
+      {"2", "", "plain"},
+  };
+  auto reparsed = Csv::Parse(Csv::Format(original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(CsvParseLineTest, SingleLine) {
+  auto row = Csv::ParseLine("x,y,z");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"x", "y", "z"}));
+}
+
+TEST(CsvParseLineTest, MultipleLinesRejected) {
+  auto row = Csv::ParseLine("x\ny");
+  EXPECT_FALSE(row.ok());
+}
+
+TEST(CsvFileTest, WriteReadRoundTrip) {
+  std::string path = testing::TempDir() + "/dqm_csv_test.csv";
+  std::vector<CsvRow> rows = {{"a", "b"}, {"1", "two, three"}};
+  ASSERT_TRUE(Csv::WriteFile(path, rows).ok());
+  auto readback = Csv::ReadFile(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(*readback, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto result = Csv::ReadFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace dqm

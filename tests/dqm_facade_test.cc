@@ -1,0 +1,97 @@
+#include "core/dqm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace dqm::core {
+namespace {
+
+TEST(DataQualityMetricTest, FreshMetricIsPristine) {
+  DataQualityMetric metric(100);
+  EXPECT_EQ(metric.num_items(), 100u);
+  EXPECT_EQ(metric.num_votes(), 0u);
+  EXPECT_DOUBLE_EQ(metric.EstimatedTotalErrors(), 0.0);
+  EXPECT_DOUBLE_EQ(metric.EstimatedUndetectedErrors(), 0.0);
+  EXPECT_DOUBLE_EQ(metric.QualityScore(), 1.0);
+  EXPECT_EQ(metric.method_name(), "SWITCH");
+}
+
+TEST(DataQualityMetricTest, VotesFlowThrough) {
+  DataQualityMetric metric(10);
+  metric.AddVote(0, 0, 3, true);
+  metric.AddVote(0, 0, 4, false);
+  EXPECT_EQ(metric.num_votes(), 2u);
+  EXPECT_EQ(metric.NominalCount(), 1u);
+  EXPECT_EQ(metric.MajorityCount(), 1u);
+  EXPECT_EQ(metric.log().positive_votes(3), 1u);
+}
+
+TEST(DataQualityMetricTest, MethodSelection) {
+  for (Method method : {Method::kSwitch, Method::kChao92, Method::kGoodTuring,
+                        Method::kVChao92, Method::kVoting, Method::kNominal}) {
+    DataQualityMetric::Options options;
+    options.method = method;
+    DataQualityMetric metric(10, options);
+    EXPECT_EQ(metric.method_name(), MethodName(method));
+  }
+}
+
+TEST(DataQualityMetricTest, UndetectedIsTotalMinusMajority) {
+  DataQualityMetric::Options options;
+  options.method = Method::kChao92;
+  DataQualityMetric metric(50, options);
+  // Ten singleton dirty items: Chao92 extrapolates beyond the majority.
+  for (uint32_t i = 0; i < 10; ++i) {
+    metric.AddVote(i, i, i, true);
+  }
+  double undetected = metric.EstimatedUndetectedErrors();
+  EXPECT_NEAR(undetected,
+              metric.EstimatedTotalErrors() -
+                  static_cast<double>(metric.MajorityCount()),
+              1e-9);
+  EXPECT_GE(undetected, 0.0);
+}
+
+TEST(DataQualityMetricTest, QualityScoreInUnitRange) {
+  Scenario scenario = SimulationScenario(0.02, 0.2, 10);
+  SimulatedRun run = SimulateScenario(scenario, 100, 3);
+  DataQualityMetric metric(scenario.num_items);
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    metric.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+    double quality = metric.QualityScore();
+    ASSERT_GE(quality, 0.0);
+    ASSERT_LE(quality, 1.0);
+  }
+  // After 100 tasks over 1000 items most labels are settled: quality high.
+  EXPECT_GT(metric.QualityScore(), 0.8);
+}
+
+TEST(DataQualityMetricTest, EstimateTracksTruthEndToEnd) {
+  Scenario scenario = SimulationScenario(0.005, 0.1, 15);
+  SimulatedRun run = SimulateScenario(scenario, 500, 21);
+  DataQualityMetric metric(scenario.num_items);
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    metric.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+  }
+  EXPECT_NEAR(metric.EstimatedTotalErrors(), 100.0, 20.0);
+}
+
+TEST(MakeEstimatorFactoryTest, ProducesWorkingEstimators) {
+  for (Method method : {Method::kSwitch, Method::kChao92, Method::kVChao92,
+                        Method::kVoting, Method::kNominal,
+                        Method::kGoodTuring}) {
+    estimators::EstimatorFactory factory = MakeEstimatorFactory(method);
+    auto estimator = factory(20);
+    ASSERT_NE(estimator, nullptr);
+    estimator->Observe({0, 0, 1, crowd::Vote::kDirty});
+    EXPECT_GE(estimator->Estimate(), 0.0);
+    EXPECT_EQ(estimator->name(), MethodName(method));
+  }
+}
+
+}  // namespace
+}  // namespace dqm::core

@@ -1,0 +1,148 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/dqm.h"
+
+namespace dqm::core {
+namespace {
+
+using crowd::Vote;
+using crowd::VoteEvent;
+
+crowd::ResponseLog MakeLog() {
+  crowd::ResponseLog log(6);
+  // Three tasks with distinct contents.
+  log.Append({0, 0, 0, Vote::kDirty});
+  log.Append({0, 0, 1, Vote::kClean});
+  log.Append({1, 1, 2, Vote::kDirty});
+  log.Append({1, 1, 3, Vote::kDirty});
+  log.Append({2, 2, 4, Vote::kClean});
+  log.Append({2, 2, 5, Vote::kDirty});
+  return log;
+}
+
+TEST(PermuteTasksTest, PreservesEventsUpToTaskRenumbering) {
+  crowd::ResponseLog log = MakeLog();
+  crowd::ResponseLog permuted = PermuteTasks(log, 99);
+  EXPECT_EQ(permuted.num_events(), log.num_events());
+  EXPECT_EQ(permuted.num_tasks(), log.num_tasks());
+  EXPECT_EQ(permuted.num_items(), log.num_items());
+  // Per-item tallies unchanged.
+  for (size_t i = 0; i < log.num_items(); ++i) {
+    EXPECT_EQ(permuted.positive_votes(i), log.positive_votes(i));
+    EXPECT_EQ(permuted.total_votes(i), log.total_votes(i));
+  }
+  // Task contents move together: group events by task and compare the
+  // multiset of task signatures (item, vote sequences).
+  auto signatures = [](const crowd::ResponseLog& l) {
+    std::map<uint32_t, std::vector<std::pair<uint32_t, Vote>>> groups;
+    for (const VoteEvent& e : l.events()) {
+      groups[e.task].push_back({e.item, e.vote});
+    }
+    std::vector<std::vector<std::pair<uint32_t, Vote>>> sigs;
+    for (auto& [task, sig] : groups) sigs.push_back(sig);
+    std::sort(sigs.begin(), sigs.end());
+    return sigs;
+  };
+  EXPECT_EQ(signatures(log), signatures(permuted));
+}
+
+TEST(PermuteTasksTest, TaskIdsAreDense) {
+  crowd::ResponseLog permuted = PermuteTasks(MakeLog(), 7);
+  std::vector<bool> seen(permuted.num_tasks(), false);
+  for (const VoteEvent& e : permuted.events()) {
+    ASSERT_LT(e.task, permuted.num_tasks());
+    seen[e.task] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(PermuteTasksTest, DifferentSeedsGiveDifferentOrders) {
+  crowd::ResponseLog log = MakeLog();
+  bool any_different = false;
+  crowd::ResponseLog base = PermuteTasks(log, 1);
+  for (uint64_t seed = 2; seed < 10; ++seed) {
+    crowd::ResponseLog other = PermuteTasks(log, seed);
+    for (size_t i = 0; i < base.num_events(); ++i) {
+      if (!(base.events()[i] == other.events()[i])) {
+        any_different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SimulateScenarioTest, ProducesExpectedShape) {
+  Scenario s = SimulationScenario(0.0, 0.1, 12);
+  SimulatedRun run = SimulateScenario(s, 25, 5);
+  EXPECT_EQ(run.truth.size(), s.num_items);
+  EXPECT_EQ(run.log.num_tasks(), 25u);
+  EXPECT_EQ(run.log.num_events(), 25u * 12u);
+}
+
+TEST(ExperimentRunnerTest, SeriesShapeAndDeterminism) {
+  Scenario s = SimulationScenario(0.01, 0.1, 10);
+  SimulatedRun run = SimulateScenario(s, 30, 5);
+  ExperimentRunner runner({.permutations = 4, .seed = 11});
+  auto factories = std::vector<std::pair<std::string,
+                                         estimators::EstimatorFactory>>{
+      {"VOTING", MakeEstimatorFactory(Method::kVoting)},
+      {"SWITCH", MakeEstimatorFactory(Method::kSwitch)},
+  };
+  auto results_a = runner.Run(run.log, s.num_items, factories);
+  auto results_b = runner.Run(run.log, s.num_items, factories);
+  ASSERT_EQ(results_a.size(), 2u);
+  EXPECT_EQ(results_a[0].name, "VOTING");
+  EXPECT_EQ(results_a[0].mean.size(), 30u);
+  EXPECT_EQ(results_a[0].std_dev.size(), 30u);
+  // Deterministic for a fixed config.
+  EXPECT_EQ(results_a[1].mean, results_b[1].mean);
+}
+
+TEST(ExperimentRunnerTest, VotingMeanMatchesUnpermutedFinal) {
+  // The final VOTING count is permutation-invariant (it only depends on
+  // the tallies), so the mean at the last task equals the direct count and
+  // its std-dev is zero.
+  Scenario s = SimulationScenario(0.02, 0.2, 10);
+  SimulatedRun run = SimulateScenario(s, 40, 9);
+  ExperimentRunner runner({.permutations = 5, .seed = 3});
+  auto results = runner.Run(
+      run.log, s.num_items,
+      {{"VOTING", MakeEstimatorFactory(Method::kVoting)}});
+  EXPECT_DOUBLE_EQ(results[0].mean.back(),
+                   static_cast<double>(run.log.MajorityCount()));
+  EXPECT_DOUBLE_EQ(results[0].std_dev.back(), 0.0);
+}
+
+TEST(ExperimentRunnerTest, SwitchDiagnosticsShapes) {
+  Scenario s = SimulationScenario(0.02, 0.1, 10);
+  SimulatedRun run = SimulateScenario(s, 20, 7);
+  ExperimentRunner runner({.permutations = 3, .seed = 1});
+  estimators::SwitchTotalErrorEstimator::Config config;
+  auto diag = runner.RunSwitchDiagnostics(run.log, s.num_items, run.truth,
+                                          config);
+  EXPECT_EQ(diag.remaining_positive_estimate.mean.size(), 20u);
+  EXPECT_EQ(diag.remaining_negative_estimate.mean.size(), 20u);
+  EXPECT_EQ(diag.needed_positive_truth.mean.size(), 20u);
+  EXPECT_EQ(diag.needed_negative_truth.mean.size(), 20u);
+  // Ground-truth needed-positive starts near the full error count (nothing
+  // found yet) and declines as coverage grows.
+  EXPECT_GT(diag.needed_positive_truth.mean.front(), 90.0);
+  EXPECT_LT(diag.needed_positive_truth.mean.back(),
+            diag.needed_positive_truth.mean.front());
+}
+
+TEST(SampleCleanMinimumTest, PaperFormula) {
+  // 3 workers x S records / (p records per task): S=100, p=10 -> 30 tasks.
+  EXPECT_DOUBLE_EQ(SampleCleanMinimumTasks(100, 10), 30.0);
+  EXPECT_DOUBLE_EQ(SampleCleanMinimumTasks(1264, 10), 379.2);
+  EXPECT_DOUBLE_EQ(SampleCleanMinimumTasks(100, 10, 5), 50.0);
+}
+
+}  // namespace
+}  // namespace dqm::core

@@ -1,0 +1,70 @@
+#include "estimators/extrapolation.h"
+
+#include <gtest/gtest.h>
+
+namespace dqm::estimators {
+namespace {
+
+TEST(ExtrapolateTest, PaperArithmetic) {
+  // Section 2.2.3: 4 errors in a 1% sample -> 400 total, 396 remaining.
+  EXPECT_DOUBLE_EQ(ExtrapolateTotal(4, 100, 10000), 400.0);
+  EXPECT_DOUBLE_EQ(ExtrapolateRemaining(4, 100, 10000), 396.0);
+}
+
+TEST(ExtrapolateTest, FullSampleIsExact) {
+  EXPECT_DOUBLE_EQ(ExtrapolateTotal(17, 500, 500), 17.0);
+  EXPECT_DOUBLE_EQ(ExtrapolateRemaining(17, 500, 500), 0.0);
+}
+
+TEST(ExtrapolateTest, ZeroErrorsGiveZero) {
+  EXPECT_DOUBLE_EQ(ExtrapolateTotal(0, 100, 10000), 0.0);
+}
+
+TEST(OracleTrialTest, UnbiasedOverManyTrials) {
+  std::vector<bool> truth(1000, false);
+  for (size_t i = 0; i < 100; ++i) truth[i * 10] = true;  // 100 errors
+  Rng rng(5);
+  double sum = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    sum += OracleExtrapolationTrial(truth, 50, rng);
+  }
+  EXPECT_NEAR(sum / trials, 100.0, 5.0);
+}
+
+TEST(OracleTrialTest, FullSampleIsExact) {
+  std::vector<bool> truth = {true, false, true, false};
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(OracleExtrapolationTrial(truth, 4, rng), 2.0);
+}
+
+TEST(OracleBandTest, MeanNearTruthStdPositive) {
+  std::vector<bool> truth(2000, false);
+  for (size_t i = 0; i < 40; ++i) truth[i * 50] = true;  // rare errors
+  Rng rng(7);
+  ExtrapolationBand band = OracleExtrapolationBand(truth, 0.02, 200, rng);
+  EXPECT_NEAR(band.mean, 40.0, 8.0);
+  // Rare errors + small samples = the high variance the paper shows in
+  // Figure 2(a).
+  EXPECT_GT(band.std_dev, 10.0);
+}
+
+TEST(OracleBandTest, LargerSamplesShrinkVariance) {
+  std::vector<bool> truth(2000, false);
+  for (size_t i = 0; i < 40; ++i) truth[i * 50] = true;
+  Rng rng(8);
+  ExtrapolationBand small = OracleExtrapolationBand(truth, 0.02, 300, rng);
+  ExtrapolationBand large = OracleExtrapolationBand(truth, 0.25, 300, rng);
+  EXPECT_LT(large.std_dev, small.std_dev);
+}
+
+TEST(ExtrapolationDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH({ ExtrapolateTotal(1, 0, 10); }, "");
+  std::vector<bool> truth(10, false);
+  Rng rng(9);
+  EXPECT_DEATH({ OracleExtrapolationTrial(truth, 11, rng); }, "");
+  EXPECT_DEATH({ OracleExtrapolationBand(truth, 0.0, 5, rng); }, "");
+}
+
+}  // namespace
+}  // namespace dqm::estimators

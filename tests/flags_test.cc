@@ -1,0 +1,145 @@
+#include "common/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args) : args_(std::move(args)) {
+    for (auto& a : args_) argv_.push_back(a.data());
+  }
+  int argc() { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, DefaultsWhenUnset) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt("n", 42, "count");
+  double* x = parser.AddDouble("x", 1.5, "rate");
+  std::string* s = parser.AddString("s", "hi", "text");
+  bool* b = parser.AddBool("b", false, "toggle");
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*x, 1.5);
+  EXPECT_EQ(*s, "hi");
+  EXPECT_FALSE(*b);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt("n", 0, "");
+  double* x = parser.AddDouble("x", 0, "");
+  ArgvBuilder args({"prog", "--n=7", "--x=2.25"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(*n, 7);
+  EXPECT_DOUBLE_EQ(*x, 2.25);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser parser;
+  std::string* s = parser.AddString("name", "", "");
+  ArgvBuilder args({"prog", "--name", "value with spaces"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(*s, "value with spaces");
+}
+
+TEST(FlagsTest, BareBooleanEnables) {
+  FlagParser parser;
+  bool* b = parser.AddBool("verbose", false, "");
+  ArgvBuilder args({"prog", "--verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(*b);
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  for (const char* spelling : {"true", "1", "yes"}) {
+    FlagParser parser;
+    bool* b = parser.AddBool("f", false, "");
+    ArgvBuilder args({"prog", std::string("--f=") + spelling});
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+    EXPECT_TRUE(*b) << spelling;
+  }
+  for (const char* spelling : {"false", "0", "no"}) {
+    FlagParser parser;
+    bool* b = parser.AddBool("f", true, "");
+    ArgvBuilder args({"prog", std::string("--f=") + spelling});
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+    EXPECT_FALSE(*b) << spelling;
+  }
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  FlagParser parser;
+  parser.AddInt("n", 0, "");
+  ArgvBuilder args({"prog", "pos1", "--n=1", "pos2"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser parser;
+  ArgvBuilder args({"prog", "--mystery=1"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntegerIsError) {
+  FlagParser parser;
+  parser.AddInt("n", 0, "");
+  ArgvBuilder args({"prog", "--n=abc"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadDoubleIsError) {
+  FlagParser parser;
+  parser.AddDouble("x", 0, "");
+  ArgvBuilder args({"prog", "--x=1.5zzz"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagParser parser;
+  parser.AddInt("n", 0, "");
+  ArgvBuilder args({"prog", "--n"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt("n", 0, "");
+  double* x = parser.AddDouble("x", 0, "");
+  ArgvBuilder args({"prog", "--n=-5", "--x=-0.25"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(*n, -5);
+  EXPECT_DOUBLE_EQ(*x, -0.25);
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  FlagParser parser;
+  parser.AddInt("count", 3, "how many");
+  std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("3"), std::string::npos);
+}
+
+TEST(FlagsTest, HelpReturnsFailedPrecondition) {
+  FlagParser parser;
+  ArgvBuilder args({"prog", "--help"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dqm

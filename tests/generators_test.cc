@@ -1,0 +1,142 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/product_generator.h"
+#include "dataset/restaurant_generator.h"
+#include "text/similarity.h"
+
+namespace dqm::dataset {
+namespace {
+
+TEST(RestaurantGeneratorTest, PaperShapeDefaults) {
+  auto dataset = GenerateRestaurantDataset({});
+  ASSERT_TRUE(dataset.ok());
+  // 752 entities + 106 duplicates = 858 records, 106 duplicate pairs.
+  EXPECT_EQ(dataset->table.num_rows(), 858u);
+  EXPECT_EQ(dataset->duplicate_pairs.size(), 106u);
+  EXPECT_EQ(dataset->table.schema().field_names(),
+            (std::vector<std::string>{"id", "name", "address", "city",
+                                      "category"}));
+}
+
+TEST(RestaurantGeneratorTest, DuplicatePairsAreDistinctRows) {
+  auto dataset = GenerateRestaurantDataset({});
+  ASSERT_TRUE(dataset.ok());
+  std::set<std::pair<size_t, size_t>> seen;
+  std::set<size_t> rows_in_pairs;
+  for (const auto& [a, b] : dataset->duplicate_pairs) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, dataset->table.num_rows());
+    EXPECT_TRUE(seen.insert({a, b}).second) << "pair repeated";
+    // "Each restaurant was duplicated at most once": rows appear in at most
+    // one pair.
+    EXPECT_TRUE(rows_in_pairs.insert(a).second);
+    EXPECT_TRUE(rows_in_pairs.insert(b).second);
+  }
+}
+
+TEST(RestaurantGeneratorTest, DuplicatesAreTextuallySimilar) {
+  auto dataset = GenerateRestaurantDataset({});
+  ASSERT_TRUE(dataset.ok());
+  size_t similar = 0;
+  for (const auto& [a, b] : dataset->duplicate_pairs) {
+    double sim = text::HybridSimilarity(dataset->table.cell(a, 1),
+                                        dataset->table.cell(b, 1));
+    if (sim > 0.5) ++similar;
+  }
+  // The perturbation model keeps duplicates recognizable.
+  EXPECT_GT(similar, dataset->duplicate_pairs.size() * 9 / 10);
+}
+
+TEST(RestaurantGeneratorTest, DeterministicForSeed) {
+  RestaurantConfig config;
+  config.seed = 123;
+  auto a = GenerateRestaurantDataset(config);
+  auto b = GenerateRestaurantDataset(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->table.ToCsv(), b->table.ToCsv());
+  EXPECT_EQ(a->duplicate_pairs, b->duplicate_pairs);
+}
+
+TEST(RestaurantGeneratorTest, DifferentSeedsDiffer) {
+  RestaurantConfig a_config{.num_entities = 100, .num_duplicates = 10,
+                            .seed = 1};
+  RestaurantConfig b_config{.num_entities = 100, .num_duplicates = 10,
+                            .seed = 2};
+  auto a = GenerateRestaurantDataset(a_config);
+  auto b = GenerateRestaurantDataset(b_config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->table.ToCsv(), b->table.ToCsv());
+}
+
+TEST(RestaurantGeneratorTest, RejectsImpossibleConfig) {
+  RestaurantConfig config;
+  config.num_entities = 5;
+  config.num_duplicates = 6;
+  EXPECT_FALSE(GenerateRestaurantDataset(config).ok());
+}
+
+TEST(RestaurantGeneratorTest, RejectsOversizedEntityCount) {
+  RestaurantConfig config;
+  config.num_entities = 1000000;
+  config.num_duplicates = 0;
+  EXPECT_FALSE(GenerateRestaurantDataset(config).ok());
+}
+
+TEST(ProductGeneratorTest, PaperShapeDefaults) {
+  auto dataset = GenerateProductDataset({});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->table.num_rows(), 2336u + 1363u);
+  EXPECT_EQ(dataset->duplicate_pairs.size(), 1100u);
+}
+
+TEST(ProductGeneratorTest, RetailerCounts) {
+  auto dataset = GenerateProductDataset({});
+  ASSERT_TRUE(dataset.ok());
+  auto retailer = dataset->table.Column("retailer");
+  ASSERT_TRUE(retailer.ok());
+  size_t amazon = 0, google = 0;
+  for (const auto& r : *retailer) {
+    if (r == "amazon") ++amazon;
+    if (r == "google") ++google;
+  }
+  EXPECT_EQ(amazon, 2336u);
+  EXPECT_EQ(google, 1363u);
+}
+
+TEST(ProductGeneratorTest, MatchesAreCrossRetailer) {
+  ProductConfig config{.num_amazon = 200, .num_google = 150,
+                       .num_matches = 80, .seed = 5};
+  auto dataset = GenerateProductDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  auto retailer = dataset->table.Column("retailer");
+  ASSERT_TRUE(retailer.ok());
+  for (const auto& [a, b] : dataset->duplicate_pairs) {
+    EXPECT_NE((*retailer)[a], (*retailer)[b]);
+  }
+}
+
+TEST(ProductGeneratorTest, RejectsTooManyMatches) {
+  ProductConfig config;
+  config.num_amazon = 10;
+  config.num_google = 5;
+  config.num_matches = 6;
+  EXPECT_FALSE(GenerateProductDataset(config).ok());
+}
+
+TEST(ProductGeneratorTest, DeterministicForSeed) {
+  ProductConfig config{.num_amazon = 100, .num_google = 80,
+                       .num_matches = 30, .seed = 77};
+  auto a = GenerateProductDataset(config);
+  auto b = GenerateProductDataset(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->table.ToCsv(), b->table.ToCsv());
+}
+
+}  // namespace
+}  // namespace dqm::dataset

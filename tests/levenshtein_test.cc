@@ -1,0 +1,113 @@
+#include "text/levenshtein.h"
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dqm::text {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("intention", "execution"), 5u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(LevenshteinTest, SingleEditOperations) {
+  EXPECT_EQ(LevenshteinDistance("cafe", "caffe"), 1u);   // insert
+  EXPECT_EQ(LevenshteinDistance("cafe", "cae"), 1u);     // delete
+  EXPECT_EQ(LevenshteinDistance("cafe", "cafq"), 1u);    // substitute
+}
+
+// Property tests over random string pairs.
+class LevenshteinPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+std::string RandomString(Rng& rng, size_t max_len) {
+  size_t len = rng.UniformIndex(max_len + 1);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng.UniformIndex(4)));  // small alphabet
+  }
+  return s;
+}
+
+TEST_P(LevenshteinPropertyTest, SymmetryBoundsAndTriangle) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a = RandomString(rng, 12);
+    std::string b = RandomString(rng, 12);
+    std::string c = RandomString(rng, 12);
+    size_t dab = LevenshteinDistance(a, b);
+    size_t dba = LevenshteinDistance(b, a);
+    size_t dac = LevenshteinDistance(a, c);
+    size_t dcb = LevenshteinDistance(c, b);
+    // Symmetry.
+    EXPECT_EQ(dab, dba);
+    // Identity of indiscernibles.
+    EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+    // Bounds: |len diff| <= d <= max len.
+    size_t lo = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(dab, lo);
+    EXPECT_LE(dab, std::max(a.size(), b.size()));
+    // Triangle inequality.
+    EXPECT_LE(dab, dac + dcb);
+  }
+}
+
+TEST_P(LevenshteinPropertyTest, BoundedAgreesWithExact) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 80; ++trial) {
+    std::string a = RandomString(rng, 14);
+    std::string b = RandomString(rng, 14);
+    size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound : {0u, 1u, 2u, 5u, 20u}) {
+      size_t bounded = BoundedLevenshteinDistance(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << "a=" << a << " b=" << b
+                                  << " bound=" << bound;
+      } else {
+        EXPECT_GT(bounded, bound) << "a=" << a << " b=" << b
+                                  << " bound=" << bound;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(NormalizedSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(NormalizedEditSimilarity("abcd", "abcx"), 0.75, 1e-12);
+}
+
+TEST(NormalizedSimilarityTest, AsymmetricLengths) {
+  // distance("ab", "abxx") = 2, max len 4 -> 0.5
+  EXPECT_NEAR(NormalizedEditSimilarity("ab", "abxx"), 0.5, 1e-12);
+}
+
+TEST(BoundedSimilarityTest, MatchesExactWhenAbove) {
+  EXPECT_NEAR(BoundedEditSimilarity("abcd", "abcx", 0.5), 0.75, 1e-12);
+}
+
+TEST(BoundedSimilarityTest, ZeroWhenBelowThreshold) {
+  EXPECT_DOUBLE_EQ(BoundedEditSimilarity("abcdefgh", "zzzzzzzz", 0.9), 0.0);
+}
+
+TEST(BoundedSimilarityTest, EmptyStrings) {
+  EXPECT_DOUBLE_EQ(BoundedEditSimilarity("", "", 0.9), 1.0);
+}
+
+}  // namespace
+}  // namespace dqm::text

@@ -1,0 +1,88 @@
+#include "crowd/log_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace dqm::crowd {
+namespace {
+
+ResponseLog SmallLog() {
+  ResponseLog log(3);
+  log.Append({0, 0, 0, Vote::kDirty});
+  log.Append({0, 0, 1, Vote::kClean});
+  log.Append({1, 1, 2, Vote::kDirty});
+  return log;
+}
+
+TEST(ResponseLogIoTest, RoundTripPreservesEverything) {
+  ResponseLog original = SmallLog();
+  std::string csv = ResponseLogIo::ToCsv(original);
+  auto parsed = ResponseLogIo::FromCsv(csv, 3);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_events(), original.num_events());
+  for (size_t i = 0; i < original.num_events(); ++i) {
+    EXPECT_EQ(parsed->events()[i], original.events()[i]) << "event " << i;
+  }
+  EXPECT_EQ(parsed->NominalCount(), original.NominalCount());
+  EXPECT_EQ(parsed->MajorityCount(), original.MajorityCount());
+}
+
+TEST(ResponseLogIoTest, HeaderRequired) {
+  EXPECT_FALSE(ResponseLogIo::FromCsv("0,0,0,dirty\n", 3).ok());
+  EXPECT_FALSE(ResponseLogIo::FromCsv("", 3).ok());
+}
+
+TEST(ResponseLogIoTest, AcceptsNumericVotes) {
+  auto log = ResponseLogIo::FromCsv(
+      "task,worker,item,vote\n0,0,0,1\n0,0,1,0\n", 2);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->events()[0].vote, Vote::kDirty);
+  EXPECT_EQ(log->events()[1].vote, Vote::kClean);
+}
+
+TEST(ResponseLogIoTest, RejectsBadRows) {
+  // Bad vote word.
+  EXPECT_FALSE(
+      ResponseLogIo::FromCsv("task,worker,item,vote\n0,0,0,maybe\n", 3).ok());
+  // Non-numeric ids.
+  EXPECT_FALSE(
+      ResponseLogIo::FromCsv("task,worker,item,vote\nx,0,0,dirty\n", 3).ok());
+  // Wrong arity.
+  EXPECT_FALSE(
+      ResponseLogIo::FromCsv("task,worker,item,vote\n0,0,dirty\n", 3).ok());
+  // Item out of range.
+  auto out_of_range =
+      ResponseLogIo::FromCsv("task,worker,item,vote\n0,0,9,dirty\n", 3);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResponseLogIoTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/dqm_log_io_test.csv";
+  ResponseLog original = SmallLog();
+  ASSERT_TRUE(ResponseLogIo::WriteFile(original, path).ok());
+  auto readback = ResponseLogIo::ReadFile(path, 3);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback->num_events(), original.num_events());
+  std::remove(path.c_str());
+}
+
+TEST(ResponseLogIoTest, SimulatedLogSurvivesRoundTrip) {
+  core::Scenario scenario = core::SimulationScenario(0.02, 0.15, 10);
+  core::SimulatedRun run = core::SimulateScenario(scenario, 50, 3);
+  std::string csv = ResponseLogIo::ToCsv(run.log);
+  auto parsed = ResponseLogIo::FromCsv(csv, scenario.num_items);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_events(), run.log.num_events());
+  // Order preserved bit-for-bit (the SWITCH estimator depends on it).
+  for (size_t i = 0; i < run.log.num_events(); ++i) {
+    ASSERT_EQ(parsed->events()[i], run.log.events()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dqm::crowd

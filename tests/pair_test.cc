@@ -1,0 +1,101 @@
+#include "er/pair.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace dqm::er {
+namespace {
+
+TEST(RecordPairTest, CanonicalOrder) {
+  RecordPair a(3, 7);
+  RecordPair b(7, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.first, 3u);
+  EXPECT_EQ(a.second, 7u);
+}
+
+TEST(RecordPairTest, KeyPacksBothHalves) {
+  RecordPair p(1, 2);
+  EXPECT_EQ(p.Key(), (uint64_t{1} << 32) | 2);
+}
+
+TEST(RecordPairTest, Ordering) {
+  EXPECT_LT(RecordPair(0, 1), RecordPair(0, 2));
+  EXPECT_LT(RecordPair(0, 9), RecordPair(1, 2));
+}
+
+TEST(RecordPairDeathTest, SelfPairAborts) {
+  EXPECT_DEATH({ RecordPair p(4, 4); }, "self-pairs");
+}
+
+TEST(RecordPairTest, HashDistinguishesPairs) {
+  RecordPairHash hash;
+  std::unordered_set<size_t> hashes;
+  for (uint32_t i = 0; i < 30; ++i) {
+    for (uint32_t j = i + 1; j < 30; ++j) {
+      hashes.insert(hash(RecordPair(i, j)));
+    }
+  }
+  // All 435 pairs should hash distinctly (would catch degenerate mixing).
+  EXPECT_EQ(hashes.size(), 435u);
+}
+
+TEST(NumPairsTest, TriangularNumbers) {
+  EXPECT_EQ(NumPairs(2), 1u);
+  EXPECT_EQ(NumPairs(3), 3u);
+  EXPECT_EQ(NumPairs(858), 367653u);  // the paper's restaurant pair count
+}
+
+class PairIndexerPropertyTest : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(PairIndexerPropertyTest, BijectionOverFullSpace) {
+  uint32_t n = GetParam();
+  PairIndexer indexer(n);
+  std::set<uint64_t> seen;
+  uint64_t expected_index = 0;
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      RecordPair pair(i, j);
+      uint64_t index = indexer.ToIndex(pair);
+      // Row-major enumeration is dense and ordered.
+      EXPECT_EQ(index, expected_index);
+      ++expected_index;
+      EXPECT_TRUE(seen.insert(index).second);
+      // Round trip.
+      EXPECT_EQ(indexer.FromIndex(index), pair);
+    }
+  }
+  EXPECT_EQ(seen.size(), indexer.num_pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, PairIndexerPropertyTest,
+                         testing::Values(2, 3, 4, 5, 10, 37, 100));
+
+TEST(PairIndexerTest, LargeSpaceSpotChecks) {
+  PairIndexer indexer(858);  // restaurant all-pairs space
+  EXPECT_EQ(indexer.num_pairs(), 367653u);
+  EXPECT_EQ(indexer.FromIndex(0), RecordPair(0, 1));
+  EXPECT_EQ(indexer.FromIndex(indexer.num_pairs() - 1), RecordPair(856, 857));
+  // Round-trip a sample of indices across the space.
+  for (uint64_t index = 0; index < indexer.num_pairs(); index += 9973) {
+    EXPECT_EQ(indexer.ToIndex(indexer.FromIndex(index)), index);
+  }
+}
+
+TEST(PairIndexerTest, VeryLargeSpaceRoundTrip) {
+  PairIndexer indexer(100000);  // ~5e9 pairs: exercises the float inversion
+  uint64_t total = indexer.num_pairs();
+  for (uint64_t index : {uint64_t{0}, total / 3, total / 2, total - 1}) {
+    EXPECT_EQ(indexer.ToIndex(indexer.FromIndex(index)), index);
+  }
+}
+
+TEST(PairIndexerDeathTest, OutOfRangeIndexAborts) {
+  PairIndexer indexer(4);
+  EXPECT_DEATH({ (void)indexer.FromIndex(6); }, "");
+}
+
+}  // namespace
+}  // namespace dqm::er

@@ -1,0 +1,138 @@
+#include "dataset/perturbation.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "text/levenshtein.h"
+#include "text/similarity.h"
+
+namespace dqm::dataset {
+namespace {
+
+TEST(PerturberTest, TypoIsSingleEdit) {
+  Rng rng(1);
+  Perturber perturber(&rng);
+  for (int i = 0; i < 200; ++i) {
+    std::string original = "golden dragon cafe";
+    std::string mutated = perturber.Typo(original);
+    size_t dist = text::LevenshteinDistance(original, mutated);
+    // Transpositions cost 2 under plain Levenshtein; everything else 1.
+    EXPECT_GE(dist, 1u);
+    EXPECT_LE(dist, 2u);
+    EXPECT_NE(mutated, original);
+  }
+}
+
+TEST(PerturberTest, TypoNeverEmptiesSingleChar) {
+  Rng rng(2);
+  Perturber perturber(&rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(perturber.Typo("x").empty());
+  }
+}
+
+TEST(PerturberTest, TypoOnEmptyProducesChar) {
+  Rng rng(3);
+  Perturber perturber(&rng);
+  EXPECT_EQ(perturber.Typo("").size(), 1u);
+}
+
+TEST(PerturberTest, TyposApplyCount) {
+  Rng rng(4);
+  Perturber perturber(&rng);
+  std::string original = "abcdefghij";
+  std::string mutated = perturber.Typos(original, 3);
+  EXPECT_LE(text::LevenshteinDistance(original, mutated), 6u);
+}
+
+TEST(PerturberTest, SwapAdjacentTokensPreservesMultiset) {
+  Rng rng(5);
+  Perturber perturber(&rng);
+  std::string original = "one two three four";
+  for (int i = 0; i < 50; ++i) {
+    std::string swapped = perturber.SwapAdjacentTokens(original);
+    auto a = SplitWhitespace(original);
+    auto b = SplitWhitespace(swapped);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PerturberTest, SwapNoOpOnSingleToken) {
+  Rng rng(6);
+  Perturber perturber(&rng);
+  EXPECT_EQ(perturber.SwapAdjacentTokens("solo"), "solo");
+}
+
+TEST(PerturberTest, DropTokenRemovesExactlyOne) {
+  Rng rng(7);
+  Perturber perturber(&rng);
+  std::string original = "a b c d";
+  std::string dropped = perturber.DropToken(original);
+  EXPECT_EQ(SplitWhitespace(dropped).size(), 3u);
+}
+
+TEST(PerturberTest, DropTokenNoOpOnSingleToken) {
+  Rng rng(8);
+  Perturber perturber(&rng);
+  EXPECT_EQ(perturber.DropToken("solo"), "solo");
+}
+
+TEST(PerturberTest, AbbreviateReplacesWholeToken) {
+  Rng rng(9);
+  Perturber perturber(&rng);
+  std::vector<std::pair<std::string, std::string>> dict = {
+      {"street", "st."}};
+  EXPECT_EQ(perturber.Abbreviate("main street cafe", dict), "main st. cafe");
+  // Case-insensitive match.
+  EXPECT_EQ(perturber.Abbreviate("Main STREET cafe", dict), "Main st. cafe");
+  // No partial-token matches.
+  EXPECT_EQ(perturber.Abbreviate("streetwise", dict), "streetwise");
+}
+
+TEST(PerturberTest, AbbreviateNoOpWithoutMatch) {
+  Rng rng(10);
+  Perturber perturber(&rng);
+  EXPECT_EQ(perturber.Abbreviate("nothing here", {{"street", "st."}}),
+            "nothing here");
+}
+
+TEST(PerturberTest, CaseNoiseKeepsTokenCount) {
+  Rng rng(11);
+  Perturber perturber(&rng);
+  std::string result = perturber.CaseNoise("alpha beta");
+  EXPECT_EQ(SplitWhitespace(result).size(), 2u);
+}
+
+TEST(PerturberTest, DuplicateNoiseStaysSimilar) {
+  Rng rng(12);
+  Perturber perturber(&rng);
+  std::vector<std::pair<std::string, std::string>> dict = {
+      {"cafe", "caffe"}};
+  int high_similarity = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    std::string original = "golden dragon cafe";
+    std::string dup = perturber.DuplicateNoise(original, dict);
+    // Hybrid similarity, because token swaps (large edit distance, same
+    // tokens) are part of the noise model.
+    if (text::HybridSimilarity(original, dup) > 0.5) ++high_similarity;
+  }
+  // The duplicate-noise model must keep records recognizable.
+  EXPECT_GT(high_similarity, trials * 8 / 10);
+}
+
+TEST(PerturberTest, DeterministicGivenSeed) {
+  Rng rng_a(99), rng_b(99);
+  Perturber pa(&rng_a), pb(&rng_b);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(pa.Typo("hello world"), pb.Typo("hello world"));
+  }
+}
+
+}  // namespace
+}  // namespace dqm::dataset

@@ -1,0 +1,195 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  // SplitMix expansion must not leave the xoshiro state all-zero.
+  EXPECT_NE(rng.Next64() | rng.Next64() | rng.Next64(), 0u);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64BoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.UniformU64(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateMatchesP) {
+  Rng rng(23);
+  const int n = 50000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {5};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(41);
+  for (size_t n : {10u, 100u, 1000u}) {
+    for (size_t k : {0u, 1u, 5u, 10u}) {
+      if (k > n) continue;
+      std::vector<size_t> sample = rng.SampleIndices(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<size_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (size_t s : sample) EXPECT_LT(s, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleIndicesFullPopulation) {
+  Rng rng(43);
+  std::vector<size_t> sample = rng.SampleIndices(20, 20);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(RngTest, SampleIndicesUniform) {
+  // Each index should appear with roughly equal frequency across trials
+  // (exercises both the dense and sparse code paths).
+  for (size_t k : {3u, 40u}) {
+    Rng rng(47 + k);
+    const size_t n = 50;
+    const int trials = 20000;
+    std::vector<int> counts(n, 0);
+    for (int t = 0; t < trials; ++t) {
+      for (size_t index : rng.SampleIndices(n, k)) ++counts[index];
+    }
+    double expected = static_cast<double>(trials) * static_cast<double>(k) /
+                      static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(counts[i], expected, expected * 0.15)
+          << "index " << i << " k " << k;
+    }
+  }
+}
+
+TEST(RngTest, PermutationContainsAll) {
+  Rng rng(53);
+  std::vector<size_t> perm = rng.Permutation(100);
+  std::set<size_t> distinct(perm.begin(), perm.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  EXPECT_EQ(*distinct.rbegin(), 99u);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng parent(59);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.Next64() == child_b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngDeathTest, UniformU64ZeroBoundAborts) {
+  Rng rng(61);
+  EXPECT_DEATH({ (void)rng.UniformU64(0); }, "bound");
+}
+
+}  // namespace
+}  // namespace dqm

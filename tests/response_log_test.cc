@@ -1,0 +1,116 @@
+#include "crowd/response_log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dqm::crowd {
+namespace {
+
+TEST(ResponseLogTest, EmptyLog) {
+  ResponseLog log(5);
+  EXPECT_EQ(log.num_items(), 5u);
+  EXPECT_EQ(log.num_events(), 0u);
+  EXPECT_EQ(log.NominalCount(), 0u);
+  EXPECT_EQ(log.MajorityCount(), 0u);
+  EXPECT_FALSE(log.MajorityDirty(0));
+}
+
+TEST(ResponseLogTest, TalliesPerItem) {
+  ResponseLog log(3);
+  log.Append({0, 0, 1, Vote::kDirty});
+  log.Append({0, 0, 1, Vote::kClean});
+  log.Append({1, 1, 1, Vote::kDirty});
+  EXPECT_EQ(log.positive_votes(1), 2u);
+  EXPECT_EQ(log.total_votes(1), 3u);
+  EXPECT_EQ(log.positive_votes(0), 0u);
+  EXPECT_EQ(log.total_positive_votes(), 2u);
+  EXPECT_EQ(log.total_votes_all(), 3u);
+}
+
+TEST(ResponseLogTest, MajorityRequiresStrictMajority) {
+  ResponseLog log(1);
+  log.Append({0, 0, 0, Vote::kDirty});
+  EXPECT_TRUE(log.MajorityDirty(0));  // 1-0
+  log.Append({1, 1, 0, Vote::kClean});
+  EXPECT_FALSE(log.MajorityDirty(0));  // 1-1 tie -> default clean
+  log.Append({2, 2, 0, Vote::kDirty});
+  EXPECT_TRUE(log.MajorityDirty(0));  // 2-1
+}
+
+TEST(ResponseLogTest, NominalAndMajorityCountsIncremental) {
+  ResponseLog log(4);
+  log.Append({0, 0, 0, Vote::kDirty});
+  log.Append({0, 0, 1, Vote::kClean});
+  EXPECT_EQ(log.NominalCount(), 1u);
+  EXPECT_EQ(log.MajorityCount(), 1u);
+  log.Append({1, 1, 0, Vote::kClean});  // ties item 0 -> majority drops
+  EXPECT_EQ(log.NominalCount(), 1u);
+  EXPECT_EQ(log.MajorityCount(), 0u);
+  log.Append({2, 2, 1, Vote::kDirty});  // item 1: 1 dirty, 1 clean -> tie
+  EXPECT_EQ(log.NominalCount(), 2u);
+  EXPECT_EQ(log.MajorityCount(), 0u);
+  log.Append({3, 3, 1, Vote::kDirty});  // item 1: 2-1 dirty
+  EXPECT_EQ(log.MajorityCount(), 1u);
+}
+
+TEST(ResponseLogTest, TaskAndWorkerCounts) {
+  ResponseLog log(2);
+  log.Append({0, 0, 0, Vote::kClean});
+  log.Append({0, 0, 1, Vote::kClean});
+  log.Append({3, 2, 0, Vote::kClean});
+  EXPECT_EQ(log.num_tasks(), 4u);   // max task id + 1
+  EXPECT_EQ(log.num_workers(), 3u);
+}
+
+TEST(ResponseLogTest, EventsPreserveArrivalOrder) {
+  ResponseLog log(2);
+  VoteEvent a{0, 0, 0, Vote::kDirty};
+  VoteEvent b{0, 0, 1, Vote::kClean};
+  log.Append(a);
+  log.Append(b);
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events()[0], a);
+  EXPECT_EQ(log.events()[1], b);
+}
+
+// Property: incremental counters always agree with a brute-force recount.
+class ResponseLogPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ResponseLogPropertyTest, CountersMatchBruteForce) {
+  Rng rng(GetParam());
+  const size_t num_items = 20;
+  ResponseLog log(num_items);
+  for (uint32_t event_index = 0; event_index < 400; ++event_index) {
+    VoteEvent event{event_index / 10,
+                    event_index / 10,
+                    static_cast<uint32_t>(rng.UniformIndex(num_items)),
+                    rng.Bernoulli(0.3) ? Vote::kDirty : Vote::kClean};
+    log.Append(event);
+
+    // Brute-force recount.
+    std::vector<uint32_t> pos(num_items, 0), tot(num_items, 0);
+    for (const VoteEvent& e : log.events()) {
+      ++tot[e.item];
+      if (e.vote == Vote::kDirty) ++pos[e.item];
+    }
+    size_t nominal = 0, majority = 0;
+    for (size_t i = 0; i < num_items; ++i) {
+      if (pos[i] > 0) ++nominal;
+      if (pos[i] * 2 > tot[i]) ++majority;
+    }
+    ASSERT_EQ(log.NominalCount(), nominal) << "event " << event_index;
+    ASSERT_EQ(log.MajorityCount(), majority) << "event " << event_index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseLogPropertyTest,
+                         testing::Values(11, 22, 33, 44));
+
+TEST(ResponseLogDeathTest, ItemOutOfRangeAborts) {
+  ResponseLog log(2);
+  EXPECT_DEATH(log.Append({0, 0, 2, Vote::kClean}), "out of range");
+}
+
+}  // namespace
+}  // namespace dqm::crowd

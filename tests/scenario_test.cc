@@ -1,0 +1,104 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "crowd/response_log.h"
+
+namespace dqm::core {
+namespace {
+
+size_t CountDirty(const std::vector<bool>& truth, size_t begin, size_t end) {
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (truth[i]) ++count;
+  }
+  return count;
+}
+
+TEST(ScenarioTest, BuildTruthPlacesDirtyPerStratum) {
+  Scenario s;
+  s.num_items = 100;
+  s.num_candidates = 60;
+  s.dirty_in_candidates = 12;
+  s.dirty_in_complement = 5;
+  std::vector<bool> truth = BuildTruth(s, 3);
+  EXPECT_EQ(truth.size(), 100u);
+  EXPECT_EQ(CountDirty(truth, 0, 60), 12u);
+  EXPECT_EQ(CountDirty(truth, 60, 100), 5u);
+}
+
+TEST(ScenarioTest, BuildTruthDeterministic) {
+  Scenario s = SimulationScenario(0.0, 0.1);
+  EXPECT_EQ(BuildTruth(s, 9), BuildTruth(s, 9));
+  EXPECT_NE(BuildTruth(s, 9), BuildTruth(s, 10));
+}
+
+TEST(ScenarioTest, PresetShapesMatchPaper) {
+  Scenario restaurant = RestaurantScenario();
+  EXPECT_EQ(restaurant.num_items, 1264u);
+  EXPECT_EQ(restaurant.num_dirty(), 12u);
+  EXPECT_EQ(restaurant.items_per_task, 10u);
+  // FP-heavy crowd.
+  EXPECT_GT(restaurant.workers.base.false_positive_rate, 0.0);
+
+  Scenario product = ProductScenario();
+  EXPECT_EQ(product.num_items, 13022u);
+  EXPECT_EQ(product.num_dirty(), 607u);
+  // FN-heavy crowd.
+  EXPECT_GT(product.workers.base.false_negative_rate,
+            product.workers.base.false_positive_rate * 10);
+
+  Scenario address = AddressScenario();
+  EXPECT_EQ(address.num_items, 1000u);
+  EXPECT_EQ(address.num_dirty(), 90u);
+
+  Scenario sim = SimulationScenario(0.01, 0.1);
+  EXPECT_EQ(sim.num_items, 1000u);
+  EXPECT_EQ(sim.num_dirty(), 100u);
+  EXPECT_EQ(sim.items_per_task, 15u);
+}
+
+TEST(ScenarioTest, PrioritizationSplitsDirty) {
+  Scenario s = PrioritizationScenario(0.3, 0.1);
+  EXPECT_EQ(s.num_dirty(), 100u);
+  EXPECT_EQ(s.dirty_in_complement, 30u);
+  EXPECT_EQ(s.dirty_in_candidates, 70u);
+  EXPECT_LT(s.num_candidates, s.num_items);
+}
+
+TEST(ScenarioTest, MakeSimulatorRunsUniform) {
+  Scenario s = SimulationScenario(0.0, 0.0, 10);
+  std::vector<bool> truth = BuildTruth(s, 1);
+  crowd::CrowdSimulator sim = MakeSimulator(s, truth, 2);
+  crowd::ResponseLog log(s.num_items);
+  sim.RunTasks(log, 5);
+  EXPECT_EQ(log.num_events(), 50u);
+}
+
+TEST(ScenarioTest, MakeSimulatorRunsPrioritized) {
+  Scenario s = PrioritizationScenario(0.1, 0.0);  // epsilon 0: only R_H
+  std::vector<bool> truth = BuildTruth(s, 1);
+  crowd::CrowdSimulator sim = MakeSimulator(s, truth, 2);
+  crowd::ResponseLog log(s.num_items);
+  sim.RunTasks(log, 20);
+  for (const crowd::VoteEvent& event : log.events()) {
+    EXPECT_LT(event.item, s.num_candidates);
+  }
+}
+
+TEST(ScenarioTest, FixedQuorumSimulatorCoversEveryItem) {
+  Scenario s = SimulationScenario(0.0, 0.0, 10);
+  s.num_items = 50;
+  s.num_candidates = 50;
+  s.dirty_in_candidates = 5;
+  std::vector<bool> truth = BuildTruth(s, 1);
+  crowd::CrowdSimulator sim = MakeFixedQuorumSimulator(s, truth, 3, 2);
+  crowd::ResponseLog log(s.num_items);
+  sim.RunTasks(log, 15);  // 3 * 50 / 10
+  for (size_t i = 0; i < s.num_items; ++i) {
+    EXPECT_EQ(log.total_votes(i), 3u) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dqm::core

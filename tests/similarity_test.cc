@@ -1,0 +1,84 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dqm::text {
+namespace {
+
+TEST(JaccardTest, IdenticalSetsGiveOne) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "a"}), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsGiveZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(JaccardTest, BothEmptyGiveOne) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+}
+
+TEST(JaccardTest, OneEmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(JaccardTest, DuplicateTokensCollapse) {
+  // {a} vs {a, b}: 1/2 regardless of multiplicity.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "a"}, {"a", "b"}), 0.5);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // {a,b,c} vs {b,c,d}: 2/4.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+}
+
+TEST(TokenJaccardTest, TokenReorderingInvariant) {
+  // The paper's duplicate example: same tokens, different order/punctuation.
+  EXPECT_DOUBLE_EQ(
+      TokenJaccard("Ritz-Carlton Cafe (buckhead)",
+                   "Cafe Ritz-Carlton Buckhead"),
+      1.0);
+}
+
+TEST(QGramJaccardTest, RobustToSmallTypos) {
+  double sim = QGramJaccard("golden dragon", "goldan dragon", 3);
+  EXPECT_GT(sim, 0.6);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(HybridSimilarityTest, Range) {
+  Rng rng(3);
+  const char* samples[] = {"", "a", "golden dragon cafe",
+                           "Cafe Ritz-Carlton Buckhead", "1234 main st"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double sim = HybridSimilarity(a, b);
+      EXPECT_GE(sim, 0.0);
+      EXPECT_LE(sim, 1.0);
+      // Symmetry.
+      EXPECT_DOUBLE_EQ(sim, HybridSimilarity(b, a));
+    }
+  }
+}
+
+TEST(HybridSimilarityTest, IdenticalGiveOne) {
+  EXPECT_DOUBLE_EQ(HybridSimilarity("golden dragon", "golden dragon"), 1.0);
+}
+
+TEST(HybridSimilarityTest, ReorderedTokensScoreHigh) {
+  EXPECT_GE(HybridSimilarity("alpha beta gamma", "gamma alpha beta"), 1.0);
+}
+
+TEST(HybridSimilarityTest, TypoScoresAboveEditOnlyFloor) {
+  // One typo in a 13-char string: edit similarity ~0.92.
+  EXPECT_GT(HybridSimilarity("golden dragon", "goldan dragon"), 0.9);
+}
+
+TEST(HybridSimilarityTest, UnrelatedStringsScoreLow) {
+  EXPECT_LT(HybridSimilarity("golden dragon cafe", "quantum flux capacitor"),
+            0.4);
+}
+
+}  // namespace
+}  // namespace dqm::text

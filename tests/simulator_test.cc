@@ -1,0 +1,122 @@
+#include "crowd/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace dqm::crowd {
+namespace {
+
+CrowdSimulator MakeSimulator(std::vector<bool> truth, WorkerProfile profile,
+                             size_t items_per_task, uint64_t seed,
+                             size_t tasks_per_worker = 1) {
+  WorkerPool::Config pool_config;
+  pool_config.base = profile;
+  CrowdSimulator::Config config;
+  config.seed = seed;
+  config.tasks_per_worker = tasks_per_worker;
+  size_t num_items = truth.size();
+  return CrowdSimulator(
+      std::move(truth),
+      std::make_unique<UniformAssignment>(num_items, items_per_task),
+      WorkerPool(pool_config, Rng(seed)), config);
+}
+
+TEST(CrowdSimulatorTest, TaskProducesExpectedVotes) {
+  std::vector<bool> truth(50, false);
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 10, 1);
+  ResponseLog log(50);
+  sim.RunTask(log);
+  EXPECT_EQ(log.num_events(), 10u);
+  EXPECT_EQ(log.num_tasks(), 1u);
+}
+
+TEST(CrowdSimulatorTest, PerfectWorkersVoteTruth) {
+  std::vector<bool> truth(30, false);
+  for (size_t i = 0; i < 10; ++i) truth[i] = true;
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 15, 2);
+  ResponseLog log(30);
+  sim.RunTasks(log, 40);
+  for (const VoteEvent& event : log.events()) {
+    EXPECT_EQ(event.vote == Vote::kDirty, truth[event.item]);
+  }
+}
+
+TEST(CrowdSimulatorTest, NumDirtyCountsTruth) {
+  std::vector<bool> truth = {true, false, true, true, false};
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 2, 3);
+  EXPECT_EQ(sim.NumDirty(), 3u);
+}
+
+TEST(CrowdSimulatorTest, TaskIdsIncrease) {
+  std::vector<bool> truth(20, false);
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 5, 4);
+  ResponseLog log(20);
+  sim.RunTasks(log, 7);
+  uint32_t max_task = 0;
+  for (const VoteEvent& event : log.events()) {
+    max_task = std::max(max_task, event.task);
+  }
+  EXPECT_EQ(max_task, 6u);
+  EXPECT_EQ(log.num_tasks(), 7u);
+}
+
+TEST(CrowdSimulatorTest, OneWorkerPerTaskByDefault) {
+  std::vector<bool> truth(20, false);
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 5, 5);
+  ResponseLog log(20);
+  sim.RunTasks(log, 4);
+  // Worker id equals task id when tasks_per_worker == 1.
+  for (const VoteEvent& event : log.events()) {
+    EXPECT_EQ(event.worker, event.task);
+  }
+}
+
+TEST(CrowdSimulatorTest, TasksPerWorkerGroupsTasks) {
+  std::vector<bool> truth(20, false);
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 5, 6,
+                                     /*tasks_per_worker=*/3);
+  ResponseLog log(20);
+  sim.RunTasks(log, 9);
+  for (const VoteEvent& event : log.events()) {
+    EXPECT_EQ(event.worker, event.task / 3);
+  }
+}
+
+TEST(CrowdSimulatorTest, DeterministicGivenSeed) {
+  std::vector<bool> truth(40, false);
+  truth[3] = truth[7] = true;
+  CrowdSimulator a = MakeSimulator(truth, {0.1, 0.2}, 8, 99);
+  CrowdSimulator b = MakeSimulator(truth, {0.1, 0.2}, 8, 99);
+  ResponseLog log_a(40), log_b(40);
+  a.RunTasks(log_a, 20);
+  b.RunTasks(log_b, 20);
+  ASSERT_EQ(log_a.num_events(), log_b.num_events());
+  for (size_t i = 0; i < log_a.num_events(); ++i) {
+    EXPECT_EQ(log_a.events()[i], log_b.events()[i]);
+  }
+}
+
+TEST(CrowdSimulatorTest, ErrorRatesShowUpInVotes) {
+  const size_t n = 1000;
+  std::vector<bool> truth(n, false);
+  for (size_t i = 0; i < n / 2; ++i) truth[i] = true;
+  CrowdSimulator sim = MakeSimulator(truth, {0.1, 0.3}, 50, 7);
+  ResponseLog log(n);
+  sim.RunTasks(log, 400);
+  size_t fp = 0, clean_votes = 0, fn = 0, dirty_votes = 0;
+  for (const VoteEvent& event : log.events()) {
+    if (truth[event.item]) {
+      ++dirty_votes;
+      if (event.vote == Vote::kClean) ++fn;
+    } else {
+      ++clean_votes;
+      if (event.vote == Vote::kDirty) ++fp;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fp) / static_cast<double>(clean_votes), 0.1,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(fn) / static_cast<double>(dirty_votes), 0.3,
+              0.02);
+}
+
+}  // namespace
+}  // namespace dqm::crowd

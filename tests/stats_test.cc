@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, StdDevBasics) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({7.0}), 0.0);
+  // Sample std of {2,4,4,4,5,5,7,9} = sqrt(32/7)
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(PopulationVariance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, -1, 7}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3, -1, 7}), 7.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+}
+
+TEST(StatsTest, ScaledRmseExactEstimatesGiveZero) {
+  EXPECT_DOUBLE_EQ(ScaledRmse({100, 100, 100}, 100.0), 0.0);
+}
+
+TEST(StatsTest, ScaledRmseMatchesPaperDefinition) {
+  // SRMSE = (1/D) sqrt((1/r) sum (est - D)^2)
+  // estimates {90, 110}, D=100: sqrt((100+100)/2)/100 = 0.1
+  EXPECT_NEAR(ScaledRmse({90, 110}, 100.0), 0.1, 1e-12);
+}
+
+TEST(StatsTest, ScaledRmseScaleInvariance) {
+  double small = ScaledRmse({12, 8}, 10.0);
+  double large = ScaledRmse({1200, 800}, 1000.0);
+  EXPECT_NEAR(small, large, 1e-12);
+}
+
+TEST(StatsTest, SlopeOfLine) {
+  EXPECT_NEAR(Slope({1, 3, 5, 7}), 2.0, 1e-12);
+  EXPECT_NEAR(Slope({7, 5, 3, 1}), -2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Slope({4, 4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(Slope({4}), 0.0);
+}
+
+TEST(StatsTest, SlopeIgnoresLevel) {
+  EXPECT_NEAR(Slope({100, 101, 102}), Slope({0, 1, 2}), 1e-12);
+}
+
+TEST(StatsTest, AggregateSeriesMeanAndStd) {
+  SeriesBand band = AggregateSeries({{1, 2, 3}, {3, 2, 1}});
+  ASSERT_EQ(band.mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(band.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(band.mean[1], 2.0);
+  EXPECT_DOUBLE_EQ(band.mean[2], 2.0);
+  EXPECT_NEAR(band.std_dev[0], std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(band.std_dev[1], 0.0);
+}
+
+TEST(StatsTest, AggregateSeriesEmpty) {
+  SeriesBand band = AggregateSeries({});
+  EXPECT_TRUE(band.mean.empty());
+}
+
+TEST(StatsDeathTest, AggregateSeriesRowsMustAlign) {
+  EXPECT_DEATH({ AggregateSeries({{1, 2}, {1}}); }, "align");
+}
+
+TEST(StatsDeathTest, ScaledRmseZeroTruthAborts) {
+  EXPECT_DEATH({ ScaledRmse({1.0}, 0.0); }, "truth");
+}
+
+}  // namespace
+}  // namespace dqm

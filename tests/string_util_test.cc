@@ -1,0 +1,75 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::string original = "x,y,,z";
+  EXPECT_EQ(Join(Split(original, ','), ","), original);
+}
+
+TEST(StripWhitespaceTest, Basics) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+}
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foo", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(1000, 'q');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+}
+
+TEST(IsDigitsTest, Basics) {
+  EXPECT_TRUE(IsDigits("12345"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a45"));
+  EXPECT_FALSE(IsDigits("-123"));
+  EXPECT_FALSE(IsDigits("1.5"));
+}
+
+}  // namespace
+}  // namespace dqm

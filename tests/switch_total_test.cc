@@ -1,0 +1,124 @@
+#include "estimators/switch_total.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "estimators/chao92.h"
+
+namespace dqm::estimators {
+namespace {
+
+using crowd::Vote;
+using crowd::VoteEvent;
+
+TEST(SwitchTotalTest, EmptyEstimateIsZero) {
+  SwitchTotalErrorEstimator estimator(10);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 0.0);
+  EXPECT_EQ(estimator.name(), "SWITCH");
+}
+
+TEST(SwitchTotalTest, EstimateNeverNegative) {
+  SwitchTotalErrorEstimator estimator(5);
+  // Feed many clean votes plus one retracted dirty vote.
+  uint32_t task = 0;
+  estimator.Observe({task, task, 0, Vote::kDirty});
+  for (uint32_t t = 1; t < 30; ++t) {
+    estimator.Observe({t, t, 0, Vote::kClean});
+    estimator.Observe({t, t, 1, Vote::kClean});
+    EXPECT_GE(estimator.Estimate(), 0.0);
+  }
+}
+
+TEST(SwitchTotalTest, InitialDirectionIsPositive) {
+  SwitchTotalErrorEstimator estimator(5);
+  EXPECT_EQ(estimator.direction(), 1);
+}
+
+TEST(SwitchTotalTest, DirectionFlipsWhenVotingFalls) {
+  SwitchTotalErrorEstimator::Config config;
+  config.smooth_window = 1;
+  config.flip_threshold_abs = 2.0;
+  SwitchTotalErrorEstimator estimator(20, config);
+  // Tasks 0..9: one fresh dirty vote each -> VOTING rises to 10.
+  for (uint32_t t = 0; t < 10; ++t) {
+    estimator.Observe({t, t, t, Vote::kDirty});
+  }
+  // Tasks 10..29: two clean votes per item -> VOTING falls toward 0.
+  uint32_t task = 10;
+  for (uint32_t round = 0; round < 2; ++round) {
+    for (uint32_t i = 0; i < 10; ++i) {
+      estimator.Observe({task, task, i, Vote::kClean});
+      ++task;
+    }
+  }
+  EXPECT_EQ(estimator.direction(), -1);
+}
+
+TEST(SwitchTotalTest, TwoSidedModeAppliesBothCorrections) {
+  SwitchTotalErrorEstimator::Config two_sided;
+  two_sided.two_sided = true;
+  SwitchTotalErrorEstimator both(10, two_sided);
+  SwitchTotalErrorEstimator one_sided(10);
+  core::Scenario scenario = core::SimulationScenario(0.05, 0.2, 5);
+  scenario.num_items = 10;
+  scenario.dirty_in_candidates = 3;
+  scenario.num_candidates = 10;
+  core::SimulatedRun run = core::SimulateScenario(scenario, 40, 3);
+  for (const VoteEvent& event : run.log.events()) {
+    both.Observe(event);
+    one_sided.Observe(event);
+  }
+  // two-sided = majority + xi+ - xi-; one-sided uses only one branch.
+  double majority = both.MajorityCount();
+  EXPECT_NEAR(both.Estimate(),
+              std::max(0.0, majority + both.RemainingPositive() -
+                                both.RemainingNegative()),
+              1e-9);
+  double expected_one =
+      (one_sided.direction() >= 0)
+          ? majority + one_sided.RemainingPositive()
+          : majority - one_sided.RemainingNegative();
+  EXPECT_NEAR(one_sided.Estimate(), std::max(0.0, expected_one), 1e-9);
+}
+
+TEST(SwitchTotalTest, ConvergesOnCleanCrowd) {
+  // With near-perfect workers and full coverage, SWITCH converges to the
+  // true error count.
+  core::Scenario scenario = core::SimulationScenario(0.0, 0.02, 20);
+  core::SimulatedRun run = core::SimulateScenario(scenario, 600, 5);
+  SwitchTotalErrorEstimator estimator(scenario.num_items);
+  for (const VoteEvent& event : run.log.events()) estimator.Observe(event);
+  EXPECT_NEAR(estimator.Estimate(), 100.0, 8.0);
+}
+
+TEST(SwitchTotalTest, RobustToFalsePositivesAtScale) {
+  // The paper's headline claim (Figure 7(b)/(c)): with FP noise, SWITCH
+  // stays near the truth where Chao92 overestimates severely.
+  core::Scenario scenario = core::SimulationScenario(0.01, 0.1, 15);
+  core::SimulatedRun run = core::SimulateScenario(scenario, 800, 17);
+  SwitchTotalErrorEstimator switch_est(scenario.num_items);
+  Chao92Estimator chao(scenario.num_items);
+  for (const VoteEvent& event : run.log.events()) {
+    switch_est.Observe(event);
+    chao.Observe(event);
+  }
+  double switch_error = std::abs(switch_est.Estimate() - 100.0);
+  double chao_error = std::abs(chao.Estimate() - 100.0);
+  EXPECT_LT(switch_error, 25.0);
+  EXPECT_GT(chao_error, switch_error);
+}
+
+TEST(SwitchTotalTest, VotingTrendReflectsHistory) {
+  SwitchTotalErrorEstimator estimator(50);
+  for (uint32_t t = 0; t < 20; ++t) {
+    estimator.Observe({t, t, t, Vote::kDirty});  // VOTING rises by 1/task
+  }
+  EXPECT_GT(estimator.VotingTrend(), 0.5);
+}
+
+}  // namespace
+}  // namespace dqm::estimators

@@ -1,0 +1,126 @@
+#include "dataset/table.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dqm::dataset {
+namespace {
+
+TEST(SchemaTest, FieldsAndIndex) {
+  Schema schema({"id", "name", "city"});
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.field_name(1), "name");
+  EXPECT_EQ(schema.FieldIndex("city"), std::optional<size_t>(2));
+  EXPECT_EQ(schema.FieldIndex("missing"), std::nullopt);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema({"a", "b"}), Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"a", "b"}) == Schema({"b", "a"}));
+}
+
+TEST(SchemaDeathTest, DuplicateNamesAbort) {
+  EXPECT_DEATH({ Schema schema({"x", "x"}); }, "duplicate");
+}
+
+TEST(SchemaDeathTest, EmptyNameAborts) {
+  EXPECT_DEATH({ Schema schema({""}); }, "non-empty");
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table table{Schema({"id", "value"})};
+  ASSERT_TRUE(table.AppendRow({"1", "a"}).ok());
+  ASSERT_TRUE(table.AppendRow({"2", "b"}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.cell(1, 1), "b");
+  EXPECT_EQ(table.row(0), (std::vector<std::string>{"1", "a"}));
+}
+
+TEST(TableTest, AppendWrongWidthFails) {
+  Table table{Schema({"a", "b"})};
+  Status s = table.AppendRow({"only one"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, CellByName) {
+  Table table{Schema({"id", "name"})};
+  ASSERT_TRUE(table.AppendRow({"7", "x"}).ok());
+  auto cell = table.CellByName(0, "name");
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(*cell, "x");
+  EXPECT_EQ(table.CellByName(0, "nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(table.CellByName(5, "name").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, SetCell) {
+  Table table{Schema({"a"})};
+  ASSERT_TRUE(table.AppendRow({"old"}).ok());
+  ASSERT_TRUE(table.SetCell(0, 0, "new").ok());
+  EXPECT_EQ(table.cell(0, 0), "new");
+  EXPECT_FALSE(table.SetCell(9, 0, "x").ok());
+  EXPECT_FALSE(table.SetCell(0, 9, "x").ok());
+}
+
+TEST(TableTest, Column) {
+  Table table{Schema({"k", "v"})};
+  ASSERT_TRUE(table.AppendRow({"1", "a"}).ok());
+  ASSERT_TRUE(table.AppendRow({"2", "b"}).ok());
+  auto column = table.Column("v");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(*column, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(table.Column("zzz").ok());
+}
+
+TEST(TableCsvTest, FromCsvWithHeader) {
+  auto table = Table::FromCsv("id,name\n1,alpha\n2,beta\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().field_name(1), "name");
+  EXPECT_EQ(table->cell(1, 1), "beta");
+}
+
+TEST(TableCsvTest, FromCsvWithoutHeader) {
+  auto table = Table::FromCsv("1,alpha\n", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field_name(0), "c0");
+  EXPECT_EQ(table->num_rows(), 1u);
+}
+
+TEST(TableCsvTest, RaggedRowsRejected) {
+  auto table = Table::FromCsv("a,b\n1\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(TableCsvTest, EmptyDocumentRejected) {
+  EXPECT_FALSE(Table::FromCsv("").ok());
+}
+
+TEST(TableCsvTest, RoundTrip) {
+  Table table{Schema({"id", "text"})};
+  ASSERT_TRUE(table.AppendRow({"1", "with, comma"}).ok());
+  ASSERT_TRUE(table.AppendRow({"2", "with \"quote\""}).ok());
+  auto reparsed = Table::FromCsv(table.ToCsv());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_rows(), 2u);
+  EXPECT_EQ(reparsed->cell(0, 1), "with, comma");
+  EXPECT_EQ(reparsed->cell(1, 1), "with \"quote\"");
+}
+
+TEST(TableCsvTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/dqm_table_test.csv";
+  Table table{Schema({"x"})};
+  ASSERT_TRUE(table.AppendRow({"42"}).ok());
+  ASSERT_TRUE(table.WriteCsvFile(path).ok());
+  auto readback = Table::ReadCsvFile(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback->cell(0, 0), "42");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dqm::dataset

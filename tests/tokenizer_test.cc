@@ -1,0 +1,63 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dqm::text {
+namespace {
+
+TEST(WordTokensTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(WordTokens("Ritz-Carlton Cafe (buckhead)"),
+            (std::vector<std::string>{"ritz", "carlton", "cafe", "buckhead"}));
+}
+
+TEST(WordTokensTest, DigitsAreTokens) {
+  EXPECT_EQ(WordTokens("123 main st"),
+            (std::vector<std::string>{"123", "main", "st"}));
+}
+
+TEST(WordTokensTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("--- !!! ...").empty());
+}
+
+TEST(WordTokensTest, MixedAlnumKeptTogether) {
+  EXPECT_EQ(WordTokens("xj-2000b"),
+            (std::vector<std::string>{"xj", "2000b"}));
+}
+
+TEST(QGramsTest, PaddedGramCount) {
+  // |padded| = len + 2(q-1); grams = |padded| - q + 1 = len + q - 1.
+  std::vector<std::string> grams = QGrams("abc", 3);
+  EXPECT_EQ(grams.size(), 5u);
+  EXPECT_EQ(grams.front(), "##a");
+  EXPECT_EQ(grams.back(), "c##");
+}
+
+TEST(QGramsTest, LowercasesInput) {
+  std::vector<std::string> grams = QGrams("AB", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"#a", "ab", "b#"}));
+}
+
+TEST(QGramsTest, UnigramsNoPadding) {
+  EXPECT_EQ(QGrams("ab", 1), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(QGramsTest, EmptyInput) {
+  // Only padding remains: q-1+q-1 chars -> q-1 grams of pure padding.
+  EXPECT_EQ(QGrams("", 3).size(), 2u);
+  EXPECT_TRUE(QGrams("", 1).empty());
+}
+
+TEST(NormalizeForMatchingTest, CanonicalForm) {
+  EXPECT_EQ(NormalizeForMatching("The  Golden-Dragon, Cafe!"),
+            "the golden dragon cafe");
+  EXPECT_EQ(NormalizeForMatching(""), "");
+}
+
+TEST(NormalizeForMatchingTest, IdempotentOnCanonical) {
+  std::string canonical = NormalizeForMatching("A-B c");
+  EXPECT_EQ(NormalizeForMatching(canonical), canonical);
+}
+
+}  // namespace
+}  // namespace dqm::text

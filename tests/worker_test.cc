@@ -1,0 +1,89 @@
+#include "crowd/worker.h"
+
+#include <gtest/gtest.h>
+
+namespace dqm::crowd {
+namespace {
+
+TEST(WorkerProfileTest, PerfectWorkerNeverErrs) {
+  Rng rng(1);
+  WorkerProfile perfect{0.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(perfect.Answer(true, rng), Vote::kDirty);
+    EXPECT_EQ(perfect.Answer(false, rng), Vote::kClean);
+  }
+}
+
+TEST(WorkerProfileTest, AlwaysWrongWorker) {
+  Rng rng(2);
+  WorkerProfile inverted{1.0, 1.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inverted.Answer(true, rng), Vote::kClean);
+    EXPECT_EQ(inverted.Answer(false, rng), Vote::kDirty);
+  }
+}
+
+TEST(WorkerProfileTest, ErrorRatesMatchConfiguration) {
+  Rng rng(3);
+  WorkerProfile profile{0.1, 0.3};
+  const int n = 50000;
+  int false_positives = 0, false_negatives = 0;
+  for (int i = 0; i < n; ++i) {
+    if (profile.Answer(false, rng) == Vote::kDirty) ++false_positives;
+    if (profile.Answer(true, rng) == Vote::kClean) ++false_negatives;
+  }
+  EXPECT_NEAR(static_cast<double>(false_positives) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(false_negatives) / n, 0.3, 0.01);
+}
+
+TEST(WorkerPoolTest, NoVariationGivesBaseProfile) {
+  WorkerPool::Config config;
+  config.base = {0.05, 0.2};
+  WorkerPool pool(config, Rng(4));
+  for (int i = 0; i < 10; ++i) {
+    WorkerProfile w = pool.DrawWorker();
+    EXPECT_DOUBLE_EQ(w.false_positive_rate, 0.05);
+    EXPECT_DOUBLE_EQ(w.false_negative_rate, 0.2);
+  }
+}
+
+TEST(WorkerPoolTest, VariationSpreadsRates) {
+  WorkerPool::Config config;
+  config.base = {0.2, 0.2};
+  config.variation = 0.1;
+  WorkerPool pool(config, Rng(5));
+  bool any_different = false;
+  for (int i = 0; i < 50; ++i) {
+    WorkerProfile w = pool.DrawWorker();
+    EXPECT_GE(w.false_positive_rate, 0.0);
+    EXPECT_LE(w.false_positive_rate, 0.95);
+    EXPECT_GE(w.false_negative_rate, 0.0);
+    EXPECT_LE(w.false_negative_rate, 0.95);
+    if (w.false_positive_rate != 0.2) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(WorkerPoolTest, QualificationScreensWorkers) {
+  WorkerPool::Config config;
+  config.base = {0.1, 0.1};
+  config.variation = 0.2;
+  config.qualification_max_fp = 0.15;
+  config.qualification_max_fn = 0.15;
+  WorkerPool pool(config, Rng(6));
+  for (int i = 0; i < 200; ++i) {
+    WorkerProfile w = pool.DrawWorker();
+    EXPECT_LE(w.false_positive_rate, 0.15);
+    EXPECT_LE(w.false_negative_rate, 0.15);
+  }
+}
+
+TEST(WorkerPoolDeathTest, UnsatisfiableQualificationAborts) {
+  WorkerPool::Config config;
+  config.base = {0.5, 0.1};
+  config.qualification_max_fp = 0.2;  // base itself does not qualify
+  EXPECT_DEATH({ WorkerPool pool(config, Rng(7)); }, "");
+}
+
+}  // namespace
+}  // namespace dqm::crowd
