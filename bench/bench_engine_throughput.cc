@@ -1,0 +1,192 @@
+// Engine-layer throughput: (a) multi-threaded batched vote ingest + query
+// rates through DqmEngine at 1/4/8 threads against 1 and 64 sessions, and
+// (b) the parallel ExperimentRunner speedup over the serial replay on the
+// paper's simulation workload (r = 10 permutations), with a bit-identity
+// check between the two modes.
+//
+//   $ ./bench_engine_throughput [--tasks=500] [--batch=512] ...
+//
+// Emits the shared bench JSON shape (see BenchJsonWriter) after the tables.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "common/ascii.h"
+#include "common/logging.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/dqm.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "engine/engine.h"
+#include "figure_common.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Ingests `batches_per_thread` batches from each of `threads` workers,
+/// round-robin over `num_sessions` sessions, querying each session after
+/// every batch (the serving pattern: write a batch, read the fresh score).
+/// Returns votes ingested per second.
+double MeasureIngest(size_t threads, size_t num_sessions,
+                     const std::vector<dqm::crowd::VoteEvent>& events,
+                     size_t batch_size, size_t batches_per_thread,
+                     size_t num_items) {
+  dqm::engine::DqmEngine engine;
+  dqm::core::DataQualityMetric::Options options;
+  // Tally-based method: ingest order across threads does not change it.
+  options.method = dqm::core::Method::kChao92;
+  std::vector<std::string> names;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    names.push_back(dqm::StrFormat("dataset-%02zu", s));
+    engine.OpenSession(names.back(), num_items, options).value();
+  }
+
+  size_t total_batches = threads * batches_per_thread;
+  uint64_t total_votes = 0;
+  dqm::ThreadPool pool(threads);
+  Clock::time_point start = Clock::now();
+  dqm::ParallelFor(&pool, threads, [&](size_t t) {
+    for (size_t b = 0; b < batches_per_thread; ++b) {
+      size_t global = t * batches_per_thread + b;
+      size_t begin = (global * batch_size) % (events.size() - batch_size + 1);
+      const std::string& name = names[global % num_sessions];
+      dqm::Status status = engine.Ingest(
+          name, std::span<const dqm::crowd::VoteEvent>(&events[begin],
+                                                       batch_size));
+      DQM_CHECK(status.ok()) << status.ToString();
+      DQM_CHECK(engine.Query(name).ok());
+    }
+  });
+  double seconds = SecondsSince(start);
+  total_votes = static_cast<uint64_t>(total_batches) * batch_size;
+  return static_cast<double>(total_votes) / seconds;
+}
+
+/// One timed ExperimentRunner::Run; returns {seconds, series} for the
+/// bit-identity check.
+struct TimedRun {
+  double seconds = 0.0;
+  std::vector<dqm::core::SeriesResult> series;
+};
+
+TimedRun MeasureRunner(const dqm::crowd::ResponseLog& log, size_t num_items,
+                       size_t permutations, size_t threads) {
+  std::vector<std::pair<std::string, dqm::estimators::EstimatorFactory>>
+      factories = {
+          {"SWITCH",
+           dqm::core::MakeEstimatorFactory(dqm::core::Method::kSwitch)},
+          {"CHAO92",
+           dqm::core::MakeEstimatorFactory(dqm::core::Method::kChao92)},
+          {"VCHAO92",
+           dqm::core::MakeEstimatorFactory(dqm::core::Method::kVChao92)},
+          {"VOTING",
+           dqm::core::MakeEstimatorFactory(dqm::core::Method::kVoting)},
+      };
+  dqm::core::ExperimentRunner runner(
+      {.permutations = permutations, .seed = 42, .threads = threads});
+  TimedRun result;
+  Clock::time_point start = Clock::now();
+  result.series = runner.Run(log, num_items, factories);
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqm::FlagParser flags;
+  int64_t* tasks = flags.AddInt("tasks", 500, "simulated tasks in the log");
+  int64_t* permutations =
+      flags.AddInt("permutations", 10, "r — runner permutations");
+  int64_t* batch = flags.AddInt("batch", 512, "votes per ingest batch");
+  int64_t* batches_per_thread =
+      flags.AddInt("batches_per_thread", 200, "ingest batches per worker");
+  dqm::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == dqm::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  // The paper's simulation workload (Section 6.1 / Figure 2(b) regime):
+  // 1000 items, FP-light FN-heavy crowd, 15 items per task.
+  dqm::core::Scenario scenario = dqm::core::SimulationScenario(0.01, 0.1, 15);
+  dqm::core::SimulatedRun run = dqm::core::SimulateScenario(
+      scenario, static_cast<size_t>(*tasks), 7);
+  const std::vector<dqm::crowd::VoteEvent>& events = run.log.events();
+  DQM_CHECK(!events.empty()) << "--tasks must produce at least one vote";
+  std::printf("workload: %zu items, %zu votes, hardware threads=%zu\n\n",
+              scenario.num_items, events.size(),
+              dqm::ThreadPool::DefaultThreadCount());
+
+  dqm::bench::BenchJsonWriter json("engine_throughput");
+
+  // --- (a) Engine ingest + query throughput. ---
+  std::printf("== engine ingest+query throughput ==\n");
+  dqm::AsciiTable ingest_table({"threads", "sessions", "votes/sec"});
+  size_t batch_size =
+      std::min(static_cast<size_t>(std::max<int64_t>(1, *batch)),
+               events.size());
+  for (size_t threads : {1u, 4u, 8u}) {
+    for (size_t sessions : {1u, 64u}) {
+      double rate = MeasureIngest(
+          threads, sessions, events, batch_size,
+          static_cast<size_t>(*batches_per_thread), scenario.num_items);
+      ingest_table.AddRow({dqm::StrFormat("%zu", threads),
+                           dqm::StrFormat("%zu", sessions),
+                           dqm::StrFormat("%.0f", rate)});
+      json.AddResult(
+          dqm::StrFormat("ingest_t%zu_s%zu", threads, sessions),
+          {{"threads", static_cast<double>(threads)},
+           {"sessions", static_cast<double>(sessions)},
+           {"votes_per_sec", rate}});
+    }
+  }
+  std::fputs(ingest_table.Render().c_str(), stdout);
+
+  // --- (b) Parallel ExperimentRunner speedup (bit-identity checked). ---
+  std::printf("\n== ExperimentRunner::Run — serial vs pool ==\n");
+  size_t r = static_cast<size_t>(*permutations);
+  TimedRun serial = MeasureRunner(run.log, scenario.num_items, r, 1);
+  dqm::AsciiTable runner_table({"threads", "seconds", "speedup", "identical"});
+  runner_table.AddRow({"1", dqm::StrFormat("%.3f", serial.seconds), "1.00",
+                       "-"});
+  json.AddResult("runner_serial", {{"threads", 1.0},
+                                   {"seconds", serial.seconds},
+                                   {"speedup", 1.0}});
+  bool all_identical = true;
+  for (size_t threads : {4u, 8u}) {
+    TimedRun parallel = MeasureRunner(run.log, scenario.num_items, r, threads);
+    bool identical = parallel.series.size() == serial.series.size();
+    for (size_t f = 0; identical && f < parallel.series.size(); ++f) {
+      identical = parallel.series[f].mean == serial.series[f].mean &&
+                  parallel.series[f].std_dev == serial.series[f].std_dev;
+    }
+    all_identical = all_identical && identical;
+    double speedup = serial.seconds / parallel.seconds;
+    runner_table.AddRow({dqm::StrFormat("%zu", threads),
+                         dqm::StrFormat("%.3f", parallel.seconds),
+                         dqm::StrFormat("%.2f", speedup),
+                         identical ? "yes" : "NO"});
+    json.AddResult(dqm::StrFormat("runner_t%zu", threads),
+                   {{"threads", static_cast<double>(threads)},
+                    {"seconds", parallel.seconds},
+                    {"speedup", speedup}});
+  }
+  std::fputs(runner_table.Render().c_str(), stdout);
+
+  std::printf("\n%s\n", json.Render().c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: parallel runner diverged from serial replay\n");
+    return 1;
+  }
+  return 0;
+}

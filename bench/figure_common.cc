@@ -1,5 +1,6 @@
 #include "figure_common.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/ascii.h"
@@ -7,6 +8,55 @@
 #include "estimators/extrapolation.h"
 
 namespace dqm::bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// %g prints nan/inf, which no JSON parser accepts; emit null instead.
+std::string JsonNumber(double value) {
+  return std::isfinite(value) ? StrFormat("%.6g", value) : "null";
+}
+
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJsonWriter::AddResult(
+    std::string name, std::vector<std::pair<std::string, double>> metrics) {
+  results_.emplace_back(std::move(name), std::move(metrics));
+}
+
+std::string BenchJsonWriter::Render() const {
+  std::string out = StrFormat("{\"bench\":\"%s\",\"results\":[",
+                              JsonEscape(bench_name_).c_str());
+  for (size_t i = 0; i < results_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("{\"name\":\"%s\"",
+                     JsonEscape(results_[i].first).c_str());
+    for (const auto& [metric, value] : results_[i].second) {
+      out += StrFormat(",\"%s\":%s", JsonEscape(metric).c_str(),
+                       JsonNumber(value).c_str());
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
 
 std::vector<size_t> SampleIndices(size_t n, size_t count) {
   std::vector<size_t> indices;
@@ -99,7 +149,14 @@ std::vector<double> RunTotalErrorFigure(const FigureSpec& spec) {
   for (size_t i = 0; i < names.size(); ++i) {
     std::printf("  %s=%.1f", names[i].c_str(), finals[i]);
   }
-  std::printf("  truth=%.0f\n\n", truth);
+  std::printf("  truth=%.0f\n", truth);
+  BenchJsonWriter json(spec.title);
+  for (size_t i = 0; i < names.size(); ++i) {
+    json.AddResult(names[i], {{"final_estimate", finals[i]},
+                              {"final_std", series[i].std_dev.back()},
+                              {"truth", truth}});
+  }
+  std::printf("%s\n\n", json.Render().c_str());
   return finals;
 }
 

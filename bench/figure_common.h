@@ -48,6 +48,30 @@ void PrintSeriesTable(const std::vector<std::string>& names,
 /// Evenly spaced sample indices over [0, n).
 std::vector<size_t> SampleIndices(size_t n, size_t count);
 
+/// Machine-readable metrics emitter shared by the bench executables. Every
+/// bench prints one line per run:
+///
+///   {"bench":"<name>","results":[{"name":"...","<metric>":<value>,...},...]}
+///
+/// so downstream tooling can diff runs without scraping the ASCII tables.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  /// Adds one result row: a label plus numeric metrics (insertion order is
+  /// preserved in the output).
+  void AddResult(std::string name,
+                 std::vector<std::pair<std::string, double>> metrics);
+
+  std::string Render() const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      results_;
+};
+
 }  // namespace dqm::bench
 
 #endif  // DQM_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace dqm {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  DQM_CHECK_GT(num_threads, 0u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  DQM_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DQM_CHECK(!stopping_) << "Schedule() on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  size_t hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Workers only exit once the queue is empty, so destruction drains
+      // every scheduled task.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pending.push_back(pool->Submit([&fn, i]() { fn(i); }));
+  }
+  // Wait for *every* iteration before (re)raising: the queued tasks capture
+  // `fn` by reference, so unwinding on the first failed future would leave
+  // still-queued tasks dangling on a destroyed callable.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dqm

@@ -1,0 +1,87 @@
+#ifndef DQM_COMMON_THREAD_POOL_H_
+#define DQM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dqm {
+
+/// Fixed-size work-queue thread pool backing the engine layer and the
+/// parallel experiment runner.
+///
+/// Semantics chosen for deterministic batch workloads rather than generic
+/// async programming:
+///   - Tasks run in FIFO submission order (each worker pops the front).
+///   - The destructor *drains* the queue: every task scheduled before
+///     destruction begins is executed, then the workers join. Nothing is
+///     dropped.
+///   - A task that throws does not kill its worker; `Submit` routes the
+///     exception into the returned future (the library itself never throws —
+///     see status.h — but user callbacks might).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. `num_threads` must be positive.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Runs every already-scheduled task to completion, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task. Must not be called during/after
+  /// destruction. An exception escaping `task` terminates the process
+  /// (schedule through Submit when the task can throw).
+  void Schedule(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result. Exceptions
+  /// thrown by `fn` surface from `future.get()` in the waiting thread.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Number of pending (not yet started) tasks; for tests and diagnostics.
+  size_t QueueDepth() const;
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every `i` in [0, n), blocking until all calls complete.
+/// With a null `pool` (or n <= 1) the loop runs inline on the caller; with a
+/// pool the indices fan out as one task each, so equal inputs produce equal
+/// per-index results regardless of thread count. `fn` must be safe to invoke
+/// concurrently for distinct indices. Do not call from inside a task running
+/// on `pool` itself (the wait would deadlock a drained pool).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_THREAD_POOL_H_

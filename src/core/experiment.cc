@@ -1,12 +1,35 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace dqm::core {
+
+namespace {
+
+/// Pool sized for `config.threads` over `jobs` independent jobs; nullopt when
+/// the replay should run serially on the caller.
+std::optional<ThreadPool> MakeReplayPool(const ExperimentRunner::Config& config,
+                                         size_t jobs) {
+  size_t threads =
+      config.threads == 0 ? ThreadPool::DefaultThreadCount() : config.threads;
+  threads = std::min(threads, jobs);
+  if (threads <= 1) return std::nullopt;
+  return std::make_optional<ThreadPool>(threads);
+}
+
+}  // namespace
+
+uint64_t PermutationSeed(uint64_t base, size_t index) {
+  return base ^ SplitMix64(static_cast<uint64_t>(index)).Next();
+}
 
 crowd::ResponseLog PermuteTasks(const crowd::ResponseLog& log, uint64_t seed) {
   // Group event index ranges by task in first-appearance order. Simulator
@@ -50,18 +73,22 @@ std::vector<SeriesResult> ExperimentRunner::Run(
     const std::vector<std::pair<std::string, estimators::EstimatorFactory>>&
         factories) const {
   DQM_CHECK_GT(config_.permutations, 0u);
-  // rows[f][p] = series of estimator f on permutation p.
-  std::vector<std::vector<std::vector<double>>> rows(factories.size());
-  for (size_t p = 0; p < config_.permutations; ++p) {
+  // rows[f][p] = series of estimator f on permutation p. Each permutation
+  // writes only its own p-slots, so the replays are embarrassingly parallel
+  // and the aggregate below sees the same layout regardless of thread count.
+  std::vector<std::vector<std::vector<double>>> rows(
+      factories.size(), std::vector<std::vector<double>>(config_.permutations));
+  auto replay = [&](size_t p) {
     crowd::ResponseLog permuted =
-        PermuteTasks(log, config_.seed + 0x9e37 * (p + 1));
+        PermuteTasks(log, PermutationSeed(config_.seed, p));
     for (size_t f = 0; f < factories.size(); ++f) {
       std::unique_ptr<estimators::TotalErrorEstimator> estimator =
           factories[f].second(num_items);
-      rows[f].push_back(
-          estimators::EstimateSeriesByTask(permuted, *estimator));
+      rows[f][p] = estimators::EstimateSeriesByTask(permuted, *estimator);
     }
-  }
+  };
+  std::optional<ThreadPool> pool = MakeReplayPool(config_, config_.permutations);
+  ParallelFor(pool ? &*pool : nullptr, config_.permutations, replay);
   std::vector<SeriesResult> results;
   results.reserve(factories.size());
   for (size_t f = 0; f < factories.size(); ++f) {
@@ -78,10 +105,13 @@ ExperimentRunner::SwitchDiagnostics ExperimentRunner::RunSwitchDiagnostics(
     const std::vector<bool>& truth,
     const estimators::SwitchTotalErrorEstimator::Config& config) const {
   DQM_CHECK_EQ(truth.size(), num_items);
-  std::vector<std::vector<double>> pos_est, neg_est, pos_needed, neg_needed;
-  for (size_t p = 0; p < config_.permutations; ++p) {
+  DQM_CHECK_GT(config_.permutations, 0u);
+  std::vector<std::vector<double>> pos_est(config_.permutations),
+      neg_est(config_.permutations), pos_needed(config_.permutations),
+      neg_needed(config_.permutations);
+  auto replay = [&](size_t p) {
     crowd::ResponseLog permuted =
-        PermuteTasks(log, config_.seed + 0x9e37 * (p + 1));
+        PermuteTasks(log, PermutationSeed(config_.seed, p));
     estimators::SwitchTotalErrorEstimator estimator(num_items, config);
     std::vector<uint32_t> positive(num_items, 0), total(num_items, 0);
     std::vector<double> s_pos, s_neg, s_pos_needed, s_neg_needed;
@@ -108,11 +138,13 @@ ExperimentRunner::SwitchDiagnostics ExperimentRunner::RunSwitchDiagnostics(
     }
     if (!events.empty()) sample();
 
-    pos_est.push_back(std::move(s_pos));
-    neg_est.push_back(std::move(s_neg));
-    pos_needed.push_back(std::move(s_pos_needed));
-    neg_needed.push_back(std::move(s_neg_needed));
-  }
+    pos_est[p] = std::move(s_pos);
+    neg_est[p] = std::move(s_neg);
+    pos_needed[p] = std::move(s_pos_needed);
+    neg_needed[p] = std::move(s_neg_needed);
+  };
+  std::optional<ThreadPool> pool = MakeReplayPool(config_, config_.permutations);
+  ParallelFor(pool ? &*pool : nullptr, config_.permutations, replay);
 
   auto aggregate = [](const std::string& name,
                       const std::vector<std::vector<double>>& series) {

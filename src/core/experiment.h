@@ -20,6 +20,12 @@ namespace dqm::core {
 /// workers and average the results over r = 10 such permutations".
 crowd::ResponseLog PermuteTasks(const crowd::ResponseLog& log, uint64_t seed);
 
+/// The PermuteTasks seed the ExperimentRunner uses for permutation `index`:
+/// base ^ splitmix64(index). Each permutation's seed depends only on (base,
+/// index), never on evaluation order, so serial and pool-parallel replays of
+/// the same config are bit-identical.
+uint64_t PermutationSeed(uint64_t base, size_t index);
+
 /// Simulates `num_tasks` tasks of `scenario` and returns the log plus the
 /// hidden truth (for ground-truth lines in reports).
 struct SimulatedRun {
@@ -43,6 +49,11 @@ class ExperimentRunner {
     /// r — number of task-order permutations averaged.
     size_t permutations = 10;
     uint64_t seed = 42;
+    /// Worker threads for the permutation replays. 1 = serial on the caller;
+    /// 0 = one per hardware thread. Results are bit-identical at any value
+    /// because each permutation's seed and output slot depend only on its
+    /// index (see PermutationSeed).
+    size_t threads = 1;
   };
 
   explicit ExperimentRunner(const Config& config) : config_(config) {}

@@ -1,0 +1,108 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dqm::engine {
+
+DqmEngine::DqmEngine(const Options& options)
+    : num_shards_(options.num_shards),
+      shards_(std::make_unique<Shard[]>(options.num_shards)) {
+  DQM_CHECK_GT(num_shards_, 0u);
+}
+
+DqmEngine::Shard& DqmEngine::ShardFor(std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % num_shards_];
+}
+
+Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
+    const std::string& name, size_t num_items,
+    const core::DataQualityMetric::Options& metric_options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must be non-empty");
+  }
+  Shard& shard = ShardFor(name);
+  {
+    // Cheap pre-check: don't pay the O(num_items) session construction just
+    // to discover a duplicate name.
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.sessions.contains(name)) {
+      return Status::AlreadyExists(
+          StrFormat("session '%s' is already open", name.c_str()));
+    }
+  }
+  // Construct outside the shard lock; a racing open of the same name is
+  // resolved by the emplace below (first writer wins).
+  auto session =
+      std::make_shared<EstimationSession>(name, num_items, metric_options);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.sessions.emplace(name, session);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("session '%s' is already open", name.c_str()));
+  }
+  return session;
+}
+
+Result<std::shared_ptr<EstimationSession>> DqmEngine::GetSession(
+    const std::string& name) const {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(name);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound(
+        StrFormat("no open session named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+Status DqmEngine::Ingest(const std::string& name,
+                         std::span<const crowd::VoteEvent> votes) {
+  Result<std::shared_ptr<EstimationSession>> session = GetSession(name);
+  if (!session.ok()) return session.status();
+  // The shard lock is already released: vote application only contends on
+  // this session's own mutex.
+  return (*session)->AddVotes(votes);
+}
+
+Result<Snapshot> DqmEngine::Query(const std::string& name) const {
+  Result<std::shared_ptr<EstimationSession>> session = GetSession(name);
+  if (!session.ok()) return session.status();
+  return (*session)->snapshot();
+}
+
+Status DqmEngine::CloseSession(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.sessions.erase(name) == 0) {
+    return Status::NotFound(
+        StrFormat("no open session named '%s'", name.c_str()));
+  }
+  return Status::OK();
+}
+
+size_t DqmEngine::num_sessions() const {
+  size_t count = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    count += shards_[i].sessions.size();
+  }
+  return count;
+}
+
+std::vector<std::string> DqmEngine::SessionNames() const {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    for (const auto& [name, session] : shards_[i].sessions) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dqm::engine

@@ -1,0 +1,98 @@
+#ifndef DQM_ENGINE_ENGINE_H_
+#define DQM_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/dqm.h"
+#include "engine/session.h"
+
+namespace dqm::engine {
+
+/// Concurrent registry of named estimation sessions — the serving layer for
+/// monitoring many datasets at once.
+///
+/// The registry is sharded by session-name hash: opening, closing, and
+/// looking up sessions only takes the owning shard's mutex, and every
+/// per-vote operation happens on the session's own lock *after* the shard
+/// lock is released. Ingesting into one dataset therefore never blocks
+/// queries or ingestion on any other, and lookups on different shards never
+/// contend at all.
+///
+/// Typical use:
+///
+///     dqm::engine::DqmEngine engine;
+///     engine.OpenSession("restaurants", num_pairs);
+///     engine.Ingest("restaurants", batch);        // from any thread
+///     Snapshot s = engine.Query("restaurants").value();
+///     // s.estimated_total_errors, s.quality_score, ...
+class DqmEngine {
+ public:
+  struct Options {
+    /// Number of registry shards. More shards = less lock contention on
+    /// open/lookup with many concurrent datasets; must be positive.
+    size_t num_shards = 16;
+  };
+
+  DqmEngine() : DqmEngine(Options()) {}
+  explicit DqmEngine(const Options& options);
+
+  DqmEngine(const DqmEngine&) = delete;
+  DqmEngine& operator=(const DqmEngine&) = delete;
+
+  /// Creates a session for a universe of `num_items` items. Fails with
+  /// AlreadyExists when the name is taken and InvalidArgument for an empty
+  /// name.
+  Result<std::shared_ptr<EstimationSession>> OpenSession(
+      const std::string& name, size_t num_items,
+      const core::DataQualityMetric::Options& metric_options =
+          core::DataQualityMetric::Options());
+
+  /// Looks up an open session (NotFound otherwise). The returned handle
+  /// stays valid after CloseSession — closing only unregisters the name.
+  Result<std::shared_ptr<EstimationSession>> GetSession(
+      const std::string& name) const;
+
+  /// Appends a batch of votes to the named session.
+  Status Ingest(const std::string& name,
+                std::span<const crowd::VoteEvent> votes);
+
+  /// Current estimate of the named session. The by-name lookup takes the
+  /// shard lock; the snapshot read itself is lock-free. Hot readers should
+  /// hold a GetSession handle and call `snapshot()` on it directly to skip
+  /// the lookup entirely.
+  Result<Snapshot> Query(const std::string& name) const;
+
+  /// Unregisters a session. In-flight operations holding its handle finish
+  /// safely; NotFound when no such session is open.
+  Status CloseSession(const std::string& name);
+
+  size_t num_sessions() const;
+
+  /// Names of all open sessions, sorted.
+  std::vector<std::string> SessionNames() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<EstimationSession>>
+        sessions;
+  };
+
+  Shard& ShardFor(std::string_view name) const;
+
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace dqm::engine
+
+#endif  // DQM_ENGINE_ENGINE_H_

@@ -1,0 +1,110 @@
+#include "engine/session.h"
+
+#include <bit>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dqm::engine {
+
+std::array<uint64_t, SnapshotCell::kWords> SnapshotCell::Encode(
+    const Snapshot& snapshot) {
+  return {snapshot.version,
+          snapshot.num_votes,
+          static_cast<uint64_t>(snapshot.num_items),
+          static_cast<uint64_t>(snapshot.majority_count),
+          static_cast<uint64_t>(snapshot.nominal_count),
+          std::bit_cast<uint64_t>(snapshot.estimated_total_errors),
+          std::bit_cast<uint64_t>(snapshot.estimated_undetected_errors),
+          std::bit_cast<uint64_t>(snapshot.quality_score)};
+}
+
+Snapshot SnapshotCell::Decode(const std::array<uint64_t, kWords>& words) {
+  Snapshot snapshot;
+  snapshot.version = words[0];
+  snapshot.num_votes = words[1];
+  snapshot.num_items = static_cast<size_t>(words[2]);
+  snapshot.majority_count = static_cast<size_t>(words[3]);
+  snapshot.nominal_count = static_cast<size_t>(words[4]);
+  snapshot.estimated_total_errors = std::bit_cast<double>(words[5]);
+  snapshot.estimated_undetected_errors = std::bit_cast<double>(words[6]);
+  snapshot.quality_score = std::bit_cast<double>(words[7]);
+  return snapshot;
+}
+
+void SnapshotCell::Store(const Snapshot& snapshot) {
+  // Boehm's seqlock recipe ("Can seqlocks get along with programming
+  // language memory models?"): odd sequence marks a write in flight.
+  uint64_t seq = seq_.load(std::memory_order_relaxed);
+  seq_.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::array<uint64_t, kWords> words = Encode(snapshot);
+  for (size_t i = 0; i < kWords; ++i) {
+    words_[i].store(words[i], std::memory_order_relaxed);
+  }
+  seq_.store(seq + 2, std::memory_order_release);
+}
+
+Snapshot SnapshotCell::Load() const {
+  for (;;) {
+    uint64_t before = seq_.load(std::memory_order_acquire);
+    if (before & 1) {
+      std::this_thread::yield();  // a Store is mid-flight
+      continue;
+    }
+    std::array<uint64_t, kWords> words;
+    for (size_t i = 0; i < kWords; ++i) {
+      words[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == before) return Decode(words);
+  }
+}
+
+EstimationSession::EstimationSession(
+    std::string name, size_t num_items,
+    const core::DataQualityMetric::Options& options)
+    : name_(std::move(name)),
+      num_items_(num_items),
+      metric_(num_items, options),
+      method_name_(metric_.method_name()) {
+  Snapshot initial;
+  initial.num_items = num_items_;
+  snapshot_.Store(initial);
+}
+
+Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
+  // Validate up front so a bad batch is rejected atomically: the metric's own
+  // range check aborts the process (DQM_CHECK), which a serving layer must
+  // turn into a recoverable error instead.
+  for (const crowd::VoteEvent& event : votes) {
+    if (event.item >= num_items_) {
+      return Status::InvalidArgument(
+          StrFormat("session '%s': item id %u out of range (num_items=%zu)",
+                    name_.c_str(), event.item, num_items_));
+    }
+  }
+  if (votes.empty()) return Status::OK();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const crowd::VoteEvent& event : votes) {
+    metric_.AddVote(event.task, event.worker, event.item,
+                    event.vote == crowd::Vote::kDirty);
+  }
+  ++version_;
+
+  Snapshot next;
+  next.version = version_;
+  next.num_votes = metric_.num_votes();
+  next.num_items = num_items_;
+  next.majority_count = metric_.MajorityCount();
+  next.nominal_count = metric_.NominalCount();
+  next.estimated_total_errors = metric_.EstimatedTotalErrors();
+  next.estimated_undetected_errors = metric_.EstimatedUndetectedErrors();
+  next.quality_score = metric_.QualityScore();
+  snapshot_.Store(next);
+  return Status::OK();
+}
+
+}  // namespace dqm::engine

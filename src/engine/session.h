@@ -1,0 +1,110 @@
+#ifndef DQM_ENGINE_SESSION_H_
+#define DQM_ENGINE_SESSION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "core/dqm.h"
+#include "crowd/vote.h"
+
+namespace dqm::engine {
+
+/// Immutable point-in-time view of one session's estimate. Snapshots are
+/// built under the session lock after each committed batch, so all fields are
+/// mutually consistent; readers obtain them without taking any lock.
+struct Snapshot {
+  /// Number of committed ingest batches; strictly increases per batch.
+  uint64_t version = 0;
+  uint64_t num_votes = 0;
+  size_t num_items = 0;
+  /// VOTING(I) — items whose current majority label is dirty.
+  size_t majority_count = 0;
+  /// NOMINAL(I) — items with at least one dirty vote.
+  size_t nominal_count = 0;
+  double estimated_total_errors = 0.0;
+  double estimated_undetected_errors = 0.0;
+  /// 1 - undetected/N, clamped to [0, 1].
+  double quality_score = 1.0;
+};
+
+/// Seqlock-published Snapshot storage: a version word plus the snapshot's
+/// fields, all `std::atomic`. Writers (already serialized by the session
+/// mutex) bump the sequence odd, store the fields, bump it even; readers
+/// copy the fields and retry iff a write was in flight. Every access is an
+/// atomic operation, so the protocol is fully visible to ThreadSanitizer —
+/// unlike libstdc++'s `std::atomic<std::shared_ptr>`, whose internal
+/// lock-bit scheme TSan flags as a race.
+class SnapshotCell {
+ public:
+  /// Publishes `snapshot`. Callers must serialize Store() invocations.
+  void Store(const Snapshot& snapshot);
+
+  /// Returns a consistent copy; lock-free (retries only while a concurrent
+  /// Store is mid-flight).
+  Snapshot Load() const;
+
+ private:
+  static constexpr size_t kWords = 8;
+  static std::array<uint64_t, kWords> Encode(const Snapshot& snapshot);
+  static Snapshot Decode(const std::array<uint64_t, kWords>& words);
+
+  std::atomic<uint64_t> seq_{0};
+  std::array<std::atomic<uint64_t>, kWords> words_{};
+};
+
+/// One live estimation stream: a `core::DataQualityMetric` made safe for
+/// concurrent use. Writers batch votes through `AddVotes` under an internal
+/// mutex; readers poll `snapshot()` lock-free (a seqlock copy), so a hot
+/// query path never contends with ingestion.
+///
+/// Vote order within a batch is preserved; batches from different threads are
+/// serialized in lock-acquisition order. Order across concurrent writers is
+/// therefore unspecified — order-sensitive methods (SWITCH) should be fed by
+/// a single producer per session, tally-based methods (CHAO92, VOTING,
+/// NOMINAL) are producer-order independent.
+class EstimationSession {
+ public:
+  EstimationSession(std::string name, size_t num_items,
+                    const core::DataQualityMetric::Options& options =
+                        core::DataQualityMetric::Options());
+
+  EstimationSession(const EstimationSession&) = delete;
+  EstimationSession& operator=(const EstimationSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t num_items() const { return num_items_; }
+
+  /// Appends a batch of votes and publishes a fresh snapshot. The batch is
+  /// all-or-nothing: any out-of-range item id rejects the whole batch with
+  /// InvalidArgument before a single vote is applied.
+  Status AddVotes(std::span<const crowd::VoteEvent> votes);
+
+  /// Single-vote convenience wrapper (one batch of one vote).
+  Status AddVote(const crowd::VoteEvent& event) {
+    return AddVotes(std::span<const crowd::VoteEvent>(&event, 1));
+  }
+
+  /// Current estimate, without blocking on writers.
+  Snapshot snapshot() const { return snapshot_.Load(); }
+
+  /// Name of the configured estimation method ("SWITCH", "CHAO92", ...).
+  std::string_view method_name() const { return method_name_; }
+
+ private:
+  const std::string name_;
+  const size_t num_items_;
+  mutable std::mutex mutex_;
+  core::DataQualityMetric metric_;  // guarded by mutex_
+  uint64_t version_ = 0;            // guarded by mutex_
+  SnapshotCell snapshot_;
+  const std::string method_name_;
+};
+
+}  // namespace dqm::engine
+
+#endif  // DQM_ENGINE_SESSION_H_

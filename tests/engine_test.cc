@@ -1,0 +1,261 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/dqm.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace dqm::engine {
+namespace {
+
+using crowd::Vote;
+using crowd::VoteEvent;
+
+core::SimulatedRun MakeRun(uint64_t seed, size_t tasks = 60) {
+  core::Scenario scenario = core::SimulationScenario(0.01, 0.1, 10);
+  return core::SimulateScenario(scenario, tasks, seed);
+}
+
+/// Replays `events` through a plain single-threaded facade.
+core::DataQualityMetric SerialReplay(
+    size_t num_items, const std::vector<VoteEvent>& events,
+    const core::DataQualityMetric::Options& options =
+        core::DataQualityMetric::Options()) {
+  core::DataQualityMetric metric(num_items, options);
+  for (const VoteEvent& event : events) {
+    metric.AddVote(event.task, event.worker, event.item,
+                   event.vote == Vote::kDirty);
+  }
+  return metric;
+}
+
+TEST(EstimationSessionTest, BatchedIngestMatchesSerialFacadeExactly) {
+  core::SimulatedRun run = MakeRun(3);
+  size_t num_items = run.truth.size();
+
+  EstimationSession session("s", num_items);
+  const std::vector<VoteEvent>& events = run.log.events();
+  for (size_t begin = 0; begin < events.size(); begin += 37) {
+    size_t size = std::min<size_t>(37, events.size() - begin);
+    ASSERT_TRUE(
+        session.AddVotes(std::span<const VoteEvent>(&events[begin], size))
+            .ok());
+  }
+
+  core::DataQualityMetric serial = SerialReplay(num_items, events);
+  Snapshot snapshot = session.snapshot();
+  EXPECT_EQ(snapshot.num_votes, serial.num_votes());
+  EXPECT_EQ(snapshot.majority_count, serial.MajorityCount());
+  EXPECT_EQ(snapshot.nominal_count, serial.NominalCount());
+  EXPECT_DOUBLE_EQ(snapshot.estimated_total_errors,
+                   serial.EstimatedTotalErrors());
+  EXPECT_DOUBLE_EQ(snapshot.estimated_undetected_errors,
+                   serial.EstimatedUndetectedErrors());
+  EXPECT_DOUBLE_EQ(snapshot.quality_score, serial.QualityScore());
+}
+
+TEST(EstimationSessionTest, OutOfRangeItemRejectsWholeBatchAtomically) {
+  EstimationSession session("s", 10);
+  std::vector<VoteEvent> batch = {
+      {0, 0, 3, Vote::kDirty},
+      {0, 0, 10, Vote::kDirty},  // out of range
+  };
+  Status status = session.AddVotes(batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Not even the valid first vote was applied.
+  EXPECT_EQ(session.snapshot().num_votes, 0u);
+  EXPECT_EQ(session.snapshot().version, 0u);
+}
+
+TEST(EstimationSessionTest, EmptyBatchIsOkAndDoesNotBumpVersion) {
+  EstimationSession session("s", 10);
+  EXPECT_TRUE(session.AddVotes({}).ok());
+  EXPECT_EQ(session.snapshot().version, 0u);
+}
+
+TEST(EngineTest, ConcurrentPerSessionIngestMatchesSerialExactly) {
+  // Eight datasets ingested from eight threads at once, one producer per
+  // session (the supported pattern for the order-sensitive SWITCH default).
+  // Every session must end bit-identical to its serial facade replay.
+  constexpr size_t kSessions = 8;
+  std::vector<core::SimulatedRun> runs;
+  for (size_t s = 0; s < kSessions; ++s) runs.push_back(MakeRun(100 + s));
+  size_t num_items = runs[0].truth.size();
+
+  DqmEngine engine;
+  for (size_t s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(
+        engine.OpenSession("dataset-" + std::to_string(s), num_items).ok());
+  }
+
+  ThreadPool pool(kSessions);
+  ParallelFor(&pool, kSessions, [&](size_t s) {
+    const std::vector<VoteEvent>& events = runs[s].log.events();
+    std::string name = "dataset-" + std::to_string(s);
+    for (size_t begin = 0; begin < events.size(); begin += 53) {
+      size_t size = std::min<size_t>(53, events.size() - begin);
+      Status status =
+          engine.Ingest(name, std::span<const VoteEvent>(&events[begin], size));
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
+  });
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    core::DataQualityMetric serial =
+        SerialReplay(num_items, runs[s].log.events());
+    Result<Snapshot> snapshot = engine.Query("dataset-" + std::to_string(s));
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot->num_votes, serial.num_votes());
+    EXPECT_DOUBLE_EQ(snapshot->estimated_total_errors,
+                     serial.EstimatedTotalErrors());
+    EXPECT_DOUBLE_EQ(snapshot->estimated_undetected_errors,
+                     serial.EstimatedUndetectedErrors());
+    EXPECT_DOUBLE_EQ(snapshot->quality_score, serial.QualityScore());
+  }
+}
+
+TEST(EngineTest, InterleavedMultiProducerIngestMatchesSerialForTallyMethod) {
+  // Four threads interleave batches into ONE session. With a tally-based
+  // method (CHAO92) the final estimate depends only on the vote multiset,
+  // so the concurrent result must equal the serial replay exactly.
+  core::SimulatedRun run = MakeRun(9, /*tasks=*/100);
+  size_t num_items = run.truth.size();
+  const std::vector<VoteEvent>& events = run.log.events();
+
+  core::DataQualityMetric::Options options;
+  options.method = core::Method::kChao92;
+  DqmEngine engine;
+  ASSERT_TRUE(engine.OpenSession("shared", num_items, options).ok());
+
+  constexpr size_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  ParallelFor(&pool, kThreads, [&](size_t t) {
+    // Thread t ingests batches t, t+kThreads, t+2*kThreads, ...
+    constexpr size_t kBatch = 41;
+    for (size_t begin = t * kBatch; begin < events.size();
+         begin += kThreads * kBatch) {
+      size_t size = std::min(kBatch, events.size() - begin);
+      Status status = engine.Ingest(
+          "shared", std::span<const VoteEvent>(&events[begin], size));
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
+  });
+
+  core::DataQualityMetric serial = SerialReplay(num_items, events, options);
+  Result<Snapshot> snapshot = engine.Query("shared");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->num_votes, serial.num_votes());
+  EXPECT_EQ(snapshot->majority_count, serial.MajorityCount());
+  EXPECT_EQ(snapshot->nominal_count, serial.NominalCount());
+  EXPECT_DOUBLE_EQ(snapshot->estimated_total_errors,
+                   serial.EstimatedTotalErrors());
+}
+
+TEST(EngineTest, SnapshotsStayConsistentUnderConcurrentReads) {
+  core::SimulatedRun run = MakeRun(5, /*tasks=*/120);
+  size_t num_items = run.truth.size();
+  const std::vector<VoteEvent>& events = run.log.events();
+
+  DqmEngine engine;
+  ASSERT_TRUE(engine.OpenSession("live", num_items).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  auto reader = [&]() {
+    uint64_t last_version = 0;
+    uint64_t last_votes = 0;
+    while (!done.load()) {
+      Result<Snapshot> snapshot = engine.Query("live");
+      if (!snapshot.ok()) continue;
+      const Snapshot& s = *snapshot;
+      // Monotone progress per reader.
+      if (s.version < last_version || s.num_votes < last_votes) ++violations;
+      last_version = s.version;
+      last_votes = s.num_votes;
+      // Internal consistency: all fields came from one locked publish.
+      double undetected = std::max(
+          s.estimated_total_errors - static_cast<double>(s.majority_count),
+          0.0);
+      if (std::abs(undetected - s.estimated_undetected_errors) > 1e-9)
+        ++violations;
+      if (s.quality_score < 0.0 || s.quality_score > 1.0) ++violations;
+    }
+  };
+  std::thread reader_a(reader), reader_b(reader);
+  for (size_t begin = 0; begin < events.size(); begin += 29) {
+    size_t size = std::min<size_t>(29, events.size() - begin);
+    ASSERT_TRUE(
+        engine.Ingest("live", std::span<const VoteEvent>(&events[begin], size))
+            .ok());
+  }
+  done.store(true);
+  reader_a.join();
+  reader_b.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(engine.Query("live")->num_votes, events.size());
+}
+
+TEST(EngineTest, UnknownSessionErrorsUseStatusCodes) {
+  DqmEngine engine;
+  VoteEvent vote{0, 0, 0, Vote::kDirty};
+  EXPECT_EQ(engine.Query("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Ingest("ghost", std::span<const VoteEvent>(&vote, 1)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.CloseSession("ghost").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.GetSession("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.OpenSession("", 10).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, SessionLifecycle) {
+  DqmEngine engine(DqmEngine::Options{.num_shards = 4});
+  EXPECT_EQ(engine.num_sessions(), 0u);
+  ASSERT_TRUE(engine.OpenSession("b", 10).ok());
+  ASSERT_TRUE(engine.OpenSession("a", 10).ok());
+  ASSERT_TRUE(engine.OpenSession("c", 10).ok());
+  EXPECT_EQ(engine.OpenSession("a", 10).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.num_sessions(), 3u);
+  EXPECT_EQ(engine.SessionNames(), (std::vector<std::string>{"a", "b", "c"}));
+
+  // A handle obtained before closing stays usable afterwards.
+  std::shared_ptr<EstimationSession> held = engine.GetSession("b").value();
+  EXPECT_TRUE(engine.CloseSession("b").ok());
+  EXPECT_EQ(engine.Query("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.num_sessions(), 2u);
+  VoteEvent vote{0, 0, 1, Vote::kDirty};
+  EXPECT_TRUE(held->AddVote(vote).ok());
+  EXPECT_EQ(held->snapshot().num_votes, 1u);
+
+  // The name can be reopened fresh.
+  ASSERT_TRUE(engine.OpenSession("b", 10).ok());
+  EXPECT_EQ(engine.Query("b")->num_votes, 0u);
+}
+
+TEST(EngineTest, ConcurrentOpenCloseAcrossShards) {
+  DqmEngine engine(DqmEngine::Options{.num_shards = 3});
+  ThreadPool pool(4);
+  std::atomic<int> opened{0};
+  ParallelFor(&pool, 64, [&](size_t i) {
+    std::string name = "churn-" + std::to_string(i);
+    if (engine.OpenSession(name, 16).ok()) opened.fetch_add(1);
+    VoteEvent vote{0, 0, static_cast<uint32_t>(i % 16), Vote::kDirty};
+    ASSERT_TRUE(engine.Ingest(name, std::span<const VoteEvent>(&vote, 1)).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(engine.CloseSession(name).ok());
+    }
+  });
+  EXPECT_EQ(opened.load(), 64);
+  EXPECT_EQ(engine.num_sessions(), 32u);
+}
+
+}  // namespace
+}  // namespace dqm::engine

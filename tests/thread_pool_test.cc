@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dqm {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ScheduledTasksAllComplete) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 250; ++i) {
+      pool.Schedule([&counter]() { counter.fetch_add(1); });
+    }
+  }  // Destructor waits for everything.
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> seven = pool.Submit([]() { return 7; });
+  std::future<std::string> text =
+      pool.Submit([]() { return std::string("done"); });
+  EXPECT_EQ(seven.get(), 7);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToFutureNotWorker) {
+  ThreadPool pool(2);
+  std::future<void> failing =
+      pool.Submit([]() { throw std::runtime_error("boom"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive and usable.
+  std::future<int> after = pool.Submit([]() { return 3; });
+  EXPECT_EQ(after.get(), 3);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedBacklog) {
+  // More tasks than workers, each slow enough that a backlog builds up: the
+  // destructor must run every one of them before joining.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Schedule([&counter]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that each wait for the other can only finish if two workers
+  // run them at the same time.
+  ThreadPool pool(2);
+  std::atomic<int> arrivals{0};
+  auto rendezvous = [&arrivals]() {
+    arrivals.fetch_add(1);
+    while (arrivals.load() < 2) std::this_thread::yield();
+  };
+  std::future<void> a = pool.Submit(rendezvous);
+  std::future<void> b = pool.Submit(rendezvous);
+  a.get();
+  b.get();
+  EXPECT_EQ(arrivals.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(&pool, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const std::atomic<int>& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 5, [&order](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, BlocksUntilAllIterationsFinish) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  ParallelFor(&pool, 30, [&done](size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    done.fetch_add(1);
+  });
+  // No race: ParallelFor returned, so every iteration must have completed.
+  EXPECT_EQ(done.load(), 30);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+}  // namespace
+}  // namespace dqm
