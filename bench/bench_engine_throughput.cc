@@ -23,6 +23,7 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "engine/engine.h"
+#include "estimators/registry.h"
 #include "figure_common.h"
 
 namespace {
@@ -42,13 +43,15 @@ double MeasureIngest(size_t threads, size_t num_sessions,
                      size_t batch_size, size_t batches_per_thread,
                      size_t num_items) {
   dqm::engine::DqmEngine engine;
-  dqm::core::DataQualityMetric::Options options;
   // Tally-based method: ingest order across threads does not change it.
-  options.method = dqm::core::Method::kChao92;
+  const std::vector<std::string> specs = {"chao92"};
   std::vector<std::string> names;
   for (size_t s = 0; s < num_sessions; ++s) {
     names.push_back(dqm::StrFormat("dataset-%02zu", s));
-    engine.OpenSession(names.back(), num_items, options).value();
+    engine
+        .OpenSession(names.back(), num_items,
+                     std::span<const std::string>(specs))
+        .value();
   }
 
   size_t total_batches = threads * batches_per_thread;
@@ -81,22 +84,13 @@ struct TimedRun {
 
 TimedRun MeasureRunner(const dqm::crowd::ResponseLog& log, size_t num_items,
                        size_t permutations, size_t threads) {
-  std::vector<std::pair<std::string, dqm::estimators::EstimatorFactory>>
-      factories = {
-          {"SWITCH",
-           dqm::core::MakeEstimatorFactory(dqm::core::Method::kSwitch)},
-          {"CHAO92",
-           dqm::core::MakeEstimatorFactory(dqm::core::Method::kChao92)},
-          {"VCHAO92",
-           dqm::core::MakeEstimatorFactory(dqm::core::Method::kVChao92)},
-          {"VOTING",
-           dqm::core::MakeEstimatorFactory(dqm::core::Method::kVoting)},
-      };
+  const std::vector<std::string> specs = {"switch", "chao92", "vchao92",
+                                          "voting"};
   dqm::core::ExperimentRunner runner(
       {.permutations = permutations, .seed = 42, .threads = threads});
   TimedRun result;
   Clock::time_point start = Clock::now();
-  result.series = runner.Run(log, num_items, factories);
+  result.series = runner.Run(log, num_items, specs).value();
   result.seconds = SecondsSince(start);
   return result;
 }

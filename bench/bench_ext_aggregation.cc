@@ -29,22 +29,12 @@ int main() {
   dqm::core::SimulatedRun run =
       dqm::core::SimulateScenario(scenario, num_tasks, 909);
 
-  std::vector<std::pair<std::string, dqm::estimators::EstimatorFactory>>
-      factories = {
-          {"VOTING",
-           dqm::core::MakeEstimatorFactory(dqm::core::Method::kVoting)},
-          {"EM-VOTING",
-           [](size_t num_items)
-               -> std::unique_ptr<dqm::estimators::TotalErrorEstimator> {
-             return std::make_unique<dqm::estimators::EmVotingEstimator>(
-                 num_items);
-           }},
-          {"SWITCH",
-           dqm::core::MakeEstimatorFactory(dqm::core::Method::kSwitch)},
-      };
+  // The estimator lineup comes from the registry — EM-VOTING included,
+  // which the old hand-maintained factory list had to special-case.
+  const std::vector<std::string> specs = {"voting", "em-voting", "switch"};
   dqm::core::ExperimentRunner runner({.permutations = 5, .seed = 11});
   std::vector<dqm::core::SeriesResult> series =
-      runner.Run(run.log, scenario.num_items, factories);
+      runner.Run(run.log, scenario.num_items, specs).value();
 
   dqm::bench::PrintSeriesTable({"VOTING", "EM-VOTING", "SWITCH"}, series, 10,
                                static_cast<double>(scenario.num_dirty()));

@@ -18,9 +18,9 @@ int main() {
   spec.permutations = 10;
   spec.seed = 2017;
   spec.methods = {
-      {"SWITCH", dqm::core::Method::kSwitch},
-      {"V-CHAO", dqm::core::Method::kVChao92},
-      {"VOTING", dqm::core::Method::kVoting},
+      {"SWITCH", "switch"},
+      {"V-CHAO", "vchao92"},
+      {"VOTING", "voting"},
   };
   spec.extrapol_fraction = 0.05;
   spec.show_scm = true;

@@ -13,23 +13,28 @@
 #include "common/ascii.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "estimators/registry.h"
 #include "figure_common.h"
 
 namespace {
 
-using dqm::core::Method;
-
 // SRMSE of each method at `num_tasks`, averaged over r fresh simulations.
+// `methods` are registry spec strings.
 std::vector<double> SrmseAt(const dqm::core::Scenario& scenario,
                             size_t num_tasks, uint64_t seed,
-                            const std::vector<Method>& methods, size_t r) {
+                            const std::vector<std::string>& methods, size_t r) {
+  std::vector<dqm::estimators::EstimatorFactory> factories;
+  for (const std::string& method : methods) {
+    factories.push_back(
+        dqm::estimators::EstimatorRegistry::Global().FactoryFor(method)
+            .value());
+  }
   std::vector<std::vector<double>> estimates(methods.size());
   for (size_t rep = 0; rep < r; ++rep) {
     dqm::core::SimulatedRun run =
         dqm::core::SimulateScenario(scenario, num_tasks, seed + rep * 131);
     for (size_t m = 0; m < methods.size(); ++m) {
-      auto estimator =
-          dqm::core::MakeEstimatorFactory(methods[m])(scenario.num_items);
+      auto estimator = factories[m](scenario.num_items);
       for (const dqm::crowd::VoteEvent& event : run.log.events()) {
         estimator->Observe(event);
       }
@@ -47,8 +52,7 @@ std::vector<double> SrmseAt(const dqm::core::Scenario& scenario,
 }  // namespace
 
 int main() {
-  const std::vector<Method> methods = {Method::kChao92, Method::kSwitch,
-                                       Method::kVoting};
+  const std::vector<std::string> methods = {"chao92", "switch", "voting"};
   const std::vector<std::string> names = {"CHAO92", "SWITCH", "VOTING"};
   const size_t r = 10;
 

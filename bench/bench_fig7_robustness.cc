@@ -28,10 +28,10 @@ int main() {
     spec.permutations = 10;
     spec.seed = 7117;
     spec.methods = {
-        {"CHAO92", dqm::core::Method::kChao92},
-        {"V-CHAO", dqm::core::Method::kVChao92},
-        {"SWITCH", dqm::core::Method::kSwitch},
-        {"VOTING", dqm::core::Method::kVoting},
+        {"CHAO92", "chao92"},
+        {"V-CHAO", "vchao92"},
+        {"SWITCH", "switch"},
+        {"VOTING", "voting"},
     };
     dqm::bench::RunTotalErrorFigure(spec);
   }

@@ -30,8 +30,9 @@ double SwitchSrmse(double heuristic_error, double epsilon, size_t num_tasks,
     truth = static_cast<double>(scenario.num_dirty());
     dqm::core::SimulatedRun run =
         dqm::core::SimulateScenario(scenario, num_tasks, seed + rep * 271);
-    auto estimator = dqm::core::MakeEstimatorFactory(
-        dqm::core::Method::kSwitch)(scenario.num_items);
+    auto estimator = dqm::estimators::EstimatorRegistry::Global()
+                         .Create("switch", scenario.num_items)
+                         .value();
     for (const dqm::crowd::VoteEvent& event : run.log.events()) {
       estimator->Observe(event);
     }

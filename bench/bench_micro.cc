@@ -12,6 +12,7 @@
 #include "er/blocking.h"
 #include "estimators/chao92.h"
 #include "estimators/f_statistics.h"
+#include "estimators/registry.h"
 #include "estimators/switch_total.h"
 #include "text/levenshtein.h"
 #include "text/similarity.h"
@@ -26,10 +27,12 @@ const dqm::core::SimulatedRun& SharedRun() {
   return run;
 }
 
-void BM_EstimatorObserve(benchmark::State& state, dqm::core::Method method) {
+void BM_EstimatorObserve(benchmark::State& state, const char* spec) {
   const auto& events = SharedRun().log.events();
+  dqm::estimators::EstimatorFactory factory =
+      dqm::estimators::EstimatorRegistry::Global().FactoryFor(spec).value();
   for (auto _ : state) {
-    auto estimator = dqm::core::MakeEstimatorFactory(method)(1000);
+    auto estimator = factory(1000);
     for (const auto& event : events) {
       estimator->Observe(event);
     }
@@ -38,10 +41,10 @@ void BM_EstimatorObserve(benchmark::State& state, dqm::core::Method method) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(events.size()));
 }
-BENCHMARK_CAPTURE(BM_EstimatorObserve, voting, dqm::core::Method::kVoting);
-BENCHMARK_CAPTURE(BM_EstimatorObserve, chao92, dqm::core::Method::kChao92);
-BENCHMARK_CAPTURE(BM_EstimatorObserve, vchao92, dqm::core::Method::kVChao92);
-BENCHMARK_CAPTURE(BM_EstimatorObserve, switch_est, dqm::core::Method::kSwitch);
+BENCHMARK_CAPTURE(BM_EstimatorObserve, voting, "voting");
+BENCHMARK_CAPTURE(BM_EstimatorObserve, chao92, "chao92");
+BENCHMARK_CAPTURE(BM_EstimatorObserve, vchao92, "vchao92");
+BENCHMARK_CAPTURE(BM_EstimatorObserve, switch_est, "switch");
 
 void BM_EstimateEveryTask(benchmark::State& state) {
   // Full estimate series (estimate after each of the 500 tasks).

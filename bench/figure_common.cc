@@ -6,6 +6,7 @@
 #include "common/ascii.h"
 #include "common/string_util.h"
 #include "estimators/extrapolation.h"
+#include "estimators/registry.h"
 
 namespace dqm::bench {
 
@@ -109,8 +110,13 @@ std::vector<double> RunTotalErrorFigure(const FigureSpec& spec) {
 
   std::vector<std::pair<std::string, estimators::EstimatorFactory>> factories;
   std::vector<std::string> names;
-  for (const auto& [name, method] : spec.methods) {
-    factories.emplace_back(name, core::MakeEstimatorFactory(method));
+  for (const auto& [name, estimator_spec] : spec.methods) {
+    // Registry lookup; a typo'd spec in a bench config aborts with the
+    // status message (benches are trusted callers).
+    factories.emplace_back(
+        name, estimators::EstimatorRegistry::Global()
+                  .FactoryFor(estimator_spec)
+                  .value());
     names.push_back(name);
   }
   core::ExperimentRunner runner(

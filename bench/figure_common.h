@@ -22,7 +22,9 @@ struct FigureSpec {
   size_t num_tasks = 500;
   size_t permutations = 10;
   uint64_t seed = 42;
-  std::vector<std::pair<std::string, core::Method>> methods;
+  /// (display label, registry spec string) pairs, e.g.
+  /// {"V-CHAO", "vchao92?shift=2"}.
+  std::vector<std::pair<std::string, std::string>> methods;
   /// Oracle extrapolation band (Figures 3-5): sample fraction; 0 disables.
   double extrapol_fraction = 0.0;
   size_t extrapol_trials = 20;

@@ -1,8 +1,10 @@
 #include "core/dqm.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "estimators/baselines.h"
 #include "estimators/chao92.h"
 
@@ -10,7 +12,10 @@ namespace dqm::core {
 
 namespace {
 
-std::unique_ptr<estimators::TotalErrorEstimator> MakeEstimator(
+/// Legacy enum path: constructs the estimator directly (bypassing the
+/// registry) so the deprecated Options knobs — vchao_shift and the full
+/// switch_config struct — keep their exact historical behavior.
+std::unique_ptr<estimators::TotalErrorEstimator> MakeLegacyEstimator(
     Method method, size_t num_items, const DataQualityMetric::Options& options) {
   switch (method) {
     case Method::kSwitch:
@@ -34,36 +39,158 @@ std::unique_ptr<estimators::TotalErrorEstimator> MakeEstimator(
 
 }  // namespace
 
+DataQualityMetric::DataQualityMetric(size_t num_items, PrivateTag)
+    : state_(std::make_unique<PipelineState>(num_items)) {
+  state_->shared.log = &state_->log;
+}
+
 DataQualityMetric::DataQualityMetric(size_t num_items)
     : DataQualityMetric(num_items, Options()) {}
 
 DataQualityMetric::DataQualityMetric(size_t num_items, const Options& options)
-    : log_(num_items),
-      estimator_(MakeEstimator(options.method, num_items, options)) {}
+    : DataQualityMetric(num_items, PrivateTag()) {
+  if (!options.specs.empty()) {
+    Status status = AttachSpecs(options.specs);
+    DQM_CHECK(status.ok()) << status.ToString()
+                           << " (use DataQualityMetric::Create to handle bad "
+                              "specs without aborting)";
+    return;
+  }
+  rows_.push_back(Row{MethodSpec(options.method, options.vchao_shift),
+                      MakeLegacyEstimator(options.method, num_items, options)});
+  observing_.push_back(rows_.back().estimator.get());
+}
+
+Result<DataQualityMetric> DataQualityMetric::Create(
+    size_t num_items, std::span<const std::string> specs) {
+  DataQualityMetric metric(num_items, PrivateTag());
+  DQM_RETURN_NOT_OK(metric.AttachSpecs(specs));
+  return metric;
+}
+
+Result<DataQualityMetric> DataQualityMetric::Create(
+    size_t num_items, std::initializer_list<std::string> specs) {
+  std::vector<std::string> copy(specs);
+  return Create(num_items, std::span<const std::string>(copy));
+}
+
+Result<DataQualityMetric> DataQualityMetric::Create(
+    size_t num_items, const std::string& spec_list) {
+  std::vector<std::string> specs = estimators::SplitSpecList(spec_list);
+  return Create(num_items, specs);
+}
+
+Status DataQualityMetric::AttachSpecs(std::span<const std::string> specs) {
+  if (specs.empty()) {
+    return Status::InvalidArgument(
+        "DataQualityMetric needs at least one estimator spec");
+  }
+  const estimators::EstimatorRegistry& registry =
+      estimators::EstimatorRegistry::Global();
+
+  // Pass 1: parse and resolve every spec so the pipeline knows — before any
+  // estimator is built — whether the shared positive-vote fingerprint must
+  // be maintained.
+  std::vector<estimators::EstimatorSpec> parsed;
+  parsed.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    DQM_ASSIGN_OR_RETURN(estimators::EstimatorSpec one,
+                         estimators::ParseEstimatorSpec(spec));
+    DQM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const estimators::EstimatorRegistry::Entry> entry,
+        registry.Find(one.name));
+    if (entry->wants_positive_fingerprint) state_->maintain_positive_f = true;
+    parsed.push_back(std::move(one));
+  }
+  state_->shared.positive_f =
+      state_->maintain_positive_f ? &state_->positive_f : nullptr;
+
+  // Pass 2: build each estimator against the shared stats.
+  estimators::EstimatorEnv env{state_->log.num_items(), &state_->shared};
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    DQM_ASSIGN_OR_RETURN(
+        std::unique_ptr<estimators::TotalErrorEstimator> estimator,
+        registry.Create(parsed[i], env));
+    rows_.push_back(Row{specs[i], std::move(estimator)});
+    if (rows_.back().estimator->needs_observe()) {
+      observing_.push_back(rows_.back().estimator.get());
+    }
+  }
+  return Status::OK();
+}
 
 void DataQualityMetric::AddVote(uint32_t task, uint32_t worker, uint32_t item,
                                 bool is_dirty) {
   crowd::VoteEvent event{task, worker, item,
                          is_dirty ? crowd::Vote::kDirty : crowd::Vote::kClean};
-  log_.Append(event);
-  estimator_->Observe(event);
+  PipelineState& state = *state_;
+  if (is_dirty && state.maintain_positive_f) {
+    // Bounds check before the tally read — everywhere else Append's own
+    // check fires before any indexing.
+    DQM_CHECK_LT(item, state.log.num_items()) << "item id out of range";
+    // Mirror of Chao92Estimator::Observe, keyed on the pre-append count.
+    uint32_t count = state.log.positive_votes(item);
+    if (count == 0) {
+      state.positive_f.AddSingleton();
+    } else {
+      state.positive_f.Promote(count);
+    }
+  }
+  state.log.Append(event);
+  for (estimators::TotalErrorEstimator* estimator : observing_) {
+    estimator->Observe(event);
+  }
 }
 
 double DataQualityMetric::EstimatedTotalErrors() const {
-  return estimator_->Estimate();
+  return rows_.front().estimator->Estimate();
 }
 
 double DataQualityMetric::EstimatedUndetectedErrors() const {
   double undetected =
-      EstimatedTotalErrors() - static_cast<double>(log_.MajorityCount());
+      EstimatedTotalErrors() - static_cast<double>(state_->log.MajorityCount());
   return std::max(undetected, 0.0);
 }
 
 double DataQualityMetric::QualityScore() const {
-  if (log_.num_items() == 0) return 1.0;
+  if (state_->log.num_items() == 0) return 1.0;
   double fraction = EstimatedUndetectedErrors() /
-                    static_cast<double>(log_.num_items());
+                    static_cast<double>(state_->log.num_items());
   return std::clamp(1.0 - fraction, 0.0, 1.0);
+}
+
+DataQualityMetric::QualityReport DataQualityMetric::Report() const {
+  const crowd::ResponseLog& log = state_->log;
+  QualityReport report;
+  report.num_votes = log.num_events();
+  report.num_items = log.num_items();
+  report.majority_count = log.MajorityCount();
+  report.nominal_count = log.NominalCount();
+  report.estimators.reserve(rows_.size());
+  double majority = static_cast<double>(report.majority_count);
+  double items = static_cast<double>(report.num_items);
+  for (const Row& row : rows_) {
+    EstimatorReport entry;
+    entry.name = std::string(row.estimator->name());
+    entry.spec = row.spec;
+    entry.total_errors = row.estimator->Estimate();
+    entry.undetected_errors = std::max(entry.total_errors - majority, 0.0);
+    entry.quality_score =
+        report.num_items == 0
+            ? 1.0
+            : std::clamp(1.0 - entry.undetected_errors / items, 0.0, 1.0);
+    report.estimators.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::vector<std::string> DataQualityMetric::estimator_names() const {
+  std::vector<std::string> names;
+  names.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    names.emplace_back(row.estimator->name());
+  }
+  return names;
 }
 
 estimators::EstimatorFactory MakeEstimatorFactory(Method method,
@@ -72,7 +199,7 @@ estimators::EstimatorFactory MakeEstimatorFactory(Method method,
              -> std::unique_ptr<estimators::TotalErrorEstimator> {
     DataQualityMetric::Options options;
     options.vchao_shift = vchao_shift;
-    return MakeEstimator(method, num_items, options);
+    return MakeLegacyEstimator(method, num_items, options);
   };
 }
 
@@ -90,6 +217,24 @@ std::string_view MethodName(Method method) {
       return "VOTING";
     case Method::kNominal:
       return "NOMINAL";
+  }
+  return "?";
+}
+
+std::string MethodSpec(Method method, uint32_t vchao_shift) {
+  switch (method) {
+    case Method::kSwitch:
+      return "switch";
+    case Method::kChao92:
+      return "chao92";
+    case Method::kGoodTuring:
+      return "good-turing";
+    case Method::kVChao92:
+      return StrFormat("vchao92?shift=%u", vchao_shift);
+    case Method::kVoting:
+      return "voting";
+    case Method::kNominal:
+      return "nominal";
   }
   return "?";
 }

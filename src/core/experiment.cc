@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "estimators/registry.h"
 
 namespace dqm::core {
 
@@ -98,6 +99,20 @@ std::vector<SeriesResult> ExperimentRunner::Run(
                      std::move(band.std_dev)});
   }
   return results;
+}
+
+Result<std::vector<SeriesResult>> ExperimentRunner::Run(
+    const crowd::ResponseLog& log, size_t num_items,
+    std::span<const std::string> specs) const {
+  std::vector<std::pair<std::string, estimators::EstimatorFactory>> factories;
+  factories.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    DQM_ASSIGN_OR_RETURN(
+        estimators::EstimatorFactory factory,
+        estimators::EstimatorRegistry::Global().FactoryFor(spec));
+    factories.emplace_back(spec, std::move(factory));
+  }
+  return Run(log, num_items, factories);
 }
 
 ExperimentRunner::SwitchDiagnostics ExperimentRunner::RunSwitchDiagnostics(

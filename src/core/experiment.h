@@ -2,9 +2,11 @@
 #define DQM_CORE_EXPERIMENT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/stats.h"
 #include "core/scenario.h"
 #include "crowd/response_log.h"
@@ -65,6 +67,13 @@ class ExperimentRunner {
       const crowd::ResponseLog& log, size_t num_items,
       const std::vector<std::pair<std::string, estimators::EstimatorFactory>>&
           factories) const;
+
+  /// As above with the estimator lineup drawn from the registry: one series
+  /// per spec string ("switch", "vchao92?shift=2", ...), named after the
+  /// spec. Fails up front on unknown names or bad params.
+  Result<std::vector<SeriesResult>> Run(
+      const crowd::ResponseLog& log, size_t num_items,
+      std::span<const std::string> specs) const;
 
   /// SWITCH diagnostics for Figures 3-5 (b)/(c): per-task series of the
   /// estimated remaining positive/negative switches and the ground-truth

@@ -18,26 +18,29 @@ DqmEngine::Shard& DqmEngine::ShardFor(std::string_view name) const {
   return shards_[std::hash<std::string_view>{}(name) % num_shards_];
 }
 
-Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
-    const std::string& name, size_t num_items,
-    const core::DataQualityMetric::Options& metric_options) {
+Status DqmEngine::PrecheckName(const std::string& name) const {
+  // Cheap pre-check: don't pay the O(num_items) session (or pipeline)
+  // construction just to discover a bad or duplicate name.
   if (name.empty()) {
     return Status::InvalidArgument("session name must be non-empty");
   }
   Shard& shard = ShardFor(name);
-  {
-    // Cheap pre-check: don't pay the O(num_items) session construction just
-    // to discover a duplicate name.
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.sessions.contains(name)) {
-      return Status::AlreadyExists(
-          StrFormat("session '%s' is already open", name.c_str()));
-    }
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.sessions.contains(name)) {
+    return Status::AlreadyExists(
+        StrFormat("session '%s' is already open", name.c_str()));
   }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<EstimationSession>> DqmEngine::InsertSession(
+    const std::string& name,
+    const std::function<std::shared_ptr<EstimationSession>()>& make_session) {
+  DQM_RETURN_NOT_OK(PrecheckName(name));
+  Shard& shard = ShardFor(name);
   // Construct outside the shard lock; a racing open of the same name is
   // resolved by the emplace below (first writer wins).
-  auto session =
-      std::make_shared<EstimationSession>(name, num_items, metric_options);
+  std::shared_ptr<EstimationSession> session = make_session();
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto [it, inserted] = shard.sessions.emplace(name, session);
   if (!inserted) {
@@ -45,6 +48,29 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
         StrFormat("session '%s' is already open", name.c_str()));
   }
   return session;
+}
+
+Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
+    const std::string& name, size_t num_items,
+    const core::DataQualityMetric::Options& metric_options) {
+  return InsertSession(name, [&] {
+    return std::make_shared<EstimationSession>(name, num_items,
+                                               metric_options);
+  });
+}
+
+Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
+    const std::string& name, size_t num_items,
+    std::span<const std::string> specs) {
+  // Name first (cheap), then the specs: a bad or duplicate name never pays
+  // the pipeline construction, and a typo'd spec never half-opens a
+  // session.
+  DQM_RETURN_NOT_OK(PrecheckName(name));
+  DQM_ASSIGN_OR_RETURN(core::DataQualityMetric metric,
+                       core::DataQualityMetric::Create(num_items, specs));
+  auto session =
+      std::make_shared<EstimationSession>(name, std::move(metric));
+  return InsertSession(name, [&] { return session; });
 }
 
 Result<std::shared_ptr<EstimationSession>> DqmEngine::GetSession(

@@ -2,6 +2,7 @@
 #define DQM_ENGINE_ENGINE_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -56,6 +57,15 @@ class DqmEngine {
       const core::DataQualityMetric::Options& metric_options =
           core::DataQualityMetric::Options());
 
+  /// As above, but configured by registry spec strings: the session runs
+  /// every listed estimator on the one vote stream and snapshots carry one
+  /// row per spec (spec order; the first spec is the primary estimator).
+  /// Invalid specs are reported as InvalidArgument / NotFound before the
+  /// session is created.
+  Result<std::shared_ptr<EstimationSession>> OpenSession(
+      const std::string& name, size_t num_items,
+      std::span<const std::string> specs);
+
   /// Looks up an open session (NotFound otherwise). The returned handle
   /// stays valid after CloseSession — closing only unregisters the name.
   Result<std::shared_ptr<EstimationSession>> GetSession(
@@ -88,6 +98,16 @@ class DqmEngine {
   };
 
   Shard& ShardFor(std::string_view name) const;
+
+  /// Cheap empty-name / duplicate-name rejection, taken before any
+  /// O(num_items) construction.
+  Status PrecheckName(const std::string& name) const;
+
+  /// Shared tail of the OpenSession overloads: name pre-check, session
+  /// construction outside the shard lock, racing-open resolution.
+  Result<std::shared_ptr<EstimationSession>> InsertSession(
+      const std::string& name,
+      const std::function<std::shared_ptr<EstimationSession>()>& make_session);
 
   size_t num_shards_;
   std::unique_ptr<Shard[]> shards_;

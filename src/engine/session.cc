@@ -4,74 +4,113 @@
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace dqm::engine {
 
-std::array<uint64_t, SnapshotCell::kWords> SnapshotCell::Encode(
-    const Snapshot& snapshot) {
-  return {snapshot.version,
-          snapshot.num_votes,
-          static_cast<uint64_t>(snapshot.num_items),
-          static_cast<uint64_t>(snapshot.majority_count),
-          static_cast<uint64_t>(snapshot.nominal_count),
-          std::bit_cast<uint64_t>(snapshot.estimated_total_errors),
-          std::bit_cast<uint64_t>(snapshot.estimated_undetected_errors),
-          std::bit_cast<uint64_t>(snapshot.quality_score)};
-}
-
-Snapshot SnapshotCell::Decode(const std::array<uint64_t, kWords>& words) {
-  Snapshot snapshot;
-  snapshot.version = words[0];
-  snapshot.num_votes = words[1];
-  snapshot.num_items = static_cast<size_t>(words[2]);
-  snapshot.majority_count = static_cast<size_t>(words[3]);
-  snapshot.nominal_count = static_cast<size_t>(words[4]);
-  snapshot.estimated_total_errors = std::bit_cast<double>(words[5]);
-  snapshot.estimated_undetected_errors = std::bit_cast<double>(words[6]);
-  snapshot.quality_score = std::bit_cast<double>(words[7]);
-  return snapshot;
+SnapshotCell::SnapshotCell(size_t num_estimators)
+    : num_estimators_(num_estimators),
+      words_(std::make_unique<std::atomic<uint64_t>[]>(num_words())) {
+  DQM_CHECK_GT(num_estimators_, 0u);
+  for (size_t i = 0; i < num_words(); ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void SnapshotCell::Store(const Snapshot& snapshot) {
+  DQM_CHECK_EQ(snapshot.estimates.size(), num_estimators_);
   // Boehm's seqlock recipe ("Can seqlocks get along with programming
   // language memory models?"): odd sequence marks a write in flight.
   uint64_t seq = seq_.load(std::memory_order_relaxed);
   seq_.store(seq + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
-  std::array<uint64_t, kWords> words = Encode(snapshot);
-  for (size_t i = 0; i < kWords; ++i) {
-    words_[i].store(words[i], std::memory_order_relaxed);
+  auto put = [this](size_t index, uint64_t word) {
+    words_[index].store(word, std::memory_order_relaxed);
+  };
+  put(0, snapshot.version);
+  put(1, snapshot.num_votes);
+  put(2, static_cast<uint64_t>(snapshot.num_items));
+  put(3, static_cast<uint64_t>(snapshot.majority_count));
+  put(4, static_cast<uint64_t>(snapshot.nominal_count));
+  put(5, std::bit_cast<uint64_t>(snapshot.estimated_total_errors));
+  put(6, std::bit_cast<uint64_t>(snapshot.estimated_undetected_errors));
+  put(7, std::bit_cast<uint64_t>(snapshot.quality_score));
+  for (size_t i = 0; i < num_estimators_; ++i) {
+    const EstimatorEstimate& row = snapshot.estimates[i];
+    put(kHeaderWords + 3 * i + 0, std::bit_cast<uint64_t>(row.total_errors));
+    put(kHeaderWords + 3 * i + 1,
+        std::bit_cast<uint64_t>(row.undetected_errors));
+    put(kHeaderWords + 3 * i + 2, std::bit_cast<uint64_t>(row.quality_score));
   }
   seq_.store(seq + 2, std::memory_order_release);
 }
 
 Snapshot SnapshotCell::Load() const {
+  // The snapshot (and its rows vector) is allocated once, outside the retry
+  // loop: a hot reader polling the cell pays no extra allocation per retry,
+  // and none at all beyond the rows the caller receives.
+  Snapshot snapshot;
+  snapshot.estimates.resize(num_estimators_);
   for (;;) {
     uint64_t before = seq_.load(std::memory_order_acquire);
     if (before & 1) {
       std::this_thread::yield();  // a Store is mid-flight
       continue;
     }
-    std::array<uint64_t, kWords> words;
-    for (size_t i = 0; i < kWords; ++i) {
-      words[i] = words_[i].load(std::memory_order_relaxed);
+    auto get = [this](size_t index) {
+      return words_[index].load(std::memory_order_relaxed);
+    };
+    snapshot.version = get(0);
+    snapshot.num_votes = get(1);
+    snapshot.num_items = static_cast<size_t>(get(2));
+    snapshot.majority_count = static_cast<size_t>(get(3));
+    snapshot.nominal_count = static_cast<size_t>(get(4));
+    snapshot.estimated_total_errors = std::bit_cast<double>(get(5));
+    snapshot.estimated_undetected_errors = std::bit_cast<double>(get(6));
+    snapshot.quality_score = std::bit_cast<double>(get(7));
+    for (size_t i = 0; i < num_estimators_; ++i) {
+      EstimatorEstimate& row = snapshot.estimates[i];
+      row.total_errors = std::bit_cast<double>(get(kHeaderWords + 3 * i));
+      row.undetected_errors =
+          std::bit_cast<double>(get(kHeaderWords + 3 * i + 1));
+      row.quality_score =
+          std::bit_cast<double>(get(kHeaderWords + 3 * i + 2));
     }
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (seq_.load(std::memory_order_relaxed) == before) return Decode(words);
+    if (seq_.load(std::memory_order_relaxed) == before) return snapshot;
   }
 }
+
+namespace {
+
+std::vector<std::string> InitialNames(const core::DataQualityMetric& metric) {
+  return metric.estimator_names();
+}
+
+Snapshot InitialSnapshot(size_t num_items, size_t num_estimators) {
+  Snapshot initial;
+  initial.num_items = num_items;
+  initial.estimates.resize(num_estimators);
+  return initial;
+}
+
+}  // namespace
 
 EstimationSession::EstimationSession(
     std::string name, size_t num_items,
     const core::DataQualityMetric::Options& options)
+    : EstimationSession(std::move(name),
+                        core::DataQualityMetric(num_items, options)) {}
+
+EstimationSession::EstimationSession(std::string name,
+                                     core::DataQualityMetric metric)
     : name_(std::move(name)),
-      num_items_(num_items),
-      metric_(num_items, options),
-      method_name_(metric_.method_name()) {
-  Snapshot initial;
-  initial.num_items = num_items_;
-  snapshot_.Store(initial);
+      num_items_(metric.num_items()),
+      metric_(std::move(metric)),
+      estimator_names_(InitialNames(metric_)),
+      snapshot_(estimator_names_.size()) {
+  snapshot_.Store(InitialSnapshot(num_items_, estimator_names_.size()));
 }
 
 Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
@@ -94,17 +133,34 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
   }
   ++version_;
 
+  core::DataQualityMetric::QualityReport report = metric_.Report();
   Snapshot next;
   next.version = version_;
-  next.num_votes = metric_.num_votes();
-  next.num_items = num_items_;
-  next.majority_count = metric_.MajorityCount();
-  next.nominal_count = metric_.NominalCount();
-  next.estimated_total_errors = metric_.EstimatedTotalErrors();
-  next.estimated_undetected_errors = metric_.EstimatedUndetectedErrors();
-  next.quality_score = metric_.QualityScore();
+  next.num_votes = report.num_votes;
+  next.num_items = report.num_items;
+  next.majority_count = report.majority_count;
+  next.nominal_count = report.nominal_count;
+  next.estimates.reserve(report.estimators.size());
+  for (const core::DataQualityMetric::EstimatorReport& row :
+       report.estimators) {
+    next.estimates.push_back(EstimatorEstimate{
+        std::string(), row.total_errors, row.undetected_errors,
+        row.quality_score});
+  }
+  next.estimated_total_errors = next.estimates.front().total_errors;
+  next.estimated_undetected_errors = next.estimates.front().undetected_errors;
+  next.quality_score = next.estimates.front().quality_score;
   snapshot_.Store(next);
   return Status::OK();
+}
+
+Snapshot EstimationSession::snapshot() const {
+  Snapshot snapshot = snapshot_.Load();
+  snapshot.method_name = estimator_names_.front();
+  for (size_t i = 0; i < snapshot.estimates.size(); ++i) {
+    snapshot.estimates[i].name = estimator_names_[i];
+  }
+  return snapshot;
 }
 
 }  // namespace dqm::engine

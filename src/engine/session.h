@@ -1,12 +1,13 @@
 #ifndef DQM_ENGINE_SESSION_H_
 #define DQM_ENGINE_SESSION_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/dqm.h"
@@ -14,9 +15,24 @@
 
 namespace dqm::engine {
 
-/// Immutable point-in-time view of one session's estimate. Snapshots are
-/// built under the session lock after each committed batch, so all fields are
-/// mutually consistent; readers obtain them without taking any lock.
+/// One estimator's numbers inside a Snapshot. `name` is the estimator's
+/// display name ("SWITCH", "CHAO92", ...) so report consumers can say which
+/// estimator produced which number.
+struct EstimatorEstimate {
+  std::string name;
+  double total_errors = 0.0;
+  double undetected_errors = 0.0;
+  double quality_score = 1.0;
+};
+
+/// Immutable point-in-time view of one session's estimates. Snapshots are
+/// built under the session lock after each committed batch, so all fields
+/// are mutually consistent; readers obtain them without taking any lock.
+///
+/// A session runs a multi-estimator pipeline (see core::DataQualityMetric):
+/// `estimates` has one row per configured estimator, in spec order. The
+/// scalar estimate fields mirror row 0 — the primary estimator — so
+/// single-method callers keep working unchanged.
 struct Snapshot {
   /// Number of committed ingest batches; strictly increases per batch.
   uint64_t version = 0;
@@ -26,52 +42,71 @@ struct Snapshot {
   size_t majority_count = 0;
   /// NOMINAL(I) — items with at least one dirty vote.
   size_t nominal_count = 0;
+  /// Primary estimator (== estimates[0]).
   double estimated_total_errors = 0.0;
   double estimated_undetected_errors = 0.0;
   /// 1 - undetected/N, clamped to [0, 1].
   double quality_score = 1.0;
+  /// Display name of the primary estimator.
+  std::string method_name;
+  /// One row per configured estimator, in spec order.
+  std::vector<EstimatorEstimate> estimates;
 };
 
 /// Seqlock-published Snapshot storage: a version word plus the snapshot's
-/// fields, all `std::atomic`. Writers (already serialized by the session
-/// mutex) bump the sequence odd, store the fields, bump it even; readers
-/// copy the fields and retry iff a write was in flight. Every access is an
-/// atomic operation, so the protocol is fully visible to ThreadSanitizer —
-/// unlike libstdc++'s `std::atomic<std::shared_ptr>`, whose internal
-/// lock-bit scheme TSan flags as a race.
+/// numeric fields, all `std::atomic`. The cell is sized at construction for
+/// the session's estimator count — the fixed header plus three words per
+/// estimator row. Writers (already serialized by the session mutex) bump
+/// the sequence odd, store the fields, bump it even; readers copy the
+/// fields and retry iff a write was in flight. Every access is an atomic
+/// operation, so the protocol is fully visible to ThreadSanitizer — unlike
+/// libstdc++'s `std::atomic<std::shared_ptr>`, whose internal lock-bit
+/// scheme TSan flags as a race.
+///
+/// Estimator names are immutable per session and therefore not part of the
+/// cell; Load() returns rows with empty names and the session fills them
+/// in.
 class SnapshotCell {
  public:
-  /// Publishes `snapshot`. Callers must serialize Store() invocations.
+  explicit SnapshotCell(size_t num_estimators);
+
+  /// Publishes `snapshot` (which must carry exactly the configured number
+  /// of estimator rows). Callers must serialize Store() invocations.
   void Store(const Snapshot& snapshot);
 
   /// Returns a consistent copy; lock-free (retries only while a concurrent
-  /// Store is mid-flight).
+  /// Store is mid-flight). Row names are left empty.
   Snapshot Load() const;
 
  private:
-  static constexpr size_t kWords = 8;
-  static std::array<uint64_t, kWords> Encode(const Snapshot& snapshot);
-  static Snapshot Decode(const std::array<uint64_t, kWords>& words);
+  static constexpr size_t kHeaderWords = 8;
+  size_t num_words() const { return kHeaderWords + 3 * num_estimators_; }
 
+  size_t num_estimators_;
   std::atomic<uint64_t> seq_{0};
-  std::array<std::atomic<uint64_t>, kWords> words_{};
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
 };
 
-/// One live estimation stream: a `core::DataQualityMetric` made safe for
-/// concurrent use. Writers batch votes through `AddVotes` under an internal
-/// mutex; readers poll `snapshot()` lock-free (a seqlock copy), so a hot
-/// query path never contends with ingestion.
+/// One live estimation stream: a `core::DataQualityMetric` (possibly with
+/// several attached estimators) made safe for concurrent use. Writers batch
+/// votes through `AddVotes` under an internal mutex; readers poll
+/// `snapshot()` lock-free (a seqlock copy), so a hot query path never
+/// contends with ingestion.
 ///
-/// Vote order within a batch is preserved; batches from different threads are
-/// serialized in lock-acquisition order. Order across concurrent writers is
-/// therefore unspecified — order-sensitive methods (SWITCH) should be fed by
-/// a single producer per session, tally-based methods (CHAO92, VOTING,
-/// NOMINAL) are producer-order independent.
+/// Vote order within a batch is preserved; batches from different threads
+/// are serialized in lock-acquisition order. Order across concurrent
+/// writers is therefore unspecified — order-sensitive methods (SWITCH)
+/// should be fed by a single producer per session, tally-based methods
+/// (CHAO92, VOTING, NOMINAL) are producer-order independent.
 class EstimationSession {
  public:
   EstimationSession(std::string name, size_t num_items,
                     const core::DataQualityMetric::Options& options =
                         core::DataQualityMetric::Options());
+
+  /// Wraps an already-configured pipeline (the engine's spec-based
+  /// OpenSession path).
+  EstimationSession(std::string name, core::DataQualityMetric metric);
 
   EstimationSession(const EstimationSession&) = delete;
   EstimationSession& operator=(const EstimationSession&) = delete;
@@ -89,11 +124,16 @@ class EstimationSession {
     return AddVotes(std::span<const crowd::VoteEvent>(&event, 1));
   }
 
-  /// Current estimate, without blocking on writers.
-  Snapshot snapshot() const { return snapshot_.Load(); }
+  /// Current estimates, without blocking on writers.
+  Snapshot snapshot() const;
 
-  /// Name of the configured estimation method ("SWITCH", "CHAO92", ...).
-  std::string_view method_name() const { return method_name_; }
+  /// Name of the primary estimation method ("SWITCH", "CHAO92", ...).
+  std::string_view method_name() const { return estimator_names_.front(); }
+
+  /// Display names of every configured estimator, in spec order.
+  const std::vector<std::string>& estimator_names() const {
+    return estimator_names_;
+  }
 
  private:
   const std::string name_;
@@ -101,8 +141,8 @@ class EstimationSession {
   mutable std::mutex mutex_;
   core::DataQualityMetric metric_;  // guarded by mutex_
   uint64_t version_ = 0;            // guarded by mutex_
+  const std::vector<std::string> estimator_names_;  // immutable
   SnapshotCell snapshot_;
-  const std::string method_name_;
 };
 
 }  // namespace dqm::engine

@@ -1,6 +1,9 @@
 #include "estimators/baselines.h"
 
+#include <memory>
+
 #include "common/logging.h"
+#include "estimators/registry.h"
 
 namespace dqm::estimators {
 
@@ -27,6 +30,76 @@ void VotingEstimator::Observe(const crowd::VoteEvent& event) {
   bool is_majority = MajorityDirty(item);
   if (is_majority && !was_majority) ++count_;
   if (!is_majority && was_majority) --count_;
+}
+
+namespace {
+
+/// Pipeline forms of the descriptive baselines: the ResponseLog already
+/// maintains exactly these counts, so attached to shared stats the rows are
+/// free — no per-event work, no duplicated tallies.
+class SharedVotingScorer : public TotalErrorEstimator {
+ public:
+  explicit SharedVotingScorer(const crowd::ResponseLog* log) : log_(log) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    return static_cast<double>(log_->MajorityCount());
+  }
+  std::string_view name() const override { return "VOTING"; }
+
+ private:
+  const crowd::ResponseLog* log_;
+};
+
+class SharedNominalScorer : public TotalErrorEstimator {
+ public:
+  explicit SharedNominalScorer(const crowd::ResponseLog* log) : log_(log) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    return static_cast<double>(log_->NominalCount());
+  }
+  std::string_view name() const override { return "NOMINAL"; }
+
+ private:
+  const crowd::ResponseLog* log_;
+};
+
+}  // namespace
+
+void internal::RegisterBuiltinBaselines(EstimatorRegistry& registry) {
+  Status status = registry.Register(EstimatorRegistry::Entry{
+      .name = "voting",
+      .display_name = "VOTING",
+      .help = "majority-consensus count (descriptive); no params",
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        SpecParamReader params(spec);
+        DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+        if (env.shared != nullptr) {
+          return std::unique_ptr<TotalErrorEstimator>(
+              std::make_unique<SharedVotingScorer>(env.shared->log));
+        }
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<VotingEstimator>(env.num_items));
+      }});
+  DQM_CHECK(status.ok()) << status.ToString();
+  status = registry.Register(EstimatorRegistry::Entry{
+      .name = "nominal",
+      .display_name = "NOMINAL",
+      .help = "at-least-one-dirty-vote count (descriptive); no params",
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        SpecParamReader params(spec);
+        DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+        if (env.shared != nullptr) {
+          return std::unique_ptr<TotalErrorEstimator>(
+              std::make_unique<SharedNominalScorer>(env.shared->log));
+        }
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<NominalEstimator>(env.num_items));
+      }});
+  DQM_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace dqm::estimators

@@ -1,6 +1,9 @@
 #include "estimators/chao92.h"
 
+#include <memory>
+
 #include "common/logging.h"
+#include "estimators/registry.h"
 
 namespace dqm::estimators {
 
@@ -101,6 +104,185 @@ double VChao92Estimator::Estimate() const {
     c = view.c;
   }
   return Chao92Point(c, view.f1, view.n, view.sum_ii1, skew_correction_);
+}
+
+namespace {
+
+/// Pipeline forms of the species-family estimators: Chao92, Good-Turing,
+/// Chao1, Jackknife1 and vChao92 all consume the exact same positive-vote
+/// fingerprint, so attached to shared stats they are pure scorers — the
+/// pipeline maintains one FStatistics and each row only differs in how it
+/// turns the fingerprint into an estimate.
+class SharedChao92Scorer : public TotalErrorEstimator {
+ public:
+  SharedChao92Scorer(const FStatistics* f, bool skew_correction)
+      : f_(f), skew_correction_(skew_correction) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    return Chao92Point(f_->NumSpecies(), f_->singletons(),
+                       f_->TotalObservations(), f_->SumIiMinus1(),
+                       skew_correction_);
+  }
+  std::string_view name() const override {
+    return skew_correction_ ? "CHAO92" : "GOOD-TURING";
+  }
+
+ private:
+  const FStatistics* f_;
+  bool skew_correction_;
+};
+
+class SharedChao1Scorer : public TotalErrorEstimator {
+ public:
+  explicit SharedChao1Scorer(const FStatistics* f) : f_(f) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    double c = static_cast<double>(f_->NumSpecies());
+    double f1 = static_cast<double>(f_->singletons());
+    double f2 = static_cast<double>(f_->f(2));
+    return c + f1 * (f1 - 1.0) / (2.0 * (f2 + 1.0));
+  }
+  std::string_view name() const override { return "CHAO1"; }
+
+ private:
+  const FStatistics* f_;
+};
+
+class SharedJackknifeScorer : public TotalErrorEstimator {
+ public:
+  explicit SharedJackknifeScorer(const FStatistics* f) : f_(f) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    uint64_t n = f_->TotalObservations();
+    if (n == 0) return 0.0;
+    double nd = static_cast<double>(n);
+    return static_cast<double>(f_->NumSpecies()) +
+           static_cast<double>(f_->singletons()) * (nd - 1.0) / nd;
+  }
+  std::string_view name() const override { return "JACKKNIFE1"; }
+
+ private:
+  const FStatistics* f_;
+};
+
+class SharedVChao92Scorer : public TotalErrorEstimator {
+ public:
+  SharedVChao92Scorer(const crowd::ResponseLog* log, const FStatistics* f,
+                      uint32_t shift, bool skew_correction)
+      : log_(log), f_(f), shift_(shift), skew_correction_(skew_correction) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    FStatistics::ShiftedView view =
+        f_->Shifted(shift_, log_->total_positive_votes());
+    uint64_t c = log_->MajorityCount();
+    if (c == 0) c = view.c;
+    return Chao92Point(c, view.f1, view.n, view.sum_ii1, skew_correction_);
+  }
+  std::string_view name() const override { return "V-CHAO"; }
+
+ private:
+  const crowd::ResponseLog* log_;
+  const FStatistics* f_;
+  uint32_t shift_;
+  bool skew_correction_;
+};
+
+/// True when the env provides a maintained positive-vote fingerprint.
+bool HasSharedFingerprint(const EstimatorEnv& env) {
+  return env.shared != nullptr && env.shared->positive_f != nullptr;
+}
+
+template <typename Standalone, typename Scorer>
+Result<std::unique_ptr<TotalErrorEstimator>> MakeFingerprintEstimator(
+    const EstimatorEnv& env, const EstimatorSpec& spec) {
+  SpecParamReader params(spec);
+  DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+  if (HasSharedFingerprint(env)) {
+    return std::unique_ptr<TotalErrorEstimator>(
+        std::make_unique<Scorer>(env.shared->positive_f));
+  }
+  return std::unique_ptr<TotalErrorEstimator>(
+      std::make_unique<Standalone>(env.num_items));
+}
+
+}  // namespace
+
+void internal::RegisterBuiltinChaoFamily(EstimatorRegistry& registry) {
+  auto check = [](Status status) { DQM_CHECK(status.ok()) << status.ToString(); };
+  check(registry.Register(EstimatorRegistry::Entry{
+      .name = "chao92",
+      .display_name = "CHAO92",
+      .help = "Chao92 species estimate with skew correction; no params",
+      .wants_positive_fingerprint = true,
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        SpecParamReader params(spec);
+        DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+        if (HasSharedFingerprint(env)) {
+          return std::unique_ptr<TotalErrorEstimator>(
+              std::make_unique<SharedChao92Scorer>(env.shared->positive_f,
+                                                   true));
+        }
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<Chao92Estimator>(env.num_items, true));
+      }}));
+  check(registry.Register(EstimatorRegistry::Entry{
+      .name = "good-turing",
+      .display_name = "GOOD-TURING",
+      .help = "Chao92 without the skew correction (Eq. 3); no params",
+      .wants_positive_fingerprint = true,
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        SpecParamReader params(spec);
+        DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+        if (HasSharedFingerprint(env)) {
+          return std::unique_ptr<TotalErrorEstimator>(
+              std::make_unique<SharedChao92Scorer>(env.shared->positive_f,
+                                                   false));
+        }
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<Chao92Estimator>(env.num_items, false));
+      }}));
+  check(registry.RegisterAlias("goodturing", "good-turing"));
+  check(registry.Register(EstimatorRegistry::Entry{
+      .name = "vchao92",
+      .display_name = "V-CHAO",
+      .help = "voting-based shifted Chao92; params: shift=<uint> (default 1), "
+              "skew=<bool> (default 1)",
+      .wants_positive_fingerprint = true,
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        SpecParamReader params(spec);
+        DQM_ASSIGN_OR_RETURN(uint32_t shift, params.GetUint32("shift", 1));
+        DQM_ASSIGN_OR_RETURN(bool skew, params.GetBool("skew", true));
+        DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+        if (HasSharedFingerprint(env)) {
+          return std::unique_ptr<TotalErrorEstimator>(
+              std::make_unique<SharedVChao92Scorer>(
+                  env.shared->log, env.shared->positive_f, shift, skew));
+        }
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<VChao92Estimator>(env.num_items, shift, skew));
+      }}));
+  check(registry.RegisterAlias("v-chao", "vchao92"));
+  check(registry.Register(EstimatorRegistry::Entry{
+      .name = "chao1",
+      .display_name = "CHAO1",
+      .help = "Chao1 abundance lower bound; no params",
+      .wants_positive_fingerprint = true,
+      .factory = MakeFingerprintEstimator<Chao1Estimator, SharedChao1Scorer>}));
+  check(registry.Register(EstimatorRegistry::Entry{
+      .name = "jackknife1",
+      .display_name = "JACKKNIFE1",
+      .help = "first-order jackknife species estimate; no params",
+      .wants_positive_fingerprint = true,
+      .factory = MakeFingerprintEstimator<JackknifeEstimator,
+                                          SharedJackknifeScorer>}));
+  check(registry.RegisterAlias("jackknife", "jackknife1"));
 }
 
 }  // namespace dqm::estimators

@@ -1,5 +1,9 @@
 #include "estimators/em_voting.h"
 
+#include <memory>
+
+#include "estimators/registry.h"
+
 namespace dqm::estimators {
 
 EmVotingEstimator::EmVotingEstimator(
@@ -20,6 +24,66 @@ const crowd::DawidSkene::Result& EmVotingEstimator::FitResult() const {
 
 double EmVotingEstimator::Estimate() const {
   return static_cast<double>(crowd::DawidSkene::DirtyCount(FitResult()));
+}
+
+namespace {
+
+/// Pipeline form: fits EM lazily against the pipeline's shared log instead
+/// of duplicating every vote into a private copy.
+class SharedEmVotingScorer : public TotalErrorEstimator {
+ public:
+  SharedEmVotingScorer(const crowd::ResponseLog* log,
+                       const crowd::DawidSkene::Options& options)
+      : em_(options), log_(log) {}
+  void Observe(const crowd::VoteEvent&) override {}
+  bool needs_observe() const override { return false; }
+  double Estimate() const override {
+    if (cached_at_votes_ != log_->num_events()) {
+      cached_result_ = em_.Fit(*log_);
+      cached_at_votes_ = log_->num_events();
+    }
+    return static_cast<double>(crowd::DawidSkene::DirtyCount(cached_result_));
+  }
+  std::string_view name() const override { return "EM-VOTING"; }
+
+ private:
+  crowd::DawidSkene em_;
+  const crowd::ResponseLog* log_;
+  mutable crowd::DawidSkene::Result cached_result_;
+  mutable size_t cached_at_votes_ = SIZE_MAX;
+};
+
+}  // namespace
+
+void internal::RegisterBuiltinEmVoting(EstimatorRegistry& registry) {
+  Status status = registry.Register(EstimatorRegistry::Entry{
+      .name = "em-voting",
+      .display_name = "EM-VOTING",
+      .help = "Dawid-Skene posterior dirty count; params: max_iters=<uint>, "
+              "tolerance=<float>, smoothing=<float>",
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        crowd::DawidSkene::Options options;
+        SpecParamReader params(spec);
+        DQM_ASSIGN_OR_RETURN(
+            uint32_t max_iters,
+            params.GetUint32("max_iters",
+                             static_cast<uint32_t>(options.max_iterations)));
+        options.max_iterations = max_iters;
+        DQM_ASSIGN_OR_RETURN(options.tolerance,
+                             params.GetDouble("tolerance", options.tolerance));
+        DQM_ASSIGN_OR_RETURN(options.smoothing,
+                             params.GetDouble("smoothing", options.smoothing));
+        DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+        if (env.shared != nullptr) {
+          return std::unique_ptr<TotalErrorEstimator>(
+              std::make_unique<SharedEmVotingScorer>(env.shared->log,
+                                                     options));
+        }
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<EmVotingEstimator>(env.num_items, options));
+      }});
+  DQM_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace dqm::estimators

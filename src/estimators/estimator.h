@@ -30,6 +30,12 @@ class TotalErrorEstimator {
 
   /// Short display name used in reports ("CHAO92", "SWITCH", ...).
   virtual std::string_view name() const = 0;
+
+  /// False for pipeline-attached scorers whose whole state lives in the
+  /// shared vote statistics (see registry.h): the multi-estimator pipeline
+  /// skips the per-event Observe() fan-out for them. Standalone estimators
+  /// keep the default.
+  virtual bool needs_observe() const { return true; }
 };
 
 /// Creates a fresh estimator for a universe of `num_items` items. The

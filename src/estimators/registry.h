@@ -1,0 +1,192 @@
+#ifndef DQM_ESTIMATORS_REGISTRY_H_
+#define DQM_ESTIMATORS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crowd/response_log.h"
+#include "estimators/estimator.h"
+#include "estimators/f_statistics.h"
+
+namespace dqm::estimators {
+
+/// A parsed estimator spec string. Grammar:
+///
+///   spec   := name [ '?' param ( '&' param )* ]
+///   param  := key '=' value
+///
+/// e.g. "switch", "vchao92?shift=2", "switch?tau=50&two_sided=1". Names and
+/// keys are ASCII case-insensitive (folded to lower case); values are kept
+/// verbatim. Specs are how estimators are selected and configured everywhere
+/// a string is more convenient than a type: CLI flags, engine OpenSession
+/// calls, bench configs, saved experiment manifests.
+struct EstimatorSpec {
+  std::string name;
+  /// Key/value pairs in the order written. Duplicate keys are rejected at
+  /// parse time.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Canonical round-trip form: "name" or "name?k=v&k=v".
+  std::string ToString() const;
+};
+
+/// Parses a spec string. InvalidArgument on empty name, malformed params
+/// (missing '=', empty key) or duplicate keys. Unknown *names* are not
+/// detected here — that is the registry's job.
+Result<EstimatorSpec> ParseEstimatorSpec(std::string_view spec);
+
+/// Splits a comma-separated spec list ("switch,vchao92?shift=2,voting") into
+/// individual spec strings, trimming whitespace and dropping empty entries.
+std::vector<std::string> SplitSpecList(std::string_view list);
+
+/// Typed accessor over an EstimatorSpec's params for factories: reads each
+/// key at most once and rejects keys nobody asked for, so a typo like
+/// "switch?winow=9" fails loudly instead of being silently ignored.
+class SpecParamReader {
+ public:
+  explicit SpecParamReader(const EstimatorSpec& spec);
+
+  /// Each getter returns the parsed value, `fallback` when the key is
+  /// absent, or InvalidArgument when the value does not parse (or violates
+  /// the documented range).
+  Result<uint32_t> GetUint32(std::string_view key, uint32_t fallback);
+  Result<double> GetDouble(std::string_view key, double fallback);
+  /// Accepts 1/0/true/false/yes/no (case-insensitive).
+  Result<bool> GetBool(std::string_view key, bool fallback);
+  /// The raw value string (lower-cased), for enum-like params.
+  Result<std::string> GetString(std::string_view key,
+                                std::string_view fallback);
+
+  /// True when the spec sets `key` (does not consume it) — for rejecting
+  /// mutually exclusive aliases.
+  bool Has(std::string_view key) const;
+
+  /// InvalidArgument naming every param no getter consumed; call last.
+  Status VerifyAllConsumed() const;
+
+ private:
+  const std::string* Consume(std::string_view key);
+
+  const EstimatorSpec& spec_;
+  std::vector<bool> consumed_;
+};
+
+/// Shared per-pipeline vote statistics (see core::DataQualityMetric): when N
+/// estimators watch one vote stream, the descriptive tallies and the
+/// positive-vote fingerprint they would each rebuild are maintained once by
+/// the pipeline and read by lightweight scorer estimators. Pointees outlive
+/// every estimator created against them.
+struct SharedVoteStats {
+  /// The pipeline's response log: per-item tallies, NOMINAL / VOTING counts.
+  /// Always set when the stats object itself is provided.
+  const crowd::ResponseLog* log = nullptr;
+  /// Frequency-of-frequencies fingerprint of dirty votes per item (the
+  /// Chao92-family state). Null when no selected estimator asked for it —
+  /// factories must fall back to standalone state in that case.
+  const FStatistics* positive_f = nullptr;
+};
+
+/// Everything a factory needs to build one estimator instance.
+struct EstimatorEnv {
+  size_t num_items = 0;
+  /// Non-null when the estimator is being attached to a multi-estimator
+  /// pipeline that maintains shared statistics; null for standalone use
+  /// (ExperimentRunner replays, direct construction).
+  const SharedVoteStats* shared = nullptr;
+};
+
+/// Builds one estimator from a parsed spec. Factories must reject unknown
+/// or out-of-range params with InvalidArgument (use SpecParamReader) and
+/// never abort on bad input.
+using SpecFactory = std::function<Result<std::unique_ptr<TotalErrorEstimator>>(
+    const EstimatorEnv& env, const EstimatorSpec& spec)>;
+
+/// Open name -> factory registry: the extension point that replaced the
+/// closed core::Method enum. Built-in estimators self-register from their
+/// own .cc files (see the internal::RegisterBuiltin* hooks below — explicit
+/// hook functions rather than static initializers, so registration survives
+/// static-library linking and never races program start-up); library users
+/// add their own estimators with Register() and select them by spec string
+/// through every API that accepts one.
+class EstimatorRegistry {
+ public:
+  struct Entry {
+    /// Registry key, lower-case ("switch", "vchao92", ...).
+    std::string name;
+    /// Display name matching TotalErrorEstimator::name() ("SWITCH", ...).
+    std::string display_name;
+    /// One-line param documentation for --help style listings.
+    std::string help;
+    /// True when the estimator's pipeline form reads the shared positive-
+    /// vote fingerprint: the pipeline maintains SharedVoteStats::positive_f
+    /// iff at least one selected estimator wants it.
+    bool wants_positive_fingerprint = false;
+    SpecFactory factory;
+  };
+
+  EstimatorRegistry() = default;
+  EstimatorRegistry(const EstimatorRegistry&) = delete;
+  EstimatorRegistry& operator=(const EstimatorRegistry&) = delete;
+
+  /// Registers an entry. AlreadyExists when the name (or an alias) is
+  /// taken; InvalidArgument for an empty name or null factory.
+  Status Register(Entry entry);
+
+  /// Registers `alias` as an alternate spelling of `canonical`
+  /// ("goodturing" -> "good-turing").
+  Status RegisterAlias(std::string alias, std::string canonical);
+
+  bool Contains(std::string_view name) const;
+
+  /// Canonical (non-alias) names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The entry for `name` (alias-resolved); NotFound otherwise.
+  Result<std::shared_ptr<const Entry>> Find(std::string_view name) const;
+
+  /// Creates an estimator from a parsed spec. NotFound for unknown names,
+  /// InvalidArgument for bad params.
+  Result<std::unique_ptr<TotalErrorEstimator>> Create(
+      const EstimatorSpec& spec, const EstimatorEnv& env) const;
+
+  /// Parse + create in one step, standalone (no shared stats).
+  Result<std::unique_ptr<TotalErrorEstimator>> Create(std::string_view spec,
+                                                      size_t num_items) const;
+
+  /// Validates `spec` now and returns an infallible EstimatorFactory bound
+  /// to it — the bridge to APIs that construct estimators repeatedly
+  /// (ExperimentRunner permutation replays).
+  Result<EstimatorFactory> FactoryFor(std::string_view spec) const;
+
+  /// The process-wide registry with all built-in estimators registered.
+  static EstimatorRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  // Alias and canonical names both map to the shared entry.
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::vector<std::string> canonical_names_;  // registration order
+};
+
+namespace internal {
+/// Built-in registration hooks, defined in the estimator .cc files next to
+/// the estimators they register; EstimatorRegistry::Global() invokes each
+/// exactly once.
+void RegisterBuiltinBaselines(EstimatorRegistry& registry);   // baselines.cc
+void RegisterBuiltinChaoFamily(EstimatorRegistry& registry);  // chao92.cc
+void RegisterBuiltinSwitch(EstimatorRegistry& registry);      // switch_total.cc
+void RegisterBuiltinEmVoting(EstimatorRegistry& registry);    // em_voting.cc
+}  // namespace internal
+
+}  // namespace dqm::estimators
+
+#endif  // DQM_ESTIMATORS_REGISTRY_H_

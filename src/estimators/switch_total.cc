@@ -1,8 +1,11 @@
 #include "estimators/switch_total.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/stats.h"
+#include "common/string_util.h"
+#include "estimators/registry.h"
 
 namespace dqm::estimators {
 
@@ -82,6 +85,112 @@ double SwitchTotalErrorEstimator::Estimate() const {
     estimate = (direction_ >= 0) ? majority + xi_pos : majority - xi_neg;
   }
   return std::max(estimate, 0.0);
+}
+
+namespace {
+
+/// Builds a SWITCH Config from spec params. Every tunable of the estimator
+/// and its tracker is reachable by string so saved bench configs and CLI
+/// flags can express the full ablation space.
+Result<SwitchTotalErrorEstimator::Config> SwitchConfigFromSpec(
+    const EstimatorSpec& spec) {
+  SwitchTotalErrorEstimator::Config config;
+  SpecParamReader params(spec);
+  // `tau` is the short spec-string spelling of the trend window; setting
+  // both aliases is ambiguous and rejected.
+  if (params.Has("tau") && params.Has("trend_window")) {
+    return Status::InvalidArgument(
+        "estimator 'switch': set only one of tau|trend_window");
+  }
+  DQM_ASSIGN_OR_RETURN(
+      uint32_t trend_window,
+      params.GetUint32("trend_window",
+                       static_cast<uint32_t>(config.trend_window)));
+  DQM_ASSIGN_OR_RETURN(uint32_t tau, params.GetUint32("tau", trend_window));
+  config.trend_window = tau;
+  DQM_ASSIGN_OR_RETURN(config.flip_threshold_abs,
+                       params.GetDouble("flip_abs", config.flip_threshold_abs));
+  DQM_ASSIGN_OR_RETURN(config.flip_threshold_rel,
+                       params.GetDouble("flip_rel", config.flip_threshold_rel));
+  DQM_ASSIGN_OR_RETURN(
+      config.up_flip_factor,
+      params.GetDouble("up_flip_factor", config.up_flip_factor));
+  DQM_ASSIGN_OR_RETURN(
+      uint32_t smooth_window,
+      params.GetUint32("smooth_window",
+                       static_cast<uint32_t>(config.smooth_window)));
+  config.smooth_window = smooth_window;
+  DQM_ASSIGN_OR_RETURN(config.two_sided,
+                       params.GetBool("two_sided", config.two_sided));
+  DQM_ASSIGN_OR_RETURN(
+      config.tracker.skew_correction,
+      params.GetBool("skew", config.tracker.skew_correction));
+
+  DQM_ASSIGN_OR_RETURN(std::string tie_policy,
+                       params.GetString("tie_policy", "tie"));
+  if (tie_policy == "tie") {
+    config.tracker.tie_policy = TiePolicy::kTieAsSwitch;
+  } else if (tie_policy == "strict") {
+    config.tracker.tie_policy = TiePolicy::kStrictMajority;
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "estimator 'switch': tie_policy=%s (want tie|strict)",
+        tie_policy.c_str()));
+  }
+  DQM_ASSIGN_OR_RETURN(std::string n_mode, params.GetString("n_mode", "all"));
+  if (n_mode == "all") {
+    config.tracker.n_mode = SwitchNMode::kAllVotes;
+  } else if (n_mode == "species") {
+    config.tracker.n_mode = SwitchNMode::kSpeciesSum;
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "estimator 'switch': n_mode=%s (want all|species)", n_mode.c_str()));
+  }
+  DQM_ASSIGN_OR_RETURN(std::string counting,
+                       params.GetString("counting", "per-switch"));
+  if (counting == "per-switch") {
+    config.tracker.counting = SwitchCountingMode::kPerSwitch;
+  } else if (counting == "per-record") {
+    config.tracker.counting = SwitchCountingMode::kPerRecord;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("estimator 'switch': counting=%s (want per-switch|"
+                  "per-record)",
+                  counting.c_str()));
+  }
+  DQM_ASSIGN_OR_RETURN(std::string memory, params.GetString("memory", "live"));
+  if (memory == "live") {
+    config.tracker.memory = SwitchMemory::kLiveOnly;
+  } else if (memory == "all") {
+    config.tracker.memory = SwitchMemory::kAllSwitches;
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "estimator 'switch': memory=%s (want live|all)", memory.c_str()));
+  }
+  DQM_RETURN_NOT_OK(params.VerifyAllConsumed());
+  return config;
+}
+
+}  // namespace
+
+void internal::RegisterBuiltinSwitch(EstimatorRegistry& registry) {
+  Status status = registry.Register(EstimatorRegistry::Entry{
+      .name = "switch",
+      .display_name = "SWITCH",
+      .help = "the paper's SWITCH estimator; params: tau|trend_window=<uint>, "
+              "flip_abs=<float>, flip_rel=<float>, up_flip_factor=<float>, "
+              "smooth_window=<uint>, two_sided=<bool>, skew=<bool>, "
+              "tie_policy=tie|strict, n_mode=all|species, "
+              "counting=per-switch|per-record, memory=live|all",
+      .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<TotalErrorEstimator>> {
+        DQM_ASSIGN_OR_RETURN(SwitchTotalErrorEstimator::Config config,
+                             SwitchConfigFromSpec(spec));
+        return std::unique_ptr<TotalErrorEstimator>(
+            std::make_unique<SwitchTotalErrorEstimator>(env.num_items,
+                                                        config));
+      }});
+  DQM_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace dqm::estimators

@@ -1,0 +1,238 @@
+// The multi-estimator pipeline contract: one pass over the vote stream must
+// produce, for every attached estimator, exactly the numbers an independent
+// single-method replay produces — bit for bit — while the deprecated enum
+// construction path keeps its historical behavior.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/dqm.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "engine/engine.h"
+
+namespace dqm::core {
+namespace {
+
+/// The paper's estimator panel (Figs. 2/4/6 comparisons).
+const std::vector<std::string> kPanel = {
+    "switch", "chao92", "good-turing", "vchao92", "voting", "nominal"};
+
+const std::vector<Method> kPanelMethods = {
+    Method::kSwitch, Method::kChao92, Method::kGoodTuring,
+    Method::kVChao92, Method::kVoting, Method::kNominal};
+
+SimulatedRun PanelRun(size_t tasks = 150, uint64_t seed = 11) {
+  Scenario scenario = SimulationScenario(0.02, 0.15, 10);
+  return SimulateScenario(scenario, tasks, seed);
+}
+
+void Feed(DataQualityMetric& metric, const crowd::ResponseLog& log) {
+  for (const crowd::VoteEvent& event : log.events()) {
+    metric.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+  }
+}
+
+TEST(ReportPipelineTest, OnePassMatchesSixSingleMethodReplaysBitForBit) {
+  SimulatedRun run = PanelRun();
+  size_t num_items = run.truth.size();
+
+  Result<DataQualityMetric> pipeline =
+      DataQualityMetric::Create(num_items, std::span<const std::string>(kPanel));
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  Feed(*pipeline, run.log);
+  DataQualityMetric::QualityReport report = pipeline->Report();
+  ASSERT_EQ(report.estimators.size(), kPanel.size());
+
+  for (size_t i = 0; i < kPanel.size(); ++i) {
+    SCOPED_TRACE(kPanel[i]);
+    // Independent single-method replay through the spec path...
+    std::vector<std::string> single = {kPanel[i]};
+    Result<DataQualityMetric> replay =
+        DataQualityMetric::Create(num_items,
+                                  std::span<const std::string>(single));
+    ASSERT_TRUE(replay.ok());
+    Feed(*replay, run.log);
+    EXPECT_EQ(report.estimators[i].total_errors,
+              replay->EstimatedTotalErrors());
+    EXPECT_EQ(report.estimators[i].undetected_errors,
+              replay->EstimatedUndetectedErrors());
+    EXPECT_EQ(report.estimators[i].quality_score, replay->QualityScore());
+
+    // ...and through the legacy enum path (standalone estimators).
+    DataQualityMetric::Options options;
+    options.method = kPanelMethods[i];
+    DataQualityMetric legacy(num_items, options);
+    Feed(legacy, run.log);
+    EXPECT_EQ(report.estimators[i].total_errors,
+              legacy.EstimatedTotalErrors());
+    EXPECT_EQ(report.estimators[i].undetected_errors,
+              legacy.EstimatedUndetectedErrors());
+    EXPECT_EQ(report.estimators[i].quality_score, legacy.QualityScore());
+    EXPECT_EQ(report.estimators[i].name, MethodName(kPanelMethods[i]));
+  }
+}
+
+TEST(ReportPipelineTest, ReportCarriesDescriptiveCountsAndSpecs) {
+  SimulatedRun run = PanelRun(60);
+  size_t num_items = run.truth.size();
+  // Braced-list form — the class comment's documented usage.
+  Result<DataQualityMetric> metric =
+      DataQualityMetric::Create(num_items, {"switch", "vchao92?shift=2"});
+  ASSERT_TRUE(metric.ok());
+  Feed(*metric, run.log);
+
+  DataQualityMetric::QualityReport report = metric->Report();
+  EXPECT_EQ(report.num_votes, metric->num_votes());
+  EXPECT_EQ(report.num_items, num_items);
+  EXPECT_EQ(report.majority_count, metric->MajorityCount());
+  EXPECT_EQ(report.nominal_count, metric->NominalCount());
+  ASSERT_EQ(report.estimators.size(), 2u);
+  EXPECT_EQ(report.estimators[0].name, "SWITCH");
+  EXPECT_EQ(report.estimators[0].spec, "switch");
+  EXPECT_EQ(report.estimators[1].name, "V-CHAO");
+  EXPECT_EQ(report.estimators[1].spec, "vchao92?shift=2");
+
+  // The single-method accessors answer for the primary (first) estimator.
+  EXPECT_EQ(metric->method_name(), "SWITCH");
+  EXPECT_EQ(report.estimators[0].total_errors, metric->EstimatedTotalErrors());
+  EXPECT_EQ(report.estimators[0].quality_score, metric->QualityScore());
+  EXPECT_EQ(metric->estimator_names(),
+            (std::vector<std::string>{"SWITCH", "V-CHAO"}));
+}
+
+TEST(ReportPipelineTest, CreateRejectsBadInput) {
+  std::vector<std::string> empty;
+  EXPECT_EQ(DataQualityMetric::Create(100, std::span<const std::string>(empty))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DataQualityMetric::Create(100, "switch,chao93").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      DataQualityMetric::Create(100, "switch?winow=9").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ReportPipelineTest, DeprecatedOptionKnobsStillConfigureTheEstimator) {
+  SimulatedRun run = PanelRun(80, 23);
+  size_t num_items = run.truth.size();
+
+  // vchao_shift keeps working through the enum path for one release...
+  DataQualityMetric::Options options;
+  options.method = Method::kVChao92;
+  options.vchao_shift = 3;
+  DataQualityMetric legacy(num_items, options);
+  Feed(legacy, run.log);
+  // ...and matches its spec-string replacement exactly.
+  Result<DataQualityMetric> by_spec =
+      DataQualityMetric::Create(num_items, "vchao92?shift=3");
+  ASSERT_TRUE(by_spec.ok());
+  Feed(*by_spec, run.log);
+  EXPECT_EQ(legacy.EstimatedTotalErrors(), by_spec->EstimatedTotalErrors());
+
+  // Same for switch_config.
+  DataQualityMetric::Options switch_options;
+  switch_options.method = Method::kSwitch;
+  switch_options.switch_config.two_sided = true;
+  switch_options.switch_config.smooth_window = 5;
+  DataQualityMetric legacy_switch(num_items, switch_options);
+  Feed(legacy_switch, run.log);
+  Result<DataQualityMetric> switch_by_spec = DataQualityMetric::Create(
+      num_items, "switch?two_sided=1&smooth_window=5");
+  ASSERT_TRUE(switch_by_spec.ok());
+  Feed(*switch_by_spec, run.log);
+  EXPECT_EQ(legacy_switch.EstimatedTotalErrors(),
+            switch_by_spec->EstimatedTotalErrors());
+
+  // Options::specs wins over the enum when both are set.
+  DataQualityMetric::Options spec_options;
+  spec_options.method = Method::kNominal;
+  spec_options.specs = {"voting"};
+  DataQualityMetric spec_metric(num_items, spec_options);
+  EXPECT_EQ(spec_metric.method_name(), "VOTING");
+}
+
+TEST(ReportPipelineTest, EngineSnapshotCarriesTheFullPanel) {
+  SimulatedRun run = PanelRun(100, 31);
+  size_t num_items = run.truth.size();
+
+  engine::DqmEngine engine;
+  Result<std::shared_ptr<engine::EstimationSession>> session =
+      engine.OpenSession("panel", num_items,
+                         std::span<const std::string>(kPanel));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const std::vector<crowd::VoteEvent>& events = run.log.events();
+  for (size_t begin = 0; begin < events.size(); begin += 64) {
+    size_t size = std::min<size_t>(64, events.size() - begin);
+    ASSERT_TRUE((*session)
+                    ->AddVotes(std::span<const crowd::VoteEvent>(
+                        &events[begin], size))
+                    .ok());
+  }
+
+  // The snapshot rows must be exactly the facade report of a serial replay.
+  Result<DataQualityMetric> serial =
+      DataQualityMetric::Create(num_items, std::span<const std::string>(kPanel));
+  ASSERT_TRUE(serial.ok());
+  Feed(*serial, run.log);
+  DataQualityMetric::QualityReport report = serial->Report();
+
+  engine::Snapshot snapshot = (*session)->snapshot();
+  EXPECT_EQ(snapshot.num_votes, report.num_votes);
+  EXPECT_EQ(snapshot.majority_count, report.majority_count);
+  EXPECT_EQ(snapshot.nominal_count, report.nominal_count);
+  EXPECT_EQ(snapshot.method_name, "SWITCH");
+  ASSERT_EQ(snapshot.estimates.size(), kPanel.size());
+  for (size_t i = 0; i < kPanel.size(); ++i) {
+    SCOPED_TRACE(kPanel[i]);
+    EXPECT_EQ(snapshot.estimates[i].name, report.estimators[i].name);
+    EXPECT_EQ(snapshot.estimates[i].total_errors,
+              report.estimators[i].total_errors);
+    EXPECT_EQ(snapshot.estimates[i].undetected_errors,
+              report.estimators[i].undetected_errors);
+    EXPECT_EQ(snapshot.estimates[i].quality_score,
+              report.estimators[i].quality_score);
+  }
+  // Primary scalars mirror row 0.
+  EXPECT_EQ(snapshot.estimated_total_errors,
+            snapshot.estimates[0].total_errors);
+  EXPECT_EQ(snapshot.quality_score, snapshot.estimates[0].quality_score);
+
+  // Bad specs never half-open a session.
+  EXPECT_EQ(engine.OpenSession("bad", num_items,
+                               std::span<const std::string>(
+                                   std::vector<std::string>{"chao93"}))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.num_sessions(), 1u);
+}
+
+TEST(ReportPipelineTest, SharedEmVotingMatchesStandalone) {
+  SimulatedRun run = PanelRun(60, 5);
+  size_t num_items = run.truth.size();
+  Result<DataQualityMetric> pipeline =
+      DataQualityMetric::Create(num_items, "em-voting,chao92");
+  ASSERT_TRUE(pipeline.ok());
+  Feed(*pipeline, run.log);
+
+  // Standalone construction (no shared stats): the registry env without a
+  // pipeline falls back to the self-contained EmVotingEstimator.
+  std::unique_ptr<estimators::TotalErrorEstimator> standalone =
+      estimators::EstimatorRegistry::Global()
+          .Create("em-voting", num_items)
+          .value();
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    standalone->Observe(event);
+  }
+  EXPECT_EQ(pipeline->Report().estimators[0].total_errors,
+            standalone->Estimate());
+}
+
+}  // namespace
+}  // namespace dqm::core

@@ -31,31 +31,9 @@
 #include "core/scenario.h"
 #include "crowd/log_io.h"
 #include "engine/engine.h"
+#include "estimators/registry.h"
 
 namespace {
-
-using dqm::core::Method;
-
-struct MethodOption {
-  const char* name;
-  Method method;
-};
-
-constexpr MethodOption kMethods[] = {
-    {"switch", Method::kSwitch},   {"chao92", Method::kChao92},
-    {"goodturing", Method::kGoodTuring}, {"vchao92", Method::kVChao92},
-    {"voting", Method::kVoting},   {"nominal", Method::kNominal},
-};
-
-bool ParseMethod(const std::string& name, Method* out) {
-  for (const MethodOption& option : kMethods) {
-    if (name == option.name) {
-      *out = option.method;
-      return true;
-    }
-  }
-  return false;
-}
 
 /// Session name from a CSV path's basename; `used` disambiguates duplicate
 /// basenames (run1/votes.csv + run2/votes.csv) with a numeric suffix.
@@ -85,22 +63,36 @@ dqm::Status StreamVotes(dqm::engine::DqmEngine& engine, const std::string& name,
   return dqm::Status::OK();
 }
 
+/// Prints every session's snapshot with one "est/q" column pair per
+/// configured estimator (all sessions share the same --methods lineup).
 void PrintReport(const dqm::engine::DqmEngine& engine) {
-  dqm::AsciiTable table({"session", "votes", "nominal", "majority",
-                         "est. total", "undetected", "quality"});
-  for (const std::string& name : engine.SessionNames()) {
+  std::vector<std::string> names = engine.SessionNames();
+  std::vector<std::string> header = {"session", "votes", "nominal",
+                                     "majority"};
+  bool header_built = false;
+  dqm::AsciiTable table(header);
+  for (const std::string& name : names) {
     dqm::Result<dqm::engine::Snapshot> snapshot = engine.Query(name);
     if (!snapshot.ok()) continue;  // closed concurrently
-    table.AddRow({name,
-                  dqm::StrFormat("%llu",
-                                 static_cast<unsigned long long>(
-                                     snapshot->num_votes)),
-                  dqm::StrFormat("%zu", snapshot->nominal_count),
-                  dqm::StrFormat("%zu", snapshot->majority_count),
-                  dqm::StrFormat("%.1f", snapshot->estimated_total_errors),
-                  dqm::StrFormat("%.1f",
-                                 snapshot->estimated_undetected_errors),
-                  dqm::StrFormat("%.4f", snapshot->quality_score)});
+    if (!header_built) {
+      for (const dqm::engine::EstimatorEstimate& row : snapshot->estimates) {
+        header.push_back(row.name);
+        header.push_back(dqm::StrFormat("q(%s)", row.name.c_str()));
+      }
+      table = dqm::AsciiTable(header);
+      header_built = true;
+    }
+    std::vector<std::string> cells = {
+        name,
+        dqm::StrFormat("%llu",
+                       static_cast<unsigned long long>(snapshot->num_votes)),
+        dqm::StrFormat("%zu", snapshot->nominal_count),
+        dqm::StrFormat("%zu", snapshot->majority_count)};
+    for (const dqm::engine::EstimatorEstimate& row : snapshot->estimates) {
+      cells.push_back(dqm::StrFormat("%.1f", row.total_errors));
+      cells.push_back(dqm::StrFormat("%.4f", row.quality_score));
+    }
+    table.AddRow(std::move(cells));
   }
   std::fputs(table.Render().c_str(), stdout);
 }
@@ -111,9 +103,13 @@ int main(int argc, char** argv) {
   dqm::FlagParser flags;
   int64_t* num_items =
       flags.AddInt("num_items", 1000, "item universe size N per dataset");
+  std::string* methods = flags.AddString(
+      "methods", "",
+      "comma-separated estimator specs run per dataset in one pass, e.g. "
+      "switch,chao92,vchao92?shift=2 (names from the estimator registry; "
+      "default: switch)");
   std::string* method_name = flags.AddString(
-      "method", "switch",
-      "estimation method: switch|chao92|goodturing|vchao92|voting|nominal");
+      "method", "", "DEPRECATED single-estimator alias for --methods");
   int64_t* threads =
       flags.AddInt("threads", 4, "ingest worker threads (0 = hardware)");
   int64_t* batch = flags.AddInt("batch", 256, "votes per ingest batch");
@@ -131,13 +127,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Method method;
-  if (!ParseMethod(*method_name, &method)) {
-    std::fprintf(stderr, "unknown --method=%s\n", method_name->c_str());
+  // --method (deprecated) maps 1:1 onto a single-entry spec list; the old
+  // enum names are all registered spec names (or aliases).
+  if (!method_name->empty() && !methods->empty()) {
+    std::fprintf(stderr,
+                 "--method is a deprecated alias of --methods; pass only "
+                 "--methods\n");
     return 1;
   }
-  dqm::core::DataQualityMetric::Options metric_options;
-  metric_options.method = method;
+  if (!method_name->empty()) {
+    std::fprintf(stderr, "note: --method is deprecated, use --methods=%s\n",
+                 method_name->c_str());
+  }
+  std::string spec_list = !method_name->empty() ? *method_name
+                          : methods->empty()    ? "switch"
+                                                : *methods;
+  std::vector<std::string> specs = dqm::estimators::SplitSpecList(spec_list);
+  if (specs.empty()) {
+    std::fprintf(stderr, "--methods must name at least one estimator\n");
+    return 1;
+  }
+  for (const std::string& spec : specs) {
+    dqm::Result<dqm::estimators::EstimatorFactory> factory =
+        dqm::estimators::EstimatorRegistry::Global().FactoryFor(spec);
+    if (!factory.ok()) {
+      std::fprintf(stderr, "bad estimator spec '%s': %s\n", spec.c_str(),
+                   factory.status().ToString().c_str());
+      return 1;
+    }
+  }
 
   // One dataset per positional CSV file, or from the simulated demo.
   struct Dataset {
@@ -182,7 +200,8 @@ int main(int argc, char** argv) {
   dqm::engine::DqmEngine engine;
   for (const Dataset& dataset : datasets) {
     dqm::Result<std::shared_ptr<dqm::engine::EstimationSession>> session =
-        engine.OpenSession(dataset.name, dataset.num_items, metric_options);
+        engine.OpenSession(dataset.name, dataset.num_items,
+                           std::span<const std::string>(specs));
     if (!session.ok()) {
       std::fprintf(stderr, "open %s: %s\n", dataset.name.c_str(),
                    session.status().ToString().c_str());
@@ -208,8 +227,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("engine report — method=%s, %zu sessions\n",
-              dqm::core::MethodName(method).data(), engine.num_sessions());
+  std::printf("engine report — methods=%s, %zu sessions\n",
+              dqm::Join(specs, ",").c_str(), engine.num_sessions());
   PrintReport(engine);
   return 0;
 }
