@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -9,7 +10,9 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "core/dqm.h"
 #include "estimators/registry.h"
+#include "workload/workload.h"
 
 namespace dqm::core {
 
@@ -113,6 +116,41 @@ Result<std::vector<SeriesResult>> ExperimentRunner::Run(
     factories.emplace_back(spec, std::move(factory));
   }
   return Run(log, num_items, factories);
+}
+
+Result<ExperimentRunner::WorkloadReport> ExperimentRunner::RunWorkload(
+    std::string_view workload_spec,
+    std::span<const std::string> estimator_specs) const {
+  DQM_ASSIGN_OR_RETURN(
+      std::unique_ptr<workload::Workload> generator,
+      workload::WorkloadRegistry::Global().Create(workload_spec));
+  workload::GeneratedWorkload run = generator->Generate(config_.seed);
+
+  DQM_ASSIGN_OR_RETURN(
+      DataQualityMetric metric,
+      DataQualityMetric::Create(generator->num_items(), estimator_specs));
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    metric.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+  }
+  DataQualityMetric::QualityReport report = metric.Report();
+
+  WorkloadReport result;
+  result.workload_spec = generator->spec();
+  result.num_items = generator->num_items();
+  result.num_dirty = run.NumDirty();
+  result.num_votes = report.num_votes;
+  result.num_batches = run.batch_sizes.size();
+  result.majority_count = report.majority_count;
+  result.nominal_count = report.nominal_count;
+  double truth = static_cast<double>(result.num_dirty);
+  result.cells.reserve(report.estimators.size());
+  for (const DataQualityMetric::EstimatorReport& row : report.estimators) {
+    result.cells.push_back(WorkloadCell{
+        row.spec, row.name, row.total_errors, row.undetected_errors,
+        row.quality_score, std::abs(row.total_errors - truth)});
+  }
+  return result;
 }
 
 ExperimentRunner::SwitchDiagnostics ExperimentRunner::RunSwitchDiagnostics(

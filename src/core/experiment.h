@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -74,6 +75,45 @@ class ExperimentRunner {
   Result<std::vector<SeriesResult>> Run(
       const crowd::ResponseLog& log, size_t num_items,
       std::span<const std::string> specs) const;
+
+  /// One estimator's final numbers on one generated workload.
+  struct WorkloadCell {
+    /// The estimator spec the cell was scored with ("vchao92?shift=2").
+    std::string spec;
+    /// Display name ("V-CHAO").
+    std::string name;
+    double total_errors = 0.0;
+    double undetected_errors = 0.0;
+    double quality_score = 1.0;
+    /// |total_errors - true dirty count| — the robustness number the
+    /// scenario x estimator matrix plots.
+    double abs_error = 0.0;
+  };
+
+  /// One row of the scenario x estimator robustness grid.
+  struct WorkloadReport {
+    /// Canonical workload spec ("drift?walk=0.02").
+    std::string workload_spec;
+    size_t num_items = 0;
+    /// Ground-truth |R_dirty| of the generated run.
+    size_t num_dirty = 0;
+    size_t num_votes = 0;
+    /// Ingest batches the workload's arrival process produced.
+    size_t num_batches = 0;
+    size_t majority_count = 0;
+    size_t nominal_count = 0;
+    /// One cell per estimator spec, in spec order.
+    std::vector<WorkloadCell> cells;
+  };
+
+  /// Generates `workload_spec` (resolved via workload::WorkloadRegistry)
+  /// with the runner's seed and scores every estimator spec on the one vote
+  /// stream through the multi-estimator pipeline — the entry point the
+  /// workload matrix bench and the CLI sweep share. Fails up front on
+  /// unknown workload/estimator names or bad params.
+  Result<WorkloadReport> RunWorkload(
+      std::string_view workload_spec,
+      std::span<const std::string> estimator_specs) const;
 
   /// SWITCH diagnostics for Figures 3-5 (b)/(c): per-task series of the
   /// estimated remaining positive/negative switches and the ground-truth

@@ -33,10 +33,12 @@ void CrowdSimulator::RunTask(ResponseLog& log) {
     tasks_by_current_worker_ = 0;
   }
   const uint32_t task = next_task_++;
+  WorkerProfile task_profile = current_worker_;
+  if (dynamics_) dynamics_(next_worker_, task, task_profile);
   std::vector<uint32_t> items = assignment_->NextTask(rng_);
   for (uint32_t item : items) {
     DQM_CHECK_LT(item, truth_.size());
-    WorkerProfile effective = current_worker_;
+    WorkerProfile effective = task_profile;
     if (!item_noise_.empty()) {
       const ItemNoise& noise = item_noise_[item];
       effective.false_positive_rate =

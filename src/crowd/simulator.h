@@ -1,6 +1,7 @@
 #ifndef DQM_CROWD_SIMULATOR_H_
 #define DQM_CROWD_SIMULATOR_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,17 @@ class CrowdSimulator {
   /// vector's size.
   void SetItemNoise(std::vector<ItemNoise> noise);
 
+  /// Per-(worker, task) mutation of the active worker's effective profile,
+  /// applied once per task before any item noise — the hook workload
+  /// generators use to model drifting crowds (per-worker accuracy random
+  /// walks, fleet-wide quality trends; see workload/). The callback must be
+  /// deterministic (own any Rng it needs) so seeded runs stay reproducible.
+  using ProfileDynamics =
+      std::function<void(uint32_t worker, uint32_t task, WorkerProfile&)>;
+  void SetProfileDynamics(ProfileDynamics dynamics) {
+    dynamics_ = std::move(dynamics);
+  }
+
   /// Runs one task end-to-end, appending its votes to `log`.
   void RunTask(ResponseLog& log);
 
@@ -61,6 +73,7 @@ class CrowdSimulator {
  private:
   std::vector<bool> truth_;
   std::vector<ItemNoise> item_noise_;  // empty = uniform difficulty
+  ProfileDynamics dynamics_;           // null = static worker quality
   std::unique_ptr<AssignmentStrategy> assignment_;
   WorkerPool pool_;
   Config config_;

@@ -6,20 +6,58 @@
 
 namespace dqm::crowd {
 
+namespace {
+
+bool IsRate(double value) { return value >= 0.0 && value <= 1.0; }
+
+}  // namespace
+
 WorkerPool::WorkerPool(const Config& config, Rng rng)
     : config_(config), rng_(rng) {
-  DQM_CHECK(config.base.false_positive_rate >= 0.0 &&
-            config.base.false_positive_rate <= 1.0);
-  DQM_CHECK(config.base.false_negative_rate >= 0.0 &&
-            config.base.false_negative_rate <= 1.0);
+  DQM_CHECK(IsRate(config.base.false_positive_rate));
+  DQM_CHECK(IsRate(config.base.false_negative_rate));
   DQM_CHECK_GE(config.variation, 0.0);
+  if (!config.cohorts.empty()) {
+    for (const Cohort& cohort : config.cohorts) {
+      DQM_CHECK_GT(cohort.weight, 0.0);
+      DQM_CHECK(IsRate(cohort.base.false_positive_rate));
+      DQM_CHECK(IsRate(cohort.base.false_negative_rate));
+      DQM_CHECK_GE(cohort.variation, 0.0);
+    }
+    return;  // mixture pools skip the base-profile qualification check
+  }
   // The qualification screen must be satisfiable by the base profile,
   // otherwise DrawWorker could loop for a very long time.
   DQM_CHECK_LE(config.base.false_positive_rate, config.qualification_max_fp);
   DQM_CHECK_LE(config.base.false_negative_rate, config.qualification_max_fn);
 }
 
+WorkerProfile WorkerPool::DrawCohortWorker() {
+  double total = 0.0;
+  for (const Cohort& cohort : config_.cohorts) total += cohort.weight;
+  double pick = rng_.UniformDouble() * total;
+  const Cohort* chosen = &config_.cohorts.back();
+  for (const Cohort& cohort : config_.cohorts) {
+    if (pick < cohort.weight) {
+      chosen = &cohort;
+      break;
+    }
+    pick -= cohort.weight;
+  }
+  WorkerProfile profile = chosen->base;
+  if (chosen->variation > 0.0) {
+    profile.false_positive_rate = std::clamp(
+        profile.false_positive_rate + rng_.Gaussian(0.0, chosen->variation),
+        0.0, 1.0);
+    profile.false_negative_rate = std::clamp(
+        profile.false_negative_rate + rng_.Gaussian(0.0, chosen->variation),
+        0.0, 1.0);
+  }
+  return profile;
+}
+
 WorkerProfile WorkerPool::DrawWorker() {
+  if (!config_.cohorts.empty()) return DrawCohortWorker();
   for (int attempt = 0; attempt < 1000; ++attempt) {
     WorkerProfile profile = config_.base;
     if (config_.variation > 0.0) {

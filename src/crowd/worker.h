@@ -2,6 +2,7 @@
 #define DQM_CROWD_WORKER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 #include "crowd/vote.h"
@@ -31,8 +32,27 @@ struct WorkerProfile {
 /// scatter around the base profile. A qualification screen (as used in the
 /// paper's AMT setup) rejects workers whose rates exceed the configured
 /// ceilings; rejected workers are redrawn.
+///
+/// The pool optionally models a *mixture* population (`Config::cohorts`):
+/// each draw first picks a cohort by weight, then perturbs that cohort's
+/// base profile. This is how the workload layer injects adversarial
+/// sub-crowds — colluding always-wrong voters, spammers — next to the
+/// honest majority.
 class WorkerPool {
  public:
+  /// One sub-population of a mixture pool. Cohort draws bypass the
+  /// qualification screen: adversaries are modeled as answering the
+  /// screening test honestly and misbehaving afterwards, which is also what
+  /// keeps a rate-1.0 cohort from looping the redraw forever.
+  struct Cohort {
+    /// Relative draw weight (> 0; weights need not sum to 1).
+    double weight = 1.0;
+    WorkerProfile base;
+    /// Std-dev of the per-worker Gaussian perturbation for this cohort
+    /// (clamped into [0, 1]). 0 = identical cohort members.
+    double variation = 0.0;
+  };
+
   struct Config {
     WorkerProfile base;
     /// Std-dev of the per-worker Gaussian perturbation applied to both
@@ -41,6 +61,11 @@ class WorkerPool {
     /// Qualification-test ceilings; workers above either are rejected.
     double qualification_max_fp = 1.0;
     double qualification_max_fn = 1.0;
+    /// When non-empty the pool is a mixture over these cohorts and the
+    /// base/variation/qualification fields above are ignored. The rng draw
+    /// sequence of the empty-cohorts path is unchanged, so existing seeded
+    /// scenarios reproduce bit-identically.
+    std::vector<Cohort> cohorts;
   };
 
   WorkerPool(const Config& config, Rng rng);
@@ -51,6 +76,8 @@ class WorkerPool {
   const Config& config() const { return config_; }
 
  private:
+  WorkerProfile DrawCohortWorker();
+
   Config config_;
   Rng rng_;
 };

@@ -100,6 +100,27 @@ Result<Snapshot> DqmEngine::Query(const std::string& name) const {
   return (*session)->snapshot();
 }
 
+std::vector<std::pair<std::string, Snapshot>> DqmEngine::QueryAll() const {
+  // Collect handles shard by shard, then snapshot with no locks held: a
+  // slow estimator read never extends any shard's critical section.
+  std::vector<std::pair<std::string, std::shared_ptr<EstimationSession>>>
+      sessions;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    for (const auto& [name, session] : shards_[i].sessions) {
+      sessions.emplace_back(name, session);
+    }
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, Snapshot>> snapshots;
+  snapshots.reserve(sessions.size());
+  for (const auto& [name, session] : sessions) {
+    snapshots.emplace_back(name, session->snapshot());
+  }
+  return snapshots;
+}
+
 Status DqmEngine::CloseSession(const std::string& name) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mutex);

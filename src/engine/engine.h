@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -80,6 +81,13 @@ class DqmEngine {
   /// hold a GetSession handle and call `snapshot()` on it directly to skip
   /// the lookup entirely.
   Result<Snapshot> Query(const std::string& name) const;
+
+  /// Snapshots of every open session, sorted by name — the one-call sweep
+  /// report/monitoring surfaces use. Each snapshot is individually
+  /// consistent (seqlock read); the set as a whole is not a cross-session
+  /// transaction, and sessions opened or closed concurrently may or may not
+  /// appear.
+  std::vector<std::pair<std::string, Snapshot>> QueryAll() const;
 
   /// Unregisters a session. In-flight operations holding its handle finish
   /// safely; NotFound when no such session is open.

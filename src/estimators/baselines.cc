@@ -68,10 +68,19 @@ class SharedNominalScorer : public TotalErrorEstimator {
 }  // namespace
 
 void internal::RegisterBuiltinBaselines(EstimatorRegistry& registry) {
+  // The descriptive counts depend only on the per-item tallies, survive
+  // whole-log duplication unchanged, and can only grow with dirty votes.
+  const ConformanceTraits descriptive_traits{
+      .permutation_invariant = true,
+      .within_task_invariant = true,
+      .duplication_invariant = true,
+      .monotone_in_dirty_votes = true,
+  };
   Status status = registry.Register(EstimatorRegistry::Entry{
       .name = "voting",
       .display_name = "VOTING",
       .help = "majority-consensus count (descriptive); no params",
+      .traits = descriptive_traits,
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         SpecParamReader params(spec);
@@ -88,6 +97,7 @@ void internal::RegisterBuiltinBaselines(EstimatorRegistry& registry) {
       .name = "nominal",
       .display_name = "NOMINAL",
       .help = "at-least-one-dirty-vote count (descriptive); no params",
+      .traits = descriptive_traits,
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         SpecParamReader params(spec);

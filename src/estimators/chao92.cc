@@ -212,12 +212,22 @@ Result<std::unique_ptr<TotalErrorEstimator>> MakeFingerprintEstimator(
 }  // namespace
 
 void internal::RegisterBuiltinChaoFamily(EstimatorRegistry& registry) {
+  // Every member of the species family scores a function of the per-item
+  // dirty-vote counts: task-order permutations cannot change the estimate.
+  // Duplicating the log *does* (coverage rises), so that flag stays off.
+  constexpr ConformanceTraits kFingerprintTraits{
+      .permutation_invariant = true,
+      .within_task_invariant = true,
+      .duplication_invariant = false,
+      .monotone_in_dirty_votes = false,
+  };
   auto check = [](Status status) { DQM_CHECK(status.ok()) << status.ToString(); };
   check(registry.Register(EstimatorRegistry::Entry{
       .name = "chao92",
       .display_name = "CHAO92",
       .help = "Chao92 species estimate with skew correction; no params",
       .wants_positive_fingerprint = true,
+      .traits = kFingerprintTraits,
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         SpecParamReader params(spec);
@@ -235,6 +245,7 @@ void internal::RegisterBuiltinChaoFamily(EstimatorRegistry& registry) {
       .display_name = "GOOD-TURING",
       .help = "Chao92 without the skew correction (Eq. 3); no params",
       .wants_positive_fingerprint = true,
+      .traits = kFingerprintTraits,
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         SpecParamReader params(spec);
@@ -254,6 +265,7 @@ void internal::RegisterBuiltinChaoFamily(EstimatorRegistry& registry) {
       .help = "voting-based shifted Chao92; params: shift=<uint> (default 1), "
               "skew=<bool> (default 1)",
       .wants_positive_fingerprint = true,
+      .traits = kFingerprintTraits,
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         SpecParamReader params(spec);
@@ -274,12 +286,14 @@ void internal::RegisterBuiltinChaoFamily(EstimatorRegistry& registry) {
       .display_name = "CHAO1",
       .help = "Chao1 abundance lower bound; no params",
       .wants_positive_fingerprint = true,
+      .traits = kFingerprintTraits,
       .factory = MakeFingerprintEstimator<Chao1Estimator, SharedChao1Scorer>}));
   check(registry.Register(EstimatorRegistry::Entry{
       .name = "jackknife1",
       .display_name = "JACKKNIFE1",
       .help = "first-order jackknife species estimate; no params",
       .wants_positive_fingerprint = true,
+      .traits = kFingerprintTraits,
       .factory = MakeFingerprintEstimator<JackknifeEstimator,
                                           SharedJackknifeScorer>}));
   check(registry.RegisterAlias("jackknife", "jackknife1"));

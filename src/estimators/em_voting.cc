@@ -61,6 +61,11 @@ void internal::RegisterBuiltinEmVoting(EstimatorRegistry& registry) {
       .display_name = "EM-VOTING",
       .help = "Dawid-Skene posterior dirty count; params: max_iters=<uint>, "
               "tolerance=<float>, smoothing=<float>",
+      // EM accumulates floating-point sums in event order, so even reorders
+      // that preserve the per-(worker, item) counts are not bit-stable:
+      // no metamorphic invariances are declared and the conformance harness
+      // only applies the universal checks.
+      .traits = ConformanceTraits{},
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         crowd::DawidSkene::Options options;

@@ -26,7 +26,7 @@ Result<EstimatorSpec> ParseEstimatorSpec(std::string_view spec) {
   parsed.name = ToLower(StripWhitespace(trimmed.substr(0, question)));
   if (parsed.name.empty()) {
     return Status::InvalidArgument(
-        StrFormat("estimator spec '%.*s' has no name",
+        StrFormat("spec '%.*s' has no name",
                   static_cast<int>(spec.size()), spec.data()));
   }
   if (question == std::string_view::npos) return parsed;
@@ -38,7 +38,7 @@ Result<EstimatorSpec> ParseEstimatorSpec(std::string_view spec) {
     size_t equals = stripped.find('=');
     if (equals == std::string_view::npos || equals == 0) {
       return Status::InvalidArgument(StrFormat(
-          "estimator spec '%.*s': param '%s' is not key=value",
+          "spec '%.*s': param '%s' is not key=value",
           static_cast<int>(spec.size()), spec.data(),
           std::string(stripped).c_str()));
     }
@@ -47,7 +47,7 @@ Result<EstimatorSpec> ParseEstimatorSpec(std::string_view spec) {
     for (const auto& [existing, unused] : parsed.params) {
       if (existing == key) {
         return Status::InvalidArgument(StrFormat(
-            "estimator spec '%.*s': duplicate param '%s'",
+            "spec '%.*s': duplicate param '%s'",
             static_cast<int>(spec.size()), spec.data(), key.c_str()));
       }
     }
@@ -84,14 +84,14 @@ Result<uint32_t> SpecParamReader::GetUint32(std::string_view key,
   if (raw == nullptr) return fallback;
   if (!IsDigits(*raw)) {
     return Status::InvalidArgument(
-        StrFormat("estimator '%s': param %s=%s is not a non-negative integer",
+        StrFormat("spec '%s': param %s=%s is not a non-negative integer",
                   spec_.name.c_str(), std::string(key).c_str(), raw->c_str()));
   }
   errno = 0;
   unsigned long long value = std::strtoull(raw->c_str(), nullptr, 10);
   if (errno != 0 || value > UINT32_MAX) {
     return Status::InvalidArgument(
-        StrFormat("estimator '%s': param %s=%s is out of range",
+        StrFormat("spec '%s': param %s=%s is out of range",
                   spec_.name.c_str(), std::string(key).c_str(), raw->c_str()));
   }
   return static_cast<uint32_t>(value);
@@ -106,7 +106,7 @@ Result<double> SpecParamReader::GetDouble(std::string_view key,
   double value = std::strtod(raw->c_str(), &end);
   if (errno != 0 || end == raw->c_str() || *end != '\0') {
     return Status::InvalidArgument(
-        StrFormat("estimator '%s': param %s=%s is not a number",
+        StrFormat("spec '%s': param %s=%s is not a number",
                   spec_.name.c_str(), std::string(key).c_str(), raw->c_str()));
   }
   return value;
@@ -119,7 +119,7 @@ Result<bool> SpecParamReader::GetBool(std::string_view key, bool fallback) {
   if (value == "1" || value == "true" || value == "yes") return true;
   if (value == "0" || value == "false" || value == "no") return false;
   return Status::InvalidArgument(
-      StrFormat("estimator '%s': param %s=%s is not a boolean (1/0/true/false)",
+      StrFormat("spec '%s': param %s=%s is not a boolean (1/0/true/false)",
                 spec_.name.c_str(), std::string(key).c_str(), raw->c_str()));
 }
 
@@ -144,7 +144,7 @@ Status SpecParamReader::VerifyAllConsumed() const {
   }
   if (unknown.empty()) return Status::OK();
   return Status::InvalidArgument(
-      StrFormat("estimator '%s': unknown param(s): %s", spec_.name.c_str(),
+      StrFormat("spec '%s': unknown param(s): %s", spec_.name.c_str(),
                 Join(unknown, ", ").c_str()));
 }
 

@@ -110,6 +110,29 @@ struct EstimatorEnv {
 using SpecFactory = std::function<Result<std::unique_ptr<TotalErrorEstimator>>(
     const EstimatorEnv& env, const EstimatorSpec& spec)>;
 
+/// Metamorphic guarantees an estimator declares about itself. The
+/// conformance harness (tests/conformance/) runs every registered estimator
+/// — built-in or user-supplied — against exactly the properties it claims,
+/// under every registered workload family, so a new estimator or a new
+/// workload is cross-verified by construction. All flags default to false:
+/// an estimator that declares nothing only gets the universal checks
+/// (finite, non-negative estimates; pipeline-vs-standalone identity).
+struct ConformanceTraits {
+  /// Estimate() depends only on the per-item vote multisets: bit-identical
+  /// under any task-order permutation of the log (core::PermuteTasks).
+  bool permutation_invariant = false;
+  /// Estimate() is unchanged when votes are reordered *within* a task
+  /// (items are distinct within a task, so each item's vote order is
+  /// preserved). Weaker than permutation_invariant; holds for SWITCH too.
+  bool within_task_invariant = false;
+  /// Estimate() is exactly unchanged when the entire log is ingested twice
+  /// (fresh task/worker ids for the second copy). True for the descriptive
+  /// counts, false for coverage-based estimators by design.
+  bool duplication_invariant = false;
+  /// Estimate() never decreases when one more dirty vote arrives.
+  bool monotone_in_dirty_votes = false;
+};
+
 /// Open name -> factory registry: the extension point that replaced the
 /// closed core::Method enum. Built-in estimators self-register from their
 /// own .cc files (see the internal::RegisterBuiltin* hooks below — explicit
@@ -130,6 +153,8 @@ class EstimatorRegistry {
     /// vote fingerprint: the pipeline maintains SharedVoteStats::positive_f
     /// iff at least one selected estimator wants it.
     bool wants_positive_fingerprint = false;
+    /// Declared metamorphic properties, checked by tests/conformance/.
+    ConformanceTraits traits;
     SpecFactory factory;
   };
 

@@ -182,6 +182,11 @@ void internal::RegisterBuiltinSwitch(EstimatorRegistry& registry) {
               "smooth_window=<uint>, two_sided=<bool>, skew=<bool>, "
               "tie_policy=tie|strict, n_mode=all|species, "
               "counting=per-switch|per-record, memory=live|all",
+      // SWITCH is defined over the vote *sequence* (task-order sensitive by
+      // design), but items within a task are distinct, so reordering inside
+      // a task preserves every per-item vote stream and the task-boundary
+      // VOTING samples.
+      .traits = ConformanceTraits{.within_task_invariant = true},
       .factory = [](const EstimatorEnv& env, const EstimatorSpec& spec)
           -> Result<std::unique_ptr<TotalErrorEstimator>> {
         DQM_ASSIGN_OR_RETURN(SwitchTotalErrorEstimator::Config config,

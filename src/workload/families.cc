@@ -1,0 +1,467 @@
+// Built-in workload families. Each family is a thin specialization of one
+// shared crowd-simulation skeleton (CrowdWorkloadBase): the hostile
+// ingredient — drifting rates, adversarial cohorts, heavy-tailed arrival or
+// difficulty — plugs into exactly one hook, so families compose the same
+// deterministic machinery the paper-shaped scenarios use.
+
+#include "workload/families.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "crowd/assignment.h"
+#include "crowd/simulator.h"
+#include "crowd/worker.h"
+
+namespace dqm::workload {
+
+namespace {
+
+// Rng stream salts, one per independent randomness consumer; the pool and
+// simulator salts match core/scenario.cc so a benign workload with matching
+// params reproduces a SimulationScenario run exactly.
+constexpr uint64_t kPoolSalt = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kSimSalt = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kNoiseSalt = 0x6a09e667f3bcc909ULL;
+constexpr uint64_t kDriftSalt = 0xbb67ae8584caa73bULL;
+constexpr uint64_t kBatchSalt = 0x3c6ef372fe94f82bULL;
+
+/// Bounded Pareto draw: `minimum * (1-u)^(-1/alpha)` clamped to `maximum`.
+/// Heavy right tail for small alpha; equals `minimum` at u = 0.
+double BoundedPareto(Rng& rng, double alpha, double minimum, double maximum) {
+  double u = rng.UniformDouble();  // [0, 1); 1-u is (0, 1]
+  return std::min(maximum, minimum * std::pow(1.0 - u, -1.0 / alpha));
+}
+
+/// Shared skeleton: truth layout, uniform assignment, worker pool, fixed
+/// batch cadence. Families override the hooks they need.
+class CrowdWorkloadBase : public Workload {
+ public:
+  CrowdWorkloadBase(std::string spec, CommonParams common)
+      : spec_(std::move(spec)), common_(common) {}
+
+  GeneratedWorkload Generate(uint64_t seed) const final {
+    Rng truth_rng(seed);
+    std::vector<bool> truth(common_.num_items, false);
+    for (size_t index :
+         truth_rng.SampleIndices(common_.num_items, common_.num_dirty)) {
+      truth[index] = true;
+    }
+
+    crowd::WorkerPool::Config pool_config;
+    pool_config.base.false_positive_rate = common_.fp;
+    pool_config.base.false_negative_rate = common_.fn;
+    pool_config.variation = common_.variation;
+    CustomizePool(pool_config);
+
+    crowd::CrowdSimulator::Config sim_config;
+    sim_config.tasks_per_worker = common_.tasks_per_worker;
+    sim_config.seed = seed ^ kSimSalt;
+    crowd::CrowdSimulator simulator(
+        truth,
+        std::make_unique<crowd::UniformAssignment>(common_.num_items,
+                                                   common_.items_per_task),
+        crowd::WorkerPool(pool_config, Rng(seed ^ kPoolSalt)), sim_config);
+    simulator.SetItemNoise(BuildItemNoise(truth, seed ^ kNoiseSalt));
+    simulator.SetProfileDynamics(MakeDynamics(seed ^ kDriftSalt));
+
+    GeneratedWorkload out{std::move(truth),
+                          crowd::ResponseLog(common_.num_items),
+                          {}};
+    simulator.RunTasks(out.log, common_.num_tasks);
+    out.batch_sizes = MakeBatches(out.log.num_events(), seed ^ kBatchSalt);
+    return out;
+  }
+
+  size_t num_items() const final { return common_.num_items; }
+  const std::string& spec() const final { return spec_; }
+
+ protected:
+  /// Mixture cohorts, qualification screens, ... (adversarial).
+  virtual void CustomizePool(crowd::WorkerPool::Config&) const {}
+  /// Per-item difficulty (heavytail).
+  virtual std::vector<crowd::ItemNoise> BuildItemNoise(
+      const std::vector<bool>&, uint64_t) const {
+    return {};
+  }
+  /// Per-(worker, task) rate dynamics (drift).
+  virtual crowd::CrowdSimulator::ProfileDynamics MakeDynamics(uint64_t) const {
+    return nullptr;
+  }
+  /// Ingest batch partition; default is the fixed `batch=` cadence.
+  virtual std::vector<size_t> MakeBatches(size_t num_events, uint64_t) const {
+    std::vector<size_t> batches;
+    for (size_t begin = 0; begin < num_events; begin += common_.batch) {
+      batches.push_back(std::min(common_.batch, num_events - begin));
+    }
+    return batches;
+  }
+
+  const std::string spec_;
+  const CommonParams common_;
+};
+
+// --- drift: per-worker accuracy random walks plus a fleet-wide trend. ---
+
+class DriftWorkload : public CrowdWorkloadBase {
+ public:
+  DriftWorkload(std::string spec, CommonParams common, double walk,
+                double trend)
+      : CrowdWorkloadBase(std::move(spec), common),
+        walk_(walk),
+        trend_(trend) {}
+
+ protected:
+  crowd::CrowdSimulator::ProfileDynamics MakeDynamics(
+      uint64_t seed) const override {
+    // One mutable walk state per Generate call, owned by the callback:
+    // per-worker offsets advance once per task the worker performs, and the
+    // fleet-wide trend moves with the task index — so early and late tasks
+    // are answered by measurably different crowds.
+    struct WalkState {
+      Rng rng;
+      std::unordered_map<uint32_t, std::pair<double, double>> offsets;
+      explicit WalkState(uint64_t seed) : rng(seed) {}
+    };
+    auto state = std::make_shared<WalkState>(seed);
+    double walk = walk_;
+    double trend = trend_;
+    return [state, walk, trend](uint32_t worker, uint32_t task,
+                                crowd::WorkerProfile& profile) {
+      auto [it, inserted] = state->offsets.try_emplace(worker, 0.0, 0.0);
+      it->second.first += state->rng.Gaussian(0.0, walk);
+      it->second.second += state->rng.Gaussian(0.0, walk);
+      double shift = trend * static_cast<double>(task);
+      profile.false_positive_rate =
+          std::clamp(profile.false_positive_rate + it->second.first + shift,
+                     0.0, 0.98);
+      profile.false_negative_rate =
+          std::clamp(profile.false_negative_rate + it->second.second + shift,
+                     0.0, 0.98);
+    };
+  }
+
+ private:
+  double walk_;
+  double trend_;
+};
+
+// --- adversarial: colluding / spamming cohorts inside an honest crowd. ---
+
+struct AdversaryMode {
+  const char* name;
+  crowd::WorkerProfile profile;
+};
+
+constexpr AdversaryMode kAdversaryModes[] = {
+    // Colluders who always vote the opposite of the truth.
+    {"invert", {1.0, 1.0}},
+    // Spammers who mark everything dirty / everything clean.
+    {"spam-dirty", {1.0, 0.0}},
+    {"spam-clean", {0.0, 1.0}},
+    // Coin-flip spammers.
+    {"random", {0.5, 0.5}},
+};
+
+class AdversarialWorkload : public CrowdWorkloadBase {
+ public:
+  AdversarialWorkload(std::string spec, CommonParams common, double fraction,
+                      crowd::WorkerProfile adversary)
+      : CrowdWorkloadBase(std::move(spec), common),
+        fraction_(fraction),
+        adversary_(adversary) {}
+
+ protected:
+  void CustomizePool(crowd::WorkerPool::Config& pool) const override {
+    if (fraction_ < 1.0) {
+      pool.cohorts.push_back(crowd::WorkerPool::Cohort{
+          1.0 - fraction_, pool.base, common_.variation});
+    }
+    if (fraction_ > 0.0) {
+      // Adversaries behave identically (collusion), hence zero variation.
+      pool.cohorts.push_back(
+          crowd::WorkerPool::Cohort{fraction_, adversary_, 0.0});
+    }
+  }
+
+ private:
+  double fraction_;
+  crowd::WorkerProfile adversary_;
+};
+
+// --- burst: heavy-tailed ingest batches (arrival pattern, not votes). ---
+
+class BurstWorkload : public CrowdWorkloadBase {
+ public:
+  BurstWorkload(std::string spec, CommonParams common, double alpha,
+                size_t min_batch, size_t max_batch)
+      : CrowdWorkloadBase(std::move(spec), common),
+        alpha_(alpha),
+        min_batch_(min_batch),
+        max_batch_(max_batch) {}
+
+ protected:
+  std::vector<size_t> MakeBatches(size_t num_events,
+                                  uint64_t seed) const override {
+    Rng rng(seed);
+    std::vector<size_t> batches;
+    size_t remaining = num_events;
+    while (remaining > 0) {
+      auto size = static_cast<size_t>(
+          BoundedPareto(rng, alpha_, static_cast<double>(min_batch_),
+                        static_cast<double>(max_batch_)));
+      size = std::min(std::max<size_t>(size, 1), remaining);
+      batches.push_back(size);
+      remaining -= size;
+    }
+    return batches;
+  }
+
+ private:
+  double alpha_;
+  size_t min_batch_;
+  size_t max_batch_;
+};
+
+// --- heavytail: Pareto-distributed item difficulty. ---
+
+class HeavyTailWorkload : public CrowdWorkloadBase {
+ public:
+  HeavyTailWorkload(std::string spec, CommonParams common,
+                    double hard_fraction, double scale, double alpha,
+                    double cap)
+      : CrowdWorkloadBase(std::move(spec), common),
+        hard_fraction_(hard_fraction),
+        scale_(scale),
+        alpha_(alpha),
+        cap_(cap) {}
+
+ protected:
+  std::vector<crowd::ItemNoise> BuildItemNoise(const std::vector<bool>& truth,
+                                               uint64_t seed) const override {
+    // A `hard_fraction` of items carries Pareto-tailed extra error mass:
+    // most hard items are mildly harder, a few are nearly impossible (the
+    // "difficult pairs" of Section 6.1.2 pushed to its heavy-tailed limit).
+    // Dirty items get extra miss probability, clean items extra
+    // false-positive probability.
+    Rng rng(seed);
+    std::vector<crowd::ItemNoise> noise(truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (!rng.Bernoulli(hard_fraction_)) continue;
+      auto extra = static_cast<float>(std::min(
+          cap_, scale_ * (BoundedPareto(rng, alpha_, 1.0, 1e6) - 1.0)));
+      if (truth[i]) {
+        noise[i].extra_false_negative = extra;
+      } else {
+        noise[i].extra_false_positive = extra;
+      }
+    }
+    return noise;
+  }
+
+ private:
+  double hard_fraction_;
+  double scale_;
+  double alpha_;
+  double cap_;
+};
+
+// --- spec plumbing. ---
+
+Status ValidateRate(const EstimatorSpec& spec, const char* key, double value) {
+  if (value >= 0.0 && value <= 1.0) return Status::OK();
+  return Status::InvalidArgument(StrFormat("workload '%s': %s=%g not in [0, 1]",
+                                           spec.name.c_str(), key, value));
+}
+
+Status ValidatePositive(const EstimatorSpec& spec, const char* key,
+                        uint64_t value) {
+  if (value > 0) return Status::OK();
+  return Status::InvalidArgument(
+      StrFormat("workload '%s': %s must be positive", spec.name.c_str(), key));
+}
+
+using FamilyBuilder = std::function<Result<std::unique_ptr<Workload>>(
+    const EstimatorSpec& spec, SpecParamReader& reader, CommonParams common)>;
+
+/// Wraps a family builder into a WorkloadFactory: shared-param reading, the
+/// family's own params, then the unknown-param sweep — mirroring how the
+/// estimator factories consume their specs.
+WorkloadFactory MakeFactory(FamilyBuilder builder) {
+  return [builder = std::move(builder)](const EstimatorSpec& spec)
+             -> Result<std::unique_ptr<Workload>> {
+    SpecParamReader reader(spec);
+    DQM_ASSIGN_OR_RETURN(CommonParams common, ReadCommonParams(reader));
+    DQM_ASSIGN_OR_RETURN(std::unique_ptr<Workload> workload,
+                         builder(spec, reader, common));
+    DQM_RETURN_NOT_OK(reader.VerifyAllConsumed());
+    return workload;
+  };
+}
+
+}  // namespace
+
+Result<CommonParams> ReadCommonParams(SpecParamReader& reader) {
+  CommonParams params;
+  DQM_ASSIGN_OR_RETURN(uint32_t n, reader.GetUint32("n", 1000));
+  DQM_ASSIGN_OR_RETURN(uint32_t dirty, reader.GetUint32("dirty", 100));
+  DQM_ASSIGN_OR_RETURN(uint32_t tasks, reader.GetUint32("tasks", 400));
+  DQM_ASSIGN_OR_RETURN(uint32_t ipt, reader.GetUint32("ipt", 10));
+  DQM_ASSIGN_OR_RETURN(uint32_t tpw, reader.GetUint32("tpw", 1));
+  DQM_ASSIGN_OR_RETURN(params.fp, reader.GetDouble("fp", params.fp));
+  DQM_ASSIGN_OR_RETURN(params.fn, reader.GetDouble("fn", params.fn));
+  DQM_ASSIGN_OR_RETURN(params.variation,
+                       reader.GetDouble("variation", params.variation));
+  DQM_ASSIGN_OR_RETURN(uint32_t batch, reader.GetUint32("batch", 128));
+  if (n == 0 || tasks == 0 || ipt == 0 || tpw == 0 || batch == 0) {
+    return Status::InvalidArgument(
+        "workload: n, tasks, ipt, tpw and batch must be positive");
+  }
+  if (dirty > n) {
+    return Status::InvalidArgument(
+        StrFormat("workload: dirty=%u exceeds n=%u", dirty, n));
+  }
+  if (ipt > n) {
+    return Status::InvalidArgument(
+        StrFormat("workload: ipt=%u exceeds n=%u", ipt, n));
+  }
+  if (params.fp < 0.0 || params.fp > 1.0 || params.fn < 0.0 ||
+      params.fn > 1.0) {
+    return Status::InvalidArgument("workload: fp and fn must be in [0, 1]");
+  }
+  if (params.variation < 0.0) {
+    return Status::InvalidArgument("workload: variation must be >= 0");
+  }
+  params.num_items = n;
+  params.num_dirty = dirty;
+  params.num_tasks = tasks;
+  params.items_per_task = ipt;
+  params.tasks_per_worker = tpw;
+  params.batch = batch;
+  return params;
+}
+
+void internal::RegisterBuiltinFamilies(WorkloadRegistry& registry) {
+  auto check = [](Status status) {
+    DQM_CHECK(status.ok()) << status.ToString();
+  };
+
+  check(registry.Register(WorkloadRegistry::Entry{
+      .name = "benign",
+      .help = "the paper's fixed-quality crowd; common params only "
+              "(n, dirty, tasks, ipt, tpw, fp, fn, variation, batch)",
+      .factory = MakeFactory(
+          [](const EstimatorSpec& spec, SpecParamReader&, CommonParams common)
+              -> Result<std::unique_ptr<Workload>> {
+            return std::unique_ptr<Workload>(std::make_unique<CrowdWorkloadBase>(
+                spec.ToString(), common));
+          })}));
+
+  check(registry.Register(WorkloadRegistry::Entry{
+      .name = "drift",
+      .help = "worker-quality drift: per-worker random walks (walk=<std>, "
+              "default 0.02) plus a fleet-wide per-task trend (trend=<float>, "
+              "default 0.0005) on both error rates; plus common params",
+      .factory = MakeFactory(
+          [](const EstimatorSpec& spec, SpecParamReader& reader,
+             CommonParams common) -> Result<std::unique_ptr<Workload>> {
+            DQM_ASSIGN_OR_RETURN(double walk, reader.GetDouble("walk", 0.02));
+            DQM_ASSIGN_OR_RETURN(double trend,
+                                 reader.GetDouble("trend", 0.0005));
+            if (walk < 0.0) {
+              return Status::InvalidArgument(
+                  "workload 'drift': walk must be >= 0");
+            }
+            return std::unique_ptr<Workload>(std::make_unique<DriftWorkload>(
+                spec.ToString(), common, walk, trend));
+          })}));
+
+  check(registry.Register(WorkloadRegistry::Entry{
+      .name = "adversarial",
+      .help = "colluding cohort inside an honest crowd: fraction=<0..1> "
+              "(default 0.2) of workers use mode=invert|spam-dirty|"
+              "spam-clean|random (default invert); plus common params",
+      .factory = MakeFactory(
+          [](const EstimatorSpec& spec, SpecParamReader& reader,
+             CommonParams common) -> Result<std::unique_ptr<Workload>> {
+            DQM_ASSIGN_OR_RETURN(double fraction,
+                                 reader.GetDouble("fraction", 0.2));
+            DQM_RETURN_NOT_OK(ValidateRate(spec, "fraction", fraction));
+            DQM_ASSIGN_OR_RETURN(std::string mode,
+                                 reader.GetString("mode", "invert"));
+            for (const AdversaryMode& known : kAdversaryModes) {
+              if (mode == known.name) {
+                return std::unique_ptr<Workload>(
+                    std::make_unique<AdversarialWorkload>(
+                        spec.ToString(), common, fraction, known.profile));
+              }
+            }
+            return Status::InvalidArgument(StrFormat(
+                "workload 'adversarial': mode=%s (want invert|spam-dirty|"
+                "spam-clean|random)",
+                mode.c_str()));
+          })}));
+
+  check(registry.Register(WorkloadRegistry::Entry{
+      .name = "burst",
+      .help = "bursty arrival: ingest batches drawn from a bounded Pareto "
+              "(alpha=<float> default 1.3, min_batch=<uint> default 16, "
+              "max_batch=<uint> default 4096; batch= is ignored); plus "
+              "common params",
+      .factory = MakeFactory(
+          [](const EstimatorSpec& spec, SpecParamReader& reader,
+             CommonParams common) -> Result<std::unique_ptr<Workload>> {
+            DQM_ASSIGN_OR_RETURN(double alpha, reader.GetDouble("alpha", 1.3));
+            DQM_ASSIGN_OR_RETURN(uint32_t min_batch,
+                                 reader.GetUint32("min_batch", 16));
+            DQM_ASSIGN_OR_RETURN(uint32_t max_batch,
+                                 reader.GetUint32("max_batch", 4096));
+            if (alpha <= 0.0) {
+              return Status::InvalidArgument(
+                  "workload 'burst': alpha must be > 0");
+            }
+            DQM_RETURN_NOT_OK(ValidatePositive(spec, "min_batch", min_batch));
+            if (max_batch < min_batch) {
+              return Status::InvalidArgument(
+                  "workload 'burst': max_batch < min_batch");
+            }
+            return std::unique_ptr<Workload>(std::make_unique<BurstWorkload>(
+                spec.ToString(), common, alpha, min_batch, max_batch));
+          })}));
+
+  check(registry.Register(WorkloadRegistry::Entry{
+      .name = "heavytail",
+      .help = "heavy-tailed item difficulty: hard_fraction=<0..1> (default "
+              "0.15) of items carry Pareto extra error (scale=<float> "
+              "default 0.05, alpha=<float> default 1.1, cap=<float> default "
+              "0.6); plus common params",
+      .factory = MakeFactory(
+          [](const EstimatorSpec& spec, SpecParamReader& reader,
+             CommonParams common) -> Result<std::unique_ptr<Workload>> {
+            DQM_ASSIGN_OR_RETURN(double hard_fraction,
+                                 reader.GetDouble("hard_fraction", 0.15));
+            DQM_RETURN_NOT_OK(
+                ValidateRate(spec, "hard_fraction", hard_fraction));
+            DQM_ASSIGN_OR_RETURN(double scale, reader.GetDouble("scale", 0.05));
+            DQM_ASSIGN_OR_RETURN(double alpha, reader.GetDouble("alpha", 1.1));
+            DQM_ASSIGN_OR_RETURN(double cap, reader.GetDouble("cap", 0.6));
+            if (scale < 0.0 || alpha <= 0.0 || cap < 0.0 || cap > 0.95) {
+              return Status::InvalidArgument(
+                  "workload 'heavytail': want scale >= 0, alpha > 0, "
+                  "cap in [0, 0.95]");
+            }
+            return std::unique_ptr<Workload>(
+                std::make_unique<HeavyTailWorkload>(spec.ToString(), common,
+                                                    hard_fraction, scale,
+                                                    alpha, cap));
+          })}));
+}
+
+}  // namespace dqm::workload

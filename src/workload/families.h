@@ -1,0 +1,46 @@
+#ifndef DQM_WORKLOAD_FAMILIES_H_
+#define DQM_WORKLOAD_FAMILIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace dqm::workload {
+
+/// Crowd-shape knobs shared by every built-in family, all settable from the
+/// spec string:
+///
+///   n=<uint>          item universe size N             (default 1000)
+///   dirty=<uint>      true-dirty items |R_dirty|       (default 100)
+///   tasks=<uint>      crowd tasks to simulate          (default 400)
+///   ipt=<uint>        items per task                   (default 10)
+///   tpw=<uint>        consecutive tasks per worker     (default 1)
+///   fp=<float>        honest false-positive rate       (default 0.01)
+///   fn=<float>        honest false-negative rate       (default 0.10)
+///   variation=<float> per-worker rate scatter std-dev  (default 0.02)
+///   batch=<uint>      fixed ingest batch size          (default 128)
+///
+/// Family-specific params ride alongside these (see each Register help
+/// line). Unknown params are rejected, like everywhere else specs are read.
+struct CommonParams {
+  size_t num_items = 1000;
+  size_t num_dirty = 100;
+  size_t num_tasks = 400;
+  size_t items_per_task = 10;
+  size_t tasks_per_worker = 1;
+  double fp = 0.01;
+  double fn = 0.10;
+  double variation = 0.02;
+  size_t batch = 128;
+};
+
+/// Reads the shared params from `reader` (leaving family-specific keys for
+/// the caller). InvalidArgument on malformed values or inconsistent sizes
+/// (dirty > n, ipt > n, zero tasks/ipt/batch).
+Result<CommonParams> ReadCommonParams(SpecParamReader& reader);
+
+}  // namespace dqm::workload
+
+#endif  // DQM_WORKLOAD_FAMILIES_H_

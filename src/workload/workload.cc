@@ -1,0 +1,87 @@
+#include "workload/workload.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dqm::workload {
+
+size_t GeneratedWorkload::NumDirty() const {
+  size_t count = 0;
+  for (bool dirty : truth) count += dirty ? 1 : 0;
+  return count;
+}
+
+Status WorkloadRegistry::Register(Entry entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("workload name must be non-empty");
+  }
+  if (!entry.factory) {
+    return Status::InvalidArgument(
+        StrFormat("workload '%s': null factory", entry.name.c_str()));
+  }
+  std::string name = ToLower(entry.name);
+  entry.name = name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] =
+      entries_.emplace(name, std::make_shared<const Entry>(std::move(entry)));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("workload '%s' is already registered", name.c_str()));
+  }
+  names_.push_back(name);
+  return Status::OK();
+}
+
+bool WorkloadRegistry::Contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(ToLower(name)) != entries_.end();
+}
+
+std::vector<std::string> WorkloadRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_;
+}
+
+Result<std::string> WorkloadRegistry::Help(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound(StrFormat("unknown workload '%s'",
+                                      std::string(name).c_str()));
+  }
+  return it->second->help;
+}
+
+Result<std::unique_ptr<Workload>> WorkloadRegistry::Create(
+    const EstimatorSpec& spec) const {
+  std::shared_ptr<const Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(ToLower(spec.name));
+    if (it == entries_.end()) {
+      return Status::NotFound(
+          StrFormat("unknown workload '%s' (registered: %s)",
+                    spec.name.c_str(), Join(names_, ", ").c_str()));
+    }
+    entry = it->second;
+  }
+  return entry->factory(spec);
+}
+
+Result<std::unique_ptr<Workload>> WorkloadRegistry::Create(
+    std::string_view spec) const {
+  DQM_ASSIGN_OR_RETURN(EstimatorSpec parsed, ParseEstimatorSpec(spec));
+  return Create(parsed);
+}
+
+WorkloadRegistry& WorkloadRegistry::Global() {
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    internal::RegisterBuiltinFamilies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace dqm::workload

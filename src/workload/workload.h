@@ -1,0 +1,121 @@
+#ifndef DQM_WORKLOAD_WORKLOAD_H_
+#define DQM_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crowd/response_log.h"
+#include "estimators/registry.h"
+
+namespace dqm::workload {
+
+// Workloads reuse the estimator registry's "name?k=v&k=v" spec grammar and
+// its typed param reader wholesale: one grammar for everything selectable by
+// string (CLI flags, bench configs, engine sessions, workload sweeps).
+using estimators::EstimatorSpec;
+using estimators::ParseEstimatorSpec;
+using estimators::SpecParamReader;
+
+/// One fully-materialized run of a workload: the hidden truth, the complete
+/// vote stream, and the arrival batching. `batch_sizes` partitions
+/// `log.events()` into the ingest batches a live deployment would commit —
+/// bursty workloads produce heavy-tailed partitions that stress
+/// engine::EstimationSession, benign ones a fixed cadence. The sizes always
+/// sum to `log.num_events()`.
+struct GeneratedWorkload {
+  std::vector<bool> truth;
+  crowd::ResponseLog log;
+  std::vector<size_t> batch_sizes;
+
+  /// Ground-truth |R_dirty| — the target every estimator tries to recover.
+  size_t NumDirty() const;
+};
+
+/// A reproducible crowd-vote workload generator. Implementations describe a
+/// scenario *family* (drifting workers, adversarial cohorts, bursty
+/// arrival, ...) whose knobs were fixed at construction from a spec string;
+/// Generate materializes one run per seed, bit-identically.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual GeneratedWorkload Generate(uint64_t seed) const = 0;
+
+  /// Item-universe size N of every generated run.
+  virtual size_t num_items() const = 0;
+
+  /// The spec string this workload was built from ("drift?walk=0.02").
+  virtual const std::string& spec() const = 0;
+};
+
+/// Builds one workload from a parsed spec. Factories must reject unknown or
+/// out-of-range params with InvalidArgument (use SpecParamReader) and never
+/// abort on bad input.
+using WorkloadFactory =
+    std::function<Result<std::unique_ptr<Workload>>(const EstimatorSpec&)>;
+
+/// Open name -> factory registry for workload families, mirroring
+/// estimators::EstimatorRegistry: built-in families self-register via the
+/// internal hook below, library users add their own with Register() and
+/// select them anywhere a workload spec string is accepted
+/// (ExperimentRunner::RunWorkload, dqm_engine_cli --workload,
+/// bench_workload_matrix, the conformance harness).
+class WorkloadRegistry {
+ public:
+  struct Entry {
+    /// Registry key, lower-case ("drift", "adversarial", ...).
+    std::string name;
+    /// One-line param documentation for --help style listings.
+    std::string help;
+    WorkloadFactory factory;
+  };
+
+  WorkloadRegistry() = default;
+  WorkloadRegistry(const WorkloadRegistry&) = delete;
+  WorkloadRegistry& operator=(const WorkloadRegistry&) = delete;
+
+  /// Registers an entry. AlreadyExists when the name is taken;
+  /// InvalidArgument for an empty name or null factory.
+  Status Register(Entry entry);
+
+  bool Contains(std::string_view name) const;
+
+  /// Registered family names, in registration order.
+  std::vector<std::string> Names() const;
+
+  /// The help line for `name`; NotFound otherwise.
+  Result<std::string> Help(std::string_view name) const;
+
+  /// Creates a workload from a parsed spec. NotFound for unknown names,
+  /// InvalidArgument for bad params.
+  Result<std::unique_ptr<Workload>> Create(const EstimatorSpec& spec) const;
+
+  /// Parse + create in one step.
+  Result<std::unique_ptr<Workload>> Create(std::string_view spec) const;
+
+  /// The process-wide registry with all built-in families registered.
+  static WorkloadRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::vector<std::string> names_;  // registration order
+};
+
+namespace internal {
+/// Built-in family registration hook, defined in families.cc;
+/// WorkloadRegistry::Global() invokes it exactly once.
+void RegisterBuiltinFamilies(WorkloadRegistry& registry);
+}  // namespace internal
+
+}  // namespace dqm::workload
+
+#endif  // DQM_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,131 @@
+// Engine conformance: for every registered workload family, ingesting the
+// generated vote stream through the concurrent engine — serially batch by
+// batch, and in parallel across sessions — must be bit-identical to the
+// plain single-threaded pipeline replay. Drift and adversarial crowds are
+// covered because they are registered families; a newly registered family
+// is enrolled automatically.
+
+#include "conformance/conformance_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+
+namespace dqm::conformance {
+namespace {
+
+constexpr uint64_t kSeed = 77;
+
+const std::vector<std::string>& Panel() {
+  static const std::vector<std::string> panel = {
+      "switch", "chao92", "vchao92?shift=2", "em-voting", "voting", "nominal"};
+  return panel;
+}
+
+/// Feeds `run` into `session` following the workload's own batch partition.
+void IngestBatched(engine::EstimationSession& session,
+                   const workload::GeneratedWorkload& run) {
+  const std::vector<crowd::VoteEvent>& events = run.log.events();
+  size_t begin = 0;
+  for (size_t size : run.batch_sizes) {
+    ASSERT_TRUE(
+        session
+            .AddVotes(std::span<const crowd::VoteEvent>(&events[begin], size))
+            .ok());
+    begin += size;
+  }
+  ASSERT_EQ(begin, events.size())
+      << "batch partition must cover the whole log";
+}
+
+/// The serial ground truth: one pipeline replay of the same panel.
+core::DataQualityMetric::QualityReport SerialReport(
+    const workload::GeneratedWorkload& run) {
+  return ReplayPipeline(run.log.num_items(), Panel(), run.log.events())
+      .Report();
+}
+
+void ExpectSnapshotMatchesReport(
+    const engine::Snapshot& snapshot,
+    const core::DataQualityMetric::QualityReport& report,
+    const std::string& context) {
+  EXPECT_EQ(snapshot.num_votes, report.num_votes) << context;
+  EXPECT_EQ(snapshot.majority_count, report.majority_count) << context;
+  EXPECT_EQ(snapshot.nominal_count, report.nominal_count) << context;
+  ASSERT_EQ(snapshot.estimates.size(), report.estimators.size()) << context;
+  for (size_t i = 0; i < report.estimators.size(); ++i) {
+    EXPECT_EQ(snapshot.estimates[i].name, report.estimators[i].name)
+        << context;
+    // Bit-identical, not approximately equal: the engine batches votes but
+    // must apply them in exactly the serial order per session.
+    EXPECT_EQ(snapshot.estimates[i].total_errors,
+              report.estimators[i].total_errors)
+        << context << ", estimator " << report.estimators[i].spec;
+    EXPECT_EQ(snapshot.estimates[i].undetected_errors,
+              report.estimators[i].undetected_errors)
+        << context << ", estimator " << report.estimators[i].spec;
+    EXPECT_EQ(snapshot.estimates[i].quality_score,
+              report.estimators[i].quality_score)
+        << context << ", estimator " << report.estimators[i].spec;
+  }
+}
+
+TEST(EngineWorkloadParityTest, SerialEngineMatchesPipelineUnderEveryWorkload) {
+  for (const std::string& workload_spec : ConformanceWorkloadSpecs()) {
+    workload::GeneratedWorkload run = MustGenerate(workload_spec, kSeed);
+    engine::DqmEngine engine;
+    Result<std::shared_ptr<engine::EstimationSession>> session =
+        engine.OpenSession("serial", run.log.num_items(),
+                           std::span<const std::string>(Panel()));
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    IngestBatched(**session, run);
+    ExpectSnapshotMatchesReport((*session)->snapshot(), SerialReport(run),
+                                "serial, " + workload_spec);
+    ASSERT_TRUE(engine.CloseSession("serial").ok());
+  }
+}
+
+TEST(EngineWorkloadParityTest, ParallelEngineMatchesSerialUnderEveryWorkload) {
+  // All families ingested concurrently, one producer thread per session
+  // (the supported pattern for order-sensitive estimators): every final
+  // snapshot must be bit-identical to its own serial pipeline replay.
+  std::vector<std::string> specs = ConformanceWorkloadSpecs();
+  std::vector<workload::GeneratedWorkload> runs;
+  runs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    runs.push_back(MustGenerate(spec, kSeed));
+  }
+
+  engine::DqmEngine engine;
+  for (size_t w = 0; w < specs.size(); ++w) {
+    ASSERT_TRUE(engine
+                    .OpenSession("workload-" + std::to_string(w),
+                                 runs[w].log.num_items(),
+                                 std::span<const std::string>(Panel()))
+                    .ok());
+  }
+  ThreadPool pool(specs.size());
+  ParallelFor(&pool, specs.size(), [&](size_t w) {
+    Result<std::shared_ptr<engine::EstimationSession>> session =
+        engine.GetSession("workload-" + std::to_string(w));
+    ASSERT_TRUE(session.ok());
+    IngestBatched(**session, runs[w]);
+  });
+
+  for (size_t w = 0; w < specs.size(); ++w) {
+    Result<engine::Snapshot> snapshot =
+        engine.Query("workload-" + std::to_string(w));
+    ASSERT_TRUE(snapshot.ok());
+    ExpectSnapshotMatchesReport(*snapshot, SerialReport(runs[w]),
+                                "parallel, " + specs[w]);
+  }
+}
+
+}  // namespace
+}  // namespace dqm::conformance

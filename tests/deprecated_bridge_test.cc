@@ -1,0 +1,175 @@
+// Pins the migration bridge from the deprecated closed-enum API to the
+// registry-spec world before any future removal: the Method enum,
+// MakeEstimatorFactory, and the deprecated Options knobs (vchao_shift, the
+// full switch_config struct) must produce results bit-identical to their
+// spec-string equivalents on real vote streams.
+
+#include "core/dqm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "estimators/estimator.h"
+#include "estimators/registry.h"
+
+namespace dqm::core {
+namespace {
+
+const std::vector<Method> kAllMethods = {
+    Method::kSwitch,  Method::kChao92, Method::kGoodTuring,
+    Method::kVChao92, Method::kVoting, Method::kNominal};
+
+core::SimulatedRun MakeRun(uint64_t seed) {
+  // Item noise + worker variation exercise every estimator's interesting
+  // paths; 120 tasks keeps the full-series comparisons fast.
+  Scenario scenario = SimulationScenario(0.02, 0.12, 10);
+  scenario.workers.variation = 0.02;
+  return SimulateScenario(scenario, 120, seed);
+}
+
+/// Full per-task estimate series for a factory-built estimator.
+std::vector<double> SeriesOf(const estimators::EstimatorFactory& factory,
+                             const crowd::ResponseLog& log) {
+  std::unique_ptr<estimators::TotalErrorEstimator> estimator =
+      factory(log.num_items());
+  return estimators::EstimateSeriesByTask(log, *estimator);
+}
+
+TEST(DeprecatedBridgeTest, MethodSpecNamesResolveInTheRegistry) {
+  for (Method method : kAllMethods) {
+    std::string spec = MethodSpec(method, 2);
+    Result<estimators::EstimatorSpec> parsed =
+        estimators::ParseEstimatorSpec(spec);
+    ASSERT_TRUE(parsed.ok()) << spec;
+    Result<std::shared_ptr<const estimators::EstimatorRegistry::Entry>>
+        entry = estimators::EstimatorRegistry::Global().Find(parsed->name);
+    ASSERT_TRUE(entry.ok()) << spec;
+    EXPECT_EQ((*entry)->display_name, MethodName(method)) << spec;
+  }
+}
+
+TEST(DeprecatedBridgeTest, MakeEstimatorFactoryMatchesRegistryFactoryExactly) {
+  core::SimulatedRun run = MakeRun(11);
+  for (Method method : kAllMethods) {
+    for (uint32_t shift : {0u, 1u, 3u}) {
+      estimators::EstimatorFactory legacy = MakeEstimatorFactory(method, shift);
+      Result<estimators::EstimatorFactory> modern =
+          estimators::EstimatorRegistry::Global().FactoryFor(
+              MethodSpec(method, shift));
+      ASSERT_TRUE(modern.ok()) << modern.status().ToString();
+      // The whole per-task series, not just the final: the bridge must be
+      // path-identical, hence bit-identical at every prefix.
+      EXPECT_EQ(SeriesOf(legacy, run.log), SeriesOf(*modern, run.log))
+          << MethodName(method) << ", shift " << shift;
+      if (method != Method::kVChao92) break;  // shift only affects V-CHAO
+    }
+  }
+}
+
+TEST(DeprecatedBridgeTest, EnumOptionsMatchSpecPipelineIncludingVChaoShift) {
+  core::SimulatedRun run = MakeRun(23);
+  size_t num_items = run.truth.size();
+  for (Method method : kAllMethods) {
+    for (uint32_t shift : {1u, 2u}) {
+      DataQualityMetric::Options options;
+      options.method = method;
+      options.vchao_shift = shift;
+      DataQualityMetric legacy(num_items, options);
+      Result<DataQualityMetric> modern =
+          DataQualityMetric::Create(num_items, {MethodSpec(method, shift)});
+      ASSERT_TRUE(modern.ok()) << modern.status().ToString();
+      for (const crowd::VoteEvent& event : run.log.events()) {
+        legacy.AddVote(event.task, event.worker, event.item,
+                       event.vote == crowd::Vote::kDirty);
+        modern->AddVote(event.task, event.worker, event.item,
+                        event.vote == crowd::Vote::kDirty);
+      }
+      EXPECT_EQ(legacy.EstimatedTotalErrors(), modern->EstimatedTotalErrors())
+          << MethodName(method) << ", shift " << shift;
+      EXPECT_EQ(legacy.EstimatedUndetectedErrors(),
+                modern->EstimatedUndetectedErrors())
+          << MethodName(method);
+      EXPECT_EQ(legacy.QualityScore(), modern->QualityScore())
+          << MethodName(method);
+      EXPECT_EQ(legacy.method_name(), modern->method_name())
+          << MethodName(method);
+      if (method != Method::kVChao92) break;
+    }
+  }
+}
+
+TEST(DeprecatedBridgeTest, SwitchConfigStructMatchesSpecParams) {
+  // Every deprecated switch_config knob spelled as spec params must
+  // reproduce the struct-configured estimator bit-identically, per task.
+  core::SimulatedRun run = MakeRun(37);
+  size_t num_items = run.truth.size();
+
+  estimators::SwitchTotalErrorEstimator::Config config;
+  config.trend_window = 30;
+  config.flip_threshold_abs = 5.0;
+  config.flip_threshold_rel = 0.08;
+  config.up_flip_factor = 1.5;
+  config.smooth_window = 4;
+  config.two_sided = true;
+  config.tracker.skew_correction = false;
+  config.tracker.tie_policy = estimators::TiePolicy::kStrictMajority;
+  config.tracker.n_mode = estimators::SwitchNMode::kSpeciesSum;
+  config.tracker.counting = estimators::SwitchCountingMode::kPerRecord;
+  config.tracker.memory = estimators::SwitchMemory::kAllSwitches;
+
+  std::string spec =
+      "switch?tau=30&flip_abs=5&flip_rel=0.08&up_flip_factor=1.5"
+      "&smooth_window=4&two_sided=1&skew=0&tie_policy=strict"
+      "&n_mode=species&counting=per-record&memory=all";
+
+  DataQualityMetric::Options options;
+  options.method = Method::kSwitch;
+  options.switch_config = config;
+  DataQualityMetric legacy(num_items, options);
+  Result<DataQualityMetric> modern =
+      DataQualityMetric::Create(num_items, {spec});
+  ASSERT_TRUE(modern.ok()) << modern.status().ToString();
+
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    legacy.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+    modern->AddVote(event.task, event.worker, event.item,
+                    event.vote == crowd::Vote::kDirty);
+    // Per-vote equality: the two construction paths may never diverge at
+    // any prefix of the stream.
+    ASSERT_EQ(legacy.EstimatedTotalErrors(), modern->EstimatedTotalErrors());
+  }
+  EXPECT_EQ(legacy.Report().estimators.front().total_errors,
+            modern->Report().estimators.front().total_errors);
+}
+
+TEST(DeprecatedBridgeTest, DeprecatedSpecsFieldInOptionsStillWins) {
+  // Options::specs (the transitional field) must behave exactly like
+  // Create() with the same list.
+  core::SimulatedRun run = MakeRun(41);
+  size_t num_items = run.truth.size();
+  DataQualityMetric::Options options;
+  options.method = Method::kNominal;  // must be ignored: specs win
+  options.specs = {"chao92", "voting"};
+  DataQualityMetric legacy(num_items, options);
+  Result<DataQualityMetric> modern =
+      DataQualityMetric::Create(num_items, {"chao92", "voting"});
+  ASSERT_TRUE(modern.ok());
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    legacy.AddVote(event.task, event.worker, event.item,
+                   event.vote == crowd::Vote::kDirty);
+    modern->AddVote(event.task, event.worker, event.item,
+                    event.vote == crowd::Vote::kDirty);
+  }
+  EXPECT_EQ(legacy.method_name(), "CHAO92");
+  EXPECT_EQ(legacy.EstimatedTotalErrors(), modern->EstimatedTotalErrors());
+  EXPECT_EQ(legacy.num_estimators(), 2u);
+}
+
+}  // namespace
+}  // namespace dqm::core

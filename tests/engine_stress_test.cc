@@ -1,0 +1,173 @@
+// TSan regression test for the engine's concurrency contract: sessions are
+// opened, written, queried, swept (QueryAll) and closed from many threads
+// at once — across shards — while readers continuously assert that every
+// seqlock snapshot is *internally consistent*: all fields from one
+// committed batch, scalar mirrors matching row 0, versions monotone,
+// counts within bounds. Run under -DDQM_SANITIZE=thread this pins the
+// SnapshotCell protocol and the shard locking; in a plain build it still
+// catches torn or stale-mixed snapshots by value.
+
+#include "engine/engine.h"
+
+#include <atomic>
+#include <cmath>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crowd/vote.h"
+
+namespace dqm::engine {
+namespace {
+
+using crowd::Vote;
+using crowd::VoteEvent;
+
+constexpr size_t kItems = 64;
+constexpr size_t kBatchSize = 8;
+constexpr size_t kBatchesPerWriter = 150;
+const std::vector<std::string> kPanel = {"switch", "chao92", "voting",
+                                         "nominal"};
+
+/// Asserts every internal-consistency invariant a snapshot must satisfy
+/// regardless of when it was taken.
+void CheckSnapshotInvariants(const Snapshot& snapshot, uint64_t min_version,
+                             const char* context) {
+  ASSERT_EQ(snapshot.estimates.size(), kPanel.size()) << context;
+  // One committed batch = kBatchSize votes: version and vote count move in
+  // lockstep, so a mixed read of the two fields is detectable.
+  ASSERT_EQ(snapshot.num_votes, snapshot.version * kBatchSize) << context;
+  ASSERT_GE(snapshot.version, min_version) << context;
+  ASSERT_EQ(snapshot.num_items, kItems) << context;
+  ASSERT_LE(snapshot.majority_count, snapshot.nominal_count) << context;
+  ASSERT_LE(snapshot.nominal_count, kItems) << context;
+  // Scalar header mirrors row 0 (the primary estimator) exactly.
+  ASSERT_EQ(snapshot.estimated_total_errors,
+            snapshot.estimates.front().total_errors)
+      << context;
+  ASSERT_EQ(snapshot.estimated_undetected_errors,
+            snapshot.estimates.front().undetected_errors)
+      << context;
+  ASSERT_EQ(snapshot.quality_score, snapshot.estimates.front().quality_score)
+      << context;
+  for (const EstimatorEstimate& row : snapshot.estimates) {
+    ASSERT_TRUE(std::isfinite(row.total_errors)) << context;
+    ASSERT_GE(row.total_errors, 0.0) << context;
+    ASSERT_GE(row.quality_score, 0.0) << context;
+    ASSERT_LE(row.quality_score, 1.0) << context;
+  }
+}
+
+/// Deterministic per-writer vote batch; contents don't matter, validity
+/// does.
+std::vector<VoteEvent> MakeBatch(size_t writer, size_t batch) {
+  std::vector<VoteEvent> votes;
+  votes.reserve(kBatchSize);
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    auto item = static_cast<uint32_t>((writer * 31 + batch * 7 + i * 3) %
+                                      kItems);
+    votes.push_back(VoteEvent{static_cast<uint32_t>(batch),
+                              static_cast<uint32_t>(writer), item,
+                              (writer + batch + i) % 3 == 0 ? Vote::kClean
+                                                            : Vote::kDirty});
+  }
+  return votes;
+}
+
+TEST(EngineStressTest, ConcurrentOpenAddVotesQueryCloseStaysConsistent) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kReaders = 2;
+  constexpr size_t kChurnCycles = 200;
+
+  DqmEngine engine(DqmEngine::Options{.num_shards = 4});
+  for (size_t w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(engine
+                    .OpenSession("stable-" + std::to_string(w), kItems,
+                                 std::span<const std::string>(kPanel))
+                    .ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+
+  // Writers: batched ingest into their own session (one producer per
+  // session, the supported pattern).
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&engine, w] {
+      std::string name = "stable-" + std::to_string(w);
+      for (size_t b = 0; b < kBatchesPerWriter; ++b) {
+        std::vector<VoteEvent> batch = MakeBatch(w, b);
+        ASSERT_TRUE(engine.Ingest(name, batch).ok());
+      }
+    });
+  }
+
+  // Readers: hammer snapshots of every stable session (by-name queries and
+  // handle polling) plus full QueryAll sweeps, asserting consistency and
+  // per-session version monotonicity the whole time.
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&engine, &done] {
+      std::vector<uint64_t> last_version(kWriters, 0);
+      while (!done.load(std::memory_order_acquire)) {
+        for (size_t w = 0; w < kWriters; ++w) {
+          Result<Snapshot> snapshot =
+              engine.Query("stable-" + std::to_string(w));
+          ASSERT_TRUE(snapshot.ok());
+          CheckSnapshotInvariants(*snapshot, last_version[w], "Query");
+          last_version[w] = snapshot->version;
+        }
+        for (const auto& [name, snapshot] : engine.QueryAll()) {
+          if (name.rfind("stable-", 0) != 0) continue;  // churn session
+          size_t w = static_cast<size_t>(name.back() - '0');
+          CheckSnapshotInvariants(snapshot, last_version[w], "QueryAll");
+          last_version[w] = snapshot.version;
+        }
+      }
+    });
+  }
+
+  // Churn: open/ingest/query/close short-lived sessions across the shard
+  // space while the stable sessions are being written and read.
+  threads.emplace_back([&engine] {
+    for (size_t cycle = 0; cycle < kChurnCycles; ++cycle) {
+      std::string name = "churn-" + std::to_string(cycle % 16);
+      Result<std::shared_ptr<EstimationSession>> session =
+          engine.OpenSession(name, kItems,
+                             std::span<const std::string>(kPanel));
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      std::vector<VoteEvent> batch = MakeBatch(99, cycle);
+      ASSERT_TRUE((*session)->AddVotes(batch).ok());
+      Snapshot snapshot = (*session)->snapshot();
+      ASSERT_EQ(snapshot.version, 1u);
+      ASSERT_EQ(snapshot.num_votes, kBatchSize);
+      ASSERT_TRUE(engine.CloseSession(name).ok());
+      // The handle stays usable after close (documented contract).
+      ASSERT_TRUE((*session)->AddVotes(batch).ok());
+      ASSERT_EQ((*session)->snapshot().version, 2u);
+    }
+  });
+
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads[w].join();  // writers finish first
+  }
+  done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  // Final state: every stable session saw exactly its writer's batches.
+  for (size_t w = 0; w < kWriters; ++w) {
+    Result<Snapshot> snapshot = engine.Query("stable-" + std::to_string(w));
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot->version, kBatchesPerWriter);
+    EXPECT_EQ(snapshot->num_votes, kBatchesPerWriter * kBatchSize);
+    CheckSnapshotInvariants(*snapshot, kBatchesPerWriter, "final");
+  }
+  EXPECT_EQ(engine.num_sessions(), kWriters);
+}
+
+}  // namespace
+}  // namespace dqm::engine

@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -135,6 +136,48 @@ TEST(ExperimentRunnerTest, SwitchDiagnosticsShapes) {
   EXPECT_GT(diag.needed_positive_truth.mean.front(), 90.0);
   EXPECT_LT(diag.needed_positive_truth.mean.back(),
             diag.needed_positive_truth.mean.front());
+}
+
+TEST(ExperimentRunnerTest, RunWorkloadScoresEverySpecAgainstTruth) {
+  ExperimentRunner::Config config;
+  config.seed = 5;
+  ExperimentRunner runner(config);
+  std::vector<std::string> specs = {"switch", "chao92", "voting"};
+  Result<ExperimentRunner::WorkloadReport> report = runner.RunWorkload(
+      "adversarial?n=120&dirty=25&tasks=80&fraction=0.3", specs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->num_items, 120u);
+  EXPECT_EQ(report->num_dirty, 25u);
+  EXPECT_GT(report->num_votes, 0u);
+  EXPECT_GT(report->num_batches, 0u);
+  ASSERT_EQ(report->cells.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(report->cells[i].spec, specs[i]);
+    EXPECT_EQ(report->cells[i].abs_error,
+              std::abs(report->cells[i].total_errors - 25.0));
+  }
+  EXPECT_EQ(report->cells[0].name, "SWITCH");
+
+  // Deterministic per runner seed.
+  Result<ExperimentRunner::WorkloadReport> again = runner.RunWorkload(
+      "adversarial?n=120&dirty=25&tasks=80&fraction=0.3", specs);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(report->cells[i].total_errors, again->cells[i].total_errors);
+  }
+}
+
+TEST(ExperimentRunnerTest, RunWorkloadReportsBadSpecsAsErrors) {
+  ExperimentRunner runner(ExperimentRunner::Config{});
+  std::vector<std::string> specs = {"switch"};
+  EXPECT_EQ(runner.RunWorkload("tsunami", specs).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      runner.RunWorkload("drift?walk=-1", specs).status().code(),
+      StatusCode::kInvalidArgument);
+  std::vector<std::string> bad_estimators = {"chao93"};
+  EXPECT_EQ(runner.RunWorkload("benign", bad_estimators).status().code(),
+            StatusCode::kNotFound);
 }
 
 TEST(SampleCleanMinimumTest, PaperFormula) {

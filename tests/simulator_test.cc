@@ -118,5 +118,57 @@ TEST(CrowdSimulatorTest, ErrorRatesShowUpInVotes) {
               0.02);
 }
 
+TEST(CrowdSimulatorTest, ProfileDynamicsHookSeesEveryTaskOnce) {
+  std::vector<bool> truth(40, false);
+  CrowdSimulator sim = MakeSimulator(truth, {0.0, 0.0}, 10, 3,
+                                     /*tasks_per_worker=*/2);
+  std::vector<std::pair<uint32_t, uint32_t>> calls;  // (worker, task)
+  sim.SetProfileDynamics(
+      [&calls](uint32_t worker, uint32_t task, WorkerProfile&) {
+        calls.emplace_back(worker, task);
+      });
+  ResponseLog log(40);
+  sim.RunTasks(log, 6);
+  ASSERT_EQ(calls.size(), 6u);
+  for (uint32_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(calls[t].second, t);
+    // tasks_per_worker = 2: worker index advances every other task.
+    EXPECT_EQ(calls[t].first, t / 2);
+  }
+}
+
+TEST(CrowdSimulatorTest, ProfileDynamicsChangesVotesOnlyForItsTasks) {
+  // A hook that makes every worker always-wrong from task 20 onward must
+  // leave tasks [0, 20) bit-identical to the hook-free run and flip every
+  // vote afterwards (base workers are perfect, so wrong = deterministic).
+  std::vector<bool> truth(60, false);
+  for (size_t i = 0; i < 20; ++i) truth[i] = true;
+
+  CrowdSimulator plain = MakeSimulator(truth, {0.0, 0.0}, 12, 9);
+  ResponseLog plain_log(60);
+  plain.RunTasks(plain_log, 40);
+
+  CrowdSimulator hooked = MakeSimulator(truth, {0.0, 0.0}, 12, 9);
+  hooked.SetProfileDynamics(
+      [](uint32_t, uint32_t task, WorkerProfile& profile) {
+        if (task >= 20) profile = {1.0, 1.0};
+      });
+  ResponseLog hooked_log(60);
+  hooked.RunTasks(hooked_log, 40);
+
+  ASSERT_EQ(plain_log.num_events(), hooked_log.num_events());
+  for (size_t i = 0; i < plain_log.num_events(); ++i) {
+    const VoteEvent& a = plain_log.events()[i];
+    const VoteEvent& b = hooked_log.events()[i];
+    EXPECT_EQ(a.task, b.task);
+    EXPECT_EQ(a.item, b.item);
+    if (a.task < 20) {
+      EXPECT_EQ(a.vote, b.vote) << "task " << a.task;
+    } else {
+      EXPECT_NE(a.vote, b.vote) << "task " << a.task;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dqm::crowd

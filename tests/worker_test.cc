@@ -85,5 +85,62 @@ TEST(WorkerPoolDeathTest, UnsatisfiableQualificationAborts) {
   EXPECT_DEATH({ WorkerPool pool(config, Rng(7)); }, "");
 }
 
+TEST(WorkerPoolTest, CohortMixtureDrawsByWeight) {
+  // 30% always-wrong colluders (rate 1.0 on both sides) inside an honest
+  // crowd: cohort draws must hit both populations near their weights, and
+  // the adversary profile must come through exactly (zero variation).
+  WorkerPool::Config config;
+  config.cohorts = {
+      WorkerPool::Cohort{0.7, {0.02, 0.1}, 0.0},
+      WorkerPool::Cohort{0.3, {1.0, 1.0}, 0.0},
+  };
+  WorkerPool pool(config, Rng(11));
+  size_t adversaries = 0;
+  for (int i = 0; i < 2000; ++i) {
+    WorkerProfile w = pool.DrawWorker();
+    if (w.false_positive_rate == 1.0) {
+      EXPECT_EQ(w.false_negative_rate, 1.0);
+      ++adversaries;
+    } else {
+      EXPECT_EQ(w.false_positive_rate, 0.02);
+      EXPECT_EQ(w.false_negative_rate, 0.1);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(adversaries) / 2000.0, 0.3, 0.04);
+}
+
+TEST(WorkerPoolTest, CohortDrawsBypassQualificationScreen) {
+  // The screen would reject a rate-1.0 profile; cohorts model adversaries
+  // who pass the screening honestly, so the draw must not loop or clamp.
+  WorkerPool::Config config;
+  config.qualification_max_fp = 0.1;
+  config.qualification_max_fn = 0.1;
+  config.cohorts = {WorkerPool::Cohort{1.0, {1.0, 1.0}, 0.0}};
+  WorkerPool pool(config, Rng(13));
+  for (int i = 0; i < 50; ++i) {
+    WorkerProfile w = pool.DrawWorker();
+    EXPECT_EQ(w.false_positive_rate, 1.0);
+    EXPECT_EQ(w.false_negative_rate, 1.0);
+  }
+}
+
+TEST(WorkerPoolTest, EmptyCohortsKeepTheLegacyDrawSequence) {
+  // Adding the (unused) cohorts field must not perturb existing seeded
+  // scenarios: a pool with empty cohorts draws exactly as before.
+  WorkerPool::Config config;
+  config.base = {0.05, 0.2};
+  config.variation = 0.03;
+  WorkerPool with_default(config, Rng(17));
+  WorkerPool::Config explicit_config = config;
+  explicit_config.cohorts.clear();
+  WorkerPool with_cleared(explicit_config, Rng(17));
+  for (int i = 0; i < 100; ++i) {
+    WorkerProfile a = with_default.DrawWorker();
+    WorkerProfile b = with_cleared.DrawWorker();
+    EXPECT_EQ(a.false_positive_rate, b.false_positive_rate);
+    EXPECT_EQ(a.false_negative_rate, b.false_negative_rate);
+  }
+}
+
 }  // namespace
 }  // namespace dqm::crowd

@@ -1,0 +1,214 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "workload/families.h"
+
+namespace dqm::workload {
+namespace {
+
+std::unique_ptr<Workload> MustCreate(const std::string& spec) {
+  Result<std::unique_ptr<Workload>> workload =
+      WorkloadRegistry::Global().Create(spec);
+  EXPECT_TRUE(workload.ok()) << spec << ": " << workload.status().ToString();
+  return std::move(workload).value();
+}
+
+/// Fraction of votes disagreeing with the hidden truth.
+double DisagreementRate(const GeneratedWorkload& run) {
+  size_t wrong = 0;
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    bool voted_dirty = event.vote == crowd::Vote::kDirty;
+    if (voted_dirty != run.truth[event.item]) ++wrong;
+  }
+  return static_cast<double>(wrong) /
+         static_cast<double>(run.log.num_events());
+}
+
+TEST(WorkloadRegistryTest, RegistersTheFiveBuiltinFamilies) {
+  std::vector<std::string> names = WorkloadRegistry::Global().Names();
+  for (const char* family :
+       {"benign", "drift", "adversarial", "burst", "heavytail"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), family) != names.end())
+        << family;
+    EXPECT_TRUE(WorkloadRegistry::Global().Contains(family)) << family;
+    Result<std::string> help = WorkloadRegistry::Global().Help(family);
+    ASSERT_TRUE(help.ok()) << family;
+    EXPECT_FALSE(help->empty()) << family;
+  }
+}
+
+TEST(WorkloadRegistryTest, RejectsUnknownNamesAndBadParams) {
+  EXPECT_EQ(WorkloadRegistry::Global().Create("tsunami").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(WorkloadRegistry::Global().Create("").status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown param, malformed value, out-of-range value, inconsistent sizes.
+  EXPECT_EQ(
+      WorkloadRegistry::Global().Create("drift?walk=0.02&wobble=1").status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(WorkloadRegistry::Global().Create("drift?walk=fast").status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      WorkloadRegistry::Global().Create("adversarial?fraction=1.5").status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      WorkloadRegistry::Global().Create("adversarial?mode=bribe").status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(WorkloadRegistry::Global().Create("benign?dirty=50&n=20").status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      WorkloadRegistry::Global().Create("burst?min_batch=64&max_batch=8")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadTest, GenerationIsDeterministicPerSeed) {
+  for (const std::string& name : WorkloadRegistry::Global().Names()) {
+    std::string spec = name + "?n=60&dirty=10&tasks=30";
+    GeneratedWorkload a = MustCreate(spec)->Generate(7);
+    GeneratedWorkload b = MustCreate(spec)->Generate(7);
+    EXPECT_EQ(a.truth, b.truth) << spec;
+    EXPECT_EQ(a.log.events(), b.log.events()) << spec;
+    EXPECT_EQ(a.batch_sizes, b.batch_sizes) << spec;
+
+    GeneratedWorkload c = MustCreate(spec)->Generate(8);
+    EXPECT_NE(a.log.events(), c.log.events()) << spec;
+  }
+}
+
+TEST(WorkloadTest, EveryFamilyHonorsTheCommonShapeParams) {
+  for (const std::string& name : WorkloadRegistry::Global().Names()) {
+    std::string spec = name + "?n=90&dirty=15&tasks=40&ipt=9";
+    std::unique_ptr<Workload> workload = MustCreate(spec);
+    EXPECT_EQ(workload->num_items(), 90u) << spec;
+    GeneratedWorkload run = workload->Generate(3);
+    EXPECT_EQ(run.truth.size(), 90u) << spec;
+    EXPECT_EQ(run.NumDirty(), 15u) << spec;
+    EXPECT_EQ(run.log.num_items(), 90u) << spec;
+    EXPECT_EQ(run.log.num_events(), 40u * 9u) << spec;
+    // The batch partition always covers the log exactly.
+    EXPECT_EQ(std::accumulate(run.batch_sizes.begin(), run.batch_sizes.end(),
+                              size_t{0}),
+              run.log.num_events())
+        << spec;
+    for (size_t size : run.batch_sizes) EXPECT_GT(size, 0u) << spec;
+  }
+}
+
+TEST(WorkloadTest, AdversarialCohortRaisesDisagreementSharply) {
+  const std::string shape = "?n=200&dirty=40&tasks=150";
+  GeneratedWorkload honest = MustCreate("benign" + shape)->Generate(5);
+  GeneratedWorkload hostile =
+      MustCreate("adversarial" + shape + "&fraction=0.5&mode=invert")
+          ->Generate(5);
+  // Half the workers voting truth-inverted pushes disagreement toward 50%;
+  // the honest crowd stays near its ~3% base error rate.
+  EXPECT_LT(DisagreementRate(honest), 0.10);
+  EXPECT_GT(DisagreementRate(hostile), 0.30);
+}
+
+TEST(WorkloadTest, SpamDirtyCohortOnlyAffectsCleanItems) {
+  GeneratedWorkload run =
+      MustCreate("adversarial?n=150&dirty=30&tasks=120&fraction=1.0"
+                 "&mode=spam-dirty&fp=0&fn=0")
+          ->Generate(9);
+  // An all-spam-dirty crowd votes dirty on everything: every clean-item
+  // vote is wrong, every dirty-item vote is (accidentally) right.
+  for (const crowd::VoteEvent& event : run.log.events()) {
+    EXPECT_EQ(event.vote, crowd::Vote::kDirty);
+  }
+}
+
+TEST(WorkloadTest, DriftDegradesTheCrowdOverTime) {
+  // Strong upward trend: by construction the late tasks must be answered
+  // far less accurately than the early ones.
+  GeneratedWorkload run =
+      MustCreate("drift?n=200&dirty=40&tasks=200&walk=0.01&trend=0.002")
+          ->Generate(11);
+  const std::vector<crowd::VoteEvent>& events = run.log.events();
+  size_t half = events.size() / 2;
+  auto disagreement = [&](size_t begin, size_t end) {
+    size_t wrong = 0;
+    for (size_t i = begin; i < end; ++i) {
+      bool voted_dirty = events[i].vote == crowd::Vote::kDirty;
+      if (voted_dirty != run.truth[events[i].item]) ++wrong;
+    }
+    return static_cast<double>(wrong) / static_cast<double>(end - begin);
+  };
+  EXPECT_GT(disagreement(half, events.size()),
+            disagreement(0, half) + 0.05);
+}
+
+TEST(WorkloadTest, BurstBatchesAreHeavyTailedAndBounded) {
+  GeneratedWorkload run =
+      MustCreate("burst?n=200&dirty=40&tasks=300&alpha=1.1&min_batch=8"
+                 "&max_batch=256")
+          ->Generate(13);
+  ASSERT_GT(run.batch_sizes.size(), 1u);
+  size_t smallest = *std::min_element(run.batch_sizes.begin(),
+                                      run.batch_sizes.end());
+  size_t largest = *std::max_element(run.batch_sizes.begin(),
+                                     run.batch_sizes.end());
+  EXPECT_LE(largest, 256u);
+  // Heavy tail: the spread must actually show up (not a fixed cadence).
+  EXPECT_GE(largest, smallest * 4);
+}
+
+TEST(WorkloadTest, HeavyTailDifficultyRaisesErrorsAboveBenign) {
+  const std::string shape = "?n=200&dirty=60&tasks=200";
+  GeneratedWorkload benign = MustCreate("benign" + shape)->Generate(17);
+  GeneratedWorkload hard =
+      MustCreate("heavytail" + shape + "&hard_fraction=0.5&scale=0.3")
+          ->Generate(17);
+  EXPECT_GT(DisagreementRate(hard), DisagreementRate(benign) + 0.02);
+}
+
+TEST(WorkloadTest, UserFamiliesCanRegisterAndResolve) {
+  // The registry is open: a custom family registers once and resolves via
+  // the same spec grammar as the builtins.
+  WorkloadRegistry registry;
+  Status status = registry.Register(WorkloadRegistry::Entry{
+      .name = "Custom",
+      .help = "test-only",
+      .factory = [](const EstimatorSpec& spec)
+          -> Result<std::unique_ptr<Workload>> {
+        SpecParamReader reader(spec);
+        DQM_ASSIGN_OR_RETURN(CommonParams common, ReadCommonParams(reader));
+        DQM_RETURN_NOT_OK(reader.VerifyAllConsumed());
+        Result<std::unique_ptr<Workload>> benign =
+            WorkloadRegistry::Global().Create(
+                "benign?dirty=5&n=" + std::to_string(common.num_items));
+        return benign;
+      }});
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(registry.Contains("custom"));  // names fold to lower case
+  EXPECT_EQ(registry.Register(WorkloadRegistry::Entry{
+                                  .name = "custom",
+                                  .help = "",
+                                  .factory = [](const EstimatorSpec&)
+                                      -> Result<std::unique_ptr<Workload>> {
+                                    return Status::InvalidArgument("unused");
+                                  }})
+                .code(),
+            StatusCode::kAlreadyExists);
+  Result<std::unique_ptr<Workload>> created =
+      registry.Create("CUSTOM?n=44&dirty=4");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ((*created)->num_items(), 44u);
+}
+
+}  // namespace
+}  // namespace dqm::workload

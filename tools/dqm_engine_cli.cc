@@ -12,6 +12,12 @@
 // With no positional arguments the tool runs a self-contained demo: it
 // simulates --demo_datasets crowdsourced cleaning jobs with different worker
 // error regimes and serves them all from one engine.
+//
+// --workload=drift?walk=0.02,adversarial?fraction=0.25 replaces the demo
+// with generated hostile/drifting crowd workloads (one session per spec,
+// names from the workload registry); each is ingested in the batch pattern
+// its arrival process produced, so bursty workloads hit the engine the way
+// a live burst would.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,8 +38,20 @@
 #include "crowd/log_io.h"
 #include "engine/engine.h"
 #include "estimators/registry.h"
+#include "workload/workload.h"
 
 namespace {
+
+/// Disambiguates `base` against `used` with a numeric suffix ("drift",
+/// "drift-2", ...), recording the winner.
+std::string UniqueSessionName(const std::string& base,
+                              std::set<std::string>& used) {
+  std::string name = base;
+  for (int suffix = 2; !used.insert(name).second; ++suffix) {
+    name = dqm::StrFormat("%s-%d", base.c_str(), suffix);
+  }
+  return name;
+}
 
 /// Session name from a CSV path's basename; `used` disambiguates duplicate
 /// basenames (run1/votes.csv + run2/votes.csv) with a numeric suffix.
@@ -44,21 +62,37 @@ std::string SessionNameForPath(const std::string& path,
   size_t dot = base.find_last_of('.');
   if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
   if (base.empty()) base = "dataset";
-  std::string name = base;
-  for (int suffix = 2; !used.insert(name).second; ++suffix) {
-    name = dqm::StrFormat("%s-%d", base.c_str(), suffix);
-  }
-  return name;
+  return UniqueSessionName(base, used);
 }
 
-/// Streams `events` into `engine`'s session `name` in `batch` sized chunks.
+/// Streams `events` into `engine`'s session `name`. `batches` is the ingest
+/// partition (a workload's arrival pattern); when empty, fixed `batch` sized
+/// chunks are used instead.
 dqm::Status StreamVotes(dqm::engine::DqmEngine& engine, const std::string& name,
                         const std::vector<dqm::crowd::VoteEvent>& events,
-                        size_t batch) {
-  for (size_t begin = 0; begin < events.size(); begin += batch) {
-    size_t size = std::min(batch, events.size() - begin);
+                        const std::vector<size_t>& batches, size_t batch) {
+  if (batches.empty()) {
+    for (size_t begin = 0; begin < events.size(); begin += batch) {
+      size_t size = std::min(batch, events.size() - begin);
+      DQM_RETURN_NOT_OK(engine.Ingest(
+          name, std::span<const dqm::crowd::VoteEvent>(&events[begin], size)));
+    }
+    return dqm::Status::OK();
+  }
+  // The registry is open to user workloads, so don't trust the partition:
+  // an over-partitioned batch list must fail loudly, not read past the log.
+  size_t total = 0;
+  for (size_t size : batches) total += size;
+  if (total != events.size()) {
+    return dqm::Status::InvalidArgument(dqm::StrFormat(
+        "%s: batch partition covers %zu votes but the log has %zu",
+        name.c_str(), total, events.size()));
+  }
+  size_t begin = 0;
+  for (size_t size : batches) {
     DQM_RETURN_NOT_OK(engine.Ingest(
         name, std::span<const dqm::crowd::VoteEvent>(&events[begin], size)));
+    begin += size;
   }
   return dqm::Status::OK();
 }
@@ -66,29 +100,26 @@ dqm::Status StreamVotes(dqm::engine::DqmEngine& engine, const std::string& name,
 /// Prints every session's snapshot with one "est/q" column pair per
 /// configured estimator (all sessions share the same --methods lineup).
 void PrintReport(const dqm::engine::DqmEngine& engine) {
-  std::vector<std::string> names = engine.SessionNames();
+  std::vector<std::pair<std::string, dqm::engine::Snapshot>> snapshots =
+      engine.QueryAll();
   std::vector<std::string> header = {"session", "votes", "nominal",
                                      "majority"};
-  bool header_built = false;
-  dqm::AsciiTable table(header);
-  for (const std::string& name : names) {
-    dqm::Result<dqm::engine::Snapshot> snapshot = engine.Query(name);
-    if (!snapshot.ok()) continue;  // closed concurrently
-    if (!header_built) {
-      for (const dqm::engine::EstimatorEstimate& row : snapshot->estimates) {
-        header.push_back(row.name);
-        header.push_back(dqm::StrFormat("q(%s)", row.name.c_str()));
-      }
-      table = dqm::AsciiTable(header);
-      header_built = true;
+  if (!snapshots.empty()) {
+    for (const dqm::engine::EstimatorEstimate& row :
+         snapshots.front().second.estimates) {
+      header.push_back(row.name);
+      header.push_back(dqm::StrFormat("q(%s)", row.name.c_str()));
     }
+  }
+  dqm::AsciiTable table(header);
+  for (const auto& [name, snapshot] : snapshots) {
     std::vector<std::string> cells = {
         name,
         dqm::StrFormat("%llu",
-                       static_cast<unsigned long long>(snapshot->num_votes)),
-        dqm::StrFormat("%zu", snapshot->nominal_count),
-        dqm::StrFormat("%zu", snapshot->majority_count)};
-    for (const dqm::engine::EstimatorEstimate& row : snapshot->estimates) {
+                       static_cast<unsigned long long>(snapshot.num_votes)),
+        dqm::StrFormat("%zu", snapshot.nominal_count),
+        dqm::StrFormat("%zu", snapshot.majority_count)};
+    for (const dqm::engine::EstimatorEstimate& row : snapshot.estimates) {
       cells.push_back(dqm::StrFormat("%.1f", row.total_errors));
       cells.push_back(dqm::StrFormat("%.4f", row.quality_score));
     }
@@ -110,6 +141,12 @@ int main(int argc, char** argv) {
       "default: switch)");
   std::string* method_name = flags.AddString(
       "method", "", "DEPRECATED single-estimator alias for --methods");
+  std::string* workloads = flags.AddString(
+      "workload", "",
+      "comma-separated workload specs to generate and serve instead of the "
+      "demo, e.g. drift?walk=0.02,adversarial?fraction=0.25 (families: " +
+          dqm::Join(dqm::workload::WorkloadRegistry::Global().Names(), ", ") +
+          "); incompatible with CSV files");
   int64_t* threads =
       flags.AddInt("threads", 4, "ingest worker threads (0 = hardware)");
   int64_t* batch = flags.AddInt("batch", 256, "votes per ingest batch");
@@ -157,14 +194,56 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One dataset per positional CSV file, or from the simulated demo.
+  // One dataset per positional CSV file, generated workload, or simulated
+  // demo scenario.
   struct Dataset {
     std::string name;
     std::vector<dqm::crowd::VoteEvent> events;
     size_t num_items = 0;
+    /// Ingest partition from the workload's arrival process; empty = fixed
+    /// --batch chunks.
+    std::vector<size_t> batches;
   };
   std::vector<Dataset> datasets;
-  if (flags.positional().empty()) {
+  if (!workloads->empty()) {
+    if (!flags.positional().empty()) {
+      std::fprintf(stderr,
+                   "--workload generates its own datasets; drop the CSV "
+                   "file arguments\n");
+      return 1;
+    }
+    std::set<std::string> used_names;
+    std::vector<std::string> specs_list =
+        dqm::estimators::SplitSpecList(*workloads);
+    if (specs_list.empty()) {
+      std::fprintf(stderr, "--workload must name at least one workload\n");
+      return 1;
+    }
+    for (size_t w = 0; w < specs_list.size(); ++w) {
+      dqm::Result<std::unique_ptr<dqm::workload::Workload>> generator =
+          dqm::workload::WorkloadRegistry::Global().Create(specs_list[w]);
+      if (!generator.ok()) {
+        std::fprintf(stderr, "bad workload spec '%s': %s\n",
+                     specs_list[w].c_str(),
+                     generator.status().ToString().c_str());
+        return 1;
+      }
+      dqm::workload::GeneratedWorkload run = (*generator)->Generate(
+          static_cast<uint64_t>(*seed) + static_cast<uint64_t>(w));
+      // Session named after the family; duplicates get a numeric suffix.
+      std::string family = (*generator)->spec();
+      family = family.substr(0, family.find('?'));
+      std::string name = UniqueSessionName(family, used_names);
+      std::printf("workload '%s' -> session '%s': %zu items, %zu true "
+                  "dirty, %zu votes in %zu batches\n",
+                  (*generator)->spec().c_str(), name.c_str(),
+                  (*generator)->num_items(), run.NumDirty(),
+                  run.log.num_events(), run.batch_sizes.size());
+      datasets.push_back(Dataset{name, run.log.events(),
+                                 (*generator)->num_items(),
+                                 std::move(run.batch_sizes)});
+    }
+  } else if (flags.positional().empty()) {
     std::printf("no CSV files given — running the simulated demo "
                 "(%lld datasets)\n",
                 static_cast<long long>(*demo_datasets));
@@ -178,7 +257,7 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(*seed) + static_cast<uint64_t>(d));
       datasets.push_back(Dataset{
           dqm::StrFormat("demo-%02lld", static_cast<long long>(d)),
-          run.log.events(), scenario.num_items});
+          run.log.events(), scenario.num_items, {}});
     }
   } else {
     std::set<std::string> used_names;
@@ -193,7 +272,8 @@ int main(int argc, char** argv) {
       }
       datasets.push_back(Dataset{SessionNameForPath(path, used_names),
                                  log->events(),
-                                 static_cast<size_t>(*num_items)});
+                                 static_cast<size_t>(*num_items),
+                                 {}});
     }
   }
 
@@ -216,6 +296,7 @@ int main(int argc, char** argv) {
     dqm::ThreadPool pool(std::max<size_t>(1, workers));
     dqm::ParallelFor(&pool, datasets.size(), [&](size_t d) {
       outcomes[d] = StreamVotes(engine, datasets[d].name, datasets[d].events,
+                                datasets[d].batches,
                                 static_cast<size_t>(std::max<int64_t>(1, *batch)));
     });
   }
