@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "estimators/switch_total.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -67,6 +68,14 @@ int main() {
 
   dqm::AsciiTable table({"assignment", "seed", "tasks to +/-10%",
                          "final estimate", "final VOTING"});
+  dqm::bench::BenchJsonWriter json("ablation_assignment");
+  auto add_json = [&](const char* kind, uint64_t seed, const RunResult& r) {
+    json.AddResult(dqm::StrFormat("%s_seed%llu", kind,
+                                  static_cast<unsigned long long>(seed)),
+                   {{"tasks_to_10pct", static_cast<double>(r.tasks_to_10pct)},
+                    {"final_estimate", r.final_estimate},
+                    {"final_majority", static_cast<double>(r.final_majority)}});
+  };
   for (uint64_t seed : {11u, 22u, 33u}) {
     RunResult random_run = Evaluate(scenario, false, num_tasks, seed);
     RunResult quorum_run = Evaluate(scenario, true, num_tasks, seed);
@@ -84,6 +93,8 @@ int main() {
                       : dqm::StrFormat("%zu", quorum_run.tasks_to_10pct),
                   dqm::StrFormat("%.1f", quorum_run.final_estimate),
                   dqm::StrFormat("%zu", quorum_run.final_majority)});
+    add_json("random", seed, random_run);
+    add_json("quorum", seed, quorum_run);
   }
   std::fputs(table.Render().c_str(), stdout);
   std::printf(
@@ -91,5 +102,7 @@ int main() {
       "budget comparable to SCM — the added redundancy the estimators need\n"
       "is marginal versus the conventional fixed-quorum deployment\n"
       "(Section 6.1), and unlike SCM it comes with an error estimate.\n");
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("ablation_assignment");
   return 0;
 }

@@ -11,11 +11,13 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "estimators/chao92.h"
+#include "figure_common.h"
 
 namespace {
 
-void RunSweep(const char* title, const dqm::core::Scenario& scenario,
-              size_t num_tasks, uint64_t seed) {
+void RunSweep(const char* title, const char* tag,
+              const dqm::core::Scenario& scenario, size_t num_tasks,
+              uint64_t seed, dqm::bench::BenchJsonWriter& json) {
   std::printf("-- %s (%zu tasks, truth=%zu) --\n", title, num_tasks,
               scenario.num_dirty());
   dqm::core::SimulatedRun run =
@@ -37,6 +39,10 @@ void RunSweep(const char* title, const dqm::core::Scenario& scenario,
                   dqm::StrFormat("%.1f", dqm::Mean(mids)),
                   dqm::StrFormat("%.1f", dqm::Mean(finals)),
                   dqm::StrFormat("%.3f", dqm::ScaledRmse(finals, truth))});
+    json.AddResult(dqm::StrFormat("%s_shift%u", tag, shift),
+                   {{"final_estimate", dqm::Mean(finals)},
+                    {"srmse", dqm::ScaledRmse(finals, truth)},
+                    {"truth", truth}});
   }
   std::fputs(table.Render().c_str(), stdout);
   std::printf("\n");
@@ -46,12 +52,15 @@ void RunSweep(const char* title, const dqm::core::Scenario& scenario,
 
 int main() {
   std::printf("== vChao92 shift-parameter ablation ==\n");
-  RunSweep("Restaurant workload (FP-heavy)", dqm::core::RestaurantScenario(),
-           1000, 333);
-  RunSweep("Simulation workload (1% FP + 10% FN)",
-           dqm::core::SimulationScenario(0.01, 0.10, 15), 700, 333);
+  dqm::bench::BenchJsonWriter json("ablation_shift");
+  RunSweep("Restaurant workload (FP-heavy)", "restaurant",
+           dqm::core::RestaurantScenario(), 1000, 333, json);
+  RunSweep("Simulation workload (1% FP + 10% FN)", "simulation",
+           dqm::core::SimulationScenario(0.01, 0.10, 15), 700, 333, json);
   std::printf(
       "reading: no single s wins on both workloads — the paper's argument\n"
       "for the parameter-free SWITCH estimator.\n");
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("ablation_shift");
   return 0;
 }

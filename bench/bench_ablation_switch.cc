@@ -20,6 +20,7 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "estimators/switch_total.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -65,8 +66,9 @@ std::vector<Variant> Variants() {
   return variants;
 }
 
-void RunWorkload(const char* title, const dqm::core::Scenario& scenario,
-                 size_t num_tasks, uint64_t seed) {
+void RunWorkload(const char* title, const char* tag,
+                 const dqm::core::Scenario& scenario, size_t num_tasks,
+                 uint64_t seed, dqm::bench::BenchJsonWriter& json) {
   std::printf("-- %s (%zu tasks, truth=%zu) --\n", title, num_tasks,
               scenario.num_dirty());
   dqm::core::SimulatedRun run =
@@ -89,6 +91,10 @@ void RunWorkload(const char* title, const dqm::core::Scenario& scenario,
     table.AddRow({variant.name, dqm::StrFormat("%.1f", dqm::Mean(mids)),
                   dqm::StrFormat("%.1f", dqm::Mean(finals)),
                   dqm::StrFormat("%.3f", dqm::ScaledRmse(finals, truth))});
+    json.AddResult(std::string(tag) + ":" + variant.name,
+                   {{"final_estimate", dqm::Mean(finals)},
+                    {"srmse", dqm::ScaledRmse(finals, truth)},
+                    {"truth", truth}});
   }
   std::fputs(table.Render().c_str(), stdout);
   std::printf("\n");
@@ -98,12 +104,15 @@ void RunWorkload(const char* title, const dqm::core::Scenario& scenario,
 
 int main() {
   std::printf("== SWITCH design ablation ==\n");
-  RunWorkload("Figure 7(c) workload (1% FP + 10% FN)",
-              dqm::core::SimulationScenario(0.01, 0.10, 15), 700, 4242);
-  RunWorkload("Restaurant workload (FP-heavy)",
-              dqm::core::RestaurantScenario(), 1000, 4242);
+  dqm::bench::BenchJsonWriter json("ablation_switch");
+  RunWorkload("Figure 7(c) workload (1% FP + 10% FN)", "fig7c",
+              dqm::core::SimulationScenario(0.01, 0.10, 15), 700, 4242, json);
+  RunWorkload("Restaurant workload (FP-heavy)", "restaurant",
+              dqm::core::RestaurantScenario(), 1000, 4242, json);
   std::printf(
       "reading: frozen-switch memory and the species-sum n keep a positive\n"
       "bias on FP-heavy data; the live-only default converges.\n");
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("ablation_switch");
   return 0;
 }

@@ -38,6 +38,13 @@ int main() {
 
   dqm::bench::PrintSeriesTable({"VOTING", "EM-VOTING", "SWITCH"}, series, 10,
                                static_cast<double>(scenario.num_dirty()));
+  dqm::bench::BenchJsonWriter json("ext_aggregation");
+  for (const dqm::core::SeriesResult& s : series) {
+    json.AddResult(s.name,
+                   {{"final_estimate", s.mean.back()},
+                    {"final_std", s.std_dev.back()},
+                    {"truth", static_cast<double>(scenario.num_dirty())}});
+  }
   std::vector<double> x(series.front().mean.size());
   for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i + 1);
   dqm::AsciiChart chart("EM aggregation vs DQM (truth = 100)", x);
@@ -48,5 +55,7 @@ int main() {
       "reading: EM sharpens the descriptive count over VOTING by profiling\n"
       "workers, but neither is forward-looking — SWITCH still supplies the\n"
       "undiscovered-error tail. The techniques compose, not compete.\n");
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("ext_aggregation");
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "crowd/worker.h"
 #include "er/pair.h"
 #include "estimators/extrapolation.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -62,7 +63,7 @@ void PanelA() {
               band.mean, band.std_dev, num_duplicates);
 }
 
-void PanelB() {
+void PanelB(dqm::bench::BenchJsonWriter& json) {
   std::printf(
       "== Figure 2(b) — extrapolation with more workers cleaning the "
       "sample ==\n");
@@ -115,6 +116,9 @@ void PanelB() {
     table.AddRow(std::move(row));
     x.push_back(static_cast<double>(workers));
     mean_series.push_back(dqm::Mean(estimates));
+    json.AddResult(dqm::StrFormat("panel_b_workers%zu", workers),
+                   {{"mean_estimate", dqm::Mean(estimates)},
+                    {"truth", static_cast<double>(num_duplicates)}});
   }
   std::fputs(table.Render().c_str(), stdout);
   std::printf("ground truth: %zu duplicates among the %zu candidates\n",
@@ -128,7 +132,10 @@ void PanelB() {
 }  // namespace
 
 int main() {
+  dqm::bench::BenchJsonWriter json("fig2_extrapolation");
   PanelA();
-  PanelB();
+  PanelB(json);
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("fig2_extrapolation");
   return 0;
 }

@@ -26,5 +26,6 @@ int main() {
   spec.show_scm = true;
   dqm::bench::RunTotalErrorFigure(spec);
   dqm::bench::RunSwitchPanels(spec);
+  dqm::bench::WriteBenchArtifact("fig3_restaurant");
   return 0;
 }

@@ -25,5 +25,6 @@ int main() {
   spec.show_scm = true;
   dqm::bench::RunTotalErrorFigure(spec);
   dqm::bench::RunSwitchPanels(spec);
+  dqm::bench::WriteBenchArtifact("fig5_address");
   return 0;
 }

@@ -55,6 +55,7 @@ int main() {
   const std::vector<std::string> methods = {"chao92", "switch", "voting"};
   const std::vector<std::string> names = {"CHAO92", "SWITCH", "VOTING"};
   const size_t r = 10;
+  dqm::bench::BenchJsonWriter json("fig6_sensitivity");
 
   // Panel (a): precision sweep at 50 tasks, 15 items per task. A worker
   // with precision p answers correctly with probability p on both classes.
@@ -75,6 +76,12 @@ int main() {
       }
       table.AddRow(std::move(row));
       x.push_back(precision);
+      std::vector<std::pair<std::string, double>> metrics;
+      for (size_t m = 0; m < srmse.size(); ++m) {
+        metrics.emplace_back(names[m] + ":srmse", srmse[m]);
+      }
+      json.AddResult(dqm::StrFormat("precision_%.2f", precision),
+                     std::move(metrics));
     }
     std::fputs(table.Render().c_str(), stdout);
     dqm::AsciiChart chart("Figure 6(a) — SRMSE vs precision", x);
@@ -102,11 +109,19 @@ int main() {
       }
       table.AddRow(std::move(row));
       x.push_back(static_cast<double>(items));
+      std::vector<std::pair<std::string, double>> metrics;
+      for (size_t m = 0; m < srmse.size(); ++m) {
+        metrics.emplace_back(names[m] + ":srmse", srmse[m]);
+      }
+      json.AddResult(dqm::StrFormat("items_per_task_%zu", items),
+                     std::move(metrics));
     }
     std::fputs(table.Render().c_str(), stdout);
     dqm::AsciiChart chart("Figure 6(b) — SRMSE vs items per task", x);
     for (size_t m = 0; m < names.size(); ++m) chart.AddSeries(names[m], ys[m]);
     std::fputs(chart.Render(72, 14).c_str(), stdout);
   }
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("fig6_sensitivity");
   return 0;
 }

@@ -35,5 +35,6 @@ int main() {
     };
     dqm::bench::RunTotalErrorFigure(spec);
   }
+  dqm::bench::WriteBenchArtifact("fig7_robustness");
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "core/dqm.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -52,6 +53,7 @@ int main() {
       "%zu tasks x 15 items, r=%zu\n",
       num_tasks, repetitions);
 
+  dqm::bench::BenchJsonWriter json("fig8_prioritization");
   const double epsilons[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
   dqm::AsciiTable table(
       {"epsilon", "SRMSE (10% heuristic err)", "SRMSE (50% heuristic err)"});
@@ -65,6 +67,9 @@ int main() {
     x.push_back(epsilon);
     good.push_back(srmse_good);
     bad.push_back(srmse_bad);
+    json.AddResult(dqm::StrFormat("epsilon_%.2f", epsilon),
+                   {{"srmse_good_heuristic", srmse_good},
+                    {"srmse_bad_heuristic", srmse_bad}});
   }
   std::fputs(table.Render().c_str(), stdout);
   dqm::AsciiChart chart("Figure 8 — SRMSE vs epsilon", x);
@@ -74,5 +79,7 @@ int main() {
   std::printf(
       "shape check: with an accurate heuristic, small epsilon suffices; "
       "with an inaccurate one, epsilon=0 hides half the errors.\n");
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("fig8_prioritization");
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "estimators/switch_total.h"
 #include "text/levenshtein.h"
 #include "text/similarity.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -127,4 +128,14 @@ BENCHMARK(BM_PermuteTasks);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also writes BENCH_micro.json (peak
+// RSS + any queued lines) like every other bench binary; the per-benchmark
+// numbers stay in google-benchmark's own --benchmark_format output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dqm::bench::WriteBenchArtifact("micro");
+  return 0;
+}

@@ -155,6 +155,7 @@ int main(int argc, char** argv) {
                   {"votes", votes},
                   {"estimators", static_cast<double>(kPanel.size())},
                   {"speedup", speedup}});
-  std::printf("%s\n", json.Render().c_str());
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("multi_estimator");
   return 0;
 }

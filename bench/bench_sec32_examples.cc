@@ -12,10 +12,12 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "estimators/chao92.h"
+#include "figure_common.h"
 
 namespace {
 
-void RunExample(const char* title, double fp_rate, uint64_t seed) {
+void RunExample(const char* title, const char* tag, double fp_rate,
+                uint64_t seed, dqm::bench::BenchJsonWriter& json) {
   // 1000 critical pairs, 100 duplicates, 20 pairs per task, detection rate
   // 0.9 (fn = 0.1), 100 tasks.
   dqm::core::Scenario scenario =
@@ -38,18 +40,28 @@ void RunExample(const char* title, double fp_rate, uint64_t seed) {
               chao.Estimate(),
               chao.Estimate() - static_cast<double>(nominal));
   std::printf("  truth     = 100 duplicates\n\n");
+  json.AddResult(tag,
+                 {{"c_nominal", static_cast<double>(nominal)},
+                  {"n_positive",
+                   static_cast<double>(run.log.total_positive_votes())},
+                  {"f1", static_cast<double>(chao.f_statistics().singletons())},
+                  {"estimate", chao.Estimate()},
+                  {"truth", 100.0}});
 }
 
 }  // namespace
 
 int main() {
   std::printf("== Section 3.2.1 worked examples ==\n");
-  RunExample("Example 1 — no false positives (paper: remaining ~16.6)", 0.0,
-             7);
+  dqm::bench::BenchJsonWriter json("sec32_examples");
+  RunExample("Example 1 — no false positives (paper: remaining ~16.6)",
+             "example1_no_fp", 0.0, 7, json);
   RunExample("Example 2 — 1% false positives (paper: estimate ~131, >30% over)",
-             0.01, 7);
+             "example2_fp", 0.01, 7, json);
   std::printf(
       "The false positives inflate both c and f1 (the singleton-error\n"
       "entanglement, Section 3.2.2), driving Chao92 far above the truth.\n");
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("sec32_examples");
   return 0;
 }

@@ -171,6 +171,7 @@ int main(int argc, char** argv) {
     std::printf("  %-20s %.1f\n", estimator_specs[e].c_str(),
                 abs_error_sums[e] / static_cast<double>(workload_specs.size()));
   }
-  std::printf("%s\n", json.Render().c_str());
+  dqm::bench::EmitBenchJson(json);
+  dqm::bench::WriteBenchArtifact("workload_matrix");
   return 0;
 }

@@ -1,7 +1,12 @@
 #include "figure_common.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/resource.h>
 
 #include "common/ascii.h"
 #include "common/string_util.h"
@@ -40,6 +45,68 @@ BenchJsonWriter::BenchJsonWriter(std::string bench_name)
 void BenchJsonWriter::AddResult(
     std::string name, std::vector<std::pair<std::string, double>> metrics) {
   results_.emplace_back(std::move(name), std::move(metrics));
+}
+
+namespace {
+
+/// Lines queued by EmitBenchJson for the binary's artifact file.
+std::vector<std::string>& QueuedBenchLines() {
+  static auto& lines = *new std::vector<std::string>();
+  return lines;
+}
+
+}  // namespace
+
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is KiB on Linux, bytes on macOS.
+#ifdef __APPLE__
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
+void EmitBenchJson(const BenchJsonWriter& json) {
+  std::string line = json.Render();
+  std::printf("%s\n", line.c_str());
+  QueuedBenchLines().push_back(std::move(line));
+}
+
+bool WriteBenchArtifact(std::string_view bench_name) {
+  const char* dir = std::getenv("DQM_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += "BENCH_";
+  path += bench_name;
+  path += ".json";
+
+  std::string body = StrFormat("{\"bench\":\"%s\",\"peak_rss_mb\":%s,\"runs\":[",
+                               JsonEscape(std::string(bench_name)).c_str(),
+                               JsonNumber(PeakRssMb()).c_str());
+  const std::vector<std::string>& lines = QueuedBenchLines();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) body += ",";
+    body += lines[i];
+  }
+  body += "]}\n";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("bench artifact: %s\n", path.c_str());
+  return true;
 }
 
 std::string BenchJsonWriter::Render() const {
@@ -162,7 +229,8 @@ std::vector<double> RunTotalErrorFigure(const FigureSpec& spec) {
                               {"final_std", series[i].std_dev.back()},
                               {"truth", truth}});
   }
-  std::printf("%s\n\n", json.Render().c_str());
+  EmitBenchJson(json);
+  std::printf("\n");
   return finals;
 }
 

@@ -74,6 +74,26 @@ class BenchJsonWriter {
       results_;
 };
 
+/// Peak resident set size of this process in MiB (getrusage; 0 when the
+/// platform does not report it) — recorded into every bench artifact so the
+/// perf trajectory tracks memory alongside throughput.
+double PeakRssMb();
+
+/// Prints `json`'s line to stdout and queues it for this binary's
+/// BENCH_<name>.json artifact (see WriteBenchArtifact). Every bench emits
+/// through this so one call at the end of main persists everything.
+void EmitBenchJson(const BenchJsonWriter& json);
+
+/// Writes all queued lines, wrapped as
+///
+///   {"bench":"<bench_name>","peak_rss_mb":<mb>,"runs":[<line>, ...]}
+///
+/// to BENCH_<bench_name>.json in $DQM_BENCH_JSON_DIR (default: the current
+/// directory). Call once at the end of main. Returns false — after printing
+/// a warning to stderr — when the file cannot be written; benches treat
+/// that as non-fatal so read-only environments still get stdout output.
+bool WriteBenchArtifact(std::string_view bench_name);
+
 }  // namespace dqm::bench
 
 #endif  // DQM_BENCH_FIGURE_COMMON_H_

@@ -39,8 +39,10 @@ std::unique_ptr<estimators::TotalErrorEstimator> MakeLegacyEstimator(
 
 }  // namespace
 
-DataQualityMetric::DataQualityMetric(size_t num_items, PrivateTag)
-    : state_(std::make_unique<PipelineState>(num_items)) {
+DataQualityMetric::DataQualityMetric(size_t num_items,
+                                     crowd::RetentionPolicy retention,
+                                     PrivateTag)
+    : state_(std::make_unique<PipelineState>(num_items, retention)) {
   state_->shared.log = &state_->log;
 }
 
@@ -48,7 +50,7 @@ DataQualityMetric::DataQualityMetric(size_t num_items)
     : DataQualityMetric(num_items, Options()) {}
 
 DataQualityMetric::DataQualityMetric(size_t num_items, const Options& options)
-    : DataQualityMetric(num_items, PrivateTag()) {
+    : DataQualityMetric(num_items, options.retention, PrivateTag()) {
   if (!options.specs.empty()) {
     Status status = AttachSpecs(options.specs);
     DQM_CHECK(status.ok()) << status.ToString()
@@ -62,22 +64,25 @@ DataQualityMetric::DataQualityMetric(size_t num_items, const Options& options)
 }
 
 Result<DataQualityMetric> DataQualityMetric::Create(
-    size_t num_items, std::span<const std::string> specs) {
-  DataQualityMetric metric(num_items, PrivateTag());
+    size_t num_items, std::span<const std::string> specs,
+    crowd::RetentionPolicy retention) {
+  DataQualityMetric metric(num_items, retention, PrivateTag());
   DQM_RETURN_NOT_OK(metric.AttachSpecs(specs));
   return metric;
 }
 
 Result<DataQualityMetric> DataQualityMetric::Create(
-    size_t num_items, std::initializer_list<std::string> specs) {
+    size_t num_items, std::initializer_list<std::string> specs,
+    crowd::RetentionPolicy retention) {
   std::vector<std::string> copy(specs);
-  return Create(num_items, std::span<const std::string>(copy));
+  return Create(num_items, std::span<const std::string>(copy), retention);
 }
 
 Result<DataQualityMetric> DataQualityMetric::Create(
-    size_t num_items, const std::string& spec_list) {
+    size_t num_items, const std::string& spec_list,
+    crowd::RetentionPolicy retention) {
   std::vector<std::string> specs = estimators::SplitSpecList(spec_list);
-  return Create(num_items, specs);
+  return Create(num_items, std::span<const std::string>(specs), retention);
 }
 
 Status DataQualityMetric::AttachSpecs(std::span<const std::string> specs) {
@@ -160,28 +165,37 @@ double DataQualityMetric::QualityScore() const {
 }
 
 DataQualityMetric::QualityReport DataQualityMetric::Report() const {
-  const crowd::ResponseLog& log = state_->log;
   QualityReport report;
+  ReportInto(report);
+  return report;
+}
+
+void DataQualityMetric::ReportInto(QualityReport& report) const {
+  const crowd::ResponseLog& log = state_->log;
   report.num_votes = log.num_events();
   report.num_items = log.num_items();
   report.majority_count = log.MajorityCount();
   report.nominal_count = log.NominalCount();
-  report.estimators.reserve(rows_.size());
+  if (report.estimators.size() != rows_.size()) {
+    // First fill (or a mismatched report object): build the immutable name
+    // and spec columns once; subsequent calls only touch the numbers.
+    report.estimators.assign(rows_.size(), EstimatorReport{});
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      report.estimators[i].name = std::string(rows_[i].estimator->name());
+      report.estimators[i].spec = rows_[i].spec;
+    }
+  }
   double majority = static_cast<double>(report.majority_count);
   double items = static_cast<double>(report.num_items);
-  for (const Row& row : rows_) {
-    EstimatorReport entry;
-    entry.name = std::string(row.estimator->name());
-    entry.spec = row.spec;
-    entry.total_errors = row.estimator->Estimate();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    EstimatorReport& entry = report.estimators[i];
+    entry.total_errors = rows_[i].estimator->Estimate();
     entry.undetected_errors = std::max(entry.total_errors - majority, 0.0);
     entry.quality_score =
         report.num_items == 0
             ? 1.0
             : std::clamp(1.0 - entry.undetected_errors / items, 0.0, 1.0);
-    report.estimators.push_back(std::move(entry));
   }
-  return report;
 }
 
 std::vector<std::string> DataQualityMetric::estimator_names() const {

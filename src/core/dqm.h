@@ -75,6 +75,12 @@ class DataQualityMetric {
     /// DQM_CHECK on this legacy constructor path — prefer Create(), which
     /// reports them as a Status.
     std::vector<std::string> specs;
+    /// What the pipeline's internal log retains. kFullEvents (default)
+    /// keeps arrival history available through log().events(); kCounts
+    /// keeps only the compacted per-(worker, item) count matrix, bounding
+    /// steady-state memory by #distinct pairs instead of #votes (the
+    /// serving configuration — see engine::DqmEngine::OpenSession).
+    crowd::RetentionPolicy retention = crowd::RetentionPolicy::kFullEvents;
   };
 
   /// `num_items` — size of the record (or candidate-pair) universe N.
@@ -85,14 +91,17 @@ class DataQualityMetric {
   /// first spec is the primary estimator (the one the single-method
   /// accessors answer for). InvalidArgument when `specs` is empty or a
   /// param is malformed; NotFound for unregistered estimator names.
-  static Result<DataQualityMetric> Create(size_t num_items,
-                                          std::span<const std::string> specs);
+  static Result<DataQualityMetric> Create(
+      size_t num_items, std::span<const std::string> specs,
+      crowd::RetentionPolicy retention = crowd::RetentionPolicy::kFullEvents);
   /// Braced-list convenience: Create(n, {"switch", "chao92"}).
   static Result<DataQualityMetric> Create(
-      size_t num_items, std::initializer_list<std::string> specs);
+      size_t num_items, std::initializer_list<std::string> specs,
+      crowd::RetentionPolicy retention = crowd::RetentionPolicy::kFullEvents);
   /// As above from a comma-separated list ("switch,chao92,voting").
-  static Result<DataQualityMetric> Create(size_t num_items,
-                                          const std::string& spec_list);
+  static Result<DataQualityMetric> Create(
+      size_t num_items, const std::string& spec_list,
+      crowd::RetentionPolicy retention = crowd::RetentionPolicy::kFullEvents);
 
   DataQualityMetric(DataQualityMetric&&) noexcept = default;
   DataQualityMetric& operator=(DataQualityMetric&&) noexcept = default;
@@ -137,6 +146,15 @@ class DataQualityMetric {
   };
   QualityReport Report() const;
 
+  /// Allocation-free form of Report() for hot publish paths: refreshes the
+  /// numeric fields of `report` in place, reusing its row storage. The row
+  /// names/specs are (re)written only when `report` does not already carry
+  /// one row per attached estimator — pass the same QualityReport object to
+  /// the same metric every call (the engine's per-session scratch pattern);
+  /// a report previously filled by a *different* metric must be reset to
+  /// `{}` first.
+  void ReportInto(QualityReport& report) const;
+
   /// Number of attached estimators (>= 1).
   size_t num_estimators() const { return rows_.size(); }
 
@@ -162,7 +180,8 @@ class DataQualityMetric {
   /// Heap-pinned pipeline state: estimators hold pointers into it, so the
   /// metric object itself stays cheaply movable.
   struct PipelineState {
-    explicit PipelineState(size_t num_items) : log(num_items) {}
+    PipelineState(size_t num_items, crowd::RetentionPolicy retention)
+        : log(num_items, retention) {}
     crowd::ResponseLog log;
     /// Fingerprint of dirty votes per item, maintained iff some attached
     /// estimator wants it (see EstimatorRegistry::Entry).
@@ -175,7 +194,8 @@ class DataQualityMetric {
     std::unique_ptr<estimators::TotalErrorEstimator> estimator;
   };
 
-  DataQualityMetric(size_t num_items, PrivateTag);
+  DataQualityMetric(size_t num_items, crowd::RetentionPolicy retention,
+                    PrivateTag);
 
   /// Shared by Create and the legacy spec-carrying Options path.
   Status AttachSpecs(std::span<const std::string> specs);

@@ -126,9 +126,13 @@ Result<ExperimentRunner::WorkloadReport> ExperimentRunner::RunWorkload(
       workload::WorkloadRegistry::Global().Create(workload_spec));
   workload::GeneratedWorkload run = generator->Generate(config_.seed);
 
+  // The scoring pipeline only consumes tallies and the shared fingerprint,
+  // never arrival history (the generated run keeps that) — compacted counts
+  // keep big workload sweeps at O(#pairs) memory per scored panel.
   DQM_ASSIGN_OR_RETURN(
       DataQualityMetric metric,
-      DataQualityMetric::Create(generator->num_items(), estimator_specs));
+      DataQualityMetric::Create(generator->num_items(), estimator_specs,
+                                crowd::RetentionPolicy::kCounts));
   for (const crowd::VoteEvent& event : run.log.events()) {
     metric.AddVote(event.task, event.worker, event.item,
                    event.vote == crowd::Vote::kDirty);

@@ -9,18 +9,15 @@ namespace dqm::crowd {
 
 DawidSkene::DawidSkene(const Options& options) : options_(options) {
   DQM_CHECK_GT(options.max_iterations, 0u);
+  DQM_CHECK_GT(options.max_incremental_sweeps, 0u);
   DQM_CHECK_GT(options.smoothing, 0.0);
 }
 
-DawidSkene::Result DawidSkene::Fit(const ResponseLog& log) const {
+void DawidSkene::ColdStart(const ResponseLog& log, Result& result) const {
   const size_t num_items = log.num_items();
   const size_t num_workers = std::max<size_t>(log.num_workers(), 1);
-  const double s = options_.smoothing;
-
-  Result result;
   result.sensitivity.assign(num_workers, 0.8);
   result.specificity.assign(num_workers, 0.8);
-
   // Initialize posteriors from the majority vote (soft: fraction of dirty
   // votes, pulled toward 0.5 by one pseudo-vote each way).
   result.posterior_dirty.assign(num_items, 0.5);
@@ -29,33 +26,143 @@ DawidSkene::Result DawidSkene::Fit(const ResponseLog& log) const {
     double tot = log.total_votes(i);
     result.posterior_dirty[i] = (pos + 1.0) / (tot + 2.0);
   }
+  result.prior_dirty = 0.5;
+  result.iterations = 0;
+  result.converged = false;
+}
+
+DawidSkene::Result DawidSkene::Fit(const ResponseLog& log) const {
+  Result result;
+  Workspace workspace;
+  ColdStart(log, result);
+  RunSweeps(log, result, workspace, options_.max_iterations,
+            /*refresh_posteriors=*/false);
+  return result;
+}
+
+size_t DawidSkene::FitIncremental(const ResponseLog& log, Result& state,
+                                  Workspace& workspace) const {
+  const bool warm = state.posterior_dirty.size() == log.num_items() &&
+                    !state.sensitivity.empty();
+  size_t max_sweeps = options_.max_incremental_sweeps;
+  if (!warm) {
+    ColdStart(log, state);
+    max_sweeps = options_.max_iterations;
+  } else if (state.sensitivity.size() < log.num_workers()) {
+    // Workers unseen by the previous fit enter at the cold-start rates.
+    state.sensitivity.resize(log.num_workers(), 0.8);
+    state.specificity.resize(log.num_workers(), 0.8);
+  }
+  // Warm starts keep the learned worker rates and prior but *refresh* the
+  // posteriors with one E-step before sweeping: new votes may have flipped
+  // an item's evidence, and carrying the stale posterior into the first
+  // M-step can lock EM into the old basin (a worker outvoted on an item
+  // would be scored against the outdated label). Re-deriving posteriors
+  // from current counts + learned rates starts the sweep loop where the
+  // cold fit's fixpoint lives, which is what keeps warm and cold estimates
+  // within the declared tolerance.
+  return RunSweeps(log, state, workspace, max_sweeps,
+                   /*refresh_posteriors=*/warm);
+}
+
+size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
+                             Workspace& workspace, size_t max_sweeps,
+                             bool refresh_posteriors) const {
+  const size_t num_items = log.num_items();
+  const size_t num_workers = std::max<size_t>(log.num_workers(), 1);
+  const double s = options_.smoothing;
 
   if (log.num_events() == 0) {
     result.prior_dirty = 0.5;
+    result.iterations = 0;
     result.converged = true;
-    return result;
+    return 0;
   }
 
-  for (size_t iteration = 1; iteration <= options_.max_iterations;
-       ++iteration) {
-    // ---- M step: worker rates and the class prior from soft labels.
-    std::vector<double> dirty_agree(num_workers, s);   // dirty & voted dirty
-    std::vector<double> dirty_total(num_workers, 2 * s);
-    std::vector<double> clean_agree(num_workers, s);   // clean & voted clean
-    std::vector<double> clean_total(num_workers, 2 * s);
+  // The count matrix: maintained by the log under kCounts retention,
+  // rebuilt once per fit from events under kFullEvents. Both paths insert
+  // pairs in first-arrival order, so the sweep below visits identical slot
+  // sequences either way.
+  const CompactedVoteStore* counts = log.compacted();
+  if (counts == nullptr) {
+    workspace.scratch_counts.Clear();
     for (const VoteEvent& event : log.events()) {
-      double p = result.posterior_dirty[event.item];
-      dirty_total[event.worker] += p;
-      clean_total[event.worker] += 1.0 - p;
-      if (event.vote == Vote::kDirty) {
-        dirty_agree[event.worker] += p;
-      } else {
-        clean_agree[event.worker] += 1.0 - p;
-      }
+      workspace.scratch_counts.Add(event.worker, event.item, event.vote);
+    }
+    counts = &workspace.scratch_counts;
+  }
+  const std::vector<uint32_t>& pair_worker = counts->workers();
+  const std::vector<uint32_t>& pair_item = counts->items();
+  const std::vector<uint32_t>& pair_dirty = counts->dirty_counts();
+  const std::vector<uint32_t>& pair_clean = counts->clean_counts();
+  const size_t num_pairs = counts->num_pairs();
+
+  // ---- E step (shared): per-item posteriors from worker rates (log
+  // domain). Returns the largest posterior move.
+  auto e_step = [&]() {
+    // Per-worker log-rate tables first: the pair sweep below is then pure
+    // multiply-add, and log() cost scales with #workers, not #pairs.
+    workspace.log_sens.resize(num_workers);
+    workspace.log_one_minus_sens.resize(num_workers);
+    workspace.log_spec.resize(num_workers);
+    workspace.log_one_minus_spec.resize(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      double sens = std::clamp(result.sensitivity[w], 1e-6, 1.0 - 1e-6);
+      double spec = std::clamp(result.specificity[w], 1e-6, 1.0 - 1e-6);
+      workspace.log_sens[w] = std::log(sens);
+      workspace.log_one_minus_sens[w] = std::log(1.0 - sens);
+      workspace.log_spec[w] = std::log(spec);
+      workspace.log_one_minus_spec[w] = std::log(1.0 - spec);
+    }
+    workspace.log_dirty.assign(num_items, std::log(result.prior_dirty));
+    workspace.log_clean.assign(num_items, std::log(1.0 - result.prior_dirty));
+    for (size_t pair = 0; pair < num_pairs; ++pair) {
+      const uint32_t item = pair_item[pair];
+      const uint32_t worker = pair_worker[pair];
+      const double d = pair_dirty[pair];
+      const double c = pair_clean[pair];
+      workspace.log_dirty[item] += d * workspace.log_sens[worker] +
+                                   c * workspace.log_one_minus_sens[worker];
+      workspace.log_clean[item] += d * workspace.log_one_minus_spec[worker] +
+                                   c * workspace.log_spec[worker];
+    }
+    double max_delta = 0.0;
+    for (size_t i = 0; i < num_items; ++i) {
+      double m = std::max(workspace.log_dirty[i], workspace.log_clean[i]);
+      double dirty = std::exp(workspace.log_dirty[i] - m);
+      double clean = std::exp(workspace.log_clean[i] - m);
+      double posterior = dirty / (dirty + clean);
+      max_delta = std::max(max_delta,
+                           std::abs(posterior - result.posterior_dirty[i]));
+      result.posterior_dirty[i] = posterior;
+    }
+    return max_delta;
+  };
+
+  if (refresh_posteriors) e_step();
+
+  result.converged = false;
+  size_t sweeps = 0;
+  for (size_t iteration = 1; iteration <= max_sweeps; ++iteration) {
+    // ---- M step: worker rates and the class prior from soft labels. Each
+    // (worker, item) pair contributes its whole vote pile at once.
+    workspace.dirty_agree.assign(num_workers, s);
+    workspace.dirty_total.assign(num_workers, 2 * s);
+    workspace.clean_agree.assign(num_workers, s);
+    workspace.clean_total.assign(num_workers, 2 * s);
+    for (size_t pair = 0; pair < num_pairs; ++pair) {
+      const uint32_t worker = pair_worker[pair];
+      const double d = pair_dirty[pair];
+      const double c = pair_clean[pair];
+      const double p = result.posterior_dirty[pair_item[pair]];
+      workspace.dirty_total[worker] += (d + c) * p;
+      workspace.clean_total[worker] += (d + c) * (1.0 - p);
+      workspace.dirty_agree[worker] += d * p;
+      workspace.clean_agree[worker] += c * (1.0 - p);
     }
     for (size_t w = 0; w < num_workers; ++w) {
-      result.sensitivity[w] = dirty_agree[w] / dirty_total[w];
-      result.specificity[w] = clean_agree[w] / clean_total[w];
+      result.sensitivity[w] = workspace.dirty_agree[w] / workspace.dirty_total[w];
+      result.specificity[w] = workspace.clean_agree[w] / workspace.clean_total[w];
     }
     double prior_num = s;
     for (size_t i = 0; i < num_items; ++i) {
@@ -63,41 +170,15 @@ DawidSkene::Result DawidSkene::Fit(const ResponseLog& log) const {
     }
     result.prior_dirty = prior_num / (static_cast<double>(num_items) + 2 * s);
 
-    // ---- E step: per-item posteriors from worker rates (log domain).
-    std::vector<double> log_dirty(num_items,
-                                  std::log(result.prior_dirty));
-    std::vector<double> log_clean(num_items,
-                                  std::log(1.0 - result.prior_dirty));
-    for (const VoteEvent& event : log.events()) {
-      double sens = std::clamp(result.sensitivity[event.worker], 1e-6,
-                               1.0 - 1e-6);
-      double spec = std::clamp(result.specificity[event.worker], 1e-6,
-                               1.0 - 1e-6);
-      if (event.vote == Vote::kDirty) {
-        log_dirty[event.item] += std::log(sens);
-        log_clean[event.item] += std::log(1.0 - spec);
-      } else {
-        log_dirty[event.item] += std::log(1.0 - sens);
-        log_clean[event.item] += std::log(spec);
-      }
-    }
-    double max_delta = 0.0;
-    for (size_t i = 0; i < num_items; ++i) {
-      double m = std::max(log_dirty[i], log_clean[i]);
-      double dirty = std::exp(log_dirty[i] - m);
-      double clean = std::exp(log_clean[i] - m);
-      double posterior = dirty / (dirty + clean);
-      max_delta = std::max(max_delta,
-                           std::abs(posterior - result.posterior_dirty[i]));
-      result.posterior_dirty[i] = posterior;
-    }
-    result.iterations = iteration;
+    double max_delta = e_step();
+    sweeps = iteration;
     if (max_delta < options_.tolerance) {
       result.converged = true;
       break;
     }
   }
-  return result;
+  result.iterations = sweeps;
+  return sweeps;
 }
 
 size_t DawidSkene::DirtyCount(const Result& result) {

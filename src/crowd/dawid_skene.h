@@ -17,6 +17,13 @@ namespace dqm::crowd {
 /// specificity (P(vote clean | item clean)) together with the dirty-class
 /// prior, then produces per-item posterior probabilities.
 ///
+/// EM consumes the *response matrix* (per-(worker, item) vote counts), not
+/// the arrival history: every sweep touches each distinct pair exactly once,
+/// so a fit over a log with a million votes piled onto a few thousand pairs
+/// costs a few thousand pair visits per sweep. Under
+/// RetentionPolicy::kCounts the log already maintains that matrix; under
+/// kFullEvents it is rebuilt once per fit into reusable Workspace scratch.
+///
 /// It addresses a *different* problem than the DQM estimators: EM recovers
 /// the best labels for items that have votes, while DQM predicts how many
 /// errors remain undiscovered. The extension bench shows the two compose:
@@ -25,6 +32,12 @@ class DawidSkene {
  public:
   struct Options {
     size_t max_iterations = 50;
+    /// Sweep cap for warm-started FitIncremental calls: a batch of new
+    /// votes moves the posterior fixpoint only slightly, so a small constant
+    /// bound keeps per-batch cost O(#pairs), independent of how many
+    /// batches came before. Convergence (`tolerance`) usually stops the
+    /// sweep loop after 1-3 sweeps anyway.
+    size_t max_incremental_sweeps = 8;
     /// Stop when no posterior moves more than this between iterations.
     double tolerance = 1e-6;
     /// Symmetric Beta(s, s) smoothing on worker rates and the prior; keeps
@@ -41,21 +54,66 @@ class DawidSkene {
     std::vector<double> specificity;
     /// Estimated P(dirty).
     double prior_dirty = 0.0;
+    /// Sweeps used by the most recent fit call that produced this state.
     size_t iterations = 0;
     bool converged = false;
+  };
+
+  /// Reusable per-fit scratch: per-worker accumulators, per-item log-odds,
+  /// and the count matrix rebuilt from events under kFullEvents retention.
+  /// Keeping one Workspace alive across fits makes the steady-state fit
+  /// loop allocation-free.
+  struct Workspace {
+    std::vector<double> dirty_agree;
+    std::vector<double> dirty_total;
+    std::vector<double> clean_agree;
+    std::vector<double> clean_total;
+    std::vector<double> log_dirty;
+    std::vector<double> log_clean;
+    // Per-worker log-rate tables, refreshed once per E step: the pair sweep
+    // then runs on multiply-adds alone (4 log() calls per *worker* per
+    // sweep instead of 4 per *pair*).
+    std::vector<double> log_sens;
+    std::vector<double> log_one_minus_sens;
+    std::vector<double> log_spec;
+    std::vector<double> log_one_minus_spec;
+    CompactedVoteStore scratch_counts;
   };
 
   explicit DawidSkene(const Options& options);
   DawidSkene() : DawidSkene(Options()) {}
 
-  /// Runs EM over the votes in `log`. Initialization is majority voting.
+  /// Runs EM from scratch over the votes in `log`. Initialization is
+  /// majority voting.
   Result Fit(const ResponseLog& log) const;
+
+  /// Warm-start EM: refines `state` in place against the log's current
+  /// counts, running at most Options::max_incremental_sweeps sweeps. When
+  /// `state` does not match the log (fresh object, or a different item
+  /// universe) the fit cold-starts exactly like Fit(). Newly seen workers
+  /// enter at the same neutral rates cold initialization uses. Returns the
+  /// number of sweeps performed.
+  ///
+  /// Warm-started results track the cold-fit fixpoint numerically, not
+  /// bit-for-bit — consumers declare the agreement tolerance (see
+  /// estimators::ConformanceTraits::estimate_tolerance_abs).
+  size_t FitIncremental(const ResponseLog& log, Result& state,
+                        Workspace& workspace) const;
 
   /// Number of items whose posterior exceeds 0.5 — the EM analogue of the
   /// VOTING count.
   static size_t DirtyCount(const Result& result);
 
  private:
+  void ColdStart(const ResponseLog& log, Result& result) const;
+  /// Shared EM loop. `refresh_posteriors` (warm starts) re-derives the
+  /// posteriors from the current counts and the carried worker rates before
+  /// the first M step, so stale posteriors cannot pin the fit to an
+  /// outdated basin.
+  size_t RunSweeps(const ResponseLog& log, Result& result,
+                   Workspace& workspace, size_t max_sweeps,
+                   bool refresh_posteriors) const;
+
   Options options_;
 };
 

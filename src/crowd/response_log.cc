@@ -1,11 +1,93 @@
 #include "crowd/response_log.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dqm::crowd {
 
-ResponseLog::ResponseLog(size_t num_items)
-    : positive_(num_items, 0), total_(num_items, 0) {}
+namespace {
+
+/// splitmix64 finalizer — cheap, well-mixed hash for the packed pair key.
+inline uint64_t MixPair(uint32_t worker, uint32_t item) {
+  uint64_t x = (static_cast<uint64_t>(worker) << 32) | item;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+void CompactedVoteStore::Add(uint32_t worker, uint32_t item, Vote vote) {
+  size_t slot = FindOrInsertSlot(worker, item);
+  if (vote == Vote::kDirty) {
+    ++dirty_[slot];
+  } else {
+    ++clean_[slot];
+  }
+}
+
+void CompactedVoteStore::Clear() {
+  workers_.clear();
+  items_.clear();
+  dirty_.clear();
+  clean_.clear();
+  std::fill(index_.begin(), index_.end(), kEmptySlot);
+}
+
+size_t CompactedVoteStore::MemoryBytes() const {
+  return (workers_.capacity() + items_.capacity() + dirty_.capacity() +
+          clean_.capacity() + index_.capacity()) *
+         sizeof(uint32_t);
+}
+
+size_t CompactedVoteStore::FindOrInsertSlot(uint32_t worker, uint32_t item) {
+  // Grow at 3/4 load (and on first use) so probe chains stay short.
+  if (index_.empty() || workers_.size() + 1 > index_.size() / 4 * 3) {
+    GrowIndex();
+  }
+  const size_t mask = index_.size() - 1;
+  size_t bucket = MixPair(worker, item) & mask;
+  for (;;) {
+    uint32_t slot = index_[bucket];
+    if (slot == kEmptySlot) {
+      uint32_t fresh = static_cast<uint32_t>(workers_.size());
+      DQM_CHECK_LT(fresh, kEmptySlot) << "compacted store slot id overflow";
+      index_[bucket] = fresh;
+      workers_.push_back(worker);
+      items_.push_back(item);
+      dirty_.push_back(0);
+      clean_.push_back(0);
+      return fresh;
+    }
+    if (workers_[slot] == worker && items_[slot] == item) return slot;
+    bucket = (bucket + 1) & mask;
+  }
+}
+
+void CompactedVoteStore::GrowIndex() {
+  size_t capacity = index_.empty() ? 64 : index_.size() * 2;
+  index_.assign(capacity, kEmptySlot);
+  const size_t mask = capacity - 1;
+  for (uint32_t slot = 0; slot < workers_.size(); ++slot) {
+    size_t bucket = MixPair(workers_[slot], items_[slot]) & mask;
+    while (index_[bucket] != kEmptySlot) bucket = (bucket + 1) & mask;
+    index_[bucket] = slot;
+  }
+}
+
+ResponseLog::ResponseLog(size_t num_items, RetentionPolicy retention)
+    : retention_(retention), positive_(num_items, 0), total_(num_items, 0) {}
+
+const std::vector<VoteEvent>& ResponseLog::events() const {
+  DQM_CHECK(retention_ == RetentionPolicy::kFullEvents)
+      << "events() requires RetentionPolicy::kFullEvents; this log retains "
+         "only compacted counts";
+  return events_;
+}
 
 void ResponseLog::Append(const VoteEvent& event) {
   DQM_CHECK_LT(event.item, positive_.size()) << "item id out of range";
@@ -30,7 +112,12 @@ void ResponseLog::Append(const VoteEvent& event) {
 
   num_tasks_ = std::max(num_tasks_, static_cast<size_t>(event.task) + 1);
   num_workers_ = std::max(num_workers_, static_cast<size_t>(event.worker) + 1);
-  events_.push_back(event);
+  ++num_events_;
+  if (retention_ == RetentionPolicy::kFullEvents) {
+    events_.push_back(event);
+  } else {
+    compacted_.Add(event.worker, event.item, event.vote);
+  }
 }
 
 }  // namespace dqm::crowd

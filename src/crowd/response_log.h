@@ -9,8 +9,74 @@
 
 namespace dqm::crowd {
 
+/// Compacted columnar realization of the paper's response matrix `I`:
+/// per-(worker, item) dirty/clean vote counts in flat parallel arrays, with
+/// an open-addressed (worker, item) -> slot index so appending a vote is
+/// O(1) amortized and never allocates except on table growth.
+///
+/// This is the state the matrix-based consumers (Dawid-Skene EM) actually
+/// need: each EM sweep touches every distinct pair once, independent of how
+/// many raw votes piled onto it, and steady-state memory is O(#distinct
+/// pairs) instead of O(#votes). Slots are appended in first-arrival order,
+/// so two stores fed the same vote stream — whether incrementally or by a
+/// one-shot replay — are element-for-element identical, which is what keeps
+/// count-based fits bit-reproducible across retention policies.
+class CompactedVoteStore {
+ public:
+  CompactedVoteStore() = default;
+
+  /// Folds one vote into its (worker, item) slot, creating it on first
+  /// contact.
+  void Add(uint32_t worker, uint32_t item, Vote vote);
+
+  /// Forgets all pairs but keeps the allocated capacity — for reuse as fit
+  /// scratch without reallocating.
+  void Clear();
+
+  /// Number of distinct (worker, item) pairs seen.
+  size_t num_pairs() const { return workers_.size(); }
+
+  /// Columnar views, all of length num_pairs(), indexed by slot in
+  /// first-arrival order.
+  const std::vector<uint32_t>& workers() const { return workers_; }
+  const std::vector<uint32_t>& items() const { return items_; }
+  const std::vector<uint32_t>& dirty_counts() const { return dirty_; }
+  const std::vector<uint32_t>& clean_counts() const { return clean_; }
+
+  /// Bytes of heap owned by the store (capacity, not size) — the number the
+  /// retention-policy memory claims are made of.
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  size_t FindOrInsertSlot(uint32_t worker, uint32_t item);
+  void GrowIndex();
+
+  // Slot-major parallel arrays (the columnar matrix).
+  std::vector<uint32_t> workers_;
+  std::vector<uint32_t> items_;
+  std::vector<uint32_t> dirty_;
+  std::vector<uint32_t> clean_;
+  // Open-addressed index over (worker, item): each cell holds a slot id or
+  // kEmptySlot. Power-of-two sized, linear probing, grown at 3/4 load.
+  std::vector<uint32_t> index_;
+};
+
+/// What a ResponseLog retains beyond the per-item tallies.
+enum class RetentionPolicy {
+  /// Every raw VoteEvent is kept in arrival order. Required by the replay
+  /// consumers — PermuteTasks, log serialization, SWITCH diagnostics replays
+  /// — and the historical default.
+  kFullEvents,
+  /// Only the compacted per-(worker, item) counts are kept: steady-state
+  /// memory is O(#distinct pairs), not O(#votes). The serving default
+  /// (engine sessions). events() is unavailable under this policy.
+  kCounts,
+};
+
 /// The ordered collection of worker votes: the concrete realization of the
-/// paper's response matrix `I` plus arrival order.
+/// paper's response matrix `I` (plus arrival history under kFullEvents).
 ///
 /// Maintains per-item tallies and the NOMINAL / VOTING counts incrementally,
 /// so appending an event is O(1) and estimators can be evaluated after every
@@ -18,10 +84,13 @@ namespace dqm::crowd {
 class ResponseLog {
  public:
   /// `num_items` = N, the size of the record (or pair) universe.
-  explicit ResponseLog(size_t num_items);
+  explicit ResponseLog(size_t num_items,
+                       RetentionPolicy retention = RetentionPolicy::kFullEvents);
 
   size_t num_items() const { return positive_.size(); }
-  size_t num_events() const { return events_.size(); }
+  size_t num_events() const { return num_events_; }
+
+  RetentionPolicy retention() const { return retention_; }
 
   /// Number of distinct tasks / workers seen so far (max id + 1).
   size_t num_tasks() const { return num_tasks_; }
@@ -30,8 +99,17 @@ class ResponseLog {
   /// Appends one vote. `event.item` must be < num_items().
   void Append(const VoteEvent& event);
 
-  /// All events in arrival order.
-  const std::vector<VoteEvent>& events() const { return events_; }
+  /// All events in arrival order. Only available under kFullEvents — a
+  /// kCounts log has, by design, forgotten arrival history (aborts via
+  /// DQM_CHECK).
+  const std::vector<VoteEvent>& events() const;
+
+  /// The compacted per-(worker, item) count matrix, maintained incrementally
+  /// under kCounts; null under kFullEvents (matrix consumers rebuild it once
+  /// per fit from events() — see DawidSkene::Workspace).
+  const CompactedVoteStore* compacted() const {
+    return retention_ == RetentionPolicy::kCounts ? &compacted_ : nullptr;
+  }
 
   /// n_i^+ — votes marking `item` dirty.
   uint32_t positive_votes(size_t item) const { return positive_[item]; }
@@ -40,13 +118,22 @@ class ResponseLog {
   /// n^+ — total positive votes across items.
   uint64_t total_positive_votes() const { return total_positive_; }
   /// Total votes across items.
-  uint64_t total_votes_all() const { return events_.size(); }
+  uint64_t total_votes_all() const { return num_events_; }
 
   /// Majority label of `item`: dirty iff n_i^+ > n_i / 2 (strictly more
   /// dirty than clean votes; ties and unseen items default to clean, the
   /// paper's default label).
   bool MajorityDirty(size_t item) const {
     return positive_[item] * 2 > total_[item];
+  }
+
+  /// Approximate heap bytes retained for vote storage — the raw event
+  /// vector under kFullEvents, the compacted matrix under kCounts — plus
+  /// the per-item tallies. The number the retention-policy memory
+  /// comparison (bench_engine_throughput's long-session sweep) reports.
+  size_t RetainedBytes() const {
+    return events_.capacity() * sizeof(VoteEvent) + compacted_.MemoryBytes() +
+           (positive_.capacity() + total_.capacity()) * sizeof(uint32_t);
   }
 
   /// NOMINAL(I): items with at least one dirty vote (Section 2.2.1).
@@ -57,9 +144,12 @@ class ResponseLog {
   size_t MajorityCount() const { return majority_count_; }
 
  private:
-  std::vector<VoteEvent> events_;
+  RetentionPolicy retention_;
+  std::vector<VoteEvent> events_;    // kFullEvents only
+  CompactedVoteStore compacted_;     // kCounts only
   std::vector<uint32_t> positive_;
   std::vector<uint32_t> total_;
+  uint64_t num_events_ = 0;
   uint64_t total_positive_ = 0;
   size_t nominal_count_ = 0;
   size_t majority_count_ = 0;

@@ -66,8 +66,12 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
   // the pipeline construction, and a typo'd spec never half-opens a
   // session.
   DQM_RETURN_NOT_OK(PrecheckName(name));
-  DQM_ASSIGN_OR_RETURN(core::DataQualityMetric metric,
-                       core::DataQualityMetric::Create(num_items, specs));
+  // Serving retention default: sessions hold the compacted count matrix,
+  // not the raw vote history (memory O(#pairs), not O(#votes)).
+  DQM_ASSIGN_OR_RETURN(
+      core::DataQualityMetric metric,
+      core::DataQualityMetric::Create(num_items, specs,
+                                      crowd::RetentionPolicy::kCounts));
   auto session =
       std::make_shared<EstimationSession>(name, std::move(metric));
   return InsertSession(name, [&] { return session; });
@@ -98,6 +102,13 @@ Result<Snapshot> DqmEngine::Query(const std::string& name) const {
   Result<std::shared_ptr<EstimationSession>> session = GetSession(name);
   if (!session.ok()) return session.status();
   return (*session)->snapshot();
+}
+
+Status DqmEngine::QueryInto(const std::string& name, Snapshot& out) const {
+  Result<std::shared_ptr<EstimationSession>> session = GetSession(name);
+  if (!session.ok()) return session.status();
+  (*session)->SnapshotInto(out);
+  return Status::OK();
 }
 
 std::vector<std::pair<std::string, Snapshot>> DqmEngine::QueryAll() const {

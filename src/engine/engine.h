@@ -63,6 +63,13 @@ class DqmEngine {
   /// row per spec (spec order; the first spec is the primary estimator).
   /// Invalid specs are reported as InvalidArgument / NotFound before the
   /// session is created.
+  ///
+  /// Spec-opened sessions use the serving retention default,
+  /// crowd::RetentionPolicy::kCounts: the session's log keeps the compacted
+  /// per-(worker, item) count matrix rather than every raw vote, so
+  /// steady-state memory is O(#distinct pairs) regardless of how many votes
+  /// stream through. (The legacy Options overload keeps kFullEvents unless
+  /// Options::retention says otherwise.)
   Result<std::shared_ptr<EstimationSession>> OpenSession(
       const std::string& name, size_t num_items,
       std::span<const std::string> specs);
@@ -81,6 +88,11 @@ class DqmEngine {
   /// hold a GetSession handle and call `snapshot()` on it directly to skip
   /// the lookup entirely.
   Result<Snapshot> Query(const std::string& name) const;
+
+  /// Allocation-free form of Query for polling readers: refreshes `out` in
+  /// place (see EstimationSession::SnapshotInto). NotFound when no session
+  /// carries `name`; `out` is untouched on error.
+  Status QueryInto(const std::string& name, Snapshot& out) const;
 
   /// Snapshots of every open session, sorted by name — the one-call sweep
   /// report/monitoring surfaces use. Each snapshot is individually

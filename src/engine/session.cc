@@ -47,10 +47,15 @@ void SnapshotCell::Store(const Snapshot& snapshot) {
 }
 
 Snapshot SnapshotCell::Load() const {
-  // The snapshot (and its rows vector) is allocated once, outside the retry
-  // loop: a hot reader polling the cell pays no extra allocation per retry,
-  // and none at all beyond the rows the caller receives.
   Snapshot snapshot;
+  LoadInto(snapshot);
+  return snapshot;
+}
+
+void SnapshotCell::LoadInto(Snapshot& snapshot) const {
+  // The rows vector is sized before the retry loop (a no-op when the caller
+  // reuses a Snapshot): a hot reader polling the cell pays no allocation
+  // per read, let alone per retry.
   snapshot.estimates.resize(num_estimators_);
   for (;;) {
     uint64_t before = seq_.load(std::memory_order_acquire);
@@ -78,7 +83,7 @@ Snapshot SnapshotCell::Load() const {
           std::bit_cast<double>(get(kHeaderWords + 3 * i + 2));
     }
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (seq_.load(std::memory_order_relaxed) == before) return snapshot;
+    if (seq_.load(std::memory_order_relaxed) == before) return;
   }
 }
 
@@ -133,19 +138,24 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
   }
   ++version_;
 
-  core::DataQualityMetric::QualityReport report = metric_.Report();
-  Snapshot next;
+  // Refresh the per-session scratch in place — after the first batch the
+  // whole publish path (report, snapshot rows, seqlock store) touches no
+  // heap. Names are deliberately not carried here: they are immutable per
+  // session and the cell does not store them (see SnapshotInto).
+  metric_.ReportInto(report_scratch_);
+  Snapshot& next = publish_scratch_;
   next.version = version_;
-  next.num_votes = report.num_votes;
-  next.num_items = report.num_items;
-  next.majority_count = report.majority_count;
-  next.nominal_count = report.nominal_count;
-  next.estimates.reserve(report.estimators.size());
-  for (const core::DataQualityMetric::EstimatorReport& row :
-       report.estimators) {
-    next.estimates.push_back(EstimatorEstimate{
-        std::string(), row.total_errors, row.undetected_errors,
-        row.quality_score});
+  next.num_votes = report_scratch_.num_votes;
+  next.num_items = report_scratch_.num_items;
+  next.majority_count = report_scratch_.majority_count;
+  next.nominal_count = report_scratch_.nominal_count;
+  next.estimates.resize(report_scratch_.estimators.size());
+  for (size_t i = 0; i < report_scratch_.estimators.size(); ++i) {
+    const core::DataQualityMetric::EstimatorReport& row =
+        report_scratch_.estimators[i];
+    next.estimates[i].total_errors = row.total_errors;
+    next.estimates[i].undetected_errors = row.undetected_errors;
+    next.estimates[i].quality_score = row.quality_score;
   }
   next.estimated_total_errors = next.estimates.front().total_errors;
   next.estimated_undetected_errors = next.estimates.front().undetected_errors;
@@ -155,12 +165,17 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
 }
 
 Snapshot EstimationSession::snapshot() const {
-  Snapshot snapshot = snapshot_.Load();
-  snapshot.method_name = estimator_names_.front();
-  for (size_t i = 0; i < snapshot.estimates.size(); ++i) {
-    snapshot.estimates[i].name = estimator_names_[i];
-  }
+  Snapshot snapshot;
+  SnapshotInto(snapshot);
   return snapshot;
+}
+
+void EstimationSession::SnapshotInto(Snapshot& out) const {
+  snapshot_.LoadInto(out);
+  out.method_name = estimator_names_.front();
+  for (size_t i = 0; i < out.estimates.size(); ++i) {
+    out.estimates[i].name = estimator_names_[i];
+  }
 }
 
 }  // namespace dqm::engine

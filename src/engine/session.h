@@ -78,6 +78,11 @@ class SnapshotCell {
   /// Store is mid-flight). Row names are left empty.
   Snapshot Load() const;
 
+  /// As Load(), but reuses `snapshot`'s row storage: a reader that polls
+  /// with the same Snapshot object performs zero heap allocations per read
+  /// after the first. Row names are left untouched.
+  void LoadInto(Snapshot& snapshot) const;
+
  private:
   static constexpr size_t kHeaderWords = 8;
   size_t num_words() const { return kHeaderWords + 3 * num_estimators_; }
@@ -127,6 +132,13 @@ class EstimationSession {
   /// Current estimates, without blocking on writers.
   Snapshot snapshot() const;
 
+  /// As snapshot(), but reuses `out`'s storage: the estimator-name strings
+  /// and row vector are written in place, so a hot reader polling with the
+  /// same Snapshot object allocates nothing per query in steady state
+  /// (names are carried once per session and string assignment reuses the
+  /// receiver's capacity).
+  void SnapshotInto(Snapshot& out) const;
+
   /// Name of the primary estimation method ("SWITCH", "CHAO92", ...).
   std::string_view method_name() const { return estimator_names_.front(); }
 
@@ -141,6 +153,11 @@ class EstimationSession {
   mutable std::mutex mutex_;
   core::DataQualityMetric metric_;  // guarded by mutex_
   uint64_t version_ = 0;            // guarded by mutex_
+  /// Publish scratch, guarded by mutex_: AddVotes refreshes these in place
+  /// every batch instead of building a fresh report + snapshot, so the
+  /// commit path performs no heap allocations in steady state.
+  core::DataQualityMetric::QualityReport report_scratch_;
+  Snapshot publish_scratch_;
   const std::vector<std::string> estimator_names_;  // immutable
   SnapshotCell snapshot_;
 };

@@ -13,11 +13,22 @@ namespace dqm::estimators {
 /// only count errors that already have votes, so it lower-bounds the truth
 /// under sparse coverage; unlike VOTING it downweights unreliable workers.
 ///
-/// EM is re-fit lazily on Estimate() (cached per vote count); suitable for
-/// per-task estimate series at simulation scale.
+/// The fit is lazy (refreshed on Estimate() when votes arrived since) and,
+/// by default, *warm-started*: each refit continues EM from the previous
+/// posterior/confusion state, so a batch of new votes converges in a small
+/// constant number of sweeps instead of Options::max_iterations from cold.
+/// Warm-started estimates track the cold fit numerically, not bit-for-bit;
+/// the registry entry declares the agreement tolerance
+/// (ConformanceTraits::estimate_tolerance_abs/_rel). Construct with
+/// `warm_start = false` (spec: "em-voting?warm=0") for the historical
+/// cold-refit-per-estimate behavior.
+///
+/// Vote storage is the compacted count matrix (RetentionPolicy::kCounts):
+/// memory is O(#distinct (worker, item) pairs), not O(#votes).
 class EmVotingEstimator : public TotalErrorEstimator {
  public:
-  EmVotingEstimator(size_t num_items, const crowd::DawidSkene::Options& options);
+  EmVotingEstimator(size_t num_items, const crowd::DawidSkene::Options& options,
+                    bool warm_start = true);
   explicit EmVotingEstimator(size_t num_items)
       : EmVotingEstimator(num_items, crowd::DawidSkene::Options()) {}
 
@@ -28,12 +39,20 @@ class EmVotingEstimator : public TotalErrorEstimator {
   /// Full EM result at the current log state (re-fit if stale).
   const crowd::DawidSkene::Result& FitResult() const;
 
+  /// Sweeps used by the most recent refit — the warm-start regression tests
+  /// assert this stays bounded by a constant as history grows.
+  size_t last_fit_sweeps() const { return last_fit_sweeps_; }
+
  private:
   crowd::DawidSkene em_;
   crowd::ResponseLog log_;
-  // Lazy fit cache: refreshed when the vote count changes.
-  mutable crowd::DawidSkene::Result cached_result_;
+  bool warm_start_;
+  // Warm-start state + reusable scratch: refreshed when the vote count
+  // changes.
+  mutable crowd::DawidSkene::Result state_;
+  mutable crowd::DawidSkene::Workspace workspace_;
   mutable size_t cached_at_votes_ = SIZE_MAX;
+  mutable size_t last_fit_sweeps_ = 0;
 };
 
 }  // namespace dqm::estimators

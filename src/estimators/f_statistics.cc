@@ -4,40 +4,10 @@
 
 namespace dqm::estimators {
 
-void FStatistics::AddSingleton() {
-  ++f_[1];
-  ++num_species_;
-  ++total_observations_;
-}
-
-void FStatistics::Promote(uint32_t from) {
-  DQM_CHECK_GE(from, 1u);
-  auto it = f_.find(from);
-  DQM_CHECK(it != f_.end() && it->second > 0)
-      << "no species at frequency " << from;
-  if (--it->second == 0) f_.erase(it);
-  ++f_[from + 1];
-  ++total_observations_;
-}
-
-void FStatistics::Remove(uint32_t freq) {
-  auto it = f_.find(freq);
-  DQM_CHECK(it != f_.end() && it->second > 0)
-      << "no species at frequency " << freq;
-  if (--it->second == 0) f_.erase(it);
-  --num_species_;
-  total_observations_ -= freq;
-}
-
-uint64_t FStatistics::f(uint32_t j) const {
-  auto it = f_.find(j);
-  return it == f_.end() ? 0 : it->second;
-}
-
 uint64_t FStatistics::SumIiMinus1() const {
   uint64_t sum = 0;
-  for (const auto& [freq, count] : f_) {
-    sum += static_cast<uint64_t>(freq) * (freq - 1) * count;
+  for (uint32_t freq = 2; freq < f_.size(); ++freq) {
+    sum += static_cast<uint64_t>(freq) * (freq - 1) * f_[freq];
   }
   return sum;
 }
@@ -45,7 +15,9 @@ uint64_t FStatistics::SumIiMinus1() const {
 FStatistics::ShiftedView FStatistics::Shifted(uint32_t s, uint64_t n) const {
   ShiftedView view;
   uint64_t dropped = 0;
-  for (const auto& [freq, count] : f_) {
+  for (uint32_t freq = 1; freq < f_.size(); ++freq) {
+    uint64_t count = f_[freq];
+    if (count == 0) continue;
     if (freq <= s) {
       dropped += count;
       continue;
@@ -57,6 +29,14 @@ FStatistics::ShiftedView FStatistics::Shifted(uint32_t s, uint64_t n) const {
   }
   view.n = (n >= dropped) ? n - dropped : 0;
   return view;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> FStatistics::histogram() const {
+  std::vector<std::pair<uint32_t, uint64_t>> classes;
+  for (uint32_t freq = 1; freq < f_.size(); ++freq) {
+    if (f_[freq] > 0) classes.emplace_back(freq, f_[freq]);
+  }
+  return classes;
 }
 
 double Chao92Point(uint64_t c, uint64_t f1, uint64_t n, uint64_t sum_ii1,

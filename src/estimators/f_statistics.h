@@ -2,7 +2,8 @@
 #define DQM_ESTIMATORS_F_STATISTICS_H_
 
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -14,27 +15,48 @@ namespace dqm::estimators {
 /// an item marked dirty (Chao92/vChao92) or a consensus switch (SWITCH), and
 /// the frequency is how often it was (re)discovered.
 ///
-/// Maintained incrementally: promoting a species from frequency k to k+1 is
-/// O(log #distinct-frequencies), and all aggregate quantities used by the
-/// estimators are O(#distinct-frequencies) to read, which is tiny in
-/// practice (bounded by the deepest vote pile on one item).
+/// Stored as a flat vector indexed by frequency: `Promote` — the operation
+/// every dirty vote performs — is two array increments, O(1) with no node
+/// allocations (the vector only grows when a species reaches a frequency
+/// never seen before, i.e. at most max-pile-depth times over a log's life).
+/// Aggregate reads are O(max observed frequency), which is tiny in practice
+/// (bounded by the deepest vote pile on one item).
 class FStatistics {
  public:
   FStatistics() = default;
 
   /// Records a species observed for the first time (enters class f_1).
-  void AddSingleton();
+  void AddSingleton() {
+    if (f_.size() < 2) f_.resize(2, 0);
+    ++f_[1];
+    ++num_species_;
+    ++total_observations_;
+  }
 
   /// Moves one species from frequency `from` to frequency `from + 1`.
   /// Requires that f(from) > 0.
-  void Promote(uint32_t from);
+  void Promote(uint32_t from) {
+    DQM_CHECK_GE(from, 1u);
+    DQM_CHECK(from < f_.size() && f_[from] > 0)
+        << "no species at frequency " << from;
+    --f_[from];
+    if (from + 2 > f_.size()) f_.resize(from + 2, 0);
+    ++f_[from + 1];
+    ++total_observations_;
+  }
 
   /// Removes one species of frequency `freq` entirely (used by estimator
   /// variants that forget species). Requires f(freq) > 0.
-  void Remove(uint32_t freq);
+  void Remove(uint32_t freq) {
+    DQM_CHECK(freq >= 1 && freq < f_.size() && f_[freq] > 0)
+        << "no species at frequency " << freq;
+    --f_[freq];
+    --num_species_;
+    total_observations_ -= freq;
+  }
 
   /// f_j — number of species with exactly `j` observations (j >= 1).
-  uint64_t f(uint32_t j) const;
+  uint64_t f(uint32_t j) const { return j < f_.size() ? f_[j] : 0; }
 
   /// f_1, the singletons: the paper's key quantity.
   uint64_t singletons() const { return f(1); }
@@ -59,11 +81,14 @@ class FStatistics {
   /// observation total `n` (the caller chooses n = n^+ for vChao92).
   ShiftedView Shifted(uint32_t s, uint64_t n) const;
 
-  /// Iteration over (frequency, count) in increasing frequency order.
-  const std::map<uint32_t, uint64_t>& histogram() const { return f_; }
+  /// The non-empty (frequency, count) classes in increasing frequency order.
+  /// Built on demand — a debug/test accessor, not a hot-path one.
+  std::vector<std::pair<uint32_t, uint64_t>> histogram() const;
 
  private:
-  std::map<uint32_t, uint64_t> f_;
+  /// f_[j] = number of species at frequency j; index 0 unused. Never
+  /// shrinks; size is bounded by the deepest vote pile plus one.
+  std::vector<uint64_t> f_;
   uint64_t num_species_ = 0;
   uint64_t total_observations_ = 0;
 };

@@ -131,6 +131,16 @@ struct ConformanceTraits {
   bool duplication_invariant = false;
   /// Estimate() never decreases when one more dirty vote arrives.
   bool monotone_in_dirty_votes = false;
+  /// Declared numerical agreement bound for estimators whose re-estimation
+  /// path is warm-started rather than bit-stable (EM-VOTING): two estimates
+  /// of the same log state reached through different estimate cadences are
+  /// conforming when |a - b| <= estimate_tolerance_abs +
+  /// estimate_tolerance_rel * max(|a|, |b|). Both zero (the default) means
+  /// exact bit-identity is required, and the conformance / parity suites
+  /// compare with EXPECT_EQ; non-zero switches those comparisons to the
+  /// declared bound.
+  double estimate_tolerance_abs = 0.0;
+  double estimate_tolerance_rel = 0.0;
 };
 
 /// Open name -> factory registry: the extension point that replaced the

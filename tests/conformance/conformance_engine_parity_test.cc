@@ -59,20 +59,38 @@ void ExpectSnapshotMatchesReport(
   EXPECT_EQ(snapshot.majority_count, report.majority_count) << context;
   EXPECT_EQ(snapshot.nominal_count, report.nominal_count) << context;
   ASSERT_EQ(snapshot.estimates.size(), report.estimators.size()) << context;
+  double items = static_cast<double>(std::max<size_t>(report.num_items, 1));
   for (size_t i = 0; i < report.estimators.size(); ++i) {
     EXPECT_EQ(snapshot.estimates[i].name, report.estimators[i].name)
         << context;
-    // Bit-identical, not approximately equal: the engine batches votes but
-    // must apply them in exactly the serial order per session.
-    EXPECT_EQ(snapshot.estimates[i].total_errors,
-              report.estimators[i].total_errors)
-        << context << ", estimator " << report.estimators[i].spec;
-    EXPECT_EQ(snapshot.estimates[i].undetected_errors,
-              report.estimators[i].undetected_errors)
-        << context << ", estimator " << report.estimators[i].spec;
-    EXPECT_EQ(snapshot.estimates[i].quality_score,
-              report.estimators[i].quality_score)
-        << context << ", estimator " << report.estimators[i].spec;
+    // Bit-identical for bit-stable estimators: the engine batches votes but
+    // must apply them in exactly the serial order per session. Estimators
+    // that declare a re-estimation tolerance (warm-started EM re-fits at
+    // every batch boundary, the serial replay once at the end) are instead
+    // held to their declared bound — see ConformanceTraits.
+    estimators::ConformanceTraits traits = TraitsFor(Panel()[i]);
+    std::string row_context =
+        context + ", estimator " + report.estimators[i].spec;
+    ExpectEstimatesAgree(traits, report.estimators[i].total_errors,
+                         snapshot.estimates[i].total_errors, row_context);
+    ExpectEstimatesAgree(traits, report.estimators[i].undetected_errors,
+                         snapshot.estimates[i].undetected_errors, row_context);
+    // Quality = 1 - undetected/N, so its allowed drift is the *error-count*
+    // bound divided by N (deriving a bound from the quality values
+    // themselves would be tighter than the declared tolerance and reject
+    // drift the registry entry explicitly permits).
+    double error_bound =
+        AgreementBound(traits, report.estimators[i].undetected_errors,
+                       snapshot.estimates[i].undetected_errors);
+    if (error_bound == 0.0) {
+      EXPECT_EQ(snapshot.estimates[i].quality_score,
+                report.estimators[i].quality_score)
+          << row_context;
+    } else {
+      EXPECT_NEAR(snapshot.estimates[i].quality_score,
+                  report.estimators[i].quality_score, error_bound / items)
+          << row_context;
+    }
   }
 }
 

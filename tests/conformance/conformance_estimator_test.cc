@@ -178,10 +178,14 @@ TEST(EstimatorConformanceTest, PipelineMatchesStandaloneOnRandomizedSpecs) {
     core::DataQualityMetric::QualityReport report = pipeline.Report();
     ASSERT_EQ(report.estimators.size(), panel.size());
     for (size_t i = 0; i < panel.size(); ++i) {
-      EXPECT_EQ(report.estimators[i].total_errors,
-                StandaloneEstimate(panel[i], run.log.num_items(),
-                                   run.log.events()))
-          << panel[i] << " on " << workload_spec << ", round " << round;
+      // Bit-identity for bit-stable estimators; estimators that declare a
+      // re-estimation tolerance (warm-started EM) are held to that bound.
+      ExpectEstimatesAgree(TraitsFor(panel[i]),
+                           StandaloneEstimate(panel[i], run.log.num_items(),
+                                              run.log.events()),
+                           report.estimators[i].total_errors,
+                           panel[i] + " on " + workload_spec + ", round " +
+                               std::to_string(round));
     }
   }
 }

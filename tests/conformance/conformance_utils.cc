@@ -1,7 +1,10 @@
 #include "conformance/conformance_utils.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include <gtest/gtest.h>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -92,11 +95,36 @@ std::vector<crowd::VoteEvent> DuplicateLog(
   return doubled;
 }
 
-estimators::ConformanceTraits TraitsFor(const std::string& name) {
+estimators::ConformanceTraits TraitsFor(const std::string& spec) {
+  Result<estimators::EstimatorSpec> parsed =
+      estimators::ParseEstimatorSpec(spec);
+  DQM_CHECK(parsed.ok()) << parsed.status().ToString();
   Result<std::shared_ptr<const estimators::EstimatorRegistry::Entry>> entry =
-      estimators::EstimatorRegistry::Global().Find(name);
+      estimators::EstimatorRegistry::Global().Find(parsed->name);
   DQM_CHECK(entry.ok()) << entry.status().ToString();
   return (*entry)->traits;
+}
+
+double AgreementBound(const estimators::ConformanceTraits& traits, double a,
+                      double b) {
+  if (traits.estimate_tolerance_abs == 0.0 &&
+      traits.estimate_tolerance_rel == 0.0) {
+    return 0.0;
+  }
+  return traits.estimate_tolerance_abs +
+         traits.estimate_tolerance_rel *
+             std::max(std::abs(a), std::abs(b));
+}
+
+void ExpectEstimatesAgree(const estimators::ConformanceTraits& traits,
+                          double expected, double actual,
+                          const std::string& context) {
+  double bound = AgreementBound(traits, expected, actual);
+  if (bound == 0.0) {
+    EXPECT_EQ(expected, actual) << context;
+  } else {
+    EXPECT_NEAR(expected, actual, bound) << context;
+  }
 }
 
 }  // namespace dqm::conformance

@@ -47,8 +47,25 @@ std::vector<crowd::VoteEvent> ShuffleWithinTasks(
 std::vector<crowd::VoteEvent> DuplicateLog(
     const std::vector<crowd::VoteEvent>& events);
 
-/// The declared conformance traits of a registered estimator.
-estimators::ConformanceTraits TraitsFor(const std::string& name);
+/// The declared conformance traits of a registered estimator. Accepts a
+/// bare name or a full spec string ("em-voting?max_iters=7"): params are
+/// parsed away and aliases resolved.
+estimators::ConformanceTraits TraitsFor(const std::string& spec);
+
+/// The allowed |a - b| when comparing two estimates of the same log state
+/// produced through different re-estimation cadences: 0 for bit-stable
+/// estimators (compare with EXPECT_EQ), otherwise the declared
+/// estimate_tolerance_abs + estimate_tolerance_rel * max(|a|, |b|).
+double AgreementBound(const estimators::ConformanceTraits& traits, double a,
+                      double b);
+
+/// EXPECT-level agreement check honoring the declared tolerance: exact
+/// equality when none is declared. For derived quantities (quality scores)
+/// derive the bound from the underlying error counts via AgreementBound
+/// instead — see conformance_engine_parity_test.
+void ExpectEstimatesAgree(const estimators::ConformanceTraits& traits,
+                          double expected, double actual,
+                          const std::string& context);
 
 }  // namespace dqm::conformance
 

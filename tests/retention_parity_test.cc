@@ -1,0 +1,196 @@
+// Retention-policy parity: a kCounts log must be observationally identical
+// to a kFullEvents log fed the same vote stream everywhere except arrival
+// history — same tallies, same NOMINAL / VOTING counts, and the same
+// estimates for every estimator the serving pipeline can attach — across
+// every registered workload family and randomized seeds. This is the
+// contract that lets the engine drop O(#votes) event storage without
+// changing a single served number.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/dqm.h"
+#include "crowd/response_log.h"
+#include "workload/workload.h"
+
+namespace dqm::crowd {
+namespace {
+
+/// Small-universe spec per registered family (mirrors the conformance
+/// harness sizes).
+std::vector<std::string> FamilySpecs() {
+  std::vector<std::string> specs;
+  for (const std::string& name :
+       workload::WorkloadRegistry::Global().Names()) {
+    specs.push_back(name + "?n=80&dirty=12&tasks=50&ipt=8&batch=37");
+  }
+  return specs;
+}
+
+workload::GeneratedWorkload Generate(const std::string& spec, uint64_t seed) {
+  auto generator = workload::WorkloadRegistry::Global().Create(spec);
+  EXPECT_TRUE(generator.ok()) << generator.status().ToString();
+  return (*generator)->Generate(seed);
+}
+
+class RetentionParityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RetentionParityTest, TalliesAndCountsMatchOnEveryFamily) {
+  for (const std::string& spec : FamilySpecs()) {
+    workload::GeneratedWorkload run = Generate(spec, GetParam());
+    size_t num_items = run.log.num_items();
+
+    ResponseLog full(num_items, RetentionPolicy::kFullEvents);
+    ResponseLog counts(num_items, RetentionPolicy::kCounts);
+    for (const VoteEvent& event : run.log.events()) {
+      full.Append(event);
+      counts.Append(event);
+    }
+
+    EXPECT_EQ(full.num_events(), counts.num_events()) << spec;
+    EXPECT_EQ(full.num_tasks(), counts.num_tasks()) << spec;
+    EXPECT_EQ(full.num_workers(), counts.num_workers()) << spec;
+    EXPECT_EQ(full.total_positive_votes(), counts.total_positive_votes())
+        << spec;
+    EXPECT_EQ(full.MajorityCount(), counts.MajorityCount()) << spec;
+    EXPECT_EQ(full.NominalCount(), counts.NominalCount()) << spec;
+    for (size_t i = 0; i < num_items; ++i) {
+      ASSERT_EQ(full.positive_votes(i), counts.positive_votes(i))
+          << spec << ", item " << i;
+      ASSERT_EQ(full.total_votes(i), counts.total_votes(i))
+          << spec << ", item " << i;
+      ASSERT_EQ(full.MajorityDirty(i), counts.MajorityDirty(i))
+          << spec << ", item " << i;
+    }
+
+    // The compacted matrix the kCounts log maintained incrementally must
+    // be slot-for-slot what a one-shot replay of the events builds — the
+    // property that makes count-based fits bit-identical across policies.
+    ASSERT_NE(counts.compacted(), nullptr);
+    EXPECT_EQ(full.compacted(), nullptr);
+    CompactedVoteStore replayed;
+    for (const VoteEvent& event : full.events()) {
+      replayed.Add(event.worker, event.item, event.vote);
+    }
+    const CompactedVoteStore& incremental = *counts.compacted();
+    ASSERT_EQ(incremental.num_pairs(), replayed.num_pairs()) << spec;
+    EXPECT_EQ(incremental.workers(), replayed.workers()) << spec;
+    EXPECT_EQ(incremental.items(), replayed.items()) << spec;
+    EXPECT_EQ(incremental.dirty_counts(), replayed.dirty_counts()) << spec;
+    EXPECT_EQ(incremental.clean_counts(), replayed.clean_counts()) << spec;
+  }
+}
+
+TEST_P(RetentionParityTest, PipelineEstimatesMatchAcrossPoliciesOnEveryFamily) {
+  // Every estimator the serving path can attach — the descriptive counts,
+  // the whole fingerprint family, SWITCH, and (count-matrix-fed) EM — must
+  // produce the same report rows whether the pipeline log retains events or
+  // only compacted counts.
+  const std::vector<std::string> panel = {
+      "switch", "chao92",  "good-turing", "vchao92?shift=2",
+      "chao1",  "jackknife1", "voting",   "nominal",
+      "em-voting"};
+  for (const std::string& spec : FamilySpecs()) {
+    workload::GeneratedWorkload run = Generate(spec, GetParam() ^ 0x9e3779b9);
+    size_t num_items = run.log.num_items();
+
+    auto full = core::DataQualityMetric::Create(
+        num_items, std::span<const std::string>(panel),
+        RetentionPolicy::kFullEvents);
+    auto counts = core::DataQualityMetric::Create(
+        num_items, std::span<const std::string>(panel),
+        RetentionPolicy::kCounts);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+    for (const VoteEvent& event : run.log.events()) {
+      full->AddVote(event.task, event.worker, event.item,
+                    event.vote == Vote::kDirty);
+      counts->AddVote(event.task, event.worker, event.item,
+                      event.vote == Vote::kDirty);
+    }
+
+    core::DataQualityMetric::QualityReport full_report = full->Report();
+    core::DataQualityMetric::QualityReport counts_report = counts->Report();
+    EXPECT_EQ(full_report.majority_count, counts_report.majority_count);
+    EXPECT_EQ(full_report.nominal_count, counts_report.nominal_count);
+    ASSERT_EQ(full_report.estimators.size(), counts_report.estimators.size());
+    for (size_t i = 0; i < full_report.estimators.size(); ++i) {
+      // Bit-identical, including EM: both policies feed the fit the same
+      // slot-ordered count matrix (incremental vs one-shot replay).
+      EXPECT_EQ(full_report.estimators[i].total_errors,
+                counts_report.estimators[i].total_errors)
+          << spec << ", " << panel[i];
+      EXPECT_EQ(full_report.estimators[i].quality_score,
+                counts_report.estimators[i].quality_score)
+          << spec << ", " << panel[i];
+    }
+  }
+}
+
+TEST(RetentionParityTest, RandomizedStoreParityAgainstShadowModel) {
+  // Brute-force shadow check of the open-addressed store across growth
+  // boundaries: random (worker, item, vote) streams with enough distinct
+  // pairs to force several index rehashes.
+  Rng rng(20260729);
+  CompactedVoteStore store;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> shadow;  // [w][i]
+  auto shadow_count = [&](uint32_t w, uint32_t i) -> std::pair<uint32_t, uint32_t>& {
+    if (shadow.size() <= w) shadow.resize(w + 1);
+    for (size_t s = 0; s < shadow[w].size(); ++s) {
+      if (shadow[w][s].first == i) return shadow[w][s];
+    }
+    shadow[w].emplace_back(i, 0);
+    return shadow[w].back();
+  };
+  size_t expected_dirty_total = 0;
+  for (int op = 0; op < 5000; ++op) {
+    uint32_t worker = static_cast<uint32_t>(rng.UniformIndex(40));
+    uint32_t item = static_cast<uint32_t>(rng.UniformIndex(60));
+    bool dirty = rng.Bernoulli(0.4);
+    store.Add(worker, item, dirty ? Vote::kDirty : Vote::kClean);
+    auto& cell = shadow_count(worker, item);
+    if (dirty) {
+      ++cell.second;
+      ++expected_dirty_total;
+    }
+  }
+  // Every shadow pair exists exactly once with the right dirty count.
+  size_t shadow_pairs = 0;
+  size_t store_dirty_total = 0;
+  for (size_t slot = 0; slot < store.num_pairs(); ++slot) {
+    store_dirty_total += store.dirty_counts()[slot];
+  }
+  for (uint32_t w = 0; w < shadow.size(); ++w) {
+    for (const auto& [item, dirty_count] : shadow[w]) {
+      ++shadow_pairs;
+      bool found = false;
+      for (size_t slot = 0; slot < store.num_pairs(); ++slot) {
+        if (store.workers()[slot] == w && store.items()[slot] == item) {
+          EXPECT_FALSE(found) << "duplicate slot for (" << w << "," << item
+                              << ")";
+          found = true;
+          EXPECT_EQ(store.dirty_counts()[slot], dirty_count);
+        }
+      }
+      EXPECT_TRUE(found) << "missing slot for (" << w << "," << item << ")";
+    }
+  }
+  EXPECT_EQ(store.num_pairs(), shadow_pairs);
+  EXPECT_EQ(store_dirty_total, expected_dirty_total);
+}
+
+TEST(RetentionParityDeathTest, EventsUnavailableUnderCounts) {
+  ResponseLog log(4, RetentionPolicy::kCounts);
+  log.Append({0, 0, 1, Vote::kDirty});
+  EXPECT_DEATH(log.events(), "kFullEvents");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetentionParityTest,
+                         testing::Values(11, 12, 13));
+
+}  // namespace
+}  // namespace dqm::crowd

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench artifacts and gate throughput floors.
+
+Usage:
+    check_bench_json.py [--floors bench/floors.json] BENCH_foo.json ...
+
+Checks, per file:
+  1. The file parses as JSON and has the artifact shape written by
+     dqm::bench::WriteBenchArtifact: {"bench": <str>, "peak_rss_mb": <num>,
+     "runs": [{"bench": ..., "results": [{"name": ..., <metric>: <num>}]}]}.
+  2. Every floor registered for that bench name is present and has not
+     regressed by more than `allowed_regression` (default 5x) below the
+     checked-in baseline: value >= baseline / allowed_regression.
+
+Floors file shape (baselines are healthy-machine smoke-run values; the 5x
+slack absorbs CI-runner variance while still catching order-of-magnitude
+regressions):
+    {
+      "allowed_regression": 5.0,
+      "floors": {
+        "<bench>": {"<result_name>.<metric>": <baseline>, ...}
+      }
+    }
+
+Exit code 0 when every file is well-formed and every floor holds; 1
+otherwise, with one line per problem on stderr.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def load_artifact(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict):
+        raise ValueError("top level is not an object")
+    for key in ("bench", "peak_rss_mb", "runs"):
+        if key not in artifact:
+            raise ValueError(f"missing top-level key '{key}'")
+    if not isinstance(artifact["bench"], str) or not artifact["bench"]:
+        raise ValueError("'bench' must be a non-empty string")
+    if not isinstance(artifact["runs"], list):
+        raise ValueError("'runs' must be a list")
+    for run in artifact["runs"]:
+        if not isinstance(run, dict) or "results" not in run:
+            raise ValueError("every run needs a 'results' list")
+        for result in run["results"]:
+            if not isinstance(result, dict) or "name" not in result:
+                raise ValueError("every result needs a 'name'")
+            for metric, value in result.items():
+                if metric == "name":
+                    continue
+                if value is not None and not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"metric '{result['name']}.{metric}' is not numeric")
+    return artifact
+
+
+def collect_metrics(artifact):
+    """Flattens to {"<result_name>.<metric>": value} (last write wins)."""
+    metrics = {}
+    for run in artifact["runs"]:
+        for result in run["results"]:
+            for metric, value in result.items():
+                if metric == "name" or value is None:
+                    continue
+                metrics[f"{result['name']}.{metric}"] = float(value)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--floors", default=None,
+                        help="floors JSON file (optional: shape-check only)")
+    parser.add_argument("files", nargs="+", help="BENCH_*.json artifacts")
+    args = parser.parse_args()
+
+    floors_config = {"allowed_regression": 5.0, "floors": {}}
+    if args.floors:
+        with open(args.floors, "r", encoding="utf-8") as handle:
+            floors_config.update(json.load(handle))
+    allowed = float(floors_config.get("allowed_regression", 5.0))
+
+    errors = 0
+    for path in args.files:
+        try:
+            artifact = load_artifact(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            errors += fail(f"{path}: malformed bench artifact: {error}")
+            continue
+        print(f"ok: {path} ({artifact['bench']}, "
+              f"{sum(len(r['results']) for r in artifact['runs'])} results, "
+              f"peak rss {artifact['peak_rss_mb']} MiB)")
+
+        bench_floors = floors_config.get("floors", {}).get(artifact["bench"])
+        if not bench_floors:
+            continue
+        metrics = collect_metrics(artifact)
+        for key, baseline in bench_floors.items():
+            if key not in metrics:
+                errors += fail(f"{path}: floor metric '{key}' missing")
+                continue
+            minimum = float(baseline) / allowed
+            if metrics[key] < minimum:
+                errors += fail(
+                    f"{path}: {key} = {metrics[key]:g} regressed below "
+                    f"{minimum:g} (baseline {baseline:g} / {allowed:g}x)")
+            else:
+                print(f"  floor ok: {key} = {metrics[key]:g} "
+                      f">= {minimum:g}")
+
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
