@@ -1,15 +1,22 @@
 // Engine-layer throughput: (a) multi-threaded batched vote ingest + query
 // rates through DqmEngine — per estimator panel (--methods=), at 1/4/8
 // threads against 1 and 64 sessions, with p50/p99 batch commit latency;
-// (b) the parallel ExperimentRunner speedup over the serial replay (bit
-// identity checked); (c) the long-session sweep: one session with
-// `em-voting` attached ingesting until 100k+ accumulated votes, showing
-// that warm-started EM keeps per-batch latency flat in history while the
+// (b) the multi-producer single-session scaling sweep (--writer_threads):
+// 1/2/4/8 producers committing into ONE striped session, per-commit p50/p99
+// latency and aggregate votes/s, under both the coalesced every-N-votes
+// cadence and the bit-compatible every-batch default — the scaling curve
+// behind the "one hot stream scales with writer threads" claim; (c) the
+// parallel ExperimentRunner speedup over the serial replay (bit identity
+// checked); (d) the long-session sweep: one session with `em-voting`
+// attached ingesting until 100k+ accumulated votes, showing that
+// warm-started EM keeps per-batch latency flat in history while the
 // cold-refit path ("em-voting?warm=0") pays a full EM fit per batch — plus
 // the kCounts vs kFullEvents retained-memory curve.
 //
-//   $ ./bench_engine_throughput [--tasks=500] [--batch=512] \
-//       [--methods=chao92,em-voting] [--sweep_votes=120000] [--smoke]
+//   $ ./bench_engine_throughput [--tasks=500] [--batch=512]
+//       [--methods=chao92,em-voting] [--writer_threads=1,2,4,8]
+//       [--writer_cadence=every_n_votes:4096] [--sweep_votes=120000]
+//       [--smoke]
 //
 // Emits the shared bench JSON lines after the tables and writes the whole
 // run to BENCH_engine_throughput.json (see BenchJsonWriter /
@@ -19,8 +26,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ascii.h"
@@ -106,6 +117,64 @@ IngestResult MeasureIngest(const std::vector<std::string>& specs,
   result.votes_per_sec =
       static_cast<double>(total_batches) * static_cast<double>(batch_size) /
       seconds;
+  result.p50_batch_ms = Percentile(all_ms, 0.5);
+  result.p99_batch_ms = Percentile(all_ms, 0.99);
+  return result;
+}
+
+/// One multi-producer single-session measurement: `writers` threads each
+/// commit `batches_per_writer` batches into ONE session opened with
+/// `options` (striped commit path for order-independent panels), measuring
+/// per-commit latency at the producer. After the producers join the session
+/// is flushed with an explicit Publish and the final snapshot is checked
+/// against the committed vote count — the sweep never reports a number a
+/// torn pipeline produced.
+IngestResult MeasureMultiWriter(const std::vector<std::string>& panel,
+                                const dqm::engine::SessionOptions& options,
+                                size_t writers,
+                                const std::vector<dqm::crowd::VoteEvent>& events,
+                                size_t batch_size, size_t batches_per_writer,
+                                size_t num_items) {
+  dqm::engine::DqmEngine engine;
+  std::shared_ptr<dqm::engine::EstimationSession> session =
+      engine
+          .OpenSession("hot", num_items, std::span<const std::string>(panel),
+                       options)
+          .value();
+  DQM_CHECK(session->concurrent_ingest())
+      << "the writer sweep measures the striped path; panel "
+      << dqm::Join(panel, ",") << " fell back to serialized commits";
+
+  std::vector<std::vector<double>> commit_ms(writers);
+  dqm::ThreadPool pool(writers);
+  Clock::time_point start = Clock::now();
+  dqm::ParallelFor(&pool, writers, [&](size_t w) {
+    commit_ms[w].reserve(batches_per_writer);
+    for (size_t b = 0; b < batches_per_writer; ++b) {
+      size_t global = w * batches_per_writer + b;
+      size_t begin = (global * batch_size) % (events.size() - batch_size + 1);
+      Clock::time_point commit_start = Clock::now();
+      dqm::Status status = session->AddVotes(
+          std::span<const dqm::crowd::VoteEvent>(&events[begin], batch_size));
+      DQM_CHECK(status.ok()) << status.ToString();
+      commit_ms[w].push_back(SecondsSince(commit_start) * 1e3);
+    }
+  });
+  double seconds = SecondsSince(start);
+  session->Publish();
+  dqm::engine::Snapshot final_snapshot = session->snapshot();
+  DQM_CHECK_EQ(final_snapshot.num_votes,
+               static_cast<uint64_t>(writers) * batches_per_writer *
+                   batch_size);
+
+  IngestResult result;
+  std::vector<double> all_ms;
+  for (const std::vector<double>& per_writer : commit_ms) {
+    all_ms.insert(all_ms.end(), per_writer.begin(), per_writer.end());
+  }
+  result.votes_per_sec = static_cast<double>(writers) *
+                         static_cast<double>(batches_per_writer) *
+                         static_cast<double>(batch_size) / seconds;
   result.p50_batch_ms = Percentile(all_ms, 0.5);
   result.p99_batch_ms = Percentile(all_ms, 0.99);
   return result;
@@ -341,6 +410,14 @@ int main(int argc, char** argv) {
       "methods", "chao92,em-voting",
       "comma-separated estimator panels for the ingest matrix; each entry "
       "runs as its own single-estimator panel");
+  std::string* writer_threads_flag = flags.AddString(
+      "writer_threads", "1,2,4,8",
+      "comma-separated producer counts for the multi-writer single-session "
+      "sweep");
+  std::string* writer_cadence_flag = flags.AddString(
+      "writer_cadence", "every_n_votes:4096",
+      "publish cadence of the multi-writer sweep's coalesced configuration "
+      "(every_batch | every_n_votes[:N] | manual)");
   int64_t* sweep_votes = flags.AddInt(
       "sweep_votes", 120000,
       "accumulated votes the long-session em-voting sweep reaches");
@@ -415,7 +492,104 @@ int main(int argc, char** argv) {
   }
   std::fputs(ingest_table.Render().c_str(), stdout);
 
-  // --- (b) Parallel ExperimentRunner speedup (bit-identity checked). ---
+  // --- (b) Multi-producer single-session scaling (--writer_threads): the
+  // striped commit path under N concurrent producers, coalesced cadence vs
+  // the bit-compatible every-batch default. ---
+  std::vector<size_t> writer_counts;
+  for (const std::string& token :
+       dqm::estimators::SplitSpecList(*writer_threads_flag)) {
+    writer_counts.push_back(
+        static_cast<size_t>(std::max(1L, std::atol(token.c_str()))));
+  }
+  if (*smoke) {
+    std::erase_if(writer_counts, [](size_t w) { return w > 4; });
+  }
+  if (writer_counts.empty()) writer_counts = {1, 4};
+  dqm::engine::SessionOptions coalesced =
+      dqm::engine::ParsePublishCadenceSpec(*writer_cadence_flag).value();
+  dqm::engine::SessionOptions per_batch;  // every_batch default
+  // Fixed stripe count for both cadences: the sweep measures the striped
+  // commit path (auto striping deliberately stays off under every_batch),
+  // and the rows stay comparable across machines with different core
+  // counts.
+  coalesced.ingest_stripes = 8;
+  per_batch.ingest_stripes = 8;
+  // Keep the per-writer measurement window >= ~50k votes even in smoke:
+  // the sweep's ratios are meaningless when a writer finishes in under a
+  // millisecond of wall clock.
+  size_t writer_batches = *smoke ? 100 : std::max<size_t>(ingest_batches, 100);
+  struct WriterConfig {
+    const char* panel_key;
+    std::vector<std::string> panel;
+    const char* cadence_key;
+    const dqm::engine::SessionOptions* options;
+  };
+  // "tally" is the producer-order-independent panel of the acceptance
+  // criterion (pure counter commits, no response matrix); em-voting shows
+  // the same commit path when the publish side runs a real EM fit.
+  const std::vector<std::string> tally_panel = {"chao92", "voting", "nominal"};
+  const std::vector<std::string> em_panel = {"em-voting"};
+  std::vector<WriterConfig> writer_configs = {
+      {"tally", tally_panel, "coalesced", &coalesced},
+      {"tally", tally_panel, "every_batch", &per_batch},
+      {"em-voting", em_panel, "coalesced", &coalesced},
+  };
+  std::printf("\n== multi-producer single-session scaling ==\n");
+  std::printf("one session, %zu-vote batches, %zu batches per producer; "
+              "coalesced = %s\n",
+              batch_size, writer_batches, writer_cadence_flag->c_str());
+  dqm::AsciiTable writer_table({"panel", "cadence", "writers", "votes/sec",
+                                "p50 commit ms", "p99 commit ms", "scaling"});
+  std::map<std::string, double> writer_votes_per_sec;
+  for (const WriterConfig& config : writer_configs) {
+    double base_votes_per_sec = 0.0;
+    for (size_t writers : writer_counts) {
+      IngestResult r = MeasureMultiWriter(config.panel, *config.options,
+                                          writers, events, batch_size,
+                                          writer_batches, scenario.num_items);
+      std::string key = dqm::StrFormat("%s_%s_t%zu", config.panel_key,
+                                       config.cadence_key, writers);
+      writer_votes_per_sec[key] = r.votes_per_sec;
+      if (writers == writer_counts.front()) {
+        base_votes_per_sec = r.votes_per_sec;
+      }
+      writer_table.AddRow(
+          {config.panel_key, config.cadence_key,
+           dqm::StrFormat("%zu", writers),
+           dqm::StrFormat("%.0f", r.votes_per_sec),
+           dqm::StrFormat("%.4f", r.p50_batch_ms),
+           dqm::StrFormat("%.4f", r.p99_batch_ms),
+           dqm::StrFormat("%.2fx", r.votes_per_sec /
+                                       std::max(base_votes_per_sec, 1e-9))});
+      json.AddResult(
+          dqm::StrFormat("multiwriter_%s", key.c_str()),
+          {{"writers", static_cast<double>(writers)},
+           {"votes_per_sec", r.votes_per_sec},
+           {"p50_commit_ms", r.p50_batch_ms},
+           {"p99_commit_ms", r.p99_batch_ms}});
+    }
+  }
+  std::fputs(writer_table.Render().c_str(), stdout);
+  // The acceptance ratio: aggregate tally-panel throughput at 4 producers
+  // over 1 producer, coalesced cadence (the scaling configuration).
+  {
+    std::vector<std::pair<std::string, double>> summary;
+    for (const char* cfg : {"tally_coalesced", "tally_every_batch",
+                            "em-voting_coalesced"}) {
+      auto t1 = writer_votes_per_sec.find(std::string(cfg) + "_t1");
+      auto t4 = writer_votes_per_sec.find(std::string(cfg) + "_t4");
+      if (t1 != writer_votes_per_sec.end() &&
+          t4 != writer_votes_per_sec.end()) {
+        double speedup = t4->second / std::max(t1->second, 1e-9);
+        std::printf("%s: 4-producer aggregate = %.2fx of 1-producer\n", cfg,
+                    speedup);
+        summary.emplace_back(std::string(cfg) + "_speedup_4v1", speedup);
+      }
+    }
+    if (!summary.empty()) json.AddResult("multiwriter_summary", summary);
+  }
+
+  // --- (c) Parallel ExperimentRunner speedup (bit-identity checked). ---
   std::printf("\n== ExperimentRunner::Run — serial vs pool ==\n");
   size_t r = static_cast<size_t>(*permutations);
   TimedRun serial = MeasureRunner(run.log, scenario.num_items, r, 1);
@@ -446,7 +620,7 @@ int main(int argc, char** argv) {
   }
   std::fputs(runner_table.Render().c_str(), stdout);
 
-  // --- (c) Long-session sweep: warm-started vs cold-refit EM at 100k+
+  // --- (d) Long-session sweep: warm-started vs cold-refit EM at 100k+
   // accumulated votes. Per-batch latency must stay flat in history for the
   // warm path; the headline ratio is the acceptance number. ---
   std::printf("\n== long session: em-voting per-batch latency vs history ==\n");
@@ -522,7 +696,7 @@ int main(int argc, char** argv) {
                   {"warm_vs_legacy_speedup", legacy_speedup},
                   {"warm_vs_legacy_speedup_at_max_history", final_speedup}});
 
-  // --- (d) Retained memory: kCounts is flat in history, kFullEvents is
+  // --- (e) Retained memory: kCounts is flat in history, kFullEvents is
   // linear. Pure storage measurement (no estimators attached). ---
   std::printf("\n== retained vote-storage memory vs history ==\n");
   dqm::AsciiTable mem_table({"votes", "kFullEvents MiB", "kCounts MiB"});

@@ -1,0 +1,59 @@
+#ifndef DQM_COMMON_ALIGN_H_
+#define DQM_COMMON_ALIGN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace dqm {
+
+/// Cache-line size used to pad concurrently written state (seqlock sequence
+/// words, per-stripe ingest counters) so writers on different cores never
+/// share a line. libstdc++ only defines the interference constants when the
+/// target guarantees a value; fall back to 64 — correct for every x86 and
+/// most AArch64 parts — elsewhere.
+#if defined(__cpp_lib_hardware_interference_size)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kCacheLineBytes =
+    std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kCacheLineBytes = 64;
+#endif
+
+/// Minimal std::allocator drop-in whose allocations start on a cache-line
+/// boundary. Containers whose element ranges are partitioned across
+/// concurrent writers at cache-line granularity (the striped ingest tally
+/// columns) need the *base address* aligned too, or the partition math
+/// still straddles lines — std::vector's default allocator only guarantees
+/// alignof(T).
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_ALIGN_H_

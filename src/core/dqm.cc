@@ -105,6 +105,7 @@ Status DataQualityMetric::AttachSpecs(std::span<const std::string> specs) {
         std::shared_ptr<const estimators::EstimatorRegistry::Entry> entry,
         registry.Find(one.name));
     if (entry->wants_positive_fingerprint) state_->maintain_positive_f = true;
+    if (entry->wants_pair_counts) state_->need_pair_counts = true;
     parsed.push_back(std::move(one));
   }
   state_->shared.positive_f =
@@ -122,6 +123,34 @@ Status DataQualityMetric::AttachSpecs(std::span<const std::string> specs) {
     }
   }
   return Status::OK();
+}
+
+bool DataQualityMetric::SupportsConcurrentIngest() const {
+  return observing_.empty() &&
+         state_->log.retention() == crowd::RetentionPolicy::kCounts;
+}
+
+void DataQualityMetric::EnableConcurrentIngest(size_t num_stripes) {
+  DQM_CHECK(SupportsConcurrentIngest())
+      << "panel has an order-sensitive (observing) estimator or retains "
+         "full events; concurrent ingest would break it";
+  state_->log.EnableConcurrentIngest(num_stripes, state_->need_pair_counts);
+}
+
+void DataQualityMetric::CommitVotesConcurrent(
+    std::span<const crowd::VoteEvent> votes) {
+  state_->log.AppendConcurrent(votes);
+}
+
+crowd::ResponseLog::IngestPause DataQualityMetric::ReconcileForEstimates() {
+  crowd::ResponseLog::IngestPause pause = state_->log.PauseAndReconcile();
+  if (state_->maintain_positive_f && state_->log.concurrent_ingest()) {
+    // The striped commit path defers fingerprint maintenance; re-derive it
+    // from the reconciled per-item dirty counts (bit-identical to the
+    // incremental AddVote stream).
+    state_->positive_f.RebuildFromCounts(state_->log.positive_counts());
+  }
+  return pause;
 }
 
 void DataQualityMetric::AddVote(uint32_t task, uint32_t worker, uint32_t item,

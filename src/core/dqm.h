@@ -111,6 +111,37 @@ class DataQualityMetric {
   /// stream).
   void AddVote(uint32_t task, uint32_t worker, uint32_t item, bool is_dirty);
 
+  // --- Concurrent ingest (the engine's striped commit path) --------------
+
+  /// True when this pipeline can ingest from many producer threads at once:
+  /// every attached estimator is a shared-stats scorer (no per-event
+  /// Observe fan-out — order-sensitive estimators like SWITCH need one) and
+  /// the log runs kCounts retention. Such panels are producer-order
+  /// independent: their state is a function of the per-(worker, item) vote
+  /// multiset, so tallies and tally-derived estimates from any commit
+  /// interleaving are bit-identical to a serialized feed.
+  bool SupportsConcurrentIngest() const;
+
+  /// Switches the internal log to striped concurrent ingest (requires
+  /// SupportsConcurrentIngest() and no votes yet; aborts otherwise). The
+  /// per-(worker, item) matrix shards are maintained only when some
+  /// attached estimator declared wants_pair_counts. After this, votes
+  /// arrive through CommitVotesConcurrent — AddVote aborts.
+  void EnableConcurrentIngest(size_t num_stripes);
+
+  /// Thread-safe striped tally commit (enabled pipelines only). Item ids
+  /// must be < num_items(); the caller validates (the engine session does).
+  void CommitVotesConcurrent(std::span<const crowd::VoteEvent> votes);
+
+  /// Pauses committers, reconciles the striped log, and rebuilds the shared
+  /// positive-vote fingerprint from the reconciled tallies (one flat-array
+  /// scan, bit-identical to incremental maintenance). Estimates / Report
+  /// calls are valid while — and only while — the returned guard lives.
+  /// No-op guard when concurrent ingest is not enabled.
+  [[nodiscard]] crowd::ResponseLog::IngestPause ReconcileForEstimates();
+
+  bool concurrent_ingest() const { return state_->log.concurrent_ingest(); }
+
   /// Estimated total number of dirty items |R_dirty| under the primary
   /// estimator.
   double EstimatedTotalErrors() const;
@@ -187,6 +218,9 @@ class DataQualityMetric {
     /// estimator wants it (see EstimatorRegistry::Entry).
     estimators::FStatistics positive_f;
     bool maintain_positive_f = false;
+    /// Some attached estimator reads the response matrix (EM-VOTING); the
+    /// striped ingest path maintains the matrix shards iff set.
+    bool need_pair_counts = false;
     estimators::SharedVoteStats shared;
   };
   struct Row {

@@ -79,23 +79,21 @@ size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
     return 0;
   }
 
-  // The count matrix: maintained by the log under kCounts retention,
-  // rebuilt once per fit from events under kFullEvents. Both paths insert
-  // pairs in first-arrival order, so the sweep below visits identical slot
-  // sequences either way.
-  const CompactedVoteStore* counts = log.compacted();
-  if (counts == nullptr) {
+  // The count matrix: maintained by the log under kCounts retention (one
+  // block serialized, one block per stripe on concurrently ingested logs),
+  // rebuilt once per fit from events under kFullEvents. Serialized and
+  // replay paths insert pairs in first-arrival order, so the sweeps visit
+  // identical slot sequences either way; striped blocks reorder slots
+  // across blocks, which only perturbs float summation order (the declared
+  // EM tolerance).
+  workspace.blocks.clear();
+  if (!log.AppendCountMatrixBlocks(workspace.blocks)) {
     workspace.scratch_counts.Clear();
     for (const VoteEvent& event : log.events()) {
       workspace.scratch_counts.Add(event.worker, event.item, event.vote);
     }
-    counts = &workspace.scratch_counts;
+    workspace.blocks.push_back(&workspace.scratch_counts);
   }
-  const std::vector<uint32_t>& pair_worker = counts->workers();
-  const std::vector<uint32_t>& pair_item = counts->items();
-  const std::vector<uint32_t>& pair_dirty = counts->dirty_counts();
-  const std::vector<uint32_t>& pair_clean = counts->clean_counts();
-  const size_t num_pairs = counts->num_pairs();
 
   // ---- E step (shared): per-item posteriors from worker rates (log
   // domain). Returns the largest posterior move.
@@ -116,15 +114,41 @@ size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
     }
     workspace.log_dirty.assign(num_items, std::log(result.prior_dirty));
     workspace.log_clean.assign(num_items, std::log(1.0 - result.prior_dirty));
-    for (size_t pair = 0; pair < num_pairs; ++pair) {
-      const uint32_t item = pair_item[pair];
-      const uint32_t worker = pair_worker[pair];
-      const double d = pair_dirty[pair];
-      const double c = pair_clean[pair];
-      workspace.log_dirty[item] += d * workspace.log_sens[worker] +
-                                   c * workspace.log_one_minus_sens[worker];
-      workspace.log_clean[item] += d * workspace.log_one_minus_spec[worker] +
-                                   c * workspace.log_spec[worker];
+    for (const CompactedVoteStore* block : workspace.blocks) {
+      const uint32_t* pair_worker = block->workers().data();
+      const uint32_t* pair_item = block->items().data();
+      const uint32_t* pair_dirty = block->dirty_counts().data();
+      const uint32_t* pair_clean = block->clean_counts().data();
+      const size_t num_pairs = block->num_pairs();
+      // Pass 1 — per-pair contribution columns: gather two rate-table
+      // entries, two converts, two FMAs per output lane, no cross-lane
+      // dependence. This is the vectorizable shape; the value and per-item
+      // accumulation order are bit-identical to the fused loop it replaced.
+      workspace.pair_dirty_term.resize(num_pairs);
+      workspace.pair_clean_term.resize(num_pairs);
+      double* dirty_term = workspace.pair_dirty_term.data();
+      double* clean_term = workspace.pair_clean_term.data();
+      const double* log_sens = workspace.log_sens.data();
+      const double* log_one_minus_sens = workspace.log_one_minus_sens.data();
+      const double* log_spec = workspace.log_spec.data();
+      const double* log_one_minus_spec = workspace.log_one_minus_spec.data();
+      for (size_t pair = 0; pair < num_pairs; ++pair) {
+        const uint32_t worker = pair_worker[pair];
+        const double d = pair_dirty[pair];
+        const double c = pair_clean[pair];
+        dirty_term[pair] =
+            d * log_sens[worker] + c * log_one_minus_sens[worker];
+        clean_term[pair] =
+            d * log_one_minus_spec[worker] + c * log_spec[worker];
+      }
+      // Pass 2 — scatter-accumulate by item (indexed writes may alias, so
+      // this half stays scalar by construction).
+      double* log_dirty = workspace.log_dirty.data();
+      double* log_clean = workspace.log_clean.data();
+      for (size_t pair = 0; pair < num_pairs; ++pair) {
+        log_dirty[pair_item[pair]] += dirty_term[pair];
+        log_clean[pair_item[pair]] += clean_term[pair];
+      }
     }
     double max_delta = 0.0;
     for (size_t i = 0; i < num_items; ++i) {
@@ -145,20 +169,35 @@ size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
   size_t sweeps = 0;
   for (size_t iteration = 1; iteration <= max_sweeps; ++iteration) {
     // ---- M step: worker rates and the class prior from soft labels. Each
-    // (worker, item) pair contributes its whole vote pile at once.
+    // (worker, item) pair contributes its whole vote pile at once. Split
+    // like the E sweep: a vectorizable posterior gather, then the scalar
+    // per-worker scatter.
     workspace.dirty_agree.assign(num_workers, s);
     workspace.dirty_total.assign(num_workers, 2 * s);
     workspace.clean_agree.assign(num_workers, s);
     workspace.clean_total.assign(num_workers, 2 * s);
-    for (size_t pair = 0; pair < num_pairs; ++pair) {
-      const uint32_t worker = pair_worker[pair];
-      const double d = pair_dirty[pair];
-      const double c = pair_clean[pair];
-      const double p = result.posterior_dirty[pair_item[pair]];
-      workspace.dirty_total[worker] += (d + c) * p;
-      workspace.clean_total[worker] += (d + c) * (1.0 - p);
-      workspace.dirty_agree[worker] += d * p;
-      workspace.clean_agree[worker] += c * (1.0 - p);
+    for (const CompactedVoteStore* block : workspace.blocks) {
+      const uint32_t* pair_worker = block->workers().data();
+      const uint32_t* pair_item = block->items().data();
+      const uint32_t* pair_dirty = block->dirty_counts().data();
+      const uint32_t* pair_clean = block->clean_counts().data();
+      const size_t num_pairs = block->num_pairs();
+      workspace.pair_posterior.resize(num_pairs);
+      double* pair_posterior = workspace.pair_posterior.data();
+      const double* posterior = result.posterior_dirty.data();
+      for (size_t pair = 0; pair < num_pairs; ++pair) {
+        pair_posterior[pair] = posterior[pair_item[pair]];
+      }
+      for (size_t pair = 0; pair < num_pairs; ++pair) {
+        const uint32_t worker = pair_worker[pair];
+        const double d = pair_dirty[pair];
+        const double c = pair_clean[pair];
+        const double p = pair_posterior[pair];
+        workspace.dirty_total[worker] += (d + c) * p;
+        workspace.clean_total[worker] += (d + c) * (1.0 - p);
+        workspace.dirty_agree[worker] += d * p;
+        workspace.clean_agree[worker] += c * (1.0 - p);
+      }
     }
     for (size_t w = 0; w < num_workers; ++w) {
       result.sensitivity[w] = workspace.dirty_agree[w] / workspace.dirty_total[w];

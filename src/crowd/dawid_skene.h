@@ -77,6 +77,17 @@ class DawidSkene {
     std::vector<double> log_one_minus_sens;
     std::vector<double> log_spec;
     std::vector<double> log_one_minus_spec;
+    // The count-matrix blocks the sweeps iterate: the log's own store (one
+    // block; one per stripe on concurrently ingested logs), or
+    // scratch_counts rebuilt from events under kFullEvents.
+    std::vector<const CompactedVoteStore*> blocks;
+    // Per-pair contribution columns: each sweep is split into a gather +
+    // multiply-add pass writing these flat SoA columns (a loop shape the
+    // autovectorizer can handle) followed by a scalar scatter-accumulate —
+    // the indexed-accumulation half no SIMD ISA can do for us.
+    std::vector<double> pair_dirty_term;
+    std::vector<double> pair_clean_term;
+    std::vector<double> pair_posterior;
     CompactedVoteStore scratch_counts;
   };
 

@@ -1,6 +1,7 @@
 #include "crowd/response_log.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 
@@ -18,6 +19,13 @@ inline uint64_t MixPair(uint32_t worker, uint32_t item) {
   x ^= x >> 31;
   return x;
 }
+
+/// Smallest item count one stripe may own: a full cache line of uint32
+/// tally counters. The tally columns are cache-line-aligned at their base
+/// (CacheAlignedAllocator), so stripes own fully disjoint lines of the
+/// shared positive_/total_ columns and neighboring committers never
+/// false-share.
+constexpr size_t kStripeGranuleItems = kCacheLineBytes / sizeof(uint32_t);
 
 }  // namespace
 
@@ -79,6 +87,29 @@ void CompactedVoteStore::GrowIndex() {
   }
 }
 
+TallyScanResult ScanTallies(std::span<const uint32_t> positive,
+                            std::span<const uint32_t> total) {
+  DQM_CHECK_EQ(positive.size(), total.size());
+  TallyScanResult result;
+  const uint32_t* p = positive.data();
+  const uint32_t* t = total.data();
+  const size_t n = positive.size();
+  // Branch-free flat loop over the two SoA columns: comparisons become
+  // vector masks and the sums widening adds, so -O3 autovectorizes it.
+  uint64_t nominal = 0, majority = 0, votes = 0, dirty = 0;
+  for (size_t i = 0; i < n; ++i) {
+    nominal += p[i] != 0;
+    majority += 2u * p[i] > t[i];
+    votes += t[i];
+    dirty += p[i];
+  }
+  result.nominal_count = nominal;
+  result.majority_count = majority;
+  result.total_votes = votes;
+  result.positive_votes = dirty;
+  return result;
+}
+
 ResponseLog::ResponseLog(size_t num_items, RetentionPolicy retention)
     : retention_(retention), positive_(num_items, 0), total_(num_items, 0) {}
 
@@ -89,7 +120,39 @@ const std::vector<VoteEvent>& ResponseLog::events() const {
   return events_;
 }
 
+bool ResponseLog::AppendCountMatrixBlocks(
+    std::vector<const CompactedVoteStore*>& out) const {
+  if (retention_ != RetentionPolicy::kCounts) return false;
+  if (concurrent_ == nullptr) {
+    out.push_back(&compacted_);
+    return true;
+  }
+  DQM_CHECK(concurrent_->maintain_pair_counts)
+      << "this log was striped without pair-count maintenance; no "
+         "response-matrix consumer was declared at pipeline construction";
+  for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
+    out.push_back(&concurrent_->stripes[s].counts);
+  }
+  return true;
+}
+
+size_t ResponseLog::RetainedBytes() const {
+  size_t bytes = events_.capacity() * sizeof(VoteEvent) +
+                 compacted_.MemoryBytes() +
+                 (positive_.capacity() + total_.capacity()) * sizeof(uint32_t);
+  if (concurrent_ != nullptr) {
+    bytes += concurrent_->num_stripes * sizeof(Stripe);
+    for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
+      bytes += concurrent_->stripes[s].counts.MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
 void ResponseLog::Append(const VoteEvent& event) {
+  DQM_CHECK(concurrent_ == nullptr)
+      << "Append is the serialized path; this log ingests through "
+         "AppendConcurrent";
   DQM_CHECK_LT(event.item, positive_.size()) << "item id out of range";
   const size_t item = event.item;
 
@@ -118,6 +181,151 @@ void ResponseLog::Append(const VoteEvent& event) {
   } else {
     compacted_.Add(event.worker, event.item, event.vote);
   }
+}
+
+void ResponseLog::EnableConcurrentIngest(size_t num_stripes,
+                                         bool maintain_pair_counts) {
+  DQM_CHECK(retention_ == RetentionPolicy::kCounts)
+      << "concurrent ingest requires kCounts retention (there is no ordered "
+         "event history to keep)";
+  DQM_CHECK_EQ(num_events_, 0u)
+      << "concurrent ingest must be enabled before any vote arrives";
+  DQM_CHECK(concurrent_ == nullptr) << "concurrent ingest already enabled";
+
+  auto state = std::make_unique<ConcurrentState>();
+  // Stripe = a power-of-two item range of at least one cache line of tally
+  // counters. stripe(item) is then a single shift — no division on the
+  // commit path — and neighboring stripes write disjoint lines of the
+  // shared positive_/total_ columns.
+  size_t requested = std::max<size_t>(num_stripes, 1);
+  size_t items = positive_.size();
+  size_t chunk = kStripeGranuleItems;
+  if (items > requested * chunk) {
+    chunk = std::bit_ceil((items + requested - 1) / requested);
+  }
+  state->stripe_shift = static_cast<uint32_t>(std::countr_zero(chunk));
+  state->num_stripes = std::max<size_t>((items + chunk - 1) / chunk, 1);
+  state->maintain_pair_counts = maintain_pair_counts;
+  state->stripes = std::make_unique<Stripe[]>(state->num_stripes);
+  concurrent_ = std::move(state);
+}
+
+size_t ResponseLog::num_stripes() const {
+  return concurrent_ == nullptr ? 0 : concurrent_->num_stripes;
+}
+
+void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
+  DQM_CHECK(concurrent_ != nullptr)
+      << "AppendConcurrent requires EnableConcurrentIngest";
+  if (events.empty()) return;
+  DQM_CHECK_LE(events.size(), UINT32_MAX) << "batch too large to index";
+  ConcurrentState& cs = *concurrent_;
+  const uint32_t shift = cs.stripe_shift;
+  const size_t num_stripes = cs.num_stripes;
+  const bool pair_counts = cs.maintain_pair_counts;
+
+  // Bucket the batch by stripe once, unlocked (a counting sort over event
+  // indices), so each stripe's lock is held only for that stripe's own
+  // events — the contention window a commit imposes on other producers is
+  // proportional to its share of the stripe, not the whole batch. The
+  // scratch is per producer thread and keeps its capacity, so steady-state
+  // commits allocate nothing. The same pass validates every item id up
+  // front: an id past the last stripe would otherwise match no bucket and
+  // vanish silently instead of aborting like the serialized Append does.
+  thread_local std::vector<uint32_t> bucket_ends;    // prefix sums, size S+1
+  thread_local std::vector<uint32_t> bucket_cursor;  // scatter cursors
+  thread_local std::vector<uint32_t> bucketed;       // event indices by stripe
+  bucket_ends.assign(num_stripes + 1, 0);
+  for (const VoteEvent& event : events) {
+    DQM_CHECK_LT(event.item, positive_.size()) << "item id out of range";
+    ++bucket_ends[(event.item >> shift) + 1];
+  }
+  for (size_t s = 0; s < num_stripes; ++s) bucket_ends[s + 1] += bucket_ends[s];
+  bucket_cursor.assign(bucket_ends.begin(), bucket_ends.end() - 1);
+  bucketed.resize(events.size());
+  for (uint32_t index = 0; index < events.size(); ++index) {
+    bucketed[bucket_cursor[events[index].item >> shift]++] = index;
+  }
+
+  // Rotate the visit order per commit: concurrent committers start on
+  // different stripes instead of convoying behind each other on stripe 0.
+  // Committers hold one stripe lock at a time, so any visit order is
+  // deadlock-free against other committers and the all-stripe publish lock.
+  const size_t start = static_cast<size_t>(
+      cs.rotation.fetch_add(1, std::memory_order_relaxed) % num_stripes);
+  for (size_t k = 0; k < num_stripes; ++k) {
+    size_t s = start + k;
+    if (s >= num_stripes) s -= num_stripes;
+    if (bucket_ends[s] == bucket_ends[s + 1]) continue;  // untouched stripe
+    Stripe& stripe = cs.stripes[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (uint32_t b = bucket_ends[s]; b < bucket_ends[s + 1]; ++b) {
+      const VoteEvent& event = events[bucketed[b]];
+      // The cheap commit: flat counter increments only. Derived aggregates
+      // (NOMINAL/VOTING, totals, bounds) are re-derived at publish time by
+      // ReconcileLocked's vectorized scan.
+      ++total_[event.item];
+      if (event.vote == Vote::kDirty) {
+        ++positive_[event.item];
+        ++stripe.total_positive;
+      }
+      ++stripe.num_events;
+      stripe.task_bound =
+          std::max(stripe.task_bound, static_cast<uint64_t>(event.task) + 1);
+      stripe.worker_bound = std::max(stripe.worker_bound,
+                                     static_cast<uint64_t>(event.worker) + 1);
+      if (pair_counts) stripe.counts.Add(event.worker, event.item, event.vote);
+    }
+  }
+}
+
+void ResponseLog::LockAllStripes() {
+  for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
+    concurrent_->stripes[s].mutex.lock();
+  }
+}
+
+void ResponseLog::UnlockAllStripes() {
+  for (size_t s = concurrent_->num_stripes; s > 0; --s) {
+    concurrent_->stripes[s - 1].mutex.unlock();
+  }
+}
+
+void ResponseLog::IngestPause::Release() {
+  if (log_ != nullptr) {
+    log_->UnlockAllStripes();
+    log_ = nullptr;
+  }
+}
+
+ResponseLog::IngestPause ResponseLog::PauseAndReconcile() {
+  if (concurrent_ == nullptr) return IngestPause();
+  LockAllStripes();
+  ReconcileLocked();
+  return IngestPause(this);
+}
+
+void ResponseLog::ReconcileLocked() {
+  uint64_t events = 0;
+  uint64_t positive = 0;
+  uint64_t task_bound = 0;
+  uint64_t worker_bound = 0;
+  for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
+    const Stripe& stripe = concurrent_->stripes[s];
+    events += stripe.num_events;
+    positive += stripe.total_positive;
+    task_bound = std::max(task_bound, stripe.task_bound);
+    worker_bound = std::max(worker_bound, stripe.worker_bound);
+  }
+  TallyScanResult scan = ScanTallies(positive_, total_);
+  DQM_CHECK_EQ(scan.total_votes, events);
+  DQM_CHECK_EQ(scan.positive_votes, positive);
+  num_events_ = events;
+  total_positive_ = positive;
+  nominal_count_ = static_cast<size_t>(scan.nominal_count);
+  majority_count_ = static_cast<size_t>(scan.majority_count);
+  num_tasks_ = task_bound;
+  num_workers_ = worker_bound;
 }
 
 }  // namespace dqm::crowd

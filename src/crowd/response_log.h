@@ -1,10 +1,15 @@
 #ifndef DQM_CROWD_RESPONSE_LOG_H_
 #define DQM_CROWD_RESPONSE_LOG_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
+#include "common/align.h"
 #include "crowd/vote.h"
 
 namespace dqm::crowd {
@@ -75,12 +80,45 @@ enum class RetentionPolicy {
   kCounts,
 };
 
+/// Aggregates derivable from the per-item tally columns in one pass — the
+/// publish-side scan the striped ingest path uses instead of maintaining
+/// NOMINAL/VOTING transitions on every commit. The loop is branch-free over
+/// two flat SoA columns, so the autovectorizer can chew through it.
+struct TallyScanResult {
+  uint64_t nominal_count = 0;    // #items with at least one dirty vote
+  uint64_t majority_count = 0;   // #items with 2 * positive > total
+  uint64_t total_votes = 0;      // sum of the total column
+  uint64_t positive_votes = 0;   // sum of the positive column
+};
+TallyScanResult ScanTallies(std::span<const uint32_t> positive,
+                            std::span<const uint32_t> total);
+
 /// The ordered collection of worker votes: the concrete realization of the
 /// paper's response matrix `I` (plus arrival history under kFullEvents).
 ///
 /// Maintains per-item tallies and the NOMINAL / VOTING counts incrementally,
 /// so appending an event is O(1) and estimators can be evaluated after every
 /// task without rescanning.
+///
+/// ## Concurrent ingest (the striped commit path)
+///
+/// A kCounts log can additionally be switched into *concurrent ingest* mode
+/// (EnableConcurrentIngest): the item universe is partitioned into
+/// cache-line-aligned stripes, each with its own lock, per-stripe event /
+/// positive counters, and (when a consumer needs the response matrix) its
+/// own CompactedVoteStore shard. `AppendConcurrent` then commits batches
+/// from any number of producer threads at once — a commit touches only the
+/// stripes its items map to, and does nothing but bump flat tally counters,
+/// so N producers scale until the stripes saturate. The derived aggregates
+/// (NOMINAL/VOTING counts, vote totals, task/worker bounds) are *not*
+/// maintained per vote in this mode; `PauseAndReconcile` blocks committers,
+/// folds the stripe counters, and re-derives the aggregates with the
+/// vectorized tally scan. Read accessors reflect the most recent reconcile
+/// and may only race-free be called while the returned pause guard is held
+/// (or while no committer is running). Tallies and counts reconciled this
+/// way are bit-identical to a serialized Append of the same votes in any
+/// order; compacted-matrix *slot order* depends on the commit interleaving,
+/// which float-summing consumers (EM) must tolerate.
 class ResponseLog {
  public:
   /// `num_items` = N, the size of the record (or pair) universe.
@@ -96,7 +134,8 @@ class ResponseLog {
   size_t num_tasks() const { return num_tasks_; }
   size_t num_workers() const { return num_workers_; }
 
-  /// Appends one vote. `event.item` must be < num_items().
+  /// Appends one vote. `event.item` must be < num_items(). Serialized-path
+  /// only: aborts once concurrent ingest is enabled (use AppendConcurrent).
   void Append(const VoteEvent& event);
 
   /// All events in arrival order. Only available under kFullEvents — a
@@ -106,15 +145,32 @@ class ResponseLog {
 
   /// The compacted per-(worker, item) count matrix, maintained incrementally
   /// under kCounts; null under kFullEvents (matrix consumers rebuild it once
-  /// per fit from events() — see DawidSkene::Workspace).
+  /// per fit from events() — see DawidSkene::Workspace) and in concurrent
+  /// ingest mode, where the matrix is sharded across stripes (consume it
+  /// through AppendCountMatrixBlocks instead).
   const CompactedVoteStore* compacted() const {
-    return retention_ == RetentionPolicy::kCounts ? &compacted_ : nullptr;
+    return retention_ == RetentionPolicy::kCounts && concurrent_ == nullptr
+               ? &compacted_
+               : nullptr;
   }
+
+  /// Appends every live count-matrix block to `out`: the single compacted
+  /// store under kCounts, one shard per stripe in concurrent ingest mode.
+  /// Returns false under kFullEvents (no matrix is maintained; rebuild from
+  /// events()). Aborts if concurrent ingest was enabled without pair-count
+  /// maintenance — there is no matrix to consume then, by construction.
+  bool AppendCountMatrixBlocks(
+      std::vector<const CompactedVoteStore*>& out) const;
 
   /// n_i^+ — votes marking `item` dirty.
   uint32_t positive_votes(size_t item) const { return positive_[item]; }
   /// n_i — total votes on `item`.
   uint32_t total_votes(size_t item) const { return total_[item]; }
+  /// The full per-item tally columns (length num_items()) — the SoA inputs
+  /// of the vectorized publish-side scans (ScanTallies,
+  /// FStatistics::RebuildFromCounts).
+  std::span<const uint32_t> positive_counts() const { return positive_; }
+  std::span<const uint32_t> total_counts() const { return total_; }
   /// n^+ — total positive votes across items.
   uint64_t total_positive_votes() const { return total_positive_; }
   /// Total votes across items.
@@ -128,13 +184,11 @@ class ResponseLog {
   }
 
   /// Approximate heap bytes retained for vote storage — the raw event
-  /// vector under kFullEvents, the compacted matrix under kCounts — plus
-  /// the per-item tallies. The number the retention-policy memory
-  /// comparison (bench_engine_throughput's long-session sweep) reports.
-  size_t RetainedBytes() const {
-    return events_.capacity() * sizeof(VoteEvent) + compacted_.MemoryBytes() +
-           (positive_.capacity() + total_.capacity()) * sizeof(uint32_t);
-  }
+  /// vector under kFullEvents, the compacted matrix (including every
+  /// concurrent-ingest stripe shard) under kCounts — plus the per-item
+  /// tallies. The number the retention-policy memory comparison
+  /// (bench_engine_throughput's long-session sweep) reports.
+  size_t RetainedBytes() const;
 
   /// NOMINAL(I): items with at least one dirty vote (Section 2.2.1).
   size_t NominalCount() const { return nominal_count_; }
@@ -143,18 +197,110 @@ class ResponseLog {
   /// (Section 2.2.2).
   size_t MajorityCount() const { return majority_count_; }
 
+  // --- Concurrent ingest -------------------------------------------------
+
+  /// Switches an empty kCounts log into concurrent ingest mode with at most
+  /// `num_stripes` item-range stripes (clamped so every stripe spans at
+  /// least one cache line of tally counters; at least one stripe always
+  /// exists). `maintain_pair_counts` selects whether each stripe keeps its
+  /// CompactedVoteStore shard — pipelines whose estimators never read the
+  /// response matrix (tally-only panels) skip it, making a commit nothing
+  /// but flat counter increments.
+  void EnableConcurrentIngest(size_t num_stripes, bool maintain_pair_counts);
+
+  bool concurrent_ingest() const { return concurrent_ != nullptr; }
+
+  /// Stripes actually in use (0 when concurrent ingest is not enabled).
+  size_t num_stripes() const;
+
+  /// Commits a batch of votes; safe to call from any number of threads
+  /// concurrently once EnableConcurrentIngest was called. Items must be
+  /// < num_items(). Each stripe the batch touches is locked once; stripes
+  /// are visited starting from a rotating offset so concurrent committers
+  /// do not convoy behind each other on stripe 0.
+  void AppendConcurrent(std::span<const VoteEvent> events);
+
+  /// RAII guard blocking every AppendConcurrent committer while alive.
+  class IngestPause {
+   public:
+    IngestPause() = default;
+    IngestPause(IngestPause&& other) noexcept : log_(other.log_) {
+      other.log_ = nullptr;
+    }
+    IngestPause& operator=(IngestPause&& other) noexcept {
+      if (this != &other) {
+        Release();
+        log_ = other.log_;
+        other.log_ = nullptr;
+      }
+      return *this;
+    }
+    IngestPause(const IngestPause&) = delete;
+    IngestPause& operator=(const IngestPause&) = delete;
+    ~IngestPause() { Release(); }
+
+   private:
+    friend class ResponseLog;
+    explicit IngestPause(ResponseLog* log) : log_(log) {}
+    void Release();
+    ResponseLog* log_ = nullptr;
+  };
+
+  /// Locks every stripe (ascending — committers hold at most one stripe at
+  /// a time, so this cannot deadlock), folds the per-stripe counters into
+  /// the canonical aggregate fields, and re-derives NOMINAL/VOTING with the
+  /// vectorized tally scan. While the returned guard is alive committers
+  /// block and every read accessor is race-free and current — the publish
+  /// window in which the estimator pipeline runs. No-op (empty guard) when
+  /// concurrent ingest is not enabled.
+  [[nodiscard]] IngestPause PauseAndReconcile();
+
  private:
+  /// Per-stripe mutable ingest state, aligned so two producers committing
+  /// into neighboring stripes never bounce a cache line between cores (the
+  /// "small fix" half of this: the stripe lock and its counters share the
+  /// stripe's line, not their neighbor's).
+  struct alignas(kCacheLineBytes) Stripe {
+    std::mutex mutex;
+    CompactedVoteStore counts;  // shard; empty when pair counts are off
+    uint64_t num_events = 0;
+    uint64_t total_positive = 0;
+    uint64_t task_bound = 0;    // max task id + 1 committed to this stripe
+    uint64_t worker_bound = 0;  // max worker id + 1
+  };
+  struct ConcurrentState {
+    size_t num_stripes = 0;
+    uint32_t stripe_shift = 0;  // stripe(item) = item >> stripe_shift
+    bool maintain_pair_counts = true;
+    std::atomic<uint64_t> rotation{0};
+    std::unique_ptr<Stripe[]> stripes;
+  };
+
+  void LockAllStripes();
+  void UnlockAllStripes();
+  /// Folds stripe counters into the canonical fields; caller holds every
+  /// stripe lock.
+  void ReconcileLocked();
+
+  /// Per-item tally column whose base address starts on a cache line: the
+  /// stripe partition (multiples of kCacheLineBytes / sizeof(uint32_t)
+  /// items) then maps stripes to fully disjoint lines, so concurrent
+  /// committers on neighboring stripes never false-share.
+  using TallyColumn = std::vector<uint32_t, CacheAlignedAllocator<uint32_t>>;
+
   RetentionPolicy retention_;
   std::vector<VoteEvent> events_;    // kFullEvents only
-  CompactedVoteStore compacted_;     // kCounts only
-  std::vector<uint32_t> positive_;
-  std::vector<uint32_t> total_;
+  CompactedVoteStore compacted_;     // kCounts, serialized mode only
+  TallyColumn positive_;
+  TallyColumn total_;
   uint64_t num_events_ = 0;
   uint64_t total_positive_ = 0;
   size_t nominal_count_ = 0;
   size_t majority_count_ = 0;
   size_t num_tasks_ = 0;
   size_t num_workers_ = 0;
+  /// Heap-held so the log stays movable (std::mutex is not).
+  std::unique_ptr<ConcurrentState> concurrent_;
 };
 
 }  // namespace dqm::crowd

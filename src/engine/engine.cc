@@ -62,6 +62,13 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
 Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
     const std::string& name, size_t num_items,
     std::span<const std::string> specs) {
+  return OpenSession(name, num_items, specs, SessionOptions());
+}
+
+Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
+    const std::string& name, size_t num_items,
+    std::span<const std::string> specs,
+    const SessionOptions& session_options) {
   // Name first (cheap), then the specs: a bad or duplicate name never pays
   // the pipeline construction, and a typo'd spec never half-opens a
   // session.
@@ -72,8 +79,8 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
       core::DataQualityMetric metric,
       core::DataQualityMetric::Create(num_items, specs,
                                       crowd::RetentionPolicy::kCounts));
-  auto session =
-      std::make_shared<EstimationSession>(name, std::move(metric));
+  auto session = std::make_shared<EstimationSession>(name, std::move(metric),
+                                                     session_options);
   return InsertSession(name, [&] { return session; });
 }
 
@@ -96,6 +103,13 @@ Status DqmEngine::Ingest(const std::string& name,
   // The shard lock is already released: vote application only contends on
   // this session's own mutex.
   return (*session)->AddVotes(votes);
+}
+
+Status DqmEngine::Publish(const std::string& name) {
+  Result<std::shared_ptr<EstimationSession>> session = GetSession(name);
+  if (!session.ok()) return session.status();
+  (*session)->Publish();
+  return Status::OK();
 }
 
 Result<Snapshot> DqmEngine::Query(const std::string& name) const {

@@ -74,6 +74,17 @@ class DqmEngine {
       const std::string& name, size_t num_items,
       std::span<const std::string> specs);
 
+  /// As above with explicit serving knobs: publish cadence and ingest
+  /// striping (see SessionOptions). Producer-order-independent panels
+  /// (no SWITCH) get the striped multi-producer commit path; with a
+  /// coalesced cadence (kEveryNVotes / kManual) many writer threads can
+  /// ingest into the one session while a single publisher runs the
+  /// estimator pipeline.
+  Result<std::shared_ptr<EstimationSession>> OpenSession(
+      const std::string& name, size_t num_items,
+      std::span<const std::string> specs,
+      const SessionOptions& session_options);
+
   /// Looks up an open session (NotFound otherwise). The returned handle
   /// stays valid after CloseSession — closing only unregisters the name.
   Result<std::shared_ptr<EstimationSession>> GetSession(
@@ -82,6 +93,10 @@ class DqmEngine {
   /// Appends a batch of votes to the named session.
   Status Ingest(const std::string& name,
                 std::span<const crowd::VoteEvent> votes);
+
+  /// Publishes a fresh snapshot of the named session — the explicit flush
+  /// for sessions opened with a kManual / kEveryNVotes cadence.
+  Status Publish(const std::string& name);
 
   /// Current estimate of the named session. The by-name lookup takes the
   /// shard lock; the snapshot read itself is lock-free. Hot readers should

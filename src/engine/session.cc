@@ -1,11 +1,13 @@
 #include "engine/session.h"
 
+#include <algorithm>
 #include <bit>
 #include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace dqm::engine {
 
@@ -87,6 +89,52 @@ void SnapshotCell::LoadInto(Snapshot& snapshot) const {
   }
 }
 
+Result<SessionOptions> ParsePublishCadenceSpec(std::string_view spec,
+                                               SessionOptions base) {
+  if (spec == "every_batch") {
+    base.cadence = PublishCadence::kEveryBatch;
+    return base;
+  }
+  if (spec == "manual") {
+    base.cadence = PublishCadence::kManual;
+    return base;
+  }
+  constexpr std::string_view kEveryN = "every_n_votes";
+  if (spec.substr(0, kEveryN.size()) == kEveryN) {
+    base.cadence = PublishCadence::kEveryNVotes;
+    std::string_view rest = spec.substr(kEveryN.size());
+    if (rest.empty()) return base;  // keep the default threshold
+    if (rest[0] != ':') {
+      return Status::InvalidArgument(StrFormat(
+          "bad publish cadence '%.*s': expected every_n_votes[:N]",
+          static_cast<int>(spec.size()), spec.data()));
+    }
+    rest.remove_prefix(1);
+    uint64_t n = 0;
+    if (rest.empty()) {
+      return Status::InvalidArgument("publish cadence every_n_votes: missing N");
+    }
+    for (char c : rest) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(StrFormat(
+            "bad publish cadence threshold '%.*s'",
+            static_cast<int>(rest.size()), rest.data()));
+      }
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (n == 0) {
+      return Status::InvalidArgument(
+          "publish cadence every_n_votes: N must be positive");
+    }
+    base.publish_every_votes = n;
+    return base;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown publish cadence '%.*s' (every_batch | every_n_votes[:N] | "
+      "manual)",
+      static_cast<int>(spec.size()), spec.data()));
+}
+
 namespace {
 
 std::vector<std::string> InitialNames(const core::DataQualityMetric& metric) {
@@ -100,6 +148,13 @@ Snapshot InitialSnapshot(size_t num_items, size_t num_estimators) {
   return initial;
 }
 
+/// Auto stripe count: enough stripes that a producer per core rarely
+/// collides, without sharding tiny universes to confetti (the log clamps
+/// further so every stripe spans at least a cache line of tallies).
+size_t DefaultStripeCount() {
+  return std::clamp<size_t>(ThreadPool::DefaultThreadCount(), 2, 8);
+}
+
 }  // namespace
 
 EstimationSession::EstimationSession(
@@ -109,12 +164,28 @@ EstimationSession::EstimationSession(
                         core::DataQualityMetric(num_items, options)) {}
 
 EstimationSession::EstimationSession(std::string name,
-                                     core::DataQualityMetric metric)
+                                     core::DataQualityMetric metric,
+                                     const SessionOptions& session_options)
     : name_(std::move(name)),
       num_items_(metric.num_items()),
+      options_(session_options),
       metric_(std::move(metric)),
       estimator_names_(InitialNames(metric_)),
       snapshot_(estimator_names_.size()) {
+  // Stripe on explicit request (>= 2), or automatically when the cadence is
+  // coalesced — never by default under kEveryBatch, where the serialized
+  // O(batch) commit+publish beats a striped O(num_items) reconcile per
+  // batch for a single producer.
+  const bool want_striping =
+      options_.ingest_stripes >= 2 ||
+      (options_.ingest_stripes == 0 &&
+       options_.cadence != PublishCadence::kEveryBatch);
+  if (want_striping && metric_.SupportsConcurrentIngest()) {
+    metric_.EnableConcurrentIngest(options_.ingest_stripes == 0
+                                       ? DefaultStripeCount()
+                                       : options_.ingest_stripes);
+    striped_ = true;
+  }
   snapshot_.Store(InitialSnapshot(num_items_, estimator_names_.size()));
 }
 
@@ -131,14 +202,75 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
   }
   if (votes.empty()) return Status::OK();
 
+  // Shared cadence rule for both commit paths: under kEveryNVotes the
+  // committer whose batch crosses a multiple-of-N boundary of the total
+  // committed count publishes. A pure function of the committed total, so
+  // striped and serialized sessions publish at identical points for
+  // identical input.
+  auto crosses_boundary = [this](uint64_t after, uint64_t batch) {
+    uint64_t n = std::max<uint64_t>(options_.publish_every_votes, 1);
+    return (after - batch) / n != after / n;
+  };
+
+  if (striped_) {
+    // The cheap commit: stripe-local tally increments only, no session
+    // mutex — N producers commit into this session concurrently, bounded
+    // by stripe collisions rather than lock hand-off latency.
+    metric_.CommitVotesConcurrent(votes);
+    uint64_t after = committed_votes_.fetch_add(votes.size(),
+                                                std::memory_order_relaxed) +
+                     votes.size();
+    switch (options_.cadence) {
+      case PublishCadence::kEveryBatch:
+        Publish();
+        break;
+      case PublishCadence::kEveryNVotes:
+        if (crosses_boundary(after, votes.size())) Publish();
+        break;
+      case PublishCadence::kManual:
+        break;
+    }
+    return Status::OK();
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   for (const crowd::VoteEvent& event : votes) {
     metric_.AddVote(event.task, event.worker, event.item,
                     event.vote == crowd::Vote::kDirty);
   }
-  ++version_;
+  uint64_t after = committed_votes_.fetch_add(votes.size(),
+                                              std::memory_order_relaxed) +
+                   votes.size();
+  switch (options_.cadence) {
+    case PublishCadence::kEveryBatch:
+      PublishLocked();
+      break;
+    case PublishCadence::kEveryNVotes:
+      if (crosses_boundary(after, votes.size())) PublishLocked();
+      break;
+    case PublishCadence::kManual:
+      break;
+  }
+  return Status::OK();
+}
 
-  // Refresh the per-session scratch in place — after the first batch the
+void EstimationSession::Publish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (striped_) {
+    // Pause committers for the reconcile + report window: estimators read
+    // the shared log directly, so the cut must hold still while the
+    // pipeline runs. Committers blocked here resume the moment the pause
+    // guard drops.
+    crowd::ResponseLog::IngestPause pause = metric_.ReconcileForEstimates();
+    PublishLocked();
+  } else {
+    PublishLocked();
+  }
+}
+
+void EstimationSession::PublishLocked() {
+  ++version_;
+  // Refresh the per-session scratch in place — after the first publish the
   // whole publish path (report, snapshot rows, seqlock store) touches no
   // heap. Names are deliberately not carried here: they are immutable per
   // session and the cell does not store them (see SnapshotInto).
@@ -161,7 +293,6 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
   next.estimated_undetected_errors = next.estimates.front().undetected_errors;
   next.quality_score = next.estimates.front().quality_score;
   snapshot_.Store(next);
-  return Status::OK();
 }
 
 Snapshot EstimationSession::snapshot() const {

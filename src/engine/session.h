@@ -7,8 +7,11 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/align.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "core/dqm.h"
 #include "crowd/vote.h"
@@ -26,15 +29,16 @@ struct EstimatorEstimate {
 };
 
 /// Immutable point-in-time view of one session's estimates. Snapshots are
-/// built under the session lock after each committed batch, so all fields
-/// are mutually consistent; readers obtain them without taking any lock.
+/// built by the (serialized) publish path, so all fields are mutually
+/// consistent; readers obtain them without taking any lock.
 ///
 /// A session runs a multi-estimator pipeline (see core::DataQualityMetric):
 /// `estimates` has one row per configured estimator, in spec order. The
 /// scalar estimate fields mirror row 0 — the primary estimator — so
 /// single-method callers keep working unchanged.
 struct Snapshot {
-  /// Number of committed ingest batches; strictly increases per batch.
+  /// Number of publishes; strictly increases per publish (== committed
+  /// batches under the default every-batch cadence).
   uint64_t version = 0;
   uint64_t num_votes = 0;
   size_t num_items = 0;
@@ -56,12 +60,18 @@ struct Snapshot {
 /// Seqlock-published Snapshot storage: a version word plus the snapshot's
 /// numeric fields, all `std::atomic`. The cell is sized at construction for
 /// the session's estimator count — the fixed header plus three words per
-/// estimator row. Writers (already serialized by the session mutex) bump
-/// the sequence odd, store the fields, bump it even; readers copy the
-/// fields and retry iff a write was in flight. Every access is an atomic
-/// operation, so the protocol is fully visible to ThreadSanitizer — unlike
-/// libstdc++'s `std::atomic<std::shared_ptr>`, whose internal lock-bit
-/// scheme TSan flags as a race.
+/// estimator row. Writers (already serialized by the session's publish
+/// lock) bump the sequence odd, store the fields, bump it even; readers
+/// copy the fields and retry iff a write was in flight. Every access is an
+/// atomic operation, so the protocol is fully visible to ThreadSanitizer —
+/// unlike libstdc++'s `std::atomic<std::shared_ptr>`, whose internal
+/// lock-bit scheme TSan flags as a race.
+///
+/// The sequence word lives on its own cache line
+/// (std::hardware_destructive_interference_size, 64-byte fallback): readers
+/// spin-check it on every load, and sharing its line with unrelated session
+/// state would bounce that line between the publisher and every polling
+/// core.
 ///
 /// Estimator names are immutable per session and therefore not part of the
 /// cell; Load() returns rows with empty names and the session fills them
@@ -88,21 +98,75 @@ class SnapshotCell {
   size_t num_words() const { return kHeaderWords + 3 * num_estimators_; }
 
   size_t num_estimators_;
-  std::atomic<uint64_t> seq_{0};
-  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  alignas(kCacheLineBytes) std::atomic<uint64_t> seq_{0};
+  alignas(kCacheLineBytes) std::unique_ptr<std::atomic<uint64_t>[]> words_;
 };
 
+/// When a session turns committed votes into a published snapshot.
+enum class PublishCadence {
+  /// Publish after every committed AddVotes batch — the historical default,
+  /// bit-compatible with pre-cadence sessions.
+  kEveryBatch,
+  /// Publish whenever the session's total committed-vote count crosses a
+  /// multiple of SessionOptions::publish_every_votes — the committer whose
+  /// batch crosses the boundary publishes. The coalescing configuration:
+  /// producers stream batches, one of them runs the estimator pipeline
+  /// every ~N votes. The schedule is a function of the committed total
+  /// alone (identical on the striped and serialized paths, and unaffected
+  /// by interleaved explicit Publish() calls).
+  kEveryNVotes,
+  /// Only explicit Publish() calls publish. Readers see the initial empty
+  /// snapshot until then.
+  kManual,
+};
+
+/// Per-session serving knobs (all orthogonal to the estimator panel).
+struct SessionOptions {
+  PublishCadence cadence = PublishCadence::kEveryBatch;
+  /// Threshold for PublishCadence::kEveryNVotes (clamped to >= 1).
+  uint64_t publish_every_votes = 4096;
+  /// Ingest-stripe request. 0 = auto: hardware-scaled striping whenever the
+  /// estimator panel is producer-order independent AND the cadence is
+  /// coalesced (kEveryNVotes / kManual) — under the default kEveryBatch a
+  /// striped publish would pay an O(num_items) reconcile per batch where
+  /// the serialized path pays O(batch), so auto never pessimizes the
+  /// historical configuration. 1 = force the serialized commit path.
+  /// k >= 2 = ask for k stripes under any cadence (clamped to the item
+  /// universe). Panels containing an order-sensitive estimator (SWITCH)
+  /// fall back to the serialized path regardless.
+  size_t ingest_stripes = 0;
+};
+
+/// Parses "every_batch" | "manual" | "every_n_votes[:N]" (e.g.
+/// "every_n_votes:8192") into `base`'s cadence fields — the spelling the
+/// CLI / bench flags use. InvalidArgument on anything else.
+Result<SessionOptions> ParsePublishCadenceSpec(std::string_view spec,
+                                               SessionOptions base = {});
+
 /// One live estimation stream: a `core::DataQualityMetric` (possibly with
-/// several attached estimators) made safe for concurrent use. Writers batch
-/// votes through `AddVotes` under an internal mutex; readers poll
+/// several attached estimators) made safe for concurrent use. Readers poll
 /// `snapshot()` lock-free (a seqlock copy), so a hot query path never
-/// contends with ingestion.
+/// contends with ingestion. Writers commit through `AddVotes`; how commits
+/// become snapshots is governed by SessionOptions.
 ///
-/// Vote order within a batch is preserved; batches from different threads
-/// are serialized in lock-acquisition order. Order across concurrent
-/// writers is therefore unspecified — order-sensitive methods (SWITCH)
-/// should be fed by a single producer per session, tally-based methods
-/// (CHAO92, VOTING, NOMINAL) are producer-order independent.
+/// ## Commit paths
+///
+/// *Striped* (producer-order-independent panels — every estimator a
+/// shared-stats scorer: CHAO92 family, VOTING, NOMINAL, EM-VOTING — under
+/// the serving kCounts retention): `AddVotes` commits tallies into
+/// per-item-range stripes of the shared log, each with its own lock, so N
+/// producers ingest into ONE session concurrently; the publish path pauses
+/// committers, reconciles, runs the estimator pipeline, and stores the
+/// seqlock snapshot. Tallies/counts are bit-identical to any serialized
+/// feed of the same votes; EM estimates agree within their declared
+/// tolerance (float summation order follows the stripe layout).
+///
+/// *Serialized* (panels with an order-sensitive estimator, e.g. SWITCH, or
+/// SessionOptions::ingest_stripes == 1): batches from different threads are
+/// applied in lock-acquisition order under one mutex, vote order within a
+/// batch preserved — exactly the historical behavior. Order across
+/// concurrent writers is unspecified, so order-sensitive panels should be
+/// fed by a single producer per session.
 class EstimationSession {
  public:
   EstimationSession(std::string name, size_t num_items,
@@ -111,7 +175,8 @@ class EstimationSession {
 
   /// Wraps an already-configured pipeline (the engine's spec-based
   /// OpenSession path).
-  EstimationSession(std::string name, core::DataQualityMetric metric);
+  EstimationSession(std::string name, core::DataQualityMetric metric,
+                    const SessionOptions& session_options = SessionOptions());
 
   EstimationSession(const EstimationSession&) = delete;
   EstimationSession& operator=(const EstimationSession&) = delete;
@@ -119,15 +184,21 @@ class EstimationSession {
   const std::string& name() const { return name_; }
   size_t num_items() const { return num_items_; }
 
-  /// Appends a batch of votes and publishes a fresh snapshot. The batch is
-  /// all-or-nothing: any out-of-range item id rejects the whole batch with
-  /// InvalidArgument before a single vote is applied.
+  /// Commits a batch of votes (and publishes a fresh snapshot when the
+  /// cadence says so). The batch is all-or-nothing: any out-of-range item
+  /// id rejects the whole batch with InvalidArgument before a single vote
+  /// is applied.
   Status AddVotes(std::span<const crowd::VoteEvent> votes);
 
   /// Single-vote convenience wrapper (one batch of one vote).
   Status AddVote(const crowd::VoteEvent& event) {
     return AddVotes(std::span<const crowd::VoteEvent>(&event, 1));
   }
+
+  /// Publishes a snapshot of everything committed so far — the explicit
+  /// flush for kManual / kEveryNVotes cadences (harmless, if pointless,
+  /// under kEveryBatch). Safe from any thread; publishes serialize.
+  void Publish();
 
   /// Current estimates, without blocking on writers.
   Snapshot snapshot() const;
@@ -139,6 +210,16 @@ class EstimationSession {
   /// receiver's capacity).
   void SnapshotInto(Snapshot& out) const;
 
+  /// True when this session took the striped multi-producer commit path.
+  bool concurrent_ingest() const { return striped_; }
+
+  /// Votes committed so far (>= the published num_votes between publishes).
+  uint64_t committed_votes() const {
+    return committed_votes_.load(std::memory_order_relaxed);
+  }
+
+  const SessionOptions& options() const { return options_; }
+
   /// Name of the primary estimation method ("SWITCH", "CHAO92", ...).
   std::string_view method_name() const { return estimator_names_.front(); }
 
@@ -148,14 +229,24 @@ class EstimationSession {
   }
 
  private:
+  /// Refreshes the publish scratch from the metric and stores the seqlock
+  /// snapshot. Caller holds mutex_ (and, for striped sessions, the log's
+  /// ingest pause).
+  void PublishLocked();
+
   const std::string name_;
   const size_t num_items_;
+  const SessionOptions options_;
+  bool striped_ = false;
+  /// Total votes committed; drives the kEveryNVotes trigger on the striped
+  /// path without any shared lock.
+  std::atomic<uint64_t> committed_votes_{0};
   mutable std::mutex mutex_;
-  core::DataQualityMetric metric_;  // guarded by mutex_
+  core::DataQualityMetric metric_;  // striped: commits bypass mutex_
   uint64_t version_ = 0;            // guarded by mutex_
-  /// Publish scratch, guarded by mutex_: AddVotes refreshes these in place
-  /// every batch instead of building a fresh report + snapshot, so the
-  /// commit path performs no heap allocations in steady state.
+  /// Publish scratch, guarded by mutex_: the publish path refreshes these
+  /// in place instead of building a fresh report + snapshot, so publishing
+  /// performs no heap allocations in steady state.
   core::DataQualityMetric::QualityReport report_scratch_;
   Snapshot publish_scratch_;
   const std::vector<std::string> estimator_names_;  // immutable

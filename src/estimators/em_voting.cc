@@ -71,6 +71,7 @@ void internal::RegisterBuiltinEmVoting(EstimatorRegistry& registry) {
       .help = "Dawid-Skene posterior dirty count; params: max_iters=<uint>, "
               "tolerance=<float>, smoothing=<float>, warm=<bool> (default 1: "
               "warm-start refits across estimates), warm_sweeps=<uint>",
+      .wants_pair_counts = true,
       // EM accumulates floating-point sums in pair order, so even reorders
       // that preserve the per-(worker, item) counts are not bit-stable: no
       // metamorphic invariances are declared and the conformance harness

@@ -4,6 +4,19 @@
 
 namespace dqm::estimators {
 
+void FStatistics::RebuildFromCounts(std::span<const uint32_t> species_counts) {
+  std::fill(f_.begin(), f_.end(), 0);
+  num_species_ = 0;
+  total_observations_ = 0;
+  for (uint32_t count : species_counts) {
+    if (count == 0) continue;
+    if (static_cast<size_t>(count) + 2 > f_.size()) f_.resize(count + 2, 0);
+    ++f_[count];
+    ++num_species_;
+    total_observations_ += count;
+  }
+}
+
 uint64_t FStatistics::SumIiMinus1() const {
   uint64_t sum = 0;
   for (uint32_t freq = 2; freq < f_.size(); ++freq) {

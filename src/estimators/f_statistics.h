@@ -2,6 +2,7 @@
 #define DQM_ESTIMATORS_F_STATISTICS_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,17 @@ class FStatistics {
     --num_species_;
     total_observations_ -= freq;
   }
+
+  /// Rebuilds the whole fingerprint from a per-species observation-count
+  /// column: f_j = #entries equal to j (entries of 0 are unobserved species
+  /// and contribute nothing). This is the publish-side form of the
+  /// incremental AddSingleton/Promote stream — bit-identical to feeding the
+  /// counts in one vote at a time — used by the striped ingest path, which
+  /// defers fingerprint maintenance off the commit path and re-derives it
+  /// from the reconciled tallies in one branch-light flat-array scan.
+  /// Retains the vector's capacity across calls, so a fingerprint rebuilt
+  /// every publish allocates only while the deepest pile is still growing.
+  void RebuildFromCounts(std::span<const uint32_t> species_counts);
 
   /// f_j — number of species with exactly `j` observations (j >= 1).
   uint64_t f(uint32_t j) const { return j < f_.size() ? f_[j] : 0; }

@@ -163,6 +163,12 @@ class EstimatorRegistry {
     /// vote fingerprint: the pipeline maintains SharedVoteStats::positive_f
     /// iff at least one selected estimator wants it.
     bool wants_positive_fingerprint = false;
+    /// True when the estimator's pipeline form reads the per-(worker, item)
+    /// response matrix off the shared log (EM-VOTING). Pipelines whose
+    /// panel contains no such estimator may skip maintaining the matrix on
+    /// the striped ingest commit path entirely — a commit is then nothing
+    /// but flat tally increments.
+    bool wants_pair_counts = false;
     /// Declared metamorphic properties, checked by tests/conformance/.
     ConformanceTraits traits;
     SpecFactory factory;

@@ -1,0 +1,166 @@
+// Striped-ingest conformance: for every registered workload family, N
+// producer threads committing the generated vote stream concurrently into
+// ONE striped session must reconcile to exactly the serialized path's
+// numbers — bit-identical tallies/counts and tally-derived estimates
+// (CHAO92 family, VOTING, NOMINAL), and EM-VOTING estimates within its
+// declared tolerance (striping reorders the count-matrix slots, which only
+// perturbs float summation order). A newly registered workload family is
+// enrolled automatically.
+
+#include "conformance/conformance_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace dqm::conformance {
+namespace {
+
+constexpr uint64_t kSeed = 91;
+constexpr size_t kProducers = 4;
+
+/// The producer-order-independent panels the striped path serves: every
+/// tally/fingerprint scorer (exact parity expected), plus EM (tolerance).
+const std::vector<std::string>& TallyPanel() {
+  static const std::vector<std::string> panel = {
+      "chao92", "good-turing", "vchao92?shift=2", "voting", "nominal"};
+  return panel;
+}
+
+const std::vector<std::string>& EmPanel() {
+  static const std::vector<std::string> panel = {"em-voting", "chao92"};
+  return panel;
+}
+
+/// Splits the workload's own batch partition into [begin, size) chunks.
+std::vector<std::pair<size_t, size_t>> Chunks(
+    const workload::GeneratedWorkload& run) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  size_t begin = 0;
+  for (size_t size : run.batch_sizes) {
+    chunks.emplace_back(begin, size);
+    begin += size;
+  }
+  EXPECT_EQ(begin, run.log.events().size());
+  return chunks;
+}
+
+/// Serialized ground truth: one producer, forced serialized commit path,
+/// one publish at the end.
+engine::Snapshot SerializedSnapshot(engine::DqmEngine& engine,
+                                    const std::string& name,
+                                    const std::vector<std::string>& panel,
+                                    const workload::GeneratedWorkload& run) {
+  engine::SessionOptions options;
+  options.cadence = engine::PublishCadence::kManual;
+  options.ingest_stripes = 1;
+  auto session = engine.OpenSession(name, run.log.num_items(),
+                                    std::span<const std::string>(panel),
+                                    options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_FALSE((*session)->concurrent_ingest());
+  const std::vector<crowd::VoteEvent>& events = run.log.events();
+  for (const auto& [begin, size] : Chunks(run)) {
+    EXPECT_TRUE(
+        (*session)
+            ->AddVotes(std::span<const crowd::VoteEvent>(&events[begin], size))
+            .ok());
+  }
+  (*session)->Publish();
+  return (*session)->snapshot();
+}
+
+/// Striped measurement: kProducers threads pull batches off a shared cursor
+/// and commit concurrently; one publish after the join.
+engine::Snapshot StripedSnapshot(engine::DqmEngine& engine,
+                                 const std::string& name,
+                                 const std::vector<std::string>& panel,
+                                 const workload::GeneratedWorkload& run) {
+  engine::SessionOptions options;
+  options.cadence = engine::PublishCadence::kManual;
+  options.ingest_stripes = 4;
+  auto session = engine.OpenSession(name, run.log.num_items(),
+                                    std::span<const std::string>(panel),
+                                    options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE((*session)->concurrent_ingest())
+      << "panel unexpectedly fell back to the serialized path";
+  const std::vector<crowd::VoteEvent>& events = run.log.events();
+  std::vector<std::pair<size_t, size_t>> chunks = Chunks(run);
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= chunks.size()) return;
+        const auto& [begin, size] = chunks[index];
+        ASSERT_TRUE((*session)
+                        ->AddVotes(std::span<const crowd::VoteEvent>(
+                            &events[begin], size))
+                        .ok());
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  (*session)->Publish();
+  return (*session)->snapshot();
+}
+
+void ExpectStripedMatchesSerialized(const std::vector<std::string>& panel,
+                                    const engine::Snapshot& striped,
+                                    const engine::Snapshot& serialized,
+                                    const std::string& context) {
+  // Tallies and counts: bit-identical, full stop.
+  EXPECT_EQ(striped.num_votes, serialized.num_votes) << context;
+  EXPECT_EQ(striped.num_items, serialized.num_items) << context;
+  EXPECT_EQ(striped.nominal_count, serialized.nominal_count) << context;
+  EXPECT_EQ(striped.majority_count, serialized.majority_count) << context;
+  ASSERT_EQ(striped.estimates.size(), serialized.estimates.size()) << context;
+  for (size_t i = 0; i < panel.size(); ++i) {
+    estimators::ConformanceTraits traits = TraitsFor(panel[i]);
+    std::string row_context = context + ", estimator " + panel[i];
+    EXPECT_EQ(striped.estimates[i].name, serialized.estimates[i].name)
+        << row_context;
+    ExpectEstimatesAgree(traits, serialized.estimates[i].total_errors,
+                         striped.estimates[i].total_errors, row_context);
+    ExpectEstimatesAgree(traits, serialized.estimates[i].undetected_errors,
+                         striped.estimates[i].undetected_errors, row_context);
+  }
+}
+
+TEST(StripedIngestParityTest, TallyPanelBitIdenticalUnderEveryWorkload) {
+  for (const std::string& workload_spec : ConformanceWorkloadSpecs()) {
+    workload::GeneratedWorkload run = MustGenerate(workload_spec, kSeed);
+    engine::DqmEngine engine;
+    engine::Snapshot serialized =
+        SerializedSnapshot(engine, "serialized", TallyPanel(), run);
+    engine::Snapshot striped =
+        StripedSnapshot(engine, "striped", TallyPanel(), run);
+    ExpectStripedMatchesSerialized(TallyPanel(), striped, serialized,
+                                   "tally, " + workload_spec);
+  }
+}
+
+TEST(StripedIngestParityTest, EmPanelToleranceBoundedUnderEveryWorkload) {
+  for (const std::string& workload_spec : ConformanceWorkloadSpecs()) {
+    workload::GeneratedWorkload run = MustGenerate(workload_spec, kSeed);
+    engine::DqmEngine engine;
+    engine::Snapshot serialized =
+        SerializedSnapshot(engine, "serialized", EmPanel(), run);
+    engine::Snapshot striped =
+        StripedSnapshot(engine, "striped", EmPanel(), run);
+    ExpectStripedMatchesSerialized(EmPanel(), striped, serialized,
+                                   "em, " + workload_spec);
+  }
+}
+
+}  // namespace
+}  // namespace dqm::conformance

@@ -112,6 +112,40 @@ TEST(DawidSkeneTest, ConvergesWithinIterationBudget) {
   EXPECT_LT(result.iterations, 200u);
 }
 
+TEST(DawidSkeneTest, StripedLogFitTracksSerialFit) {
+  // The same votes through a concurrently ingested (striped) log: the count
+  // matrix is sharded across stripe blocks, so EM visits pairs in a
+  // different slot order — float summation order changes, the fixpoint does
+  // not. The posteriors must agree to numerical precision.
+  constexpr size_t kItems = 60;
+  ResponseLog serial(kItems, RetentionPolicy::kCounts);
+  ResponseLog striped(kItems, RetentionPolicy::kCounts);
+  striped.EnableConcurrentIngest(4, /*maintain_pair_counts=*/true);
+  Rng rng(23);
+  std::vector<VoteEvent> events;
+  for (uint32_t e = 0; e < 1500; ++e) {
+    events.push_back({e / 15, static_cast<uint32_t>(rng.UniformIndex(9)),
+                      static_cast<uint32_t>(rng.UniformIndex(kItems)),
+                      rng.Bernoulli(0.35) ? Vote::kDirty : Vote::kClean});
+  }
+  for (const VoteEvent& event : events) serial.Append(event);
+  striped.AppendConcurrent(events);
+  { auto pause = striped.PauseAndReconcile(); }
+
+  DawidSkene em;
+  DawidSkene::Result serial_fit = em.Fit(serial);
+  DawidSkene::Result striped_fit = em.Fit(striped);
+  ASSERT_EQ(striped_fit.posterior_dirty.size(),
+            serial_fit.posterior_dirty.size());
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_NEAR(striped_fit.posterior_dirty[i], serial_fit.posterior_dirty[i],
+                1e-6)
+        << "item " << i;
+  }
+  EXPECT_EQ(DawidSkene::DirtyCount(striped_fit),
+            DawidSkene::DirtyCount(serial_fit));
+}
+
 TEST(EmVotingEstimatorTest, MatchesDirectFit) {
   estimators::EmVotingEstimator estimator(4);
   ResponseLog log(4);

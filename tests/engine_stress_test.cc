@@ -169,5 +169,110 @@ TEST(EngineStressTest, ConcurrentOpenAddVotesQueryCloseStaysConsistent) {
   EXPECT_EQ(engine.num_sessions(), kWriters);
 }
 
+/// The striped commit path under TSan: many producers committing into ONE
+/// session while readers poll and a publisher cadence coalesces — the
+/// multi-producer single-session contract. Version/vote monotonicity and
+/// internal snapshot consistency are asserted continuously; after the
+/// producers join, an explicit Publish must expose exactly the committed
+/// votes, and every tally-derived number must be bit-identical to a
+/// serialized replay of the same votes.
+TEST(EngineStressTest, MultiProducerSingleSessionStripedStaysConsistent) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kReaders = 2;
+  const std::vector<std::string> kTallyPanel = {"chao92", "voting", "nominal"};
+
+  DqmEngine engine;
+  SessionOptions options;
+  options.cadence = PublishCadence::kEveryNVotes;
+  options.publish_every_votes = 64;
+  options.ingest_stripes = 4;
+  Result<std::shared_ptr<EstimationSession>> opened = engine.OpenSession(
+      "hot", kItems, std::span<const std::string>(kTallyPanel), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::shared_ptr<EstimationSession> session = *opened;
+  ASSERT_TRUE(session->concurrent_ingest());
+
+  constexpr uint64_t kTotalVotes =
+      kProducers * kBatchesPerWriter * kBatchSize;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&session, p] {
+      for (size_t b = 0; b < kBatchesPerWriter; ++b) {
+        std::vector<VoteEvent> batch = MakeBatch(p, b);
+        ASSERT_TRUE(session->AddVotes(batch).ok());
+      }
+    });
+  }
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&session, &done, kTotalVotes] {
+      Snapshot snapshot;  // reused: the allocation-free polling path
+      uint64_t last_version = 0;
+      uint64_t last_votes = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        session->SnapshotInto(snapshot);
+        ASSERT_EQ(snapshot.estimates.size(), 3u);
+        ASSERT_GE(snapshot.version, last_version);
+        ASSERT_GE(snapshot.num_votes, last_votes);
+        ASSERT_LE(snapshot.num_votes, kTotalVotes);
+        ASSERT_EQ(snapshot.num_items, kItems);
+        ASSERT_LE(snapshot.majority_count, snapshot.nominal_count);
+        ASSERT_LE(snapshot.nominal_count, kItems);
+        ASSERT_EQ(snapshot.estimated_total_errors,
+                  snapshot.estimates.front().total_errors);
+        for (const EstimatorEstimate& row : snapshot.estimates) {
+          ASSERT_TRUE(std::isfinite(row.total_errors));
+          ASSERT_GE(row.total_errors, 0.0);
+          ASSERT_GE(row.quality_score, 0.0);
+          ASSERT_LE(row.quality_score, 1.0);
+        }
+        last_version = snapshot.version;
+        last_votes = snapshot.num_votes;
+      }
+    });
+  }
+  for (size_t p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  session->Publish();
+  Snapshot final_snapshot = session->snapshot();
+  EXPECT_EQ(final_snapshot.num_votes, kTotalVotes);
+
+  // Serialized reference: same votes, one thread, forced serialized path.
+  // All three estimators are tally-derived, so every number must match
+  // bit for bit regardless of the concurrent interleaving above.
+  SessionOptions serial_options;
+  serial_options.ingest_stripes = 1;
+  serial_options.cadence = PublishCadence::kManual;
+  Result<std::shared_ptr<EstimationSession>> reference = engine.OpenSession(
+      "reference", kItems, std::span<const std::string>(kTallyPanel),
+      serial_options);
+  ASSERT_TRUE(reference.ok());
+  for (size_t p = 0; p < kProducers; ++p) {
+    for (size_t b = 0; b < kBatchesPerWriter; ++b) {
+      std::vector<VoteEvent> batch = MakeBatch(p, b);
+      ASSERT_TRUE((*reference)->AddVotes(batch).ok());
+    }
+  }
+  (*reference)->Publish();
+  Snapshot expected = (*reference)->snapshot();
+  EXPECT_EQ(final_snapshot.num_votes, expected.num_votes);
+  EXPECT_EQ(final_snapshot.nominal_count, expected.nominal_count);
+  EXPECT_EQ(final_snapshot.majority_count, expected.majority_count);
+  ASSERT_EQ(final_snapshot.estimates.size(), expected.estimates.size());
+  for (size_t i = 0; i < expected.estimates.size(); ++i) {
+    EXPECT_EQ(final_snapshot.estimates[i].total_errors,
+              expected.estimates[i].total_errors)
+        << kTallyPanel[i];
+    EXPECT_EQ(final_snapshot.estimates[i].undetected_errors,
+              expected.estimates[i].undetected_errors)
+        << kTallyPanel[i];
+    EXPECT_EQ(final_snapshot.estimates[i].quality_score,
+              expected.estimates[i].quality_score)
+        << kTallyPanel[i];
+  }
+}
+
 }  // namespace
 }  // namespace dqm::engine

@@ -257,5 +257,182 @@ TEST(EngineTest, ConcurrentOpenCloseAcrossShards) {
   EXPECT_EQ(engine.num_sessions(), 32u);
 }
 
+TEST(SessionOptionsTest, ParsePublishCadenceSpec) {
+  EXPECT_EQ(ParsePublishCadenceSpec("every_batch")->cadence,
+            PublishCadence::kEveryBatch);
+  EXPECT_EQ(ParsePublishCadenceSpec("manual")->cadence,
+            PublishCadence::kManual);
+  Result<SessionOptions> every_n = ParsePublishCadenceSpec("every_n_votes");
+  ASSERT_TRUE(every_n.ok());
+  EXPECT_EQ(every_n->cadence, PublishCadence::kEveryNVotes);
+  EXPECT_EQ(every_n->publish_every_votes, SessionOptions().publish_every_votes);
+  Result<SessionOptions> with_n = ParsePublishCadenceSpec("every_n_votes:128");
+  ASSERT_TRUE(with_n.ok());
+  EXPECT_EQ(with_n->publish_every_votes, 128u);
+  EXPECT_FALSE(ParsePublishCadenceSpec("sometimes").ok());
+  EXPECT_FALSE(ParsePublishCadenceSpec("every_n_votes:").ok());
+  EXPECT_FALSE(ParsePublishCadenceSpec("every_n_votes:0").ok());
+  EXPECT_FALSE(ParsePublishCadenceSpec("every_n_votes:12x").ok());
+}
+
+TEST(EstimationSessionTest, PanelCadenceAndStripesDecideCommitPath) {
+  const std::vector<std::string> tally_panel = {"chao92", "voting", "nominal"};
+  const std::vector<std::string> switch_panel = {"switch", "chao92"};
+  DqmEngine engine;
+  // Defaults (every_batch cadence, auto stripes): serialized — auto
+  // striping never pessimizes the historical per-batch configuration.
+  auto default_session = engine.OpenSession(
+      "default", 64, std::span<const std::string>(tally_panel));
+  ASSERT_TRUE(default_session.ok());
+  EXPECT_FALSE((*default_session)->concurrent_ingest());
+  // A coalesced cadence turns auto striping on for eligible panels...
+  SessionOptions coalesced;
+  coalesced.cadence = PublishCadence::kEveryNVotes;
+  auto tally = engine.OpenSession(
+      "tally", 64, std::span<const std::string>(tally_panel), coalesced);
+  ASSERT_TRUE(tally.ok());
+  EXPECT_TRUE((*tally)->concurrent_ingest());
+  // ...but order-sensitive panels always fall back.
+  auto ordered = engine.OpenSession(
+      "ordered", 64, std::span<const std::string>(switch_panel), coalesced);
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_FALSE((*ordered)->concurrent_ingest());
+  // Explicit stripes >= 2 force striping under any cadence;
+  // ingest_stripes = 1 forces the serialized path under any cadence.
+  SessionOptions explicit_stripes;
+  explicit_stripes.ingest_stripes = 4;
+  auto striped_batch = engine.OpenSession(
+      "striped-batch", 64, std::span<const std::string>(tally_panel),
+      explicit_stripes);
+  ASSERT_TRUE(striped_batch.ok());
+  EXPECT_TRUE((*striped_batch)->concurrent_ingest());
+  SessionOptions forced = coalesced;
+  forced.ingest_stripes = 1;
+  auto serialized = engine.OpenSession(
+      "forced", 64, std::span<const std::string>(tally_panel), forced);
+  ASSERT_TRUE(serialized.ok());
+  EXPECT_FALSE((*serialized)->concurrent_ingest());
+}
+
+TEST(EstimationSessionTest, ManualCadencePublishesOnlyOnPublish) {
+  const std::vector<std::string> panel = {"voting", "nominal"};
+  SessionOptions options;
+  options.cadence = PublishCadence::kManual;
+  for (size_t stripes : {size_t{0}, size_t{1}}) {  // striped and serialized
+    options.ingest_stripes = stripes;
+    DqmEngine engine;
+    auto session = engine.OpenSession(
+        "s", 32, std::span<const std::string>(panel), options);
+    ASSERT_TRUE(session.ok());
+    std::vector<VoteEvent> batch = {{0, 0, 1, Vote::kDirty},
+                                    {0, 1, 2, Vote::kDirty}};
+    ASSERT_TRUE((*session)->AddVotes(batch).ok());
+    ASSERT_TRUE((*session)->AddVotes(batch).ok());
+    // Nothing published yet: readers still see the initial empty snapshot.
+    Snapshot before = (*session)->snapshot();
+    EXPECT_EQ(before.version, 0u);
+    EXPECT_EQ(before.num_votes, 0u);
+    EXPECT_EQ((*session)->committed_votes(), 4u);
+    (*session)->Publish();
+    Snapshot after = (*session)->snapshot();
+    EXPECT_EQ(after.version, 1u);
+    EXPECT_EQ(after.num_votes, 4u);
+    EXPECT_EQ(after.nominal_count, 2u);
+    EXPECT_EQ(after.majority_count, 2u);
+  }
+}
+
+TEST(EstimationSessionTest, EveryNVotesCadenceCoalescesPublishes) {
+  const std::vector<std::string> panel = {"voting"};
+  SessionOptions options;
+  options.cadence = PublishCadence::kEveryNVotes;
+  options.publish_every_votes = 4;
+  for (size_t stripes : {size_t{0}, size_t{1}}) {
+    options.ingest_stripes = stripes;
+    DqmEngine engine;
+    auto session = engine.OpenSession(
+        "s", 16, std::span<const std::string>(panel), options);
+    ASSERT_TRUE(session.ok());
+    std::vector<VoteEvent> batch = {{0, 0, 1, Vote::kDirty},
+                                    {0, 1, 2, Vote::kClean}};
+    ASSERT_TRUE((*session)->AddVotes(batch).ok());  // 2 committed: no publish
+    EXPECT_EQ((*session)->snapshot().version, 0u);
+    ASSERT_TRUE((*session)->AddVotes(batch).ok());  // 4 committed: publish
+    Snapshot at_threshold = (*session)->snapshot();
+    EXPECT_EQ(at_threshold.version, 1u);
+    EXPECT_EQ(at_threshold.num_votes, 4u);
+    ASSERT_TRUE((*session)->AddVotes(batch).ok());  // 6: below next threshold
+    EXPECT_EQ((*session)->snapshot().num_votes, 4u);
+    ASSERT_TRUE((*session)->AddVotes(batch).ok());  // 8: publish again
+    EXPECT_EQ((*session)->snapshot().num_votes, 8u);
+
+    // Batch sizes that do not divide N: both paths publish exactly when the
+    // committed total crosses a multiple of N (identical striped /
+    // serialized schedules).
+    auto odd = engine.OpenSession("odd-" + std::to_string(stripes), 16,
+                                  std::span<const std::string>(panel),
+                                  options);
+    ASSERT_TRUE(odd.ok());
+    std::vector<VoteEvent> three = {{0, 0, 1, Vote::kDirty},
+                                    {0, 1, 2, Vote::kClean},
+                                    {0, 2, 3, Vote::kClean}};
+    ASSERT_TRUE((*odd)->AddVotes(three).ok());  // 3: below 4
+    EXPECT_EQ((*odd)->snapshot().version, 0u);
+    ASSERT_TRUE((*odd)->AddVotes(three).ok());  // 6: crosses 4 -> publish
+    EXPECT_EQ((*odd)->snapshot().version, 1u);
+    EXPECT_EQ((*odd)->snapshot().num_votes, 6u);
+    ASSERT_TRUE((*odd)->AddVotes(three).ok());  // 9: crosses 8 -> publish
+    EXPECT_EQ((*odd)->snapshot().version, 2u);
+    EXPECT_EQ((*odd)->snapshot().num_votes, 9u);
+    ASSERT_TRUE((*odd)->AddVotes(three).ok());  // 12: crosses 12 -> publish
+    EXPECT_EQ((*odd)->snapshot().version, 3u);
+  }
+}
+
+TEST(EstimationSessionTest, StripedEveryBatchMatchesSerializedExactly) {
+  // The default cadence on the striped path: a single producer's snapshots
+  // must be bit-identical to the serialized path after every batch — the
+  // "every_batch stays bit-compatible" contract, for the full tally panel.
+  core::SimulatedRun run = MakeRun(11);
+  size_t num_items = run.truth.size();
+  const std::vector<std::string> panel = {"chao92", "vchao92?shift=2",
+                                          "voting", "nominal", "good-turing"};
+  DqmEngine engine;
+  SessionOptions striped_options;
+  striped_options.ingest_stripes = 4;  // striping + the default every_batch
+  auto striped =
+      engine.OpenSession("striped", num_items,
+                         std::span<const std::string>(panel), striped_options);
+  ASSERT_TRUE(striped.ok());
+  ASSERT_TRUE((*striped)->concurrent_ingest());
+  SessionOptions forced;
+  forced.ingest_stripes = 1;
+  auto serialized = engine.OpenSession(
+      "serialized", num_items, std::span<const std::string>(panel), forced);
+  ASSERT_TRUE(serialized.ok());
+  ASSERT_FALSE((*serialized)->concurrent_ingest());
+
+  const std::vector<VoteEvent>& events = run.log.events();
+  for (size_t begin = 0; begin < events.size(); begin += 97) {
+    size_t size = std::min<size_t>(97, events.size() - begin);
+    std::span<const VoteEvent> batch(&events[begin], size);
+    ASSERT_TRUE((*striped)->AddVotes(batch).ok());
+    ASSERT_TRUE((*serialized)->AddVotes(batch).ok());
+    Snapshot a = (*striped)->snapshot();
+    Snapshot b = (*serialized)->snapshot();
+    ASSERT_EQ(a.version, b.version);
+    ASSERT_EQ(a.num_votes, b.num_votes);
+    ASSERT_EQ(a.nominal_count, b.nominal_count);
+    ASSERT_EQ(a.majority_count, b.majority_count);
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (size_t i = 0; i < a.estimates.size(); ++i) {
+      ASSERT_EQ(a.estimates[i].total_errors, b.estimates[i].total_errors)
+          << panel[i] << " after " << a.num_votes << " votes";
+      ASSERT_EQ(a.estimates[i].quality_score, b.estimates[i].quality_score)
+          << panel[i];
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dqm::engine

@@ -129,6 +129,48 @@ TEST(FStatisticsTest, ShiftZeroIsIdentity) {
   EXPECT_EQ(view.sum_ii1, f.SumIiMinus1());
 }
 
+TEST(FStatisticsTest, RebuildFromCountsMatchesIncrementalStream) {
+  // Feeding per-item dirty counts one increment at a time (AddSingleton on
+  // 0 -> 1, Promote otherwise) must equal one RebuildFromCounts scan of the
+  // final counts — the striped publish path's bit-identity claim.
+  Rng rng(41);
+  std::vector<uint32_t> counts(300, 0);
+  FStatistics incremental;
+  for (size_t step = 0; step < 5000; ++step) {
+    size_t item = rng.UniformIndex(counts.size());
+    if (counts[item] == 0) {
+      incremental.AddSingleton();
+    } else {
+      incremental.Promote(counts[item]);
+    }
+    ++counts[item];
+  }
+  FStatistics rebuilt;
+  rebuilt.RebuildFromCounts(counts);
+  EXPECT_EQ(rebuilt.NumSpecies(), incremental.NumSpecies());
+  EXPECT_EQ(rebuilt.TotalObservations(), incremental.TotalObservations());
+  EXPECT_EQ(rebuilt.SumIiMinus1(), incremental.SumIiMinus1());
+  EXPECT_EQ(rebuilt.histogram(), incremental.histogram());
+}
+
+TEST(FStatisticsTest, RebuildFromCountsResetsPreviousState) {
+  FStatistics f;
+  f.AddSingleton();
+  f.Promote(1);
+  f.AddSingleton();  // {1: 1, 2: 1}
+  std::vector<uint32_t> counts = {0, 3, 0, 1};
+  f.RebuildFromCounts(counts);
+  EXPECT_EQ(f.NumSpecies(), 2u);
+  EXPECT_EQ(f.TotalObservations(), 4u);
+  EXPECT_EQ(f.f(1), 1u);
+  EXPECT_EQ(f.f(2), 0u);
+  EXPECT_EQ(f.f(3), 1u);
+  f.RebuildFromCounts(std::vector<uint32_t>{});
+  EXPECT_EQ(f.NumSpecies(), 0u);
+  EXPECT_EQ(f.TotalObservations(), 0u);
+  EXPECT_EQ(f.singletons(), 0u);
+}
+
 TEST(FStatisticsDeathTest, PromoteMissingClassAborts) {
   FStatistics f;
   EXPECT_DEATH(f.Promote(1), "no species");

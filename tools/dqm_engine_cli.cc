@@ -20,11 +20,13 @@
 // a live burst would.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <set>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -65,34 +67,73 @@ std::string SessionNameForPath(const std::string& path,
   return UniqueSessionName(base, used);
 }
 
-/// Streams `events` into `engine`'s session `name`. `batches` is the ingest
-/// partition (a workload's arrival pattern); when empty, fixed `batch` sized
-/// chunks are used instead.
+/// Streams `events` into `engine`'s session `name` from `ingest_threads`
+/// concurrent producers — the multi-producer serving pattern the engine's
+/// striped commit path exists for. `batches` is the ingest partition (a
+/// workload's arrival pattern); when empty, fixed `batch` sized chunks are
+/// used instead. With one thread, batches are committed in order; with
+/// several, each producer pulls the next batch off a shared cursor, so the
+/// commit interleaving is whatever the scheduler produces (exactly what a
+/// live multi-writer deployment looks like).
 dqm::Status StreamVotes(dqm::engine::DqmEngine& engine, const std::string& name,
                         const std::vector<dqm::crowd::VoteEvent>& events,
-                        const std::vector<size_t>& batches, size_t batch) {
+                        const std::vector<size_t>& batches, size_t batch,
+                        size_t ingest_threads) {
+  // Materialize the batch list: [begin, size) chunks of the event stream.
+  std::vector<std::pair<size_t, size_t>> chunks;
   if (batches.empty()) {
     for (size_t begin = 0; begin < events.size(); begin += batch) {
-      size_t size = std::min(batch, events.size() - begin);
+      chunks.emplace_back(begin, std::min(batch, events.size() - begin));
+    }
+  } else {
+    // The registry is open to user workloads, so don't trust the partition:
+    // an over-partitioned batch list must fail loudly, not read past the
+    // log.
+    size_t total = 0;
+    for (size_t size : batches) total += size;
+    if (total != events.size()) {
+      return dqm::Status::InvalidArgument(dqm::StrFormat(
+          "%s: batch partition covers %zu votes but the log has %zu",
+          name.c_str(), total, events.size()));
+    }
+    size_t begin = 0;
+    for (size_t size : batches) {
+      chunks.emplace_back(begin, size);
+      begin += size;
+    }
+  }
+
+  if (ingest_threads <= 1) {
+    for (const auto& [begin, size] : chunks) {
       DQM_RETURN_NOT_OK(engine.Ingest(
           name, std::span<const dqm::crowd::VoteEvent>(&events[begin], size)));
     }
     return dqm::Status::OK();
   }
-  // The registry is open to user workloads, so don't trust the partition:
-  // an over-partitioned batch list must fail loudly, not read past the log.
-  size_t total = 0;
-  for (size_t size : batches) total += size;
-  if (total != events.size()) {
-    return dqm::Status::InvalidArgument(dqm::StrFormat(
-        "%s: batch partition covers %zu votes but the log has %zu",
-        name.c_str(), total, events.size()));
+
+  std::atomic<size_t> cursor{0};
+  std::vector<dqm::Status> outcomes(ingest_threads);
+  std::vector<std::thread> producers;
+  producers.reserve(ingest_threads);
+  for (size_t t = 0; t < ingest_threads; ++t) {
+    producers.emplace_back([&, t] {
+      for (;;) {
+        size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= chunks.size()) return;
+        const auto& [begin, size] = chunks[index];
+        dqm::Status status = engine.Ingest(
+            name,
+            std::span<const dqm::crowd::VoteEvent>(&events[begin], size));
+        if (!status.ok()) {
+          outcomes[t] = status;
+          return;
+        }
+      }
+    });
   }
-  size_t begin = 0;
-  for (size_t size : batches) {
-    DQM_RETURN_NOT_OK(engine.Ingest(
-        name, std::span<const dqm::crowd::VoteEvent>(&events[begin], size)));
-    begin += size;
+  for (std::thread& producer : producers) producer.join();
+  for (const dqm::Status& status : outcomes) {
+    if (!status.ok()) return status;
   }
   return dqm::Status::OK();
 }
@@ -102,7 +143,7 @@ dqm::Status StreamVotes(dqm::engine::DqmEngine& engine, const std::string& name,
 void PrintReport(const dqm::engine::DqmEngine& engine) {
   std::vector<std::pair<std::string, dqm::engine::Snapshot>> snapshots =
       engine.QueryAll();
-  std::vector<std::string> header = {"session", "votes", "nominal",
+  std::vector<std::string> header = {"session", "ingest", "votes", "nominal",
                                      "majority"};
   if (!snapshots.empty()) {
     for (const dqm::engine::EstimatorEstimate& row :
@@ -113,8 +154,15 @@ void PrintReport(const dqm::engine::DqmEngine& engine) {
   }
   dqm::AsciiTable table(header);
   for (const auto& [name, snapshot] : snapshots) {
+    // Which commit path the session resolved to: striped multi-producer
+    // ingest (order-independent panels) or the serialized fallback.
+    dqm::Result<std::shared_ptr<dqm::engine::EstimationSession>> session =
+        engine.GetSession(name);
+    std::string ingest_mode =
+        session.ok() && (*session)->concurrent_ingest() ? "striped" : "serial";
     std::vector<std::string> cells = {
         name,
+        ingest_mode,
         dqm::StrFormat("%llu",
                        static_cast<unsigned long long>(snapshot.num_votes)),
         dqm::StrFormat("%zu", snapshot.nominal_count),
@@ -149,6 +197,15 @@ int main(int argc, char** argv) {
           "); incompatible with CSV files");
   int64_t* threads =
       flags.AddInt("threads", 4, "ingest worker threads (0 = hardware)");
+  int64_t* ingest_threads = flags.AddInt(
+      "ingest_threads", 1,
+      "concurrent producer threads PER SESSION (order-independent estimator "
+      "panels commit through the striped path; panels with switch fall back "
+      "to serialized commits and an unspecified batch order)");
+  std::string* publish_cadence = flags.AddString(
+      "publish_cadence", "every_batch",
+      "when sessions publish snapshots: every_batch | every_n_votes[:N] | "
+      "manual (manual/every_n sessions are flushed once after ingest)");
   int64_t* batch = flags.AddInt("batch", 256, "votes per ingest batch");
   int64_t* demo_datasets = flags.AddInt(
       "demo_datasets", 6, "datasets simulated when no CSV files are given");
@@ -192,6 +249,19 @@ int main(int argc, char** argv) {
                    factory.status().ToString().c_str());
       return 1;
     }
+  }
+  dqm::Result<dqm::engine::SessionOptions> session_options =
+      dqm::engine::ParsePublishCadenceSpec(*publish_cadence);
+  if (!session_options.ok()) {
+    std::fprintf(stderr, "%s\n", session_options.status().ToString().c_str());
+    return 1;
+  }
+  // Asking for several producers per session is the explicit multi-writer
+  // opt-in: request striping even under the every_batch default (auto
+  // striping only engages for coalesced cadences).
+  if (*ingest_threads > 1 && session_options->ingest_stripes == 0) {
+    session_options->ingest_stripes = std::max<size_t>(
+        2, static_cast<size_t>(std::min<int64_t>(*ingest_threads, 16)));
   }
 
   // One dataset per positional CSV file, generated workload, or simulated
@@ -281,23 +351,35 @@ int main(int argc, char** argv) {
   for (const Dataset& dataset : datasets) {
     dqm::Result<std::shared_ptr<dqm::engine::EstimationSession>> session =
         engine.OpenSession(dataset.name, dataset.num_items,
-                           std::span<const std::string>(specs));
+                           std::span<const std::string>(specs),
+                           *session_options);
     if (!session.ok()) {
       std::fprintf(stderr, "open %s: %s\n", dataset.name.c_str(),
                    session.status().ToString().c_str());
       return 1;
     }
+    if (*ingest_threads > 1 && !(*session)->concurrent_ingest()) {
+      std::fprintf(stderr,
+                   "note: session '%s' has an order-sensitive panel and uses "
+                   "the serialized commit path; with --ingest_threads=%lld "
+                   "the batch order is unspecified\n",
+                   dataset.name.c_str(),
+                   static_cast<long long>(*ingest_threads));
+    }
   }
 
   size_t workers = *threads <= 0 ? dqm::ThreadPool::DefaultThreadCount()
                                  : static_cast<size_t>(*threads);
+  size_t producers_per_session =
+      static_cast<size_t>(std::max<int64_t>(1, *ingest_threads));
   std::vector<dqm::Status> outcomes(datasets.size());
   {
     dqm::ThreadPool pool(std::max<size_t>(1, workers));
     dqm::ParallelFor(&pool, datasets.size(), [&](size_t d) {
       outcomes[d] = StreamVotes(engine, datasets[d].name, datasets[d].events,
                                 datasets[d].batches,
-                                static_cast<size_t>(std::max<int64_t>(1, *batch)));
+                                static_cast<size_t>(std::max<int64_t>(1, *batch)),
+                                producers_per_session);
     });
   }
   for (size_t d = 0; d < datasets.size(); ++d) {
@@ -305,6 +387,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ingest %s: %s\n", datasets[d].name.c_str(),
                    outcomes[d].ToString().c_str());
       return 1;
+    }
+  }
+  // Manual / coalesced cadences leave a committed tail unpublished; flush
+  // every session so the report reflects the full stream.
+  if (session_options->cadence != dqm::engine::PublishCadence::kEveryBatch) {
+    for (const Dataset& dataset : datasets) {
+      dqm::Status published = engine.Publish(dataset.name);
+      if (!published.ok()) {
+        std::fprintf(stderr, "publish %s: %s\n", dataset.name.c_str(),
+                     published.ToString().c_str());
+        return 1;
+      }
     }
   }
 
