@@ -12,6 +12,8 @@
 #include "common/string_util.h"
 #include "estimators/extrapolation.h"
 #include "estimators/registry.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 
 namespace dqm::bench {
 
@@ -91,7 +93,13 @@ bool WriteBenchArtifact(std::string_view bench_name) {
     if (i > 0) body += ",";
     body += lines[i];
   }
-  body += "]}\n";
+  // Every bench artifact carries the process's telemetry fold: seqlock
+  // retries, stripe lock waits, publish phase latencies — the "why did the
+  // number move" context that makes a perf regression diagnosable from the
+  // artifact alone.
+  body += "],\"telemetry\":";
+  body += telemetry::RenderJson(telemetry::MetricsRegistry::Global());
+  body += "}\n";
 
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

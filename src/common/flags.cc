@@ -4,9 +4,16 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace dqm {
+
+FlagParser::FlagParser() {
+  log_level_ = AddString(
+      "log_level", "",
+      "minimum log severity: debug|info|warn|error (default: keep info)");
+}
 
 int64_t* FlagParser::AddInt(const std::string& name, int64_t default_value,
                             const std::string& help) {
@@ -137,6 +144,15 @@ Status FlagParser::Parse(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag --" + name);
     }
     DQM_RETURN_NOT_OK(SetValue(it->second, name, value));
+  }
+  if (!log_level_->empty()) {
+    LogLevel level;
+    if (!TryParseLogLevel(*log_level_, &level)) {
+      return Status::InvalidArgument(
+          "flag --log_level: unknown severity '" + *log_level_ +
+          "' (debug|info|warn|error)");
+    }
+    SetLogLevel(level);
   }
   return Status::OK();
 }

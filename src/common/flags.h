@@ -17,9 +17,13 @@ namespace dqm {
 /// flags. Not a general-purpose library — just enough to make every bench
 /// reproducible and tweakable (seed, task counts, permutations) without
 /// pulling in a dependency.
+///
+/// Every parser carries the built-in `--log_level=debug|info|warn|error`
+/// flag: Parse() routes it through dqm::SetLogLevel, so each binary using
+/// FlagParser gets severity control for free.
 class FlagParser {
  public:
-  FlagParser() = default;
+  FlagParser();
 
   /// Registers a flag with a default value and help text. Returns a pointer
   /// whose pointee is updated by Parse(). Pointers remain valid while the
@@ -69,6 +73,8 @@ class FlagParser {
   std::vector<std::unique_ptr<bool>> bool_storage_;
   std::vector<std::string> positional_;
   std::string program_name_;
+  /// Built-in --log_level value ("" = leave the process default alone).
+  std::string* log_level_ = nullptr;
 };
 
 }  // namespace dqm

@@ -1,8 +1,35 @@
 #include "common/logging.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace dqm {
+
+bool TryParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace internal {
 
 namespace {
@@ -26,6 +53,25 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic seconds since the first log statement's process epoch — the
+/// same steady-clock family the telemetry layer timestamps with, so log
+/// lines correlate with flight-recorder spans. (common cannot depend on
+/// telemetry, so the tiny epoch anchor is duplicated here.)
+double MonotonicSeconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+/// Basename of __FILE__ so the prefix stays short regardless of the build
+/// tree's absolute paths.
+const char* Basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return *MutableLogLevel(); }
@@ -33,7 +79,10 @@ void SetLogLevel(LogLevel level) { *MutableLogLevel() = level; }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  char timestamp[32];
+  std::snprintf(timestamp, sizeof(timestamp), "%9.3f", MonotonicSeconds());
+  stream_ << "[" << timestamp << "s " << LevelName(level) << " "
+          << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

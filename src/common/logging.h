@@ -1,14 +1,22 @@
 #ifndef DQM_COMMON_LOGGING_H_
 #define DQM_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dqm {
 
 /// Severity for runtime log messages.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Parses a severity name — "debug" | "info" | "warn"/"warning" | "error" |
+/// "fatal" (case-insensitive) — into `*level`. Returns false (leaving
+/// `*level` untouched) on anything else. The spelling `--log_level=` takes.
+bool TryParseLogLevel(std::string_view text, LogLevel* level);
 
 namespace internal {
 
@@ -55,6 +63,22 @@ inline void SetLogLevel(LogLevel level) { internal::SetLogLevel(level); }
 
 #define DQM_LOG(level)                                                 \
   ::dqm::internal::LogMessage(::dqm::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Rate-limited log statement: emits occurrence 1, n+1, 2n+1, ... of this
+/// call site (a per-site atomic counter), swallowing the rest. For warnings
+/// a hot path may hit thousands of times per second ("publish paused
+/// committers >10ms") without drowning CLI output.
+#define DQM_LOG_EVERY_N(level, n)                                          \
+  for (bool dqm_log_now =                                                  \
+           [] {                                                            \
+             static ::std::atomic<uint64_t> dqm_log_site_count{0};         \
+             return dqm_log_site_count.fetch_add(                          \
+                        1, ::std::memory_order_relaxed) %                  \
+                        static_cast<uint64_t>(n) ==                        \
+                    0;                                                     \
+           }();                                                            \
+       dqm_log_now; dqm_log_now = false)                                   \
+  DQM_LOG(level)
 
 /// Aborts the process with a message when `condition` is false. Active in all
 /// build modes: used for API contract violations that indicate a programming

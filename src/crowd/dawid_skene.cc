@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace dqm::crowd {
 
@@ -167,6 +168,7 @@ size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
 
   result.converged = false;
   size_t sweeps = 0;
+  double last_delta = 0.0;
   for (size_t iteration = 1; iteration <= max_sweeps; ++iteration) {
     // ---- M step: worker rates and the class prior from soft labels. Each
     // (worker, item) pair contributes its whole vote pile at once. Split
@@ -211,12 +213,31 @@ size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
 
     double max_delta = e_step();
     sweeps = iteration;
+    last_delta = max_delta;
     if (max_delta < options_.tolerance) {
       result.converged = true;
       break;
     }
   }
   result.iterations = sweeps;
+  // Fit telemetry: the warm-start regression signal in live form. A rising
+  // sweeps-per-fit ratio or a convergence delta stuck above tolerance shows
+  // up here long before an estimate drifts.
+  {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static telemetry::Counter* fits =
+        registry.GetCounter("dqm_em_fits_total");
+    static telemetry::Counter* total_sweeps =
+        registry.GetCounter("dqm_em_sweeps_total");
+    static telemetry::Counter* converged =
+        registry.GetCounter("dqm_em_converged_total");
+    static telemetry::Gauge* delta =
+        registry.GetGauge("dqm_em_last_convergence_delta");
+    fits->Increment();
+    total_sweeps->Add(sweeps);
+    if (result.converged) converged->Increment();
+    delta->Set(last_delta);
+  }
   return sweeps;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace dqm::crowd {
 
@@ -143,7 +145,13 @@ size_t ResponseLog::RetainedBytes() const {
   if (concurrent_ != nullptr) {
     bytes += concurrent_->num_stripes * sizeof(Stripe);
     for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
-      bytes += concurrent_->stripes[s].counts.MemoryBytes();
+      // The shard's vectors grow under the stripe lock; take it (one stripe
+      // at a time, never nested) so a live committer can't resize them
+      // mid-measurement. See the header contract: never call this while
+      // holding the PauseAndReconcile guard.
+      Stripe& stripe = concurrent_->stripes[s];
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      bytes += stripe.counts.MemoryBytes();
     }
   }
   return bytes;
@@ -207,6 +215,21 @@ void ResponseLog::EnableConcurrentIngest(size_t num_stripes,
   state->num_stripes = std::max<size_t>((items + chunk - 1) / chunk, 1);
   state->maintain_pair_counts = maintain_pair_counts;
   state->stripes = std::make_unique<Stripe[]>(state->num_stripes);
+  // Per-stripe lock counters, resolved once here so the reconcile-time fold
+  // never takes the registry mutex per stripe stat. Stripe indices repeat
+  // across logs, so these aggregate over every striped log in the process.
+  state->stripe_metrics.resize(state->num_stripes);
+  auto& registry = telemetry::MetricsRegistry::Global();
+  for (size_t s = 0; s < state->num_stripes; ++s) {
+    telemetry::LabelSet labels{{"stripe", StrFormat("%zu", s)}};
+    StripeMetrics& m = state->stripe_metrics[s];
+    m.acquisitions =
+        registry.GetCounter("dqm_stripe_lock_acquisitions_total", labels);
+    m.contended =
+        registry.GetCounter("dqm_stripe_lock_contended_total", labels);
+    m.wait_ns = registry.GetCounter("dqm_stripe_lock_wait_ns_total", labels);
+    m.hold_ns = registry.GetCounter("dqm_stripe_lock_hold_ns_total", labels);
+  }
   concurrent_ = std::move(state);
 }
 
@@ -253,12 +276,32 @@ void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
   // deadlock-free against other committers and the all-stripe publish lock.
   const size_t start = static_cast<size_t>(
       cs.rotation.fetch_add(1, std::memory_order_relaxed) % num_stripes);
+  const bool timed = telemetry::Enabled();
   for (size_t k = 0; k < num_stripes; ++k) {
     size_t s = start + k;
     if (s >= num_stripes) s -= num_stripes;
     if (bucket_ends[s] == bucket_ends[s + 1]) continue;  // untouched stripe
     Stripe& stripe = cs.stripes[s];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    // Contention probe: try_lock first. The uncontended path costs the same
+    // one lock operation it always did; only a blocked acquisition pays the
+    // two clock reads that time the wait.
+    bool contended = false;
+    uint64_t wait_start = 0;
+    if (!stripe.mutex.try_lock()) {
+      contended = true;
+      if (timed) wait_start = telemetry::NowNanos();
+      stripe.mutex.lock();
+    }
+    std::lock_guard<std::mutex> lock(stripe.mutex, std::adopt_lock);
+    ++stripe.lock_acquisitions;
+    if (contended) {
+      ++stripe.lock_contended;
+      if (timed) stripe.lock_wait_ns += telemetry::NowNanos() - wait_start;
+    }
+    // Hold-time sampling: 1 in 64 acquisitions, so the steady-state commit
+    // pays no clock reads for it.
+    const bool sample_hold = timed && (stripe.lock_acquisitions & 63) == 0;
+    const uint64_t hold_start = sample_hold ? telemetry::NowNanos() : 0;
     for (uint32_t b = bucket_ends[s]; b < bucket_ends[s + 1]; ++b) {
       const VoteEvent& event = events[bucketed[b]];
       // The cheap commit: flat counter increments only. Derived aggregates
@@ -275,6 +318,10 @@ void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
       stripe.worker_bound = std::max(stripe.worker_bound,
                                      static_cast<uint64_t>(event.worker) + 1);
       if (pair_counts) stripe.counts.Add(event.worker, event.item, event.vote);
+    }
+    if (sample_hold) {
+      stripe.lock_hold_ns += telemetry::NowNanos() - hold_start;
+      ++stripe.lock_hold_samples;
     }
   }
 }
@@ -300,8 +347,32 @@ void ResponseLog::IngestPause::Release() {
 
 ResponseLog::IngestPause ResponseLog::PauseAndReconcile() {
   if (concurrent_ == nullptr) return IngestPause();
+  // The publish-phase split the ISSUE's forensics need: "pause" is how long
+  // acquiring every stripe lock stalled (committers in flight hold them),
+  // "fold" is the reconcile scan itself.
+  const bool timed = telemetry::Enabled();
+  const uint64_t pause_start = timed ? telemetry::NowNanos() : 0;
   LockAllStripes();
+  const uint64_t fold_start = timed ? telemetry::NowNanos() : 0;
   ReconcileLocked();
+  if (timed) {
+    static telemetry::Histogram* pause_hist =
+        telemetry::MetricsRegistry::Global().GetHistogram(
+            "dqm_publish_pause_ns");
+    static telemetry::Histogram* fold_hist =
+        telemetry::MetricsRegistry::Global().GetHistogram(
+            "dqm_publish_fold_ns");
+    const uint64_t fold_end = telemetry::NowNanos();
+    const uint64_t pause_ns = fold_start - pause_start;
+    pause_hist->Record(pause_ns);
+    fold_hist->Record(fold_end - fold_start);
+    if (pause_ns > 10'000'000) {
+      DQM_LOG_EVERY_N(Warning, 100)
+          << "publish paused committers " << pause_ns / 1'000'000
+          << "ms acquiring " << concurrent_->num_stripes
+          << " stripe locks (rate-limited 1/100)";
+    }
+  }
   return IngestPause(this);
 }
 
@@ -310,12 +381,38 @@ void ResponseLog::ReconcileLocked() {
   uint64_t positive = 0;
   uint64_t task_bound = 0;
   uint64_t worker_bound = 0;
+  uint64_t max_stripe_events = 0;
   for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
-    const Stripe& stripe = concurrent_->stripes[s];
+    Stripe& stripe = concurrent_->stripes[s];
     events += stripe.num_events;
     positive += stripe.total_positive;
     task_bound = std::max(task_bound, stripe.task_bound);
     worker_bound = std::max(worker_bound, stripe.worker_bound);
+    max_stripe_events = std::max(max_stripe_events, stripe.num_events);
+    // Fold the lock telemetry deltas into the registry while we hold every
+    // stripe anyway — the commit hot path never touches an atomic for them.
+    const StripeMetrics& m = concurrent_->stripe_metrics[s];
+    m.acquisitions->Add(stripe.lock_acquisitions);
+    m.contended->Add(stripe.lock_contended);
+    m.wait_ns->Add(stripe.lock_wait_ns);
+    m.hold_ns->Add(stripe.lock_hold_ns);
+    stripe.lock_acquisitions = 0;
+    stripe.lock_contended = 0;
+    stripe.lock_wait_ns = 0;
+    stripe.lock_hold_ns = 0;
+    stripe.lock_hold_samples = 0;
+  }
+  // Stripe imbalance: hottest stripe's share of a perfectly even spread
+  // (1.0 = balanced, num_stripes = everything on one stripe). Last striped
+  // log to reconcile wins the gauge — a process-wide "how skewed is ingest
+  // right now" signal, not a per-log ledger.
+  if (events > 0) {
+    static telemetry::Gauge* imbalance =
+        telemetry::MetricsRegistry::Global().GetGauge(
+            "dqm_stripe_imbalance_ratio");
+    const double mean = static_cast<double>(events) /
+                        static_cast<double>(concurrent_->num_stripes);
+    imbalance->Set(static_cast<double>(max_stripe_events) / mean);
   }
   TallyScanResult scan = ScanTallies(positive_, total_);
   DQM_CHECK_EQ(scan.total_votes, events);

@@ -11,6 +11,7 @@
 
 #include "common/align.h"
 #include "crowd/vote.h"
+#include "telemetry/metrics.h"
 
 namespace dqm::crowd {
 
@@ -187,7 +188,11 @@ class ResponseLog {
   /// vector under kFullEvents, the compacted matrix (including every
   /// concurrent-ingest stripe shard) under kCounts — plus the per-item
   /// tallies. The number the retention-policy memory comparison
-  /// (bench_engine_throughput's long-session sweep) reports.
+  /// (bench_engine_throughput's long-session sweep) reports. In concurrent
+  /// ingest mode each stripe's lock is taken (one at a time) while its
+  /// shard is measured, so the read is safe against live committers; do NOT
+  /// call it while holding the PauseAndReconcile guard (the stripe locks
+  /// are not recursive).
   size_t RetainedBytes() const;
 
   /// NOMINAL(I): items with at least one dirty vote (Section 2.2.1).
@@ -267,6 +272,23 @@ class ResponseLog {
     uint64_t total_positive = 0;
     uint64_t task_bound = 0;    // max task id + 1 committed to this stripe
     uint64_t worker_bound = 0;  // max worker id + 1
+    // Lock telemetry, guarded by `mutex` like everything else in the stripe
+    // (plain fields — the commit hot path pays no extra atomics for them).
+    // Deltas since the last reconcile; ReconcileLocked folds them into the
+    // per-stripe registry counters and zeroes them.
+    uint64_t lock_acquisitions = 0;
+    uint64_t lock_contended = 0;   // acquisitions that had to block
+    uint64_t lock_wait_ns = 0;     // blocked time (contended path only)
+    uint64_t lock_hold_ns = 0;     // held time, sampled 1 in 64
+    uint64_t lock_hold_samples = 0;
+  };
+  /// Per-stripe registry counters (created once at EnableConcurrentIngest,
+  /// labeled stripe="<index>") the plain Stripe stats fold into.
+  struct StripeMetrics {
+    telemetry::Counter* acquisitions = nullptr;
+    telemetry::Counter* contended = nullptr;
+    telemetry::Counter* wait_ns = nullptr;
+    telemetry::Counter* hold_ns = nullptr;
   };
   struct ConcurrentState {
     size_t num_stripes = 0;
@@ -274,6 +296,7 @@ class ResponseLog {
     bool maintain_pair_counts = true;
     std::atomic<uint64_t> rotation{0};
     std::unique_ptr<Stripe[]> stripes;
+    std::vector<StripeMetrics> stripe_metrics;
   };
 
   void LockAllStripes();

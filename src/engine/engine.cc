@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "telemetry/metrics.h"
 
 namespace dqm::engine {
 
@@ -163,6 +164,35 @@ size_t DqmEngine::num_sessions() const {
     count += shards_[i].sessions.size();
   }
   return count;
+}
+
+void DqmEngine::RefreshTelemetry() const {
+  // Handle collection mirrors QueryAll: shard by shard under the shard
+  // locks. A session's name hashes to exactly one shard and each shard map
+  // holds it at most once, so a live session contributes exactly one handle
+  // no matter how much open/close churn races this walk.
+  std::vector<std::shared_ptr<EstimationSession>> sessions;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    for (const auto& [name, session] : shards_[i].sessions) {
+      sessions.push_back(session);
+    }
+  }
+  size_t retained = 0;
+  for (const auto& session : sessions) {
+    retained += session->RetainedBytes();
+  }
+  static telemetry::Gauge* sessions_open =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "dqm_engine_sessions_open");
+  static telemetry::Gauge* retained_bytes =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "dqm_engine_retained_bytes");
+  // Set, not Add: the gauges are a point-in-time roll-up, so sessions that
+  // closed since the last refresh simply stop contributing — the
+  // double-report hazard of accumulating per-session deltas cannot arise.
+  sessions_open->Set(static_cast<double>(sessions.size()));
+  retained_bytes->Set(static_cast<double>(retained));
 }
 
 std::vector<std::string> DqmEngine::SessionNames() const {

@@ -125,6 +125,19 @@ class DqmEngine {
   /// Names of all open sessions, sorted.
   std::vector<std::string> SessionNames() const;
 
+  /// Refreshes the engine-level exported gauges — `dqm_engine_sessions_open`
+  /// and the `dqm_engine_retained_bytes` roll-up — from the current session
+  /// set. Each open session is counted exactly once even while sessions
+  /// churn concurrently: the walk collects handles shard by shard under the
+  /// shard locks (a session lives in exactly one shard, keyed by its name),
+  /// then sums RetainedBytes with no registry lock held, and the gauges are
+  /// Set (not accumulated) so a session closed mid-walk can at worst
+  /// contribute one final point-in-time value — never a double count, and
+  /// never a residue after it is gone: once every session is closed the
+  /// next refresh returns both gauges to 0. Call it whenever a fresh
+  /// reading is wanted (the CLI calls it before every metrics dump).
+  void RefreshTelemetry() const;
+
  private:
   struct Shard {
     mutable std::mutex mutex;

@@ -55,6 +55,12 @@ Snapshot SnapshotCell::Load() const {
 }
 
 void SnapshotCell::LoadInto(Snapshot& snapshot) const {
+  // Retries (a Store in flight, or one that landed mid-copy) are the
+  // seqlock's contention signal; the counter lives at function scope so the
+  // metric is registered — at zero — from the first uncontended read.
+  static telemetry::Counter* retries =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "dqm_seqlock_read_retries_total");
   // The rows vector is sized before the retry loop (a no-op when the caller
   // reuses a Snapshot): a hot reader polling the cell pays no allocation
   // per read, let alone per retry.
@@ -62,6 +68,7 @@ void SnapshotCell::LoadInto(Snapshot& snapshot) const {
   for (;;) {
     uint64_t before = seq_.load(std::memory_order_acquire);
     if (before & 1) {
+      retries->Increment();
       std::this_thread::yield();  // a Store is mid-flight
       continue;
     }
@@ -86,6 +93,7 @@ void SnapshotCell::LoadInto(Snapshot& snapshot) const {
     }
     std::atomic_thread_fence(std::memory_order_acquire);
     if (seq_.load(std::memory_order_relaxed) == before) return;
+    retries->Increment();
   }
 }
 
@@ -137,6 +145,39 @@ Result<SessionOptions> ParsePublishCadenceSpec(std::string_view spec,
 
 namespace {
 
+/// Engine-wide hot-path metrics, resolved once. Latency histograms are fed
+/// only while telemetry::Enabled() (they need clock reads); the counters
+/// and the size histogram are always on — their per-hit cost is one
+/// relaxed fetch_add (plus a CLZ for the histogram), cheaper than a branch
+/// worth skipping them over.
+struct SessionMetrics {
+  telemetry::Counter* batches;
+  telemetry::Counter* votes;
+  telemetry::Counter* publishes;
+  telemetry::Counter* deferred;  // cadence said "not yet" after a commit
+  telemetry::Histogram* batch_votes;
+  telemetry::Histogram* commit_ns;
+  telemetry::Histogram* publish_ns;
+  telemetry::Histogram* estimate_ns;
+
+  SessionMetrics() {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    batches = registry.GetCounter("dqm_commit_batches_total");
+    votes = registry.GetCounter("dqm_commit_votes_total");
+    publishes = registry.GetCounter("dqm_publishes_total");
+    deferred = registry.GetCounter("dqm_publish_deferred_total");
+    batch_votes = registry.GetHistogram("dqm_commit_batch_votes");
+    commit_ns = registry.GetHistogram("dqm_commit_latency_ns");
+    publish_ns = registry.GetHistogram("dqm_publish_latency_ns");
+    estimate_ns = registry.GetHistogram("dqm_publish_estimate_ns");
+  }
+};
+
+SessionMetrics& Metrics() {
+  static SessionMetrics* metrics = new SessionMetrics();  // never destroyed
+  return *metrics;
+}
+
 std::vector<std::string> InitialNames(const core::DataQualityMetric& metric) {
   return metric.estimator_names();
 }
@@ -187,6 +228,30 @@ EstimationSession::EstimationSession(std::string name,
     striped_ = true;
   }
   snapshot_.Store(InitialSnapshot(num_items_, estimator_names_.size()));
+  // Per-session×estimator exported quality gauges, refreshed on every
+  // publish. Acquired (refcounted), not pinned: when the last session
+  // carrying a (session, estimator) identity dies, the gauge leaves the
+  // exposition — closed sessions don't haunt the metrics page.
+  auto& registry = telemetry::MetricsRegistry::Global();
+  quality_gauges_.reserve(estimator_names_.size());
+  total_errors_gauges_.reserve(estimator_names_.size());
+  for (const std::string& estimator : estimator_names_) {
+    telemetry::LabelSet labels{{"estimator", estimator}, {"session", name_}};
+    quality_gauges_.push_back(
+        registry.AcquireGauge("dqm_session_quality", labels));
+    quality_gauges_.back()->Set(1.0);  // empty session: all labels "correct"
+    total_errors_gauges_.push_back(
+        registry.AcquireGauge("dqm_session_total_errors", labels));
+  }
+}
+
+EstimationSession::~EstimationSession() {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  for (const std::string& estimator : estimator_names_) {
+    telemetry::LabelSet labels{{"estimator", estimator}, {"session", name_}};
+    registry.ReleaseGauge("dqm_session_quality", labels);
+    registry.ReleaseGauge("dqm_session_total_errors", labels);
+  }
 }
 
 Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
@@ -212,28 +277,47 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
     return (after - batch) / n != after / n;
   };
 
+  SessionMetrics& tm = Metrics();
+  const bool timed = telemetry::Enabled();
+
   if (striped_) {
     // The cheap commit: stripe-local tally increments only, no session
     // mutex — N producers commit into this session concurrently, bounded
     // by stripe collisions rather than lock hand-off latency.
+    const uint64_t commit_start = timed ? telemetry::NowNanos() : 0;
     metric_.CommitVotesConcurrent(votes);
     uint64_t after = committed_votes_.fetch_add(votes.size(),
                                                 std::memory_order_relaxed) +
                      votes.size();
+    tm.batches->Increment();
+    tm.votes->Add(votes.size());
+    tm.batch_votes->Record(votes.size());
+    if (timed) {
+      const uint64_t commit_end = telemetry::NowNanos();
+      tm.commit_ns->Record(commit_end - commit_start);
+      flight_.Record(telemetry::SpanKind::kCommit, commit_start, commit_end,
+                     votes.size());
+    }
     switch (options_.cadence) {
       case PublishCadence::kEveryBatch:
         Publish();
         break;
       case PublishCadence::kEveryNVotes:
-        if (crosses_boundary(after, votes.size())) Publish();
+        if (crosses_boundary(after, votes.size())) {
+          Publish();
+        } else {
+          tm.deferred->Increment();
+        }
         break;
       case PublishCadence::kManual:
+        tm.deferred->Increment();
         break;
     }
     return Status::OK();
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t commit_start = timed ? telemetry::NowNanos() : 0;
   for (const crowd::VoteEvent& event : votes) {
     metric_.AddVote(event.task, event.worker, event.item,
                     event.vote == crowd::Vote::kDirty);
@@ -241,14 +325,28 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
   uint64_t after = committed_votes_.fetch_add(votes.size(),
                                               std::memory_order_relaxed) +
                    votes.size();
+  tm.batches->Increment();
+  tm.votes->Add(votes.size());
+  tm.batch_votes->Record(votes.size());
+  if (timed) {
+    const uint64_t commit_end = telemetry::NowNanos();
+    tm.commit_ns->Record(commit_end - commit_start);
+    flight_.Record(telemetry::SpanKind::kCommit, commit_start, commit_end,
+                   votes.size());
+  }
   switch (options_.cadence) {
     case PublishCadence::kEveryBatch:
-      PublishLocked();
+      PublishInternalLocked();
       break;
     case PublishCadence::kEveryNVotes:
-      if (crosses_boundary(after, votes.size())) PublishLocked();
+      if (crosses_boundary(after, votes.size())) {
+        PublishInternalLocked();
+      } else {
+        tm.deferred->Increment();
+      }
       break;
     case PublishCadence::kManual:
+      tm.deferred->Increment();
       break;
   }
   return Status::OK();
@@ -256,19 +354,38 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
 
 void EstimationSession::Publish() {
   std::lock_guard<std::mutex> lock(mutex_);
+  PublishInternalLocked();
+}
+
+void EstimationSession::PublishInternalLocked() {
+  const bool timed = telemetry::Enabled();
+  const uint64_t publish_start = timed ? telemetry::NowNanos() : 0;
   if (striped_) {
     // Pause committers for the reconcile + report window: estimators read
     // the shared log directly, so the cut must hold still while the
     // pipeline runs. Committers blocked here resume the moment the pause
-    // guard drops.
+    // guard drops. (The pause/fold phase histograms are recorded inside
+    // PauseAndReconcile, where the phases live.)
     crowd::ResponseLog::IngestPause pause = metric_.ReconcileForEstimates();
+    if (timed) {
+      flight_.Record(telemetry::SpanKind::kReconcile, publish_start,
+                     telemetry::NowNanos(), metric_.num_votes());
+    }
     PublishLocked();
   } else {
     PublishLocked();
   }
+  if (timed) {
+    const uint64_t publish_end = telemetry::NowNanos();
+    Metrics().publish_ns->Record(publish_end - publish_start);
+    flight_.Record(telemetry::SpanKind::kPublish, publish_start, publish_end,
+                   version_);
+  }
 }
 
 void EstimationSession::PublishLocked() {
+  const bool timed = telemetry::Enabled();
+  const uint64_t estimate_start = timed ? telemetry::NowNanos() : 0;
   ++version_;
   // Refresh the per-session scratch in place — after the first publish the
   // whole publish path (report, snapshot rows, seqlock store) touches no
@@ -293,6 +410,30 @@ void EstimationSession::PublishLocked() {
   next.estimated_undetected_errors = next.estimates.front().undetected_errors;
   next.quality_score = next.estimates.front().quality_score;
   snapshot_.Store(next);
+  // Export the freshly published estimates as per-session×estimator gauges
+  // — the ChungKK17 quality signal as a first-class time series. Relaxed
+  // stores; off the commit hot path (publishes are already coalesced).
+  for (size_t i = 0; i < next.estimates.size(); ++i) {
+    quality_gauges_[i]->Set(next.estimates[i].quality_score);
+    total_errors_gauges_[i]->Set(next.estimates[i].total_errors);
+  }
+  Metrics().publishes->Increment();
+  if (timed) {
+    const uint64_t estimate_end = telemetry::NowNanos();
+    Metrics().estimate_ns->Record(estimate_end - estimate_start);
+    flight_.Record(telemetry::SpanKind::kEstimate, estimate_start,
+                   estimate_end, version_);
+  }
+}
+
+size_t EstimationSession::RetainedBytes() const {
+  // The session mutex excludes concurrent publishes (whose pause guard
+  // holds every stripe lock — the log's RetainedBytes takes them one at a
+  // time and must not nest inside the pause). Committers racing on the
+  // striped path hold single stripe locks only, which the log read waits
+  // out per stripe.
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metric_.log().RetainedBytes();
 }
 
 Snapshot EstimationSession::snapshot() const {

@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "core/dqm.h"
 #include "crowd/vote.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
 
 namespace dqm::engine {
 
@@ -181,6 +183,10 @@ class EstimationSession {
   EstimationSession(const EstimationSession&) = delete;
   EstimationSession& operator=(const EstimationSession&) = delete;
 
+  /// Releases the session's per-session telemetry gauges (so the exposition
+  /// surface forgets sessions that closed once every handle drops).
+  ~EstimationSession();
+
   const std::string& name() const { return name_; }
   size_t num_items() const { return num_items_; }
 
@@ -228,11 +234,27 @@ class EstimationSession {
     return estimator_names_;
   }
 
+  /// Approximate heap bytes this session retains for vote storage — the
+  /// engine's RetainedBytes gauge roll-up reads this. Takes the session
+  /// mutex (and, per stripe, the stripe locks), so it is safe against live
+  /// committers and publishes.
+  size_t RetainedBytes() const;
+
+  /// The session's span ring: recent commit / reconcile / estimate /
+  /// publish spans for post-hoc "why was this publish slow" forensics.
+  /// Snapshot() is lock-free and safe from any thread.
+  const telemetry::FlightRecorder& flight_recorder() const { return flight_; }
+
  private:
   /// Refreshes the publish scratch from the metric and stores the seqlock
   /// snapshot. Caller holds mutex_ (and, for striped sessions, the log's
   /// ingest pause).
   void PublishLocked();
+
+  /// Full publish under mutex_: pauses/reconciles striped logs, runs
+  /// PublishLocked, and records publish telemetry (latency split, flight
+  /// spans, quality gauges).
+  void PublishInternalLocked();
 
   const std::string name_;
   const size_t num_items_;
@@ -251,6 +273,11 @@ class EstimationSession {
   Snapshot publish_scratch_;
   const std::vector<std::string> estimator_names_;  // immutable
   SnapshotCell snapshot_;
+  /// Per-session×estimator exported gauges (refcounted in the global
+  /// registry; released by the destructor). Row order = estimator_names_.
+  std::vector<telemetry::Gauge*> quality_gauges_;
+  std::vector<telemetry::Gauge*> total_errors_gauges_;
+  telemetry::FlightRecorder flight_;
 };
 
 }  // namespace dqm::engine

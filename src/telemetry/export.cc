@@ -1,0 +1,229 @@
+#include "telemetry/export.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace dqm::telemetry {
+
+namespace {
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string PromEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` (empty string for no labels), with optional extra
+/// label appended (the histogram `le` / `quantile` slot).
+std::string PromLabels(const LabelSet& labels, const std::string& extra_key,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k + "=\"" + PromEscape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string PromNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return StrFormat("%.17g", value);
+}
+
+std::string JsonEscapeString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (std::isnan(value) || std::isinf(value)) return "null";
+  return StrFormat("%.17g", value);
+}
+
+std::string JsonLabels(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(JsonEscapeString(k));
+    out.append("\":\"");
+    out.append(JsonEscapeString(v));
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  MetricsRegistry::Collection collection = registry.Collect();
+  std::string out;
+  std::string last_name;
+
+  for (const auto& counter : collection.counters) {
+    if (counter.name != last_name) {
+      out += "# TYPE " + counter.name + " counter\n";
+      last_name = counter.name;
+    }
+    out += counter.name + PromLabels(counter.labels, "", "") + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(counter.value)) +
+           "\n";
+  }
+  last_name.clear();
+  for (const auto& gauge : collection.gauges) {
+    if (gauge.name != last_name) {
+      out += "# TYPE " + gauge.name + " gauge\n";
+      last_name = gauge.name;
+    }
+    out += gauge.name + PromLabels(gauge.labels, "", "") + " " +
+           PromNumber(gauge.value) + "\n";
+  }
+  last_name.clear();
+  for (const auto& histogram : collection.histograms) {
+    const HistogramSnapshot& snap = histogram.snapshot;
+    if (histogram.name != last_name) {
+      out += "# TYPE " + histogram.name + " histogram\n";
+      last_name = histogram.name;
+    }
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < 64; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      cumulative += snap.buckets[b];
+      out += histogram.name + "_bucket" +
+             PromLabels(histogram.labels, "le",
+                        PromNumber(static_cast<double>(
+                            HistogramSnapshot::BucketUpperBound(b)))) +
+             " " + StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    out += histogram.name + "_bucket" +
+           PromLabels(histogram.labels, "le", "+Inf") + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           "\n";
+    out += histogram.name + "_count" + PromLabels(histogram.labels, "", "") +
+           " " + StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           "\n";
+    // Precomputed quantiles as sibling gauges (a histogram metric may only
+    // carry _bucket/_count/_sum series, so these get their own names).
+    out += histogram.name + "_p50" + PromLabels(histogram.labels, "", "") +
+           " " + PromNumber(snap.Quantile(0.5)) + "\n";
+    out += histogram.name + "_p95" + PromLabels(histogram.labels, "", "") +
+           " " + PromNumber(snap.Quantile(0.95)) + "\n";
+    out += histogram.name + "_p99" + PromLabels(histogram.labels, "", "") +
+           " " + PromNumber(snap.Quantile(0.99)) + "\n";
+    out += histogram.name + "_max" + PromLabels(histogram.labels, "", "") +
+           " " + StrFormat("%llu", static_cast<unsigned long long>(snap.Max())) +
+           "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsRegistry& registry) {
+  MetricsRegistry::Collection collection = registry.Collect();
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& counter : collection.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"" + JsonEscapeString(counter.name) + "\",\"labels\":" +
+           JsonLabels(counter.labels) + ",\"value\":" +
+           StrFormat("%llu", static_cast<unsigned long long>(counter.value)) +
+           "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& gauge : collection.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"" + JsonEscapeString(gauge.name) + "\",\"labels\":" +
+           JsonLabels(gauge.labels) + ",\"value\":" + JsonNumber(gauge.value) +
+           "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& histogram : collection.histograms) {
+    const HistogramSnapshot& snap = histogram.snapshot;
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"" + JsonEscapeString(histogram.name) +
+           "\",\"labels\":" + JsonLabels(histogram.labels) + ",\"count\":" +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           ",\"p50\":" + JsonNumber(snap.Quantile(0.5)) +
+           ",\"p95\":" + JsonNumber(snap.Quantile(0.95)) +
+           ",\"p99\":" + JsonNumber(snap.Quantile(0.99)) + ",\"max\":" +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.Max())) +
+           ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t b = 0; b < 64; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out += StrFormat(
+          "[%llu,%llu]",
+          static_cast<unsigned long long>(
+              HistogramSnapshot::BucketUpperBound(b)),
+          static_cast<unsigned long long>(snap.buckets[b]));
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dqm::telemetry

@@ -1,0 +1,30 @@
+#ifndef DQM_TELEMETRY_EXPORT_H_
+#define DQM_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace dqm::telemetry {
+
+/// Prometheus text exposition (version 0.0.4) of every registered metric:
+/// counters as `# TYPE ... counter` with a `_total`-style sample, gauges as
+/// gauges, histograms as the classic cumulative `_bucket{le=...}` series
+/// plus `_count` — and, since the log-bucket layout precomputes them
+/// cheaply, `{quantile=...}` gauge samples for p50/p95/p99 and a `_max`
+/// gauge. Deterministic: metrics in (name, sorted-labels) order.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// JSON rendering of the same collection:
+///   {"counters": [{"name": ..., "labels": {...}, "value": N}, ...],
+///    "gauges":   [{"name": ..., "labels": {...}, "value": X}, ...],
+///    "histograms": [{"name": ..., "labels": {...}, "count": N,
+///                    "p50": X, "p95": X, "p99": X, "max": N,
+///                    "buckets": [[upper_bound, count], ...]}, ...]}
+/// Bucket rows list only non-empty buckets. This is the `telemetry` block
+/// embedded in BENCH_*.json artifacts and the --metrics_json CLI dump.
+std::string RenderJson(const MetricsRegistry& registry);
+
+}  // namespace dqm::telemetry
+
+#endif  // DQM_TELEMETRY_EXPORT_H_

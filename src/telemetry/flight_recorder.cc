@@ -1,0 +1,66 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace dqm::telemetry {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCommit:
+      return "commit";
+    case SpanKind::kReconcile:
+      return "reconcile";
+    case SpanKind::kPublish:
+      return "publish";
+    case SpanKind::kEstimate:
+      return "estimate";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : mask_(std::bit_ceil(std::max<size_t>(capacity, 2)) - 1),
+      slots_(std::make_unique<Slot[]>(mask_ + 1)) {}
+
+void FlightRecorder::Record(SpanKind kind, uint64_t start_nanos,
+                            uint64_t end_nanos, uint64_t value) {
+  const uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Per-slot seqlock: odd marks the write in flight; the final value
+  // (ticket + 1) * 2 is even AND unique per ticket, so a reader that saw
+  // the same even sequence before and after its copy read one complete
+  // span. Two writers lapping each other onto the same slot produce
+  // mismatched sequences, which the reader discards.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.kind.store(static_cast<uint64_t>(kind), std::memory_order_relaxed);
+  slot.start.store(start_nanos, std::memory_order_relaxed);
+  slot.end.store(end_nanos, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<Span> FlightRecorder::Snapshot() const {
+  std::vector<Span> spans;
+  spans.reserve(mask_ + 1);
+  for (size_t i = 0; i <= mask_; ++i) {
+    const Slot& slot = slots_[i];
+    uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1)) continue;  // empty or mid-write
+    Span span;
+    span.kind = static_cast<SpanKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    span.start_nanos = slot.start.load(std::memory_order_relaxed);
+    span.end_nanos = slot.end.load(std::memory_order_relaxed);
+    span.value = slot.value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;  // torn
+    span.ticket = before / 2 - 1;
+    spans.push_back(span);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.ticket < b.ticket; });
+  return spans;
+}
+
+}  // namespace dqm::telemetry

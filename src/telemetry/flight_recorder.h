@@ -1,0 +1,85 @@
+#ifndef DQM_TELEMETRY_FLIGHT_RECORDER_H_
+#define DQM_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/align.h"
+
+namespace dqm::telemetry {
+
+/// What a flight-recorder span timed.
+enum class SpanKind : uint32_t {
+  kCommit = 0,     // one AddVotes batch; value = batch size
+  kReconcile = 1,  // stripe pause + fold window; value = votes reconciled
+  kPublish = 2,    // full publish (pause + fold + estimate); value = version
+  kEstimate = 3,   // estimator pipeline + snapshot store; value = version
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/// One recorded span. `ticket` is the global record order (monotonic across
+/// threads), which survives ring wraparound — Snapshot() returns spans
+/// sorted by it.
+struct Span {
+  uint64_t ticket = 0;
+  SpanKind kind = SpanKind::kCommit;
+  uint64_t start_nanos = 0;
+  uint64_t end_nanos = 0;
+  uint64_t value = 0;
+
+  uint64_t duration_nanos() const { return end_nanos - start_nanos; }
+};
+
+/// Fixed-size lock-free ring of recent spans — the "why was this publish
+/// slow" forensics buffer each session carries. Writers claim a slot with
+/// one fetch_add and fill it under a per-slot seqlock (odd sequence = write
+/// in flight), so recording never blocks and never allocates; the ring
+/// overwrites oldest-first. Readers (Snapshot) skip slots a writer is
+/// mid-flight on — a snapshot is a best-effort recent-history sample, never
+/// a blocking operation. Every slot field is a relaxed/acquire-release
+/// atomic word, so the protocol is fully visible to ThreadSanitizer.
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two; default 256 spans.
+  explicit FlightRecorder(size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(SpanKind kind, uint64_t start_nanos, uint64_t end_nanos,
+              uint64_t value);
+
+  /// All readable spans, oldest first (sorted by ticket). At most
+  /// capacity() spans; slots being overwritten concurrently are skipped.
+  std::vector<Span> Snapshot() const;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Total spans ever recorded (>= Snapshot().size()).
+  uint64_t total_recorded() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    /// (ticket + 1) * 2 when slot holds ticket's span; odd while a write is
+    /// in flight; 0 = never written.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> kind{0};
+    std::atomic<uint64_t> start{0};
+    std::atomic<uint64_t> end{0};
+    std::atomic<uint64_t> value{0};
+  };
+
+  size_t mask_;
+  std::atomic<uint64_t> cursor_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace dqm::telemetry
+
+#endif  // DQM_TELEMETRY_FLIGHT_RECORDER_H_

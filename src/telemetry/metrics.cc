@@ -1,0 +1,250 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dqm::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Process-start anchor for NowNanos(): captured once, so every telemetry
+/// timestamp is a small offset instead of a raw steady_clock reading.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Forces the epoch capture before main() so the first NowNanos() from any
+/// thread doesn't race the static init.
+const std::chrono::steady_clock::time_point g_epoch_anchor = ProcessEpoch();
+
+std::string EncodeKey(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  key.push_back('{');
+  for (const auto& [k, v] : labels) {
+    key.append(k);
+    key.push_back('=');
+    key.append(v);
+    key.push_back(',');
+  }
+  key.push_back('}');
+  return key;
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ProcessEpoch())
+          .count());
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::ShardIndex() {
+  // Threads are dealt shard slots round-robin at first touch; the slot is
+  // then a thread-local read. Distinct threads may share a shard (there are
+  // only kShards), which costs contention, never correctness.
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) b = 63;
+  return (b == 63) ? UINT64_MAX : ((uint64_t{1} << b) - 1);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil): walk the cumulative counts to
+  // the bucket containing it.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < 64; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      if (b == 0) return 0.0;
+      // Geometric midpoint of [2^(b-1), 2^b): sqrt(lo * hi) = lo * sqrt(2).
+      double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      return lo * 1.41421356237309515;
+    }
+  }
+  return static_cast<double>(Max());
+}
+
+uint64_t HistogramSnapshot::Max() const {
+  for (size_t b = 64; b > 0; --b) {
+    if (buckets[b - 1] != 0) return BucketUpperBound(b - 1);
+  }
+  return 0;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (const Cell& cell : cells_) {
+    for (size_t b = 0; b < 64; ++b) {
+      uint64_t n = cell.buckets[b].load(std::memory_order_relaxed);
+      snapshot.buckets[b] += n;
+      snapshot.count += n;
+    }
+  }
+  return snapshot;
+}
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  uint64_t expected = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    uint64_t next = std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + delta);
+    if (bits_.compare_exchange_weak(expected, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreateLocked(
+    std::string_view name, LabelSet labels, Type type) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = EncodeKey(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    DQM_CHECK(it->second.type == type)
+        << "telemetry metric '" << key << "' re-registered as a different type";
+    return it->second;
+  }
+  Entry entry;
+  entry.type = type;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
+  switch (type) {
+    case Type::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Type::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+    case Type::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+  }
+  return entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kCounter);
+  entry.pinned = true;
+  return entry.counter.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kHistogram);
+  entry.pinned = true;
+  return entry.histogram.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kGauge);
+  entry.pinned = true;
+  return entry.gauge.get();
+}
+
+Gauge* MetricsRegistry::AcquireGauge(std::string_view name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kGauge);
+  ++entry.refs;
+  return entry.gauge.get();
+}
+
+void MetricsRegistry::ReleaseGauge(std::string_view name,
+                                   const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  auto it = entries_.find(EncodeKey(name, sorted));
+  DQM_CHECK(it != entries_.end()) << "ReleaseGauge: no such gauge '" << name
+                                  << "'";
+  Entry& entry = it->second;
+  DQM_CHECK_GT(entry.refs, 0) << "ReleaseGauge without matching Acquire";
+  if (--entry.refs == 0 && !entry.pinned) {
+    entries_.erase(it);
+  }
+}
+
+MetricsRegistry::Collection MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Collection out;
+  // entries_ iterates in key order, which is (name, sorted labels) order —
+  // the deterministic exposition order the golden tests pin down.
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        out.counters.push_back({entry.name, entry.labels,
+                                entry.counter->Value()});
+        break;
+      case Type::kGauge:
+        out.gauges.push_back({entry.name, entry.labels, entry.gauge->Value()});
+        break;
+      case Type::kHistogram:
+        out.histograms.push_back({entry.name, entry.labels,
+                                  entry.histogram->Snapshot()});
+        break;
+    }
+  }
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        entry.counter->Reset();
+        break;
+      case Type::kHistogram:
+        entry.histogram->Reset();
+        break;
+      case Type::kGauge:
+        entry.gauge->Set(0.0);
+        break;
+    }
+  }
+}
+
+}  // namespace dqm::telemetry

@@ -1,0 +1,240 @@
+#ifndef DQM_TELEMETRY_METRICS_H_
+#define DQM_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/align.h"
+
+namespace dqm::telemetry {
+
+/// Monotonic nanoseconds since process start (steady clock). All telemetry
+/// timestamps — histogram samples, flight-recorder spans, log prefixes —
+/// share this epoch so they can be correlated.
+uint64_t NowNanos();
+
+/// Runtime switch for the *timed* instrumentation (clock reads, latency
+/// histograms, flight-recorder spans). Counters stay on regardless — one
+/// relaxed fetch_add is cheaper than the branch that would skip it is worth.
+/// Default: enabled. The overhead bench toggles this to prove the telemetry
+/// tax; serving code never needs to touch it.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Sorted (key, value) label pairs. Metric identity = name + labels.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter, sharded so concurrent writers on different cores hit
+/// different cache lines. Add() is one relaxed fetch_add on the writer's
+/// shard; Value() folds the shards (reads may tear *across* shards, which
+/// only ever under-counts in-flight increments — fine for monitoring).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    cells_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Test / bench support: zeroes every shard. Not atomic with respect to
+  /// concurrent writers (they may land increments between the stores).
+  void Reset() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+  /// Stable per-thread shard slot, shared by every sharded metric so a
+  /// thread's increments always land on the same cells.
+  static size_t ShardIndex();
+
+  static constexpr size_t kShards = 8;
+
+ private:
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Immutable fold of a Histogram: total count plus the 64 per-bucket counts.
+/// Quantiles are derived from the log-bucket layout — each estimate is the
+/// geometric midpoint of the bucket the quantile falls in, so p-values carry
+/// the bucket's relative error (~±50% per power-of-two bucket), which is the
+/// deliberate trade for a constant-cost Record().
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t buckets[64] = {};
+
+  /// Inclusive upper bound of bucket `b`: 0 for bucket 0, 2^b - 1 above.
+  static uint64_t BucketUpperBound(size_t b);
+  /// Value estimate for quantile q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+  /// Upper bound of the highest non-empty bucket; 0 when empty.
+  uint64_t Max() const;
+};
+
+/// Fixed-layout latency histogram: 64 power-of-two buckets (bucket 0 holds
+/// exact zeros; bucket b >= 1 holds [2^(b-1), 2^b - 1]). Record() is one
+/// bit_width (CLZ) plus one relaxed fetch_add on the recording thread's
+/// shard — no sum, no min/max atomics, honoring the hot-path cost contract.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    cells_[Counter::ShardIndex()]
+        .buckets[BucketIndex(value)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const { return Snapshot().count; }
+
+  void Reset() {
+    for (Cell& cell : cells_) {
+      for (auto& bucket : cell.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  static size_t BucketIndex(uint64_t value) {
+    // bit_width(0) == 0 keeps zeros in bucket 0 with no branch.
+    size_t width = static_cast<size_t>(std::bit_width(value));
+    return width < 64 ? width : 63;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<uint64_t> buckets[64] = {};
+  };
+  Cell cells_[Counter::kShards];
+};
+
+/// Last-write-wins double value (bit_cast through one atomic word). Set is
+/// a relaxed store; Add is a CAS loop — fine off the hot path, which is the
+/// only place gauges are written.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Name + label keyed registry of counters / histograms / gauges. Lookups
+/// take a mutex and are meant for setup paths only: hot code caches the
+/// returned pointer (or hides the lookup behind a function-local static).
+/// Returned pointers stay valid for the registry's lifetime, except gauges
+/// released through ReleaseGauge.
+///
+/// Instantiable so exposition-format tests run against a private registry;
+/// production code uses Global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& Global();
+
+  /// Find-or-create. The (name, labels) pair must keep one metric type for
+  /// the registry's lifetime (checked). Metrics obtained this way are
+  /// pinned: they are never removed.
+  Counter* GetCounter(std::string_view name, LabelSet labels = {});
+  Histogram* GetHistogram(std::string_view name, LabelSet labels = {});
+  Gauge* GetGauge(std::string_view name, LabelSet labels = {});
+
+  /// Refcounted find-or-create for dynamically scoped gauges (per-session
+  /// quality estimates): every Acquire must be paired with a Release, and
+  /// the gauge is destroyed when the last reference drops — which is what
+  /// lets the exposition surface forget sessions that closed. Acquiring a
+  /// (name, labels) previously pinned by GetGauge keeps it pinned.
+  Gauge* AcquireGauge(std::string_view name, LabelSet labels = {});
+  void ReleaseGauge(std::string_view name, const LabelSet& labels);
+
+  struct CollectedCounter {
+    std::string name;
+    LabelSet labels;
+    uint64_t value = 0;
+  };
+  struct CollectedGauge {
+    std::string name;
+    LabelSet labels;
+    double value = 0.0;
+  };
+  struct CollectedHistogram {
+    std::string name;
+    LabelSet labels;
+    HistogramSnapshot snapshot;
+  };
+  /// Point-in-time fold of every registered metric, sorted by (name,
+  /// labels) — the input of the exposition renderers.
+  struct Collection {
+    std::vector<CollectedCounter> counters;
+    std::vector<CollectedGauge> gauges;
+    std::vector<CollectedHistogram> histograms;
+  };
+  Collection Collect() const;
+
+  /// Number of registered metrics (all types).
+  size_t size() const;
+
+  /// Test / bench support: zeroes every counter and histogram and sets
+  /// every gauge to 0 (entries stay registered).
+  void ResetAll();
+
+ private:
+  enum class Type { kCounter, kHistogram, kGauge };
+  struct Entry {
+    Type type;
+    std::string name;
+    LabelSet labels;
+    /// Pinned entries (created via Get*) are never removed; acquired-only
+    /// gauges die when `refs` drops to zero.
+    bool pinned = false;
+    int refs = 0;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Gauge> gauge;
+  };
+
+  Entry& FindOrCreateLocked(std::string_view name, LabelSet labels, Type type);
+
+  mutable std::mutex mutex_;
+  /// Keyed by "name{k=v,...}" with labels sorted — one canonical spelling
+  /// per identity.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dqm::telemetry
+
+#endif  // DQM_TELEMETRY_METRICS_H_

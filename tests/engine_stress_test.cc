@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "crowd/vote.h"
+#include "telemetry/metrics.h"
 
 namespace dqm::engine {
 namespace {
@@ -271,6 +272,103 @@ TEST(EngineStressTest, MultiProducerSingleSessionStripedStaysConsistent) {
     EXPECT_EQ(final_snapshot.estimates[i].quality_score,
               expected.estimates[i].quality_score)
         << kTallyPanel[i];
+  }
+}
+
+/// Telemetry fold under TSan: writers hammer a shared counter + histogram
+/// while readers continuously fold them and Collect() the whole registry —
+/// the scrape-during-ingest pattern. The relaxed sharded cells must be
+/// data-race-free and lose nothing once the writers join.
+TEST(EngineStressTest, TelemetryFoldUnderConcurrentWriters) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kOpsPerWriter = 50000;
+
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter* counter = registry.GetCounter("stress_ops_total");
+  telemetry::Histogram* histogram = registry.GetHistogram("stress_latency");
+  telemetry::Gauge* gauge = registry.GetGauge("stress_gauge");
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = 0; i < kOpsPerWriter; ++i) {
+        counter->Increment();
+        histogram->Record((w * kOpsPerWriter + i) % 8192);
+        if ((i & 1023) == 0) gauge->Set(static_cast<double>(i));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    uint64_t last_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      // Folds may run concurrently with writers: totals are monotone and
+      // the histogram's bucket sum always equals its count.
+      uint64_t count = counter->Value();
+      ASSERT_GE(count, last_count);
+      last_count = count;
+      telemetry::HistogramSnapshot snap = histogram->Snapshot();
+      uint64_t bucket_sum = 0;
+      for (uint64_t bucket : snap.buckets) bucket_sum += bucket;
+      ASSERT_EQ(bucket_sum, snap.count);
+      telemetry::MetricsRegistry::Collection collection = registry.Collect();
+      ASSERT_EQ(collection.counters.size(), 1u);
+      ASSERT_EQ(collection.histograms.size(), 1u);
+    }
+  });
+  for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  EXPECT_EQ(counter->Value(), kWriters * kOpsPerWriter);
+  EXPECT_EQ(histogram->Snapshot().count, kWriters * kOpsPerWriter);
+}
+
+/// RefreshTelemetry racing open/close churn: the roll-up walk must count
+/// each live session exactly once (never crash, never negative) while the
+/// session set changes underneath it, and must drain to zero when the churn
+/// stops and every session is gone.
+TEST(EngineStressTest, RefreshTelemetryDuringSessionChurn) {
+  constexpr size_t kChurnThreads = 3;
+  constexpr size_t kCyclesPerThread = 120;
+  const std::vector<std::string> kTallyPanel = {"chao92", "voting"};
+
+  DqmEngine engine(DqmEngine::Options{.num_shards = 4});
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kChurnThreads; ++t) {
+    threads.emplace_back([&engine, &kTallyPanel, t] {
+      for (size_t cycle = 0; cycle < kCyclesPerThread; ++cycle) {
+        std::string name =
+            "churn-" + std::to_string(t) + "-" + std::to_string(cycle % 8);
+        Result<std::shared_ptr<EstimationSession>> session = engine.OpenSession(
+            name, kItems, std::span<const std::string>(kTallyPanel));
+        ASSERT_TRUE(session.ok()) << session.status().ToString();
+        ASSERT_TRUE((*session)->AddVotes(MakeBatch(t, cycle)).ok());
+        ASSERT_GT((*session)->RetainedBytes(), 0u);
+        ASSERT_TRUE(engine.CloseSession(name).ok());
+      }
+    });
+  }
+  threads.emplace_back([&engine, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      engine.RefreshTelemetry();
+    }
+  });
+  for (size_t t = 0; t < kChurnThreads; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // All churn sessions closed: the final refresh returns both gauges to 0.
+  EXPECT_EQ(engine.num_sessions(), 0u);
+  engine.RefreshTelemetry();
+  telemetry::MetricsRegistry::Collection collection =
+      telemetry::MetricsRegistry::Global().Collect();
+  for (const auto& gauge : collection.gauges) {
+    if (gauge.name == "dqm_engine_sessions_open" ||
+        gauge.name == "dqm_engine_retained_bytes") {
+      EXPECT_EQ(gauge.value, 0.0) << gauge.name;
+    }
   }
 }
 

@@ -1,8 +1,12 @@
 #include "common/flags.h"
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/logging.h"
 
 namespace dqm {
 namespace {
@@ -139,6 +143,57 @@ TEST(FlagsTest, HelpReturnsFailedPrecondition) {
   ArgvBuilder args({"prog", "--help"});
   Status s = parser.Parse(args.argc(), args.argv());
   EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+/// RAII guard: --log_level tests mutate the process-wide severity.
+class LogLevelRestorer {
+ public:
+  LogLevelRestorer() : saved_(internal::GetLogLevel()) {}
+  ~LogLevelRestorer() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(FlagsTest, LogLevelIsBuiltIn) {
+  LogLevelRestorer restore;
+  FlagParser parser;
+  ArgvBuilder args({"prog", "--log_level=warn"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(internal::GetLogLevel(), LogLevel::kWarning);
+  EXPECT_NE(parser.Usage().find("log_level"), std::string::npos);
+}
+
+TEST(FlagsTest, LogLevelAcceptsEverySeverityCaseInsensitively) {
+  LogLevelRestorer restore;
+  const std::pair<const char*, LogLevel> cases[] = {
+      {"debug", LogLevel::kDebug},   {"INFO", LogLevel::kInfo},
+      {"Warning", LogLevel::kWarning}, {"error", LogLevel::kError},
+      {"fatal", LogLevel::kFatal}};
+  for (const auto& [spelling, level] : cases) {
+    FlagParser parser;
+    ArgvBuilder args({"prog", std::string("--log_level=") + spelling});
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok()) << spelling;
+    EXPECT_EQ(internal::GetLogLevel(), level) << spelling;
+  }
+}
+
+TEST(FlagsTest, LogLevelUnsetLeavesSeverityAlone) {
+  LogLevelRestorer restore;
+  SetLogLevel(LogLevel::kError);
+  FlagParser parser;
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(internal::GetLogLevel(), LogLevel::kError);
+}
+
+TEST(FlagsTest, BadLogLevelIsError) {
+  LogLevelRestorer restore;
+  FlagParser parser;
+  ArgvBuilder args({"prog", "--log_level=verbose"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("log_level"), std::string::npos);
 }
 
 }  // namespace

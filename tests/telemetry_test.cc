@@ -1,0 +1,355 @@
+// Unit tests for the telemetry subsystem: sharded counter / histogram /
+// gauge semantics (including concurrent-writer folds), registry identity
+// and the refcounted gauge lifecycle, exposition goldens for both renderers
+// (on a private registry, so the process-global instrumentation can't leak
+// in), and the flight recorder's wraparound contract.
+
+#include "telemetry/metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+
+namespace dqm::telemetry {
+namespace {
+
+TEST(CounterTest, AddAndIncrementFoldAcrossShards) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentWritersLoseNothing) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrementsPerThread = 100000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (size_t i = 0; i < kIncrementsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kIncrementsPerThread);
+}
+
+TEST(HistogramTest, BucketIndexIsPowerOfTwoLayout) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 63u);
+}
+
+TEST(HistogramTest, QuantilesLandInTheRightBucket) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Record(1000);  // bucket [512, 1023]
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_GE(snap.Quantile(0.5), 512.0);
+  EXPECT_LE(snap.Quantile(0.5), 1023.0);
+  EXPECT_EQ(snap.Quantile(0.5), snap.Quantile(0.99));  // one bucket
+  EXPECT_EQ(snap.Max(), 1023u);  // bucket upper bound, not the exact value
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.Max(), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsFoldExactly) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRecordsPerThread = 20000;
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (size_t i = 0; i < kRecordsPerThread; ++i) {
+        histogram.Record((t * kRecordsPerThread + i) % 4096);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kRecordsPerThread);
+  uint64_t bucket_sum = 0;
+  for (uint64_t bucket : snap.buckets) bucket_sum += bucket;
+  EXPECT_EQ(bucket_sum, snap.count);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+  gauge.Set(-7.0);
+  EXPECT_EQ(gauge.Value(), -7.0);
+}
+
+TEST(RegistryTest, IdentityIsNamePlusSortedLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("hits", {{"path", "/q"}});
+  Counter* b = registry.GetCounter("hits", {{"path", "/q"}});
+  Counter* c = registry.GetCounter("hits", {{"path", "/other"}});
+  Counter* d = registry.GetCounter("hits");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  // Label ordering does not create a second identity.
+  Counter* e = registry.GetCounter("multi", {{"b", "2"}, {"a", "1"}});
+  Counter* f = registry.GetCounter("multi", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(e, f);
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(RegistryTest, AcquireReleaseGaugeLifecycle) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.AcquireGauge("quality", {{"session", "s1"}});
+  gauge->Set(0.75);
+  EXPECT_EQ(registry.AcquireGauge("quality", {{"session", "s1"}}), gauge);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Two refs: the first release keeps the gauge exported.
+  registry.ReleaseGauge("quality", {{"session", "s1"}});
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Collect().gauges.size(), 1u);
+
+  // Last ref: the gauge disappears from the exposition surface.
+  registry.ReleaseGauge("quality", {{"session", "s1"}});
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_TRUE(registry.Collect().gauges.empty());
+
+  // Re-acquiring the same identity after death makes a fresh gauge.
+  Gauge* reborn = registry.AcquireGauge("quality", {{"session", "s1"}});
+  EXPECT_EQ(reborn->Value(), 0.0);
+  registry.ReleaseGauge("quality", {{"session", "s1"}});
+}
+
+TEST(RegistryTest, PinnedGaugeSurvivesRelease) {
+  MetricsRegistry registry;
+  Gauge* pinned = registry.GetGauge("rollup");
+  Gauge* acquired = registry.AcquireGauge("rollup");
+  EXPECT_EQ(pinned, acquired);
+  registry.ReleaseGauge("rollup", {});
+  // Get* pins: the roll-up gauge never leaves the surface.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.GetGauge("rollup"), pinned);
+}
+
+TEST(RegistryTest, CollectIsSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetGauge("mid")->Set(3.0);
+  registry.GetHistogram("lat")->Record(9);
+  MetricsRegistry::Collection collection = registry.Collect();
+  ASSERT_EQ(collection.counters.size(), 2u);
+  EXPECT_EQ(collection.counters[0].name, "alpha");
+  EXPECT_EQ(collection.counters[0].value, 2u);
+  EXPECT_EQ(collection.counters[1].name, "zeta");
+  ASSERT_EQ(collection.gauges.size(), 1u);
+  EXPECT_EQ(collection.gauges[0].value, 3.0);
+  ASSERT_EQ(collection.histograms.size(), 1u);
+  EXPECT_EQ(collection.histograms[0].snapshot.count, 1u);
+}
+
+TEST(RegistryTest, ResetAllZeroesEverythingButKeepsEntries) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(5);
+  registry.GetGauge("g")->Set(5.0);
+  registry.GetHistogram("h")->Record(5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0u);
+}
+
+TEST(EnabledTest, ToggleRoundTrips) {
+  ASSERT_TRUE(Enabled());  // process default
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+}
+
+TEST(NowNanosTest, MonotoneNonDecreasing) {
+  uint64_t a = NowNanos();
+  uint64_t b = NowNanos();
+  EXPECT_LE(a, b);
+}
+
+std::string Num(double value) { return StrFormat("%.17g", value); }
+
+/// Builds the golden registry: one labeled counter, one gauge, one
+/// histogram with known bucket layout (0 -> bucket 0; 1 -> [1,1];
+/// 5, 5 -> [4,7]).
+void FillGoldenRegistry(MetricsRegistry& registry) {
+  registry.GetCounter("requests_total", {{"path", "/q"}})->Add(3);
+  registry.GetGauge("temperature")->Set(1.5);
+  Histogram* latency = registry.GetHistogram("latency");
+  latency->Record(0);
+  latency->Record(1);
+  latency->Record(5);
+  latency->Record(5);
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  FillGoldenRegistry(registry);
+  HistogramSnapshot snap = registry.GetHistogram("latency")->Snapshot();
+  std::string expected =
+      "# TYPE requests_total counter\n"
+      "requests_total{path=\"/q\"} 3\n"
+      "# TYPE temperature gauge\n"
+      "temperature 1.5\n"
+      "# TYPE latency histogram\n"
+      "latency_bucket{le=\"0\"} 1\n"
+      "latency_bucket{le=\"1\"} 2\n"
+      "latency_bucket{le=\"7\"} 4\n"
+      "latency_bucket{le=\"+Inf\"} 4\n"
+      "latency_count 4\n"
+      "latency_p50 " + Num(snap.Quantile(0.5)) + "\n"
+      "latency_p95 " + Num(snap.Quantile(0.95)) + "\n"
+      "latency_p99 " + Num(snap.Quantile(0.99)) + "\n"
+      "latency_max 7\n";
+  EXPECT_EQ(RenderPrometheus(registry), expected);
+}
+
+TEST(ExportTest, JsonGolden) {
+  MetricsRegistry registry;
+  FillGoldenRegistry(registry);
+  HistogramSnapshot snap = registry.GetHistogram("latency")->Snapshot();
+  std::string expected =
+      "{\"counters\":[{\"name\":\"requests_total\",\"labels\":"
+      "{\"path\":\"/q\"},\"value\":3}],"
+      "\"gauges\":[{\"name\":\"temperature\",\"labels\":{},\"value\":1.5}],"
+      "\"histograms\":[{\"name\":\"latency\",\"labels\":{},\"count\":4,"
+      "\"p50\":" + Num(snap.Quantile(0.5)) +
+      ",\"p95\":" + Num(snap.Quantile(0.95)) +
+      ",\"p99\":" + Num(snap.Quantile(0.99)) +
+      ",\"max\":7,\"buckets\":[[0,1],[1,1],[7,2]]}]}";
+  EXPECT_EQ(RenderJson(registry), expected);
+}
+
+TEST(ExportTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"k", "a\"b\\c\nd"}})->Add(1);
+  std::string prom = RenderPrometheus(registry);
+  EXPECT_NE(prom.find("c{k=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos) << prom;
+  std::string json = RenderJson(registry);
+  EXPECT_NE(json.find("{\"k\":\"a\\\"b\\\\c\\nd\"}"), std::string::npos)
+      << json;
+}
+
+TEST(ExportTest, NonFiniteGaugeSpellings) {
+  MetricsRegistry registry;
+  registry.GetGauge("g")->Set(std::numeric_limits<double>::infinity());
+  EXPECT_NE(RenderPrometheus(registry).find("g +Inf"), std::string::npos);
+  EXPECT_NE(RenderJson(registry).find("\"value\":null"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(4).capacity(), 4u);
+  EXPECT_EQ(FlightRecorder(5).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder().capacity(), 256u);
+}
+
+TEST(FlightRecorderTest, RecordsRoundTripInTicketOrder) {
+  FlightRecorder recorder(8);
+  recorder.Record(SpanKind::kCommit, 10, 25, 512);
+  recorder.Record(SpanKind::kPublish, 30, 90, 7);
+  std::vector<Span> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].ticket, 0u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kCommit);
+  EXPECT_EQ(spans[0].start_nanos, 10u);
+  EXPECT_EQ(spans[0].end_nanos, 25u);
+  EXPECT_EQ(spans[0].duration_nanos(), 15u);
+  EXPECT_EQ(spans[0].value, 512u);
+  EXPECT_EQ(spans[1].ticket, 1u);
+  EXPECT_EQ(spans[1].kind, SpanKind::kPublish);
+  EXPECT_EQ(recorder.total_recorded(), 2u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestSpans) {
+  constexpr uint64_t kTotal = 10;
+  FlightRecorder recorder(4);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    recorder.Record(SpanKind::kCommit, i, i + 1, i);
+  }
+  std::vector<Span> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), recorder.capacity());
+  // The surviving spans are exactly the newest `capacity()` tickets, in
+  // monotone ticket order.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].ticket, kTotal - recorder.capacity() + i);
+    EXPECT_EQ(spans[i].value, spans[i].ticket);
+  }
+  EXPECT_EQ(recorder.total_recorded(), kTotal);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersStaySane) {
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 5000;
+  FlightRecorder recorder(64);
+  std::atomic<bool> stop{false};
+  // A reader snapshots continuously while writers wrap the ring many times
+  // over; every snapshot must be ticket-monotone with sane fields.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<Span> spans = recorder.Snapshot();
+      ASSERT_LE(spans.size(), recorder.capacity());
+      for (size_t i = 1; i < spans.size(); ++i) {
+        ASSERT_LT(spans[i - 1].ticket, spans[i].ticket);
+      }
+      // Every writer records the same invariant-carrying payload, so any
+      // torn slot (fields from two different writes) is detectable.
+      for (const Span& span : spans) {
+        ASSERT_EQ(span.kind, SpanKind::kReconcile);
+        ASSERT_EQ(span.start_nanos, 17u);
+        ASSERT_EQ(span.end_nanos, 18u);
+        ASSERT_EQ(span.value, 99u);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        recorder.Record(SpanKind::kReconcile, 17, 18, 99);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(recorder.total_recorded(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace dqm::telemetry

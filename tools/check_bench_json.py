@@ -3,22 +3,36 @@
 
 Usage:
     check_bench_json.py [--floors bench/floors.json] BENCH_foo.json ...
+    check_bench_json.py --telemetry metrics.json ...
 
-Checks, per file:
+Checks, per file (artifact mode):
   1. The file parses as JSON and has the artifact shape written by
      dqm::bench::WriteBenchArtifact: {"bench": <str>, "peak_rss_mb": <num>,
-     "runs": [{"bench": ..., "results": [{"name": ..., <metric>: <num>}]}]}.
-  2. Every floor registered for that bench name is present and has not
-     regressed by more than `allowed_regression` (default 5x) below the
-     checked-in baseline: value >= baseline / allowed_regression.
+     "runs": [{"bench": ..., "results": [{"name": ..., <metric>: <num>}]}],
+     "telemetry": {...}}.
+  2. The optional "telemetry" block (attached by WriteBenchArtifact since the
+     observability PR) has the exposition shape: counters/gauges/histograms
+     lists whose entries carry name/labels/value (histograms: count, p50/p95/
+     p99/max, buckets).
+  3. Every floor registered for that bench name is present and has not
+     regressed. Two floor spellings:
+       - a bare number is a healthy-machine baseline gated with slack:
+         value >= baseline / allowed_regression (default 5x);
+       - {"min": <x>} is an absolute minimum with NO slack — for ratio
+         metrics (telemetry on/off) where 5x slack would gate nothing.
 
-Floors file shape (baselines are healthy-machine smoke-run values; the 5x
-slack absorbs CI-runner variance while still catching order-of-magnitude
-regressions):
+With --telemetry, each file is instead a standalone telemetry dump (the
+dqm_engine_cli --metrics_json output, i.e. the bare exposition object), and
+the checker additionally requires the engine's core instrumentation to be
+present and live: the seqlock retry counter registered, at least one
+per-stripe lock-wait counter, a nonzero commit-latency histogram, and at
+least one per-session quality gauge.
+
+Floors file shape:
     {
       "allowed_regression": 5.0,
       "floors": {
-        "<bench>": {"<result_name>.<metric>": <baseline>, ...}
+        "<bench>": {"<result_name>.<metric>": <baseline> | {"min": <x>}, ...}
       }
     }
 
@@ -34,6 +48,80 @@ import sys
 def fail(message):
     print(f"FAIL: {message}", file=sys.stderr)
     return 1
+
+
+def check_telemetry_block(telemetry):
+    """Raises ValueError unless `telemetry` has the exposition shape."""
+    if not isinstance(telemetry, dict):
+        raise ValueError("'telemetry' is not an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in telemetry or not isinstance(telemetry[section], list):
+            raise ValueError(f"telemetry section '{section}' missing or not a "
+                             "list")
+        for entry in telemetry[section]:
+            if not isinstance(entry, dict):
+                raise ValueError(f"telemetry {section} entry is not an object")
+            if not isinstance(entry.get("name"), str) or not entry["name"]:
+                raise ValueError(
+                    f"telemetry {section} entry needs a non-empty 'name'")
+            if not isinstance(entry.get("labels"), dict):
+                raise ValueError(
+                    f"telemetry metric '{entry.get('name')}' needs a 'labels' "
+                    "object")
+    for counter in telemetry["counters"]:
+        if not isinstance(counter.get("value"), int) or counter["value"] < 0:
+            raise ValueError(f"counter '{counter['name']}' value must be a "
+                             "non-negative integer")
+    for gauge in telemetry["gauges"]:
+        if not isinstance(gauge.get("value"), (int, float)) and \
+                gauge.get("value") is not None:
+            raise ValueError(f"gauge '{gauge['name']}' value must be numeric "
+                             "or null")
+    for histogram in telemetry["histograms"]:
+        if not isinstance(histogram.get("count"), int) or \
+                histogram["count"] < 0:
+            raise ValueError(f"histogram '{histogram['name']}' needs an "
+                             "integer 'count'")
+        for quantile in ("p50", "p95", "p99", "max"):
+            if not isinstance(histogram.get(quantile), (int, float)):
+                raise ValueError(f"histogram '{histogram['name']}' is missing "
+                                 f"'{quantile}'")
+        buckets = histogram.get("buckets")
+        if not isinstance(buckets, list):
+            raise ValueError(f"histogram '{histogram['name']}' needs a "
+                             "'buckets' list")
+        total = 0
+        for bucket in buckets:
+            if (not isinstance(bucket, list) or len(bucket) != 2 or
+                    not isinstance(bucket[1], int)):
+                raise ValueError(f"histogram '{histogram['name']}' bucket "
+                                 "entries must be [upper_bound, count] pairs")
+            total += bucket[1]
+        if total != histogram["count"]:
+            raise ValueError(f"histogram '{histogram['name']}' bucket counts "
+                             f"sum to {total}, 'count' says "
+                             f"{histogram['count']}")
+
+
+def check_engine_telemetry(telemetry):
+    """Raises ValueError unless the engine's core instrumentation is live."""
+    counters = {c["name"]: c for c in telemetry["counters"]}
+    if "dqm_seqlock_read_retries_total" not in counters:
+        raise ValueError("seqlock retry counter "
+                         "'dqm_seqlock_read_retries_total' not registered")
+    if not any(c["name"] == "dqm_stripe_lock_wait_ns_total"
+               for c in telemetry["counters"]):
+        raise ValueError("no per-stripe 'dqm_stripe_lock_wait_ns_total' "
+                         "counter — striped ingest was not exercised")
+    commit = [h for h in telemetry["histograms"]
+              if h["name"] == "dqm_commit_latency_ns"]
+    if not commit or commit[0]["count"] == 0:
+        raise ValueError("'dqm_commit_latency_ns' histogram missing or empty "
+                         "— no timed commit was recorded")
+    if not any(g["name"] == "dqm_session_quality"
+               for g in telemetry["gauges"]):
+        raise ValueError("no 'dqm_session_quality' gauge — per-session "
+                         "estimates are not exported")
 
 
 def load_artifact(path):
@@ -60,6 +148,8 @@ def load_artifact(path):
                 if value is not None and not isinstance(value, (int, float)):
                     raise ValueError(
                         f"metric '{result['name']}.{metric}' is not numeric")
+    if "telemetry" in artifact:
+        check_telemetry_block(artifact["telemetry"])
     return artifact
 
 
@@ -75,12 +165,56 @@ def collect_metrics(artifact):
     return metrics
 
 
+def check_floor(path, key, value, floor, allowed):
+    """One floor check; returns the error count (0 or 1)."""
+    if isinstance(floor, dict):
+        # {"min": x} — an absolute bar, no regression slack. Used for
+        # ratios, where dividing a baseline by 5 would gate nothing.
+        if "min" not in floor:
+            return fail(f"{path}: floor '{key}' object needs a 'min' key")
+        minimum = float(floor["min"])
+        if value < minimum:
+            return fail(f"{path}: {key} = {value:g} below the absolute "
+                        f"minimum {minimum:g}")
+        print(f"  floor ok: {key} = {value:g} >= {minimum:g} (absolute)")
+        return 0
+    minimum = float(floor) / allowed
+    if value < minimum:
+        return fail(f"{path}: {key} = {value:g} regressed below "
+                    f"{minimum:g} (baseline {floor:g} / {allowed:g}x)")
+    print(f"  floor ok: {key} = {value:g} >= {minimum:g}")
+    return 0
+
+
+def run_telemetry_mode(files):
+    errors = 0
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                telemetry = json.load(handle)
+            check_telemetry_block(telemetry)
+            check_engine_telemetry(telemetry)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            errors += fail(f"{path}: bad telemetry dump: {error}")
+            continue
+        print(f"ok: {path} ({len(telemetry['counters'])} counters, "
+              f"{len(telemetry['gauges'])} gauges, "
+              f"{len(telemetry['histograms'])} histograms)")
+    return 1 if errors else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--floors", default=None,
                         help="floors JSON file (optional: shape-check only)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="files are standalone telemetry dumps "
+                             "(dqm_engine_cli --metrics_json output)")
     parser.add_argument("files", nargs="+", help="BENCH_*.json artifacts")
     args = parser.parse_args()
+
+    if args.telemetry:
+        return run_telemetry_mode(args.files)
 
     floors_config = {"allowed_regression": 5.0, "floors": {}}
     if args.floors:
@@ -95,26 +229,27 @@ def main():
         except (OSError, ValueError, json.JSONDecodeError) as error:
             errors += fail(f"{path}: malformed bench artifact: {error}")
             continue
+        telemetry_note = ""
+        if "telemetry" in artifact:
+            telemetry_note = (
+                f", telemetry: {len(artifact['telemetry']['counters'])} "
+                f"counters/{len(artifact['telemetry']['histograms'])} "
+                "histograms")
         print(f"ok: {path} ({artifact['bench']}, "
               f"{sum(len(r['results']) for r in artifact['runs'])} results, "
-              f"peak rss {artifact['peak_rss_mb']} MiB)")
+              f"peak rss {artifact['peak_rss_mb']} MiB{telemetry_note})")
 
         bench_floors = floors_config.get("floors", {}).get(artifact["bench"])
         if not bench_floors:
             continue
         metrics = collect_metrics(artifact)
-        for key, baseline in bench_floors.items():
+        for key, floor in bench_floors.items():
+            if key.startswith("_"):
+                continue  # "_comment" and friends
             if key not in metrics:
                 errors += fail(f"{path}: floor metric '{key}' missing")
                 continue
-            minimum = float(baseline) / allowed
-            if metrics[key] < minimum:
-                errors += fail(
-                    f"{path}: {key} = {metrics[key]:g} regressed below "
-                    f"{minimum:g} (baseline {baseline:g} / {allowed:g}x)")
-            else:
-                print(f"  floor ok: {key} = {metrics[key]:g} "
-                      f">= {minimum:g}")
+            errors += check_floor(path, key, metrics[key], floor, allowed)
 
     return 1 if errors else 0
 

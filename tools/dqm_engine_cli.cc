@@ -21,8 +21,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -40,6 +45,9 @@
 #include "crowd/log_io.h"
 #include "engine/engine.h"
 #include "estimators/registry.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
 #include "workload/workload.h"
 
 namespace {
@@ -138,6 +146,183 @@ dqm::Status StreamVotes(dqm::engine::DqmEngine& engine, const std::string& name,
   return dqm::Status::OK();
 }
 
+bool WriteTextFile(const std::string& path, const std::string& body) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
+}
+
+/// Refreshes the engine roll-up gauges and writes the current global metric
+/// fold to the requested exposition files (either path may be empty).
+void DumpMetrics(const dqm::engine::DqmEngine& engine,
+                 const std::string& json_path, const std::string& prom_path) {
+  engine.RefreshTelemetry();
+  const dqm::telemetry::MetricsRegistry& registry =
+      dqm::telemetry::MetricsRegistry::Global();
+  if (!json_path.empty()) {
+    WriteTextFile(json_path, dqm::telemetry::RenderJson(registry));
+  }
+  if (!prom_path.empty()) {
+    WriteTextFile(prom_path, dqm::telemetry::RenderPrometheus(registry));
+  }
+}
+
+/// Background dumper for --metrics_every: rewrites the exposition files on a
+/// fixed cadence while ingest runs, so an operator can watch commit latency
+/// and stripe contention move mid-stream.
+class PeriodicMetricsDumper {
+ public:
+  PeriodicMetricsDumper(const dqm::engine::DqmEngine& engine,
+                        std::string json_path, std::string prom_path,
+                        int64_t every_seconds)
+      : engine_(engine),
+        json_path_(std::move(json_path)),
+        prom_path_(std::move(prom_path)) {
+    if (every_seconds <= 0 || (json_path_.empty() && prom_path_.empty())) {
+      return;
+    }
+    thread_ = std::thread([this, every_seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::seconds(every_seconds),
+                     [this] { return stop_; });
+        if (stop_) return;
+        lock.unlock();
+        DumpMetrics(engine_, json_path_, prom_path_);
+        lock.lock();
+      }
+    });
+  }
+
+  ~PeriodicMetricsDumper() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  const dqm::engine::DqmEngine& engine_;
+  std::string json_path_;
+  std::string prom_path_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+std::string FormatNanos(double nanos) {
+  if (nanos >= 1e6) return dqm::StrFormat("%.3fms", nanos / 1e6);
+  if (nanos >= 1e3) return dqm::StrFormat("%.3fus", nanos / 1e3);
+  return dqm::StrFormat("%.0fns", nanos);
+}
+
+std::string LabelsSuffix(const dqm::telemetry::LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+/// Final telemetry summary: the latency histograms as a quantile table, the
+/// engine-level counters, and each session's slowest recent publish / commit
+/// from its flight recorder — the "what would I grep the metrics dump for"
+/// digest, printed even when no --metrics_* file was requested.
+void PrintTelemetrySummary(const dqm::engine::DqmEngine& engine) {
+  engine.RefreshTelemetry();
+  dqm::telemetry::MetricsRegistry::Collection collection =
+      dqm::telemetry::MetricsRegistry::Global().Collect();
+
+  std::printf("\ntelemetry — latency histograms\n");
+  dqm::AsciiTable histograms(
+      {"histogram", "count", "p50", "p95", "p99", "max"});
+  for (const auto& h : collection.histograms) {
+    if (h.snapshot.count == 0) continue;
+    bool nanos = h.name.size() > 3 &&
+                 h.name.compare(h.name.size() - 3, 3, "_ns") == 0;
+    auto cell = [&](double value) {
+      return nanos ? FormatNanos(value) : dqm::StrFormat("%.0f", value);
+    };
+    histograms.AddRow({h.name + LabelsSuffix(h.labels),
+                       dqm::StrFormat("%llu",
+                                      static_cast<unsigned long long>(
+                                          h.snapshot.count)),
+                       cell(h.snapshot.Quantile(0.50)),
+                       cell(h.snapshot.Quantile(0.95)),
+                       cell(h.snapshot.Quantile(0.99)),
+                       cell(static_cast<double>(h.snapshot.Max()))});
+  }
+  std::fputs(histograms.Render().c_str(), stdout);
+
+  std::printf("telemetry — counters\n");
+  dqm::AsciiTable counters({"counter", "value"});
+  for (const auto& c : collection.counters) {
+    counters.AddRow({c.name + LabelsSuffix(c.labels),
+                     dqm::StrFormat("%llu",
+                                    static_cast<unsigned long long>(c.value))});
+  }
+  std::fputs(counters.Render().c_str(), stdout);
+
+  std::printf("telemetry — gauges\n");
+  dqm::AsciiTable gauges({"gauge", "value"});
+  for (const auto& g : collection.gauges) {
+    gauges.AddRow(
+        {g.name + LabelsSuffix(g.labels), dqm::StrFormat("%.6g", g.value)});
+  }
+  std::fputs(gauges.Render().c_str(), stdout);
+
+  // Flight-recorder forensics: the slowest recent publish and commit per
+  // session, with start offsets on the shared telemetry clock.
+  std::printf("telemetry — slowest recent spans per session\n");
+  dqm::AsciiTable spans({"session", "kind", "duration", "at", "value"});
+  for (const std::string& name : engine.SessionNames()) {
+    dqm::Result<std::shared_ptr<dqm::engine::EstimationSession>> session =
+        engine.GetSession(name);
+    if (!session.ok()) continue;
+    const dqm::telemetry::Span* slowest_publish = nullptr;
+    const dqm::telemetry::Span* slowest_commit = nullptr;
+    std::vector<dqm::telemetry::Span> recent =
+        (*session)->flight_recorder().Snapshot();
+    for (const dqm::telemetry::Span& span : recent) {
+      if (span.kind != dqm::telemetry::SpanKind::kCommit &&
+          span.kind != dqm::telemetry::SpanKind::kPublish) {
+        continue;
+      }
+      const dqm::telemetry::Span*& slot =
+          span.kind == dqm::telemetry::SpanKind::kCommit ? slowest_commit
+                                                         : slowest_publish;
+      if (slot == nullptr || span.duration_nanos() > slot->duration_nanos()) {
+        slot = &span;
+      }
+    }
+    for (const dqm::telemetry::Span* span : {slowest_publish, slowest_commit}) {
+      if (span == nullptr) continue;
+      spans.AddRow(
+          {name, dqm::telemetry::SpanKindName(span->kind),
+           FormatNanos(static_cast<double>(span->duration_nanos())),
+           dqm::StrFormat("+%.3fs",
+                          static_cast<double>(span->start_nanos) / 1e9),
+           dqm::StrFormat("%llu",
+                          static_cast<unsigned long long>(span->value))});
+    }
+  }
+  std::fputs(spans.Render().c_str(), stdout);
+}
+
 /// Prints every session's snapshot with one "est/q" column pair per
 /// configured estimator (all sessions share the same --methods lineup).
 void PrintReport(const dqm::engine::DqmEngine& engine) {
@@ -212,6 +397,18 @@ int main(int argc, char** argv) {
   int64_t* demo_tasks =
       flags.AddInt("demo_tasks", 300, "tasks per simulated demo dataset");
   int64_t* seed = flags.AddInt("seed", 42, "demo simulation seed");
+  std::string* metrics_json = flags.AddString(
+      "metrics_json", "",
+      "write the engine's telemetry registry as JSON to this path (refreshed "
+      "after ingest; see --metrics_every for mid-stream refreshes)");
+  std::string* metrics_prom = flags.AddString(
+      "metrics_prom", "",
+      "write the telemetry registry in Prometheus text exposition format to "
+      "this path");
+  int64_t* metrics_every = flags.AddInt(
+      "metrics_every", 0,
+      "rewrite the --metrics_json/--metrics_prom files every N seconds while "
+      "ingest runs (0 = only after ingest completes)");
   dqm::Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     // --help parses as FailedPrecondition after printing usage.
@@ -374,6 +571,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(std::max<int64_t>(1, *ingest_threads));
   std::vector<dqm::Status> outcomes(datasets.size());
   {
+    PeriodicMetricsDumper dumper(engine, *metrics_json, *metrics_prom,
+                                 *metrics_every);
     dqm::ThreadPool pool(std::max<size_t>(1, workers));
     dqm::ParallelFor(&pool, datasets.size(), [&](size_t d) {
       outcomes[d] = StreamVotes(engine, datasets[d].name, datasets[d].events,
@@ -405,5 +604,17 @@ int main(int argc, char** argv) {
   std::printf("engine report — methods=%s, %zu sessions\n",
               dqm::Join(specs, ",").c_str(), engine.num_sessions());
   PrintReport(engine);
+  PrintTelemetrySummary(engine);
+  if (!metrics_json->empty() || !metrics_prom->empty()) {
+    // Summary above already refreshed the roll-up gauges; this writes the
+    // final post-ingest fold to the requested files.
+    DumpMetrics(engine, *metrics_json, *metrics_prom);
+    if (!metrics_json->empty()) {
+      std::printf("metrics json: %s\n", metrics_json->c_str());
+    }
+    if (!metrics_prom->empty()) {
+      std::printf("metrics prom: %s\n", metrics_prom->c_str());
+    }
+  }
   return 0;
 }
