@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/mutex.h"
+
 namespace dqm {
 
 bool TryParseLogLevel(std::string_view text, LogLevel* level) {
@@ -87,6 +89,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    // Serialize emission: a log line is built in the per-message stream_ but
+    // the two stderr writes below (body, then newline+flush) are distinct
+    // operations, so without this lock concurrent loggers could interleave
+    // mid-line. kLogging is the top rank — DQM_LOG legitimately fires while
+    // holding stripe/telemetry/pool locks, never the other way around.
+    // Heap-allocated and leaked so a DQM_LOG in another static's destructor
+    // can never observe a destroyed mutex.
+    static Mutex* emit_mutex = new Mutex(LockRank::kLogging, "log-stream");
+    MutexLock lock(*emit_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {

@@ -1,0 +1,220 @@
+#include "common/mutex.h"
+
+#if DQM_LOCK_ORDER_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define DQM_HAVE_BACKTRACE 1
+#endif
+#endif
+#ifndef DQM_HAVE_BACKTRACE
+#define DQM_HAVE_BACKTRACE 0
+#endif
+
+// The checker deliberately reports through fprintf(stderr) + abort(), never
+// DQM_LOG: the log-emission path takes its own dqm::Mutex, so reporting a
+// lock bug through the logger could recurse into the very machinery being
+// diagnosed.
+//
+// This file is (with common/mutex.h) the one place allowed to use raw
+// std::mutex — the global order-graph below cannot be a dqm::Mutex because
+// it is acquired inside the checker itself.
+
+namespace dqm::internal {
+namespace {
+
+constexpr int kMaxHeldLocks = 64;
+constexpr int kMaxBacktraceFrames = 24;
+constexpr int kMaxOrderEdges = 256;
+
+struct HeldLock {
+  const void* mutex;
+  int rank;
+  const char* name;
+  int frame_count;
+  void* frames[kMaxBacktraceFrames];
+};
+
+struct HeldStack {
+  HeldLock locks[kMaxHeldLocks];
+  int depth;
+};
+
+thread_local HeldStack t_held{};
+
+// First-observed acquisition order between lock ranks, for diagnostics: on
+// an inversion the report can point at where the opposite (legal) edge was
+// first seen. Guarded by a raw std::mutex (see file comment).
+struct OrderEdge {
+  int from_rank;
+  int to_rank;
+  const char* from_name;
+  const char* to_name;
+};
+
+std::mutex g_graph_mutex;
+OrderEdge g_edges[kMaxOrderEdges];
+int g_edge_count = 0;
+
+int CaptureBacktrace(void** frames, int max_frames) {
+#if DQM_HAVE_BACKTRACE
+  return backtrace(frames, max_frames);
+#else
+  (void)frames;
+  (void)max_frames;
+  return 0;
+#endif
+}
+
+void PrintBacktrace(void* const* frames, int count) {
+#if DQM_HAVE_BACKTRACE
+  if (count > 0) {
+    backtrace_symbols_fd(frames, count, /*fd=*/2);
+    return;
+  }
+#endif
+  (void)frames;
+  (void)count;
+  std::fprintf(stderr, "    <backtrace unavailable>\n");
+}
+
+const char* NameOrAnon(const char* name) {
+  return name != nullptr ? name : "<unnamed>";
+}
+
+void RecordEdge(const HeldLock& held, int rank, const char* name) {
+  std::lock_guard<std::mutex> lock(g_graph_mutex);
+  for (int i = 0; i < g_edge_count; ++i) {
+    if (g_edges[i].from_rank == held.rank && g_edges[i].to_rank == rank) {
+      return;
+    }
+  }
+  if (g_edge_count < kMaxOrderEdges) {
+    g_edges[g_edge_count++] =
+        OrderEdge{held.rank, rank, held.name, name};
+  }
+}
+
+void PrintKnownEdges() {
+  std::lock_guard<std::mutex> lock(g_graph_mutex);
+  std::fprintf(stderr,
+               "  first-observed acquisition edges (held-rank -> "
+               "acquired-rank):\n");
+  for (int i = 0; i < g_edge_count; ++i) {
+    std::fprintf(stderr, "    %d (%s) -> %d (%s)\n", g_edges[i].from_rank,
+                 NameOrAnon(g_edges[i].from_name), g_edges[i].to_rank,
+                 NameOrAnon(g_edges[i].to_name));
+  }
+}
+
+[[noreturn]] void AbortWithReport(const char* kind, const HeldLock& held,
+                                  const void* mutex, int rank,
+                                  const char* name) {
+  void* frames[kMaxBacktraceFrames];
+  int frame_count = CaptureBacktrace(frames, kMaxBacktraceFrames);
+  std::fprintf(stderr,
+               "DQM lock-order checker: %s\n"
+               "  acquiring: '%s' (rank %d, %p) at:\n",
+               kind, NameOrAnon(name), rank, mutex);
+  PrintBacktrace(frames, frame_count);
+  std::fprintf(stderr,
+               "  while holding: '%s' (rank %d, %p), acquired at:\n",
+               NameOrAnon(held.name), held.rank, held.mutex);
+  PrintBacktrace(held.frames, held.frame_count);
+  PrintKnownEdges();
+  std::abort();
+}
+
+}  // namespace
+
+void LockOrderCheckAcquire(const void* mutex, int rank, const char* name) {
+  HeldStack& held = t_held;
+  constexpr int kUnranked = static_cast<int>(LockRank::kUnranked);
+  for (int i = 0; i < held.depth; ++i) {
+    const HeldLock& h = held.locks[i];
+    if (h.mutex == mutex) {
+      AbortWithReport(
+          "recursive acquisition (self-deadlock on a non-recursive mutex)",
+          h, mutex, rank, name);
+    }
+  }
+  if (rank == kUnranked || held.depth == 0) return;
+  // Check against the highest-ranked lock currently held; ranks must
+  // strictly ascend, and same-rank runs must ascend by address (the stripe
+  // array's LockAllStripes order).
+  for (int i = 0; i < held.depth; ++i) {
+    const HeldLock& h = held.locks[i];
+    if (h.rank == kUnranked) continue;
+    if (h.rank > rank) {
+      AbortWithReport("lock order inversion", h, mutex, rank, name);
+    }
+    if (h.rank == rank && h.mutex >= mutex) {
+      AbortWithReport(
+          "lock order inversion (same-rank locks must be acquired in "
+          "ascending address order)",
+          h, mutex, rank, name);
+    }
+    RecordEdge(h, rank, name);
+  }
+}
+
+void LockOrderPushHeld(const void* mutex, int rank, const char* name) {
+  HeldStack& held = t_held;
+  if (held.depth >= kMaxHeldLocks) {
+    // Beyond tracking capacity (only plausible under LockAllStripes with a
+    // pathological stripe count); drop tracking for this acquisition rather
+    // than abort — order was already checked above.
+    return;
+  }
+  HeldLock& slot = held.locks[held.depth++];
+  slot.mutex = mutex;
+  slot.rank = rank;
+  slot.name = name;
+  slot.frame_count = CaptureBacktrace(slot.frames, kMaxBacktraceFrames);
+}
+
+void LockOrderRelease(const void* mutex) {
+  HeldStack& held = t_held;
+  // Search from the top: releases are usually LIFO, but out-of-order
+  // release (hand-over-hand) is legal.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.locks[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < held.depth; ++j) {
+      held.locks[j] = held.locks[j + 1];
+    }
+    --held.depth;
+    return;
+  }
+  // Not tracked: either adopted past capacity or released on a different
+  // thread than it was acquired (the latter is a bug, but std::mutex will
+  // already exhibit UB there; nothing useful to add).
+}
+
+bool LockOrderIsHeld(const void* mutex) {
+  const HeldStack& held = t_held;
+  for (int i = 0; i < held.depth; ++i) {
+    if (held.locks[i].mutex == mutex) return true;
+  }
+  return false;
+}
+
+void LockOrderAssertHeld(const void* mutex, const char* name) {
+  if (LockOrderIsHeld(mutex)) return;
+  void* frames[kMaxBacktraceFrames];
+  int frame_count = CaptureBacktrace(frames, kMaxBacktraceFrames);
+  std::fprintf(stderr,
+               "DQM lock-order checker: AssertHeld failed — calling thread "
+               "does not hold '%s' (%p); call site:\n",
+               NameOrAnon(name), mutex);
+  PrintBacktrace(frames, frame_count);
+  std::abort();
+}
+
+}  // namespace dqm::internal
+
+#endif  // DQM_LOCK_ORDER_CHECKS

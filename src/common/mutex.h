@@ -1,0 +1,369 @@
+#ifndef DQM_COMMON_MUTEX_H_
+#define DQM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety annotation macros.
+//
+// Under Clang these expand to the capability attributes that power
+// -Wthread-safety: the compiler proves, per translation unit, that every
+// DQM_GUARDED_BY field is only touched with its lock held, that every
+// DQM_REQUIRES method is only called under the declared locks, and that
+// scoped lock objects pair their acquire/release. Under GCC (and anything
+// else) they expand to nothing — the wrappers behave identically, the
+// contracts are simply not machine-checked.
+//
+// The build promotes the analysis to -Werror=thread-safety when the
+// DQM_THREAD_SAFETY CMake option is on (the default under Clang), so an
+// unannotated lock dependency is a compile error, not a comment.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define DQM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DQM_THREAD_ANNOTATION__(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define DQM_CAPABILITY(x) DQM_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define DQM_SCOPED_CAPABILITY DQM_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define DQM_GUARDED_BY(x) DQM_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointee (not the pointer) is protected by `x`.
+#define DQM_PT_GUARDED_BY(x) DQM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held (exclusive) on entry.
+#define DQM_REQUIRES(...) \
+  DQM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared (reader) access on entry.
+#define DQM_REQUIRES_SHARED(...) \
+  DQM_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusive) and does not release it.
+#define DQM_ACQUIRE(...) \
+  DQM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires shared (reader) access.
+#define DQM_ACQUIRE_SHARED(...) \
+  DQM_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define DQM_RELEASE(...) \
+  DQM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases shared (reader) access.
+#define DQM_RELEASE_SHARED(...) \
+  DQM_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds the capability iff it returned
+/// the listed value.
+#define DQM_TRY_ACQUIRE(...) \
+  DQM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be entered holding the listed capabilities (deadlock
+/// guard for self-locking public entry points).
+#define DQM_EXCLUDES(...) DQM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis) that the capability is held — for runtime-
+/// checked entry points the analysis cannot see.
+#define DQM_ASSERT_CAPABILITY(x) \
+  DQM_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define DQM_RETURN_CAPABILITY(x) DQM_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch for lock disciplines the analysis cannot express (e.g. a
+/// dynamically sized lock set: "every stripe lock is held"). Every use must
+/// carry a comment saying which locks are actually held and why the analysis
+/// cannot see it.
+#define DQM_NO_THREAD_SAFETY_ANALYSIS \
+  DQM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Debug lock-order checking.
+//
+// Compiled in when DQM_LOCK_ORDER_CHECKS is 1 (the default in !NDEBUG
+// builds, i.e. Debug / sanitizer trees; Release compiles the checker out
+// entirely — Lock() is exactly one std::mutex::lock()). Every dqm::Mutex /
+// dqm::SharedMutex carries a LockRank fixed at construction; the checker
+// keeps a per-thread stack of held locks plus a global first-observed
+// rank-order graph and aborts — printing BOTH acquisition backtraces — the
+// moment any thread acquires:
+//   - a lock whose rank is lower than a rank it already holds (inversion
+//     against the static hierarchy), or
+//   - a second lock of the same rank at a lower-or-equal address (same-rank
+//     sets must be acquired in ascending address order, which is what the
+//     stripe array does), or
+//   - a lock it already holds (self-deadlock on a non-recursive mutex).
+// ---------------------------------------------------------------------------
+
+#ifndef DQM_LOCK_ORDER_CHECKS
+#ifdef NDEBUG
+#define DQM_LOCK_ORDER_CHECKS 0
+#else
+#define DQM_LOCK_ORDER_CHECKS 1
+#endif
+#endif
+
+namespace dqm {
+
+/// The repo-wide lock hierarchy: locks must be acquired in strictly
+/// increasing rank order (engine shard, then session, then stripe, then
+/// telemetry, ... with the logging stream lock acquirable under anything).
+/// kUnranked locks (the default for ad-hoc/test mutexes) opt out of order
+/// checking but still get recursion (self-deadlock) checking.
+enum class LockRank : int {
+  kUnranked = -1,
+  /// DqmEngine registry shard (engine/engine.h).
+  kEngineShard = 100,
+  /// EstimationSession publish/commit mutex (engine/session.h).
+  kSession = 200,
+  /// ResponseLog per-stripe ingest lock (crowd/response_log.h). Same-rank:
+  /// multiple stripes are held at once only in ascending address order.
+  kStripe = 300,
+  /// telemetry::MetricsRegistry registration map (telemetry/metrics.h).
+  kTelemetry = 400,
+  /// EstimatorRegistry spec lookup (estimators/registry.h).
+  kEstimatorRegistry = 500,
+  /// WorkloadRegistry spec lookup (workload/workload.h).
+  kWorkloadRegistry = 510,
+  /// ThreadPool queue mutex (common/thread_pool.h).
+  kThreadPool = 600,
+  /// Log-emission stream lock (common/logging.cc) — DQM_LOG may fire while
+  /// holding any other lock, so this must outrank everything.
+  kLogging = 900,
+};
+
+namespace internal {
+#if DQM_LOCK_ORDER_CHECKS
+/// Pre-acquisition order check: called BEFORE blocking on the underlying
+/// mutex so an inversion aborts with a report instead of deadlocking.
+void LockOrderCheckAcquire(const void* mutex, int rank, const char* name);
+/// Post-acquisition bookkeeping: pushes the lock (with its acquisition
+/// backtrace) onto this thread's held stack.
+void LockOrderPushHeld(const void* mutex, int rank, const char* name);
+/// Pre-release bookkeeping: removes the lock from the held stack.
+void LockOrderRelease(const void* mutex);
+/// True when this thread's held stack contains `mutex`.
+bool LockOrderIsHeld(const void* mutex);
+/// Aborts unless this thread holds `mutex` (AssertHeld's runtime teeth).
+void LockOrderAssertHeld(const void* mutex, const char* name);
+#endif
+}  // namespace internal
+
+/// Annotated exclusive mutex: a std::mutex carrying (a) Clang capability
+/// attributes so -Wthread-safety can prove the locking discipline at compile
+/// time and (b) a LockRank so debug builds can prove lock-ORDER discipline
+/// at run time. This is the only place in the repo allowed to own a raw
+/// std::mutex (enforced by tools/dqm_lint.py).
+class DQM_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kUnranked,
+                 const char* name = nullptr)
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DQM_ACQUIRE() {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderCheckAcquire(this, static_cast<int>(rank_), name_);
+    mu_.lock();
+    internal::LockOrderPushHeld(this, static_cast<int>(rank_), name_);
+#else
+    mu_.lock();
+#endif
+  }
+
+  void Unlock() DQM_RELEASE() {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+  /// Non-blocking acquisition. Cannot deadlock, so it skips the rank check
+  /// (the try-then-block pattern re-checks in the blocking Lock), but still
+  /// aborts on re-acquisition by the owner (UB on std::mutex).
+  bool TryLock() DQM_TRY_ACQUIRE(true) {
+#if DQM_LOCK_ORDER_CHECKS
+    if (internal::LockOrderIsHeld(this)) {
+      internal::LockOrderCheckAcquire(this, static_cast<int>(rank_), name_);
+    }
+    if (!mu_.try_lock()) return false;
+    internal::LockOrderPushHeld(this, static_cast<int>(rank_), name_);
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
+
+  /// Runtime + static assertion that the calling thread holds this mutex.
+  void AssertHeld() const DQM_ASSERT_CAPABILITY(this) {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderAssertHeld(this, name_);
+#endif
+  }
+
+  // BasicLockable spellings so dqm::CondVar (condition_variable_any) can
+  // drive the mutex; project code uses the PascalCase forms / MutexLock.
+  void lock() DQM_ACQUIRE() { Lock(); }
+  void unlock() DQM_RELEASE() { Unlock(); }
+  bool try_lock() DQM_TRY_ACQUIRE(true) { return TryLock(); }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+  /// True when this build carries the debug lock-order checker (Release
+  /// builds compile it out entirely — the CI TSan job asserts this).
+  static constexpr bool OrderCheckingEnabled() {
+    return DQM_LOCK_ORDER_CHECKS != 0;
+  }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Annotated reader/writer mutex over std::shared_mutex. Reader and writer
+/// acquisitions both participate in lock-order checking under the same rank.
+class DQM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kUnranked,
+                       const char* name = nullptr)
+      : rank_(rank), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() DQM_ACQUIRE() {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderCheckAcquire(this, static_cast<int>(rank_), name_);
+    mu_.lock();
+    internal::LockOrderPushHeld(this, static_cast<int>(rank_), name_);
+#else
+    mu_.lock();
+#endif
+  }
+
+  void Unlock() DQM_RELEASE() {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+  void ReaderLock() DQM_ACQUIRE_SHARED() {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderCheckAcquire(this, static_cast<int>(rank_), name_);
+    mu_.lock_shared();
+    internal::LockOrderPushHeld(this, static_cast<int>(rank_), name_);
+#else
+    mu_.lock_shared();
+#endif
+  }
+
+  void ReaderUnlock() DQM_RELEASE_SHARED() {
+#if DQM_LOCK_ORDER_CHECKS
+    internal::LockOrderRelease(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Tag selecting the adopting MutexLock constructor (the lock is already
+/// held — e.g. acquired through the TryLock-then-Lock contention probe).
+struct AdoptLockT {
+  explicit AdoptLockT() = default;
+};
+inline constexpr AdoptLockT kAdoptLock{};
+
+/// RAII exclusive lock — the project-wide replacement for std::lock_guard.
+class DQM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DQM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+
+  /// Adopts a mutex this thread already holds; the destructor releases it.
+  MutexLock(Mutex& mu, AdoptLockT) DQM_REQUIRES(mu) : mu_(mu) {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() DQM_RELEASE() { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class DQM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) DQM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+  ~ReaderMutexLock() DQM_RELEASE() { mu_.ReaderUnlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class DQM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) DQM_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+  ~WriterMutexLock() DQM_RELEASE() { mu_.Unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with dqm::Mutex. Waits release and reacquire
+/// through the annotated mutex, so the lock-order checker tracks the cycle
+/// and -Wthread-safety sees the REQUIRES contract at every wait site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. May wake spuriously — wait in a predicate loop.
+  void Wait(Mutex& mu) DQM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_MUTEX_H_

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -26,15 +26,15 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Schedule(std::function<void()> task) {
   DQM_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DQM_CHECK(!stopping_) << "Schedule() on a stopping ThreadPool";
     queue_.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -47,8 +47,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Predicate loop (not a lambda predicate): thread-safety analysis
+      // cannot annotate lambda bodies, and the explicit loop reads
+      // stopping_/queue_ in a scope it can already prove holds mutex_.
+      while (!stopping_ && queue_.empty()) wake_.Wait(mutex_);
       // Workers only exit once the queue is empty, so destruction drains
       // every scheduled task.
       if (queue_.empty()) return;

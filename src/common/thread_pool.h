@@ -1,17 +1,17 @@
 #ifndef DQM_COMMON_THREAD_POOL_H_
 #define DQM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dqm {
 
@@ -43,7 +43,7 @@ class ThreadPool {
   /// Enqueues a fire-and-forget task. Must not be called during/after
   /// destruction. An exception escaping `task` terminates the process
   /// (schedule through Submit when the task can throw).
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) DQM_EXCLUDES(mutex_);
 
   /// Enqueues a callable and returns a future for its result. Exceptions
   /// thrown by `fn` surface from `future.get()` in the waiting thread.
@@ -58,18 +58,18 @@ class ThreadPool {
   }
 
   /// Number of pending (not yet started) tasks; for tests and diagnostics.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const DQM_EXCLUDES(mutex_);
 
   /// max(1, std::thread::hardware_concurrency()).
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DQM_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_{LockRank::kThreadPool, "thread-pool"};
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ DQM_GUARDED_BY(mutex_);
+  bool stopping_ DQM_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "telemetry/metrics.h"
+#include "telemetry/metric_names.h"
 
 namespace dqm::crowd {
 
@@ -226,13 +227,13 @@ size_t DawidSkene::RunSweeps(const ResponseLog& log, Result& result,
   {
     auto& registry = telemetry::MetricsRegistry::Global();
     static telemetry::Counter* fits =
-        registry.GetCounter("dqm_em_fits_total");
+        registry.GetCounter(telemetry::metric_names::kEmFitsTotal);
     static telemetry::Counter* total_sweeps =
-        registry.GetCounter("dqm_em_sweeps_total");
+        registry.GetCounter(telemetry::metric_names::kEmSweepsTotal);
     static telemetry::Counter* converged =
-        registry.GetCounter("dqm_em_converged_total");
+        registry.GetCounter(telemetry::metric_names::kEmConvergedTotal);
     static telemetry::Gauge* delta =
-        registry.GetGauge("dqm_em_last_convergence_delta");
+        registry.GetGauge(telemetry::metric_names::kEmLastConvergenceDelta);
     fits->Increment();
     total_sweeps->Add(sweeps);
     if (result.converged) converged->Increment();

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "telemetry/metric_names.h"
 
 namespace dqm::crowd {
 
@@ -65,6 +66,7 @@ size_t CompactedVoteStore::FindOrInsertSlot(uint32_t worker, uint32_t item) {
     uint32_t slot = index_[bucket];
     if (slot == kEmptySlot) {
       uint32_t fresh = static_cast<uint32_t>(workers_.size());
+      // invariant: slot ids stay below the kEmptySlot sentinel by sizing.
       DQM_CHECK_LT(fresh, kEmptySlot) << "compacted store slot id overflow";
       index_[bucket] = fresh;
       workers_.push_back(worker);
@@ -91,6 +93,7 @@ void CompactedVoteStore::GrowIndex() {
 
 TallyScanResult ScanTallies(std::span<const uint32_t> positive,
                             std::span<const uint32_t> total) {
+  // invariant: callers pass parallel columns of one tally table.
   DQM_CHECK_EQ(positive.size(), total.size());
   TallyScanResult result;
   const uint32_t* p = positive.data();
@@ -116,6 +119,8 @@ ResponseLog::ResponseLog(size_t num_items, RetentionPolicy retention)
     : retention_(retention), positive_(num_items, 0), total_(num_items, 0) {}
 
 const std::vector<VoteEvent>& ResponseLog::events() const {
+  // invariant: retention is fixed at construction; asking a counts-only
+  // log for its event history is a caller programming error.
   DQM_CHECK(retention_ == RetentionPolicy::kFullEvents)
       << "events() requires RetentionPolicy::kFullEvents; this log retains "
          "only compacted counts";
@@ -129,6 +134,7 @@ bool ResponseLog::AppendCountMatrixBlocks(
     out.push_back(&compacted_);
     return true;
   }
+  // invariant: the consumer set was declared at pipeline construction.
   DQM_CHECK(concurrent_->maintain_pair_counts)
       << "this log was striped without pair-count maintenance; no "
          "response-matrix consumer was declared at pipeline construction";
@@ -150,7 +156,7 @@ size_t ResponseLog::RetainedBytes() const {
       // mid-measurement. See the header contract: never call this while
       // holding the PauseAndReconcile guard.
       Stripe& stripe = concurrent_->stripes[s];
-      std::lock_guard<std::mutex> lock(stripe.mutex);
+      MutexLock lock(stripe.mutex);
       bytes += stripe.counts.MemoryBytes();
     }
   }
@@ -158,9 +164,11 @@ size_t ResponseLog::RetainedBytes() const {
 }
 
 void ResponseLog::Append(const VoteEvent& event) {
+  // invariant: the ingest mode is chosen once, before the first vote.
   DQM_CHECK(concurrent_ == nullptr)
       << "Append is the serialized path; this log ingests through "
          "AppendConcurrent";
+  // invariant: item ids were validated against num_items upstream.
   DQM_CHECK_LT(event.item, positive_.size()) << "item id out of range";
   const size_t item = event.item;
 
@@ -193,11 +201,14 @@ void ResponseLog::Append(const VoteEvent& event) {
 
 void ResponseLog::EnableConcurrentIngest(size_t num_stripes,
                                          bool maintain_pair_counts) {
+  // invariant: striping is a construction-time wiring decision.
   DQM_CHECK(retention_ == RetentionPolicy::kCounts)
       << "concurrent ingest requires kCounts retention (there is no ordered "
          "event history to keep)";
+  // invariant: striping cannot be retrofitted onto a live log.
   DQM_CHECK_EQ(num_events_, 0u)
       << "concurrent ingest must be enabled before any vote arrives";
+  // invariant: EnableConcurrentIngest is called at most once.
   DQM_CHECK(concurrent_ == nullptr) << "concurrent ingest already enabled";
 
   auto state = std::make_unique<ConcurrentState>();
@@ -224,11 +235,11 @@ void ResponseLog::EnableConcurrentIngest(size_t num_stripes,
     telemetry::LabelSet labels{{"stripe", StrFormat("%zu", s)}};
     StripeMetrics& m = state->stripe_metrics[s];
     m.acquisitions =
-        registry.GetCounter("dqm_stripe_lock_acquisitions_total", labels);
+        registry.GetCounter(telemetry::metric_names::kStripeLockAcquisitionsTotal, labels);
     m.contended =
-        registry.GetCounter("dqm_stripe_lock_contended_total", labels);
-    m.wait_ns = registry.GetCounter("dqm_stripe_lock_wait_ns_total", labels);
-    m.hold_ns = registry.GetCounter("dqm_stripe_lock_hold_ns_total", labels);
+        registry.GetCounter(telemetry::metric_names::kStripeLockContendedTotal, labels);
+    m.wait_ns = registry.GetCounter(telemetry::metric_names::kStripeLockWaitNsTotal, labels);
+    m.hold_ns = registry.GetCounter(telemetry::metric_names::kStripeLockHoldNsTotal, labels);
   }
   concurrent_ = std::move(state);
 }
@@ -238,9 +249,11 @@ size_t ResponseLog::num_stripes() const {
 }
 
 void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
+  // invariant: the pipeline wires committers only to striped logs.
   DQM_CHECK(concurrent_ != nullptr)
       << "AppendConcurrent requires EnableConcurrentIngest";
   if (events.empty()) return;
+  // invariant: batch sizes are bounded by the uint32 scatter index.
   DQM_CHECK_LE(events.size(), UINT32_MAX) << "batch too large to index";
   ConcurrentState& cs = *concurrent_;
   const uint32_t shift = cs.stripe_shift;
@@ -260,6 +273,7 @@ void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
   thread_local std::vector<uint32_t> bucketed;       // event indices by stripe
   bucket_ends.assign(num_stripes + 1, 0);
   for (const VoteEvent& event : events) {
+    // invariant: item ids were validated against num_items upstream.
     DQM_CHECK_LT(event.item, positive_.size()) << "item id out of range";
     ++bucket_ends[(event.item >> shift) + 1];
   }
@@ -287,12 +301,12 @@ void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
     // two clock reads that time the wait.
     bool contended = false;
     uint64_t wait_start = 0;
-    if (!stripe.mutex.try_lock()) {
+    if (!stripe.mutex.TryLock()) {
       contended = true;
       if (timed) wait_start = telemetry::NowNanos();
-      stripe.mutex.lock();
+      stripe.mutex.Lock();
     }
-    std::lock_guard<std::mutex> lock(stripe.mutex, std::adopt_lock);
+    MutexLock lock(stripe.mutex, kAdoptLock);
     ++stripe.lock_acquisitions;
     if (contended) {
       ++stripe.lock_contended;
@@ -327,14 +341,16 @@ void ResponseLog::AppendConcurrent(std::span<const VoteEvent> events) {
 }
 
 void ResponseLog::LockAllStripes() {
+  // Ascending index = ascending address, the order the lock-order checker
+  // requires of same-rank (stripe) locks.
   for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
-    concurrent_->stripes[s].mutex.lock();
+    concurrent_->stripes[s].mutex.Lock();
   }
 }
 
 void ResponseLog::UnlockAllStripes() {
   for (size_t s = concurrent_->num_stripes; s > 0; --s) {
-    concurrent_->stripes[s - 1].mutex.unlock();
+    concurrent_->stripes[s - 1].mutex.Unlock();
   }
 }
 
@@ -358,10 +374,10 @@ ResponseLog::IngestPause ResponseLog::PauseAndReconcile() {
   if (timed) {
     static telemetry::Histogram* pause_hist =
         telemetry::MetricsRegistry::Global().GetHistogram(
-            "dqm_publish_pause_ns");
+            telemetry::metric_names::kPublishPauseNs);
     static telemetry::Histogram* fold_hist =
         telemetry::MetricsRegistry::Global().GetHistogram(
-            "dqm_publish_fold_ns");
+            telemetry::metric_names::kPublishFoldNs);
     const uint64_t fold_end = telemetry::NowNanos();
     const uint64_t pause_ns = fold_start - pause_start;
     pause_hist->Record(pause_ns);
@@ -409,12 +425,14 @@ void ResponseLog::ReconcileLocked() {
   if (events > 0) {
     static telemetry::Gauge* imbalance =
         telemetry::MetricsRegistry::Global().GetGauge(
-            "dqm_stripe_imbalance_ratio");
+            telemetry::metric_names::kStripeImbalanceRatio);
     const double mean = static_cast<double>(events) /
                         static_cast<double>(concurrent_->num_stripes);
     imbalance->Set(static_cast<double>(max_stripe_events) / mean);
   }
   TallyScanResult scan = ScanTallies(positive_, total_);
+  // invariant: the reconciled columns must agree with the stripe sums;
+  // a mismatch means a committer raced the pause guard.
   DQM_CHECK_EQ(scan.total_votes, events);
   DQM_CHECK_EQ(scan.positive_votes, positive);
   num_events_ = events;

@@ -5,11 +5,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/align.h"
+#include "common/mutex.h"
 #include "crowd/vote.h"
 #include "telemetry/metrics.h"
 
@@ -160,8 +160,11 @@ class ResponseLog {
   /// Returns false under kFullEvents (no matrix is maintained; rebuild from
   /// events()). Aborts if concurrent ingest was enabled without pair-count
   /// maintenance — there is no matrix to consume then, by construction.
-  bool AppendCountMatrixBlocks(
-      std::vector<const CompactedVoteStore*>& out) const;
+  // Reads every stripe's count shard without naming its lock: callers hold
+  // the PauseAndReconcile guard (all stripe locks) or run quiescent — a
+  // dynamic contract the analysis cannot express.
+  bool AppendCountMatrixBlocks(std::vector<const CompactedVoteStore*>& out)
+      const DQM_NO_THREAD_SAFETY_ANALYSIS;
 
   /// n_i^+ — votes marking `item` dirty.
   uint32_t positive_votes(size_t item) const { return positive_[item]; }
@@ -266,21 +269,29 @@ class ResponseLog {
   /// "small fix" half of this: the stripe lock and its counters share the
   /// stripe's line, not their neighbor's).
   struct alignas(kCacheLineBytes) Stripe {
-    std::mutex mutex;
-    CompactedVoteStore counts;  // shard; empty when pair counts are off
-    uint64_t num_events = 0;
-    uint64_t total_positive = 0;
-    uint64_t task_bound = 0;    // max task id + 1 committed to this stripe
-    uint64_t worker_bound = 0;  // max worker id + 1
+    /// kStripe rank: stripes nest inside the session mutex (publish) and
+    /// under each other only in ascending address order (LockAllStripes).
+    Mutex mutex{LockRank::kStripe, "response-log-stripe"};
+    CompactedVoteStore counts
+        DQM_GUARDED_BY(mutex);  // shard; empty when pair counts are off
+    uint64_t num_events DQM_GUARDED_BY(mutex) = 0;
+    uint64_t total_positive DQM_GUARDED_BY(mutex) = 0;
+    /// max task id + 1 committed to this stripe
+    uint64_t task_bound DQM_GUARDED_BY(mutex) = 0;
+    /// max worker id + 1
+    uint64_t worker_bound DQM_GUARDED_BY(mutex) = 0;
     // Lock telemetry, guarded by `mutex` like everything else in the stripe
     // (plain fields — the commit hot path pays no extra atomics for them).
     // Deltas since the last reconcile; ReconcileLocked folds them into the
     // per-stripe registry counters and zeroes them.
-    uint64_t lock_acquisitions = 0;
-    uint64_t lock_contended = 0;   // acquisitions that had to block
-    uint64_t lock_wait_ns = 0;     // blocked time (contended path only)
-    uint64_t lock_hold_ns = 0;     // held time, sampled 1 in 64
-    uint64_t lock_hold_samples = 0;
+    uint64_t lock_acquisitions DQM_GUARDED_BY(mutex) = 0;
+    /// acquisitions that had to block
+    uint64_t lock_contended DQM_GUARDED_BY(mutex) = 0;
+    /// blocked time (contended path only)
+    uint64_t lock_wait_ns DQM_GUARDED_BY(mutex) = 0;
+    /// held time, sampled 1 in 64
+    uint64_t lock_hold_ns DQM_GUARDED_BY(mutex) = 0;
+    uint64_t lock_hold_samples DQM_GUARDED_BY(mutex) = 0;
   };
   /// Per-stripe registry counters (created once at EnableConcurrentIngest,
   /// labeled stripe="<index>") the plain Stripe stats fold into.
@@ -299,11 +310,15 @@ class ResponseLog {
     std::vector<StripeMetrics> stripe_metrics;
   };
 
-  void LockAllStripes();
-  void UnlockAllStripes();
+  // The next three work on the dynamically sized set of stripe locks (one
+  // per stripe, acquired in a loop), which the thread-safety analysis cannot
+  // model — the debug lock-order checker covers them at run time instead
+  // (same-rank locks must be taken in ascending address order).
+  void LockAllStripes() DQM_NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockAllStripes() DQM_NO_THREAD_SAFETY_ANALYSIS;
   /// Folds stripe counters into the canonical fields; caller holds every
-  /// stripe lock.
-  void ReconcileLocked();
+  /// stripe lock (via LockAllStripes).
+  void ReconcileLocked() DQM_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Per-item tally column whose base address starts on a cache line: the
   /// stripe partition (multiples of kCacheLineBytes / sizeof(uint32_t)
@@ -322,7 +337,7 @@ class ResponseLog {
   size_t majority_count_ = 0;
   size_t num_tasks_ = 0;
   size_t num_workers_ = 0;
-  /// Heap-held so the log stays movable (std::mutex is not).
+  /// Heap-held so the log stays movable (a mutex is not).
   std::unique_ptr<ConcurrentState> concurrent_;
 };
 

@@ -6,12 +6,14 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "telemetry/metrics.h"
+#include "telemetry/metric_names.h"
 
 namespace dqm::engine {
 
 DqmEngine::DqmEngine(const Options& options)
     : num_shards_(options.num_shards),
       shards_(std::make_unique<Shard[]>(options.num_shards)) {
+  // invariant: Options defaults and callers guarantee a shard exists.
   DQM_CHECK_GT(num_shards_, 0u);
 }
 
@@ -26,7 +28,7 @@ Status DqmEngine::PrecheckName(const std::string& name) const {
     return Status::InvalidArgument("session name must be non-empty");
   }
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard.sessions.contains(name)) {
     return Status::AlreadyExists(
         StrFormat("session '%s' is already open", name.c_str()));
@@ -42,7 +44,7 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::InsertSession(
   // Construct outside the shard lock; a racing open of the same name is
   // resolved by the emplace below (first writer wins).
   std::shared_ptr<EstimationSession> session = make_session();
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto [it, inserted] = shard.sessions.emplace(name, session);
   if (!inserted) {
     return Status::AlreadyExists(
@@ -88,7 +90,7 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
 Result<std::shared_ptr<EstimationSession>> DqmEngine::GetSession(
     const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.sessions.find(name);
   if (it == shard.sessions.end()) {
     return Status::NotFound(
@@ -132,8 +134,11 @@ std::vector<std::pair<std::string, Snapshot>> DqmEngine::QueryAll() const {
   std::vector<std::pair<std::string, std::shared_ptr<EstimationSession>>>
       sessions;
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    for (const auto& [name, session] : shards_[i].sessions) {
+    // Bind the shard once: the analysis ties shard.sessions to shard.mutex
+    // through the one local, where an index expression would defeat it.
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mutex);
+    for (const auto& [name, session] : shard.sessions) {
       sessions.emplace_back(name, session);
     }
   }
@@ -149,7 +154,7 @@ std::vector<std::pair<std::string, Snapshot>> DqmEngine::QueryAll() const {
 
 Status DqmEngine::CloseSession(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard.sessions.erase(name) == 0) {
     return Status::NotFound(
         StrFormat("no open session named '%s'", name.c_str()));
@@ -160,8 +165,9 @@ Status DqmEngine::CloseSession(const std::string& name) {
 size_t DqmEngine::num_sessions() const {
   size_t count = 0;
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    count += shards_[i].sessions.size();
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mutex);
+    count += shard.sessions.size();
   }
   return count;
 }
@@ -173,8 +179,9 @@ void DqmEngine::RefreshTelemetry() const {
   // no matter how much open/close churn races this walk.
   std::vector<std::shared_ptr<EstimationSession>> sessions;
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    for (const auto& [name, session] : shards_[i].sessions) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mutex);
+    for (const auto& [name, session] : shard.sessions) {
       sessions.push_back(session);
     }
   }
@@ -184,10 +191,10 @@ void DqmEngine::RefreshTelemetry() const {
   }
   static telemetry::Gauge* sessions_open =
       telemetry::MetricsRegistry::Global().GetGauge(
-          "dqm_engine_sessions_open");
+          telemetry::metric_names::kEngineSessionsOpen);
   static telemetry::Gauge* retained_bytes =
       telemetry::MetricsRegistry::Global().GetGauge(
-          "dqm_engine_retained_bytes");
+          telemetry::metric_names::kEngineRetainedBytes);
   // Set, not Add: the gauges are a point-in-time roll-up, so sessions that
   // closed since the last refresh simply stop contributing — the
   // double-report hazard of accumulating per-session deltas cannot arise.
@@ -198,8 +205,9 @@ void DqmEngine::RefreshTelemetry() const {
 std::vector<std::string> DqmEngine::SessionNames() const {
   std::vector<std::string> names;
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    for (const auto& [name, session] : shards_[i].sessions) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mutex);
+    for (const auto& [name, session] : shard.sessions) {
       names.push_back(name);
     }
   }

@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -12,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/dqm.h"
@@ -140,9 +140,13 @@ class DqmEngine {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    /// kEngineShard is the lowest rank in the lock hierarchy: a shard
+    /// critical section may (via a session destroyed by CloseSession's
+    /// erase) reach into the session/telemetry ranks, but nothing may take
+    /// a shard lock while holding any other engine lock.
+    mutable Mutex mutex{LockRank::kEngineShard, "engine-shard"};
     std::unordered_map<std::string, std::shared_ptr<EstimationSession>>
-        sessions;
+        sessions DQM_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(std::string_view name) const;

@@ -8,12 +8,14 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "telemetry/metric_names.h"
 
 namespace dqm::engine {
 
 SnapshotCell::SnapshotCell(size_t num_estimators)
     : num_estimators_(num_estimators),
       words_(std::make_unique<std::atomic<uint64_t>[]>(num_words())) {
+  // invariant: a metric always carries at least one estimator.
   DQM_CHECK_GT(num_estimators_, 0u);
   for (size_t i = 0; i < num_words(); ++i) {
     words_[i].store(0, std::memory_order_relaxed);
@@ -21,6 +23,7 @@ SnapshotCell::SnapshotCell(size_t num_estimators)
 }
 
 void SnapshotCell::Store(const Snapshot& snapshot) {
+  // invariant: the cell is sized for this pipeline's estimator count.
   DQM_CHECK_EQ(snapshot.estimates.size(), num_estimators_);
   // Boehm's seqlock recipe ("Can seqlocks get along with programming
   // language memory models?"): odd sequence marks a write in flight.
@@ -60,7 +63,7 @@ void SnapshotCell::LoadInto(Snapshot& snapshot) const {
   // metric is registered — at zero — from the first uncontended read.
   static telemetry::Counter* retries =
       telemetry::MetricsRegistry::Global().GetCounter(
-          "dqm_seqlock_read_retries_total");
+          telemetry::metric_names::kSeqlockReadRetriesTotal);
   // The rows vector is sized before the retry loop (a no-op when the caller
   // reuses a Snapshot): a hot reader polling the cell pays no allocation
   // per read, let alone per retry.
@@ -162,14 +165,14 @@ struct SessionMetrics {
 
   SessionMetrics() {
     auto& registry = telemetry::MetricsRegistry::Global();
-    batches = registry.GetCounter("dqm_commit_batches_total");
-    votes = registry.GetCounter("dqm_commit_votes_total");
-    publishes = registry.GetCounter("dqm_publishes_total");
-    deferred = registry.GetCounter("dqm_publish_deferred_total");
-    batch_votes = registry.GetHistogram("dqm_commit_batch_votes");
-    commit_ns = registry.GetHistogram("dqm_commit_latency_ns");
-    publish_ns = registry.GetHistogram("dqm_publish_latency_ns");
-    estimate_ns = registry.GetHistogram("dqm_publish_estimate_ns");
+    batches = registry.GetCounter(telemetry::metric_names::kCommitBatchesTotal);
+    votes = registry.GetCounter(telemetry::metric_names::kCommitVotesTotal);
+    publishes = registry.GetCounter(telemetry::metric_names::kPublishesTotal);
+    deferred = registry.GetCounter(telemetry::metric_names::kPublishDeferredTotal);
+    batch_votes = registry.GetHistogram(telemetry::metric_names::kCommitBatchVotes);
+    commit_ns = registry.GetHistogram(telemetry::metric_names::kCommitLatencyNs);
+    publish_ns = registry.GetHistogram(telemetry::metric_names::kPublishLatencyNs);
+    estimate_ns = registry.GetHistogram(telemetry::metric_names::kPublishEstimateNs);
   }
 };
 
@@ -238,10 +241,10 @@ EstimationSession::EstimationSession(std::string name,
   for (const std::string& estimator : estimator_names_) {
     telemetry::LabelSet labels{{"estimator", estimator}, {"session", name_}};
     quality_gauges_.push_back(
-        registry.AcquireGauge("dqm_session_quality", labels));
+        registry.AcquireGauge(telemetry::metric_names::kSessionQuality, labels));
     quality_gauges_.back()->Set(1.0);  // empty session: all labels "correct"
     total_errors_gauges_.push_back(
-        registry.AcquireGauge("dqm_session_total_errors", labels));
+        registry.AcquireGauge(telemetry::metric_names::kSessionTotalErrors, labels));
   }
 }
 
@@ -249,8 +252,8 @@ EstimationSession::~EstimationSession() {
   auto& registry = telemetry::MetricsRegistry::Global();
   for (const std::string& estimator : estimator_names_) {
     telemetry::LabelSet labels{{"estimator", estimator}, {"session", name_}};
-    registry.ReleaseGauge("dqm_session_quality", labels);
-    registry.ReleaseGauge("dqm_session_total_errors", labels);
+    registry.ReleaseGauge(telemetry::metric_names::kSessionQuality, labels);
+    registry.ReleaseGauge(telemetry::metric_names::kSessionTotalErrors, labels);
   }
 }
 
@@ -316,7 +319,7 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
     return Status::OK();
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t commit_start = timed ? telemetry::NowNanos() : 0;
   for (const crowd::VoteEvent& event : votes) {
     metric_.AddVote(event.task, event.worker, event.item,
@@ -353,7 +356,7 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
 }
 
 void EstimationSession::Publish() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PublishInternalLocked();
 }
 
@@ -432,7 +435,7 @@ size_t EstimationSession::RetainedBytes() const {
   // time and must not nest inside the pause). Committers racing on the
   // striped path hold single stripe locks only, which the log read waits
   // out per stripe.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return metric_.log().RetainedBytes();
 }
 

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/align.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/dqm.h"
@@ -194,7 +194,8 @@ class EstimationSession {
   /// cadence says so). The batch is all-or-nothing: any out-of-range item
   /// id rejects the whole batch with InvalidArgument before a single vote
   /// is applied.
-  Status AddVotes(std::span<const crowd::VoteEvent> votes);
+  Status AddVotes(std::span<const crowd::VoteEvent> votes)
+      DQM_EXCLUDES(mutex_);
 
   /// Single-vote convenience wrapper (one batch of one vote).
   Status AddVote(const crowd::VoteEvent& event) {
@@ -204,7 +205,7 @@ class EstimationSession {
   /// Publishes a snapshot of everything committed so far — the explicit
   /// flush for kManual / kEveryNVotes cadences (harmless, if pointless,
   /// under kEveryBatch). Safe from any thread; publishes serialize.
-  void Publish();
+  void Publish() DQM_EXCLUDES(mutex_);
 
   /// Current estimates, without blocking on writers.
   Snapshot snapshot() const;
@@ -237,8 +238,10 @@ class EstimationSession {
   /// Approximate heap bytes this session retains for vote storage — the
   /// engine's RetainedBytes gauge roll-up reads this. Takes the session
   /// mutex (and, per stripe, the stripe locks), so it is safe against live
-  /// committers and publishes.
-  size_t RetainedBytes() const;
+  /// committers and publishes. Must NOT be called from inside the publish
+  /// path (the stripe locks would be re-acquired — the debug lock-order
+  /// checker turns that mistake into an immediate abort).
+  size_t RetainedBytes() const DQM_EXCLUDES(mutex_);
 
   /// The session's span ring: recent commit / reconcile / estimate /
   /// publish spans for post-hoc "why was this publish slow" forensics.
@@ -249,12 +252,12 @@ class EstimationSession {
   /// Refreshes the publish scratch from the metric and stores the seqlock
   /// snapshot. Caller holds mutex_ (and, for striped sessions, the log's
   /// ingest pause).
-  void PublishLocked();
+  void PublishLocked() DQM_REQUIRES(mutex_);
 
   /// Full publish under mutex_: pauses/reconciles striped logs, runs
   /// PublishLocked, and records publish telemetry (latency split, flight
   /// spans, quality gauges).
-  void PublishInternalLocked();
+  void PublishInternalLocked() DQM_REQUIRES(mutex_);
 
   const std::string name_;
   const size_t num_items_;
@@ -263,14 +266,20 @@ class EstimationSession {
   /// Total votes committed; drives the kEveryNVotes trigger on the striped
   /// path without any shared lock.
   std::atomic<uint64_t> committed_votes_{0};
-  mutable std::mutex mutex_;
-  core::DataQualityMetric metric_;  // striped: commits bypass mutex_
-  uint64_t version_ = 0;            // guarded by mutex_
+  mutable Mutex mutex_{LockRank::kSession, "session"};
+  /// Deliberately NOT guarded by mutex_: on the striped path concurrent
+  /// committers call metric_.CommitVotesConcurrent under the log's
+  /// per-stripe locks with mutex_ unheld; only the serialized commit path
+  /// and the publish path touch it under mutex_. The striped/serialized
+  /// split (striped_, fixed at construction) is the real guard.
+  core::DataQualityMetric metric_;
+  uint64_t version_ DQM_GUARDED_BY(mutex_) = 0;
   /// Publish scratch, guarded by mutex_: the publish path refreshes these
   /// in place instead of building a fresh report + snapshot, so publishing
   /// performs no heap allocations in steady state.
-  core::DataQualityMetric::QualityReport report_scratch_;
-  Snapshot publish_scratch_;
+  core::DataQualityMetric::QualityReport report_scratch_
+      DQM_GUARDED_BY(mutex_);
+  Snapshot publish_scratch_ DQM_GUARDED_BY(mutex_);
   const std::vector<std::string> estimator_names_;  // immutable
   SnapshotCell snapshot_;
   /// Per-session×estimator exported gauges (refcounted in the global

@@ -158,7 +158,7 @@ Status EstimatorRegistry::Register(Entry entry) {
   }
   std::string name = ToLower(entry.name);
   entry.name = name;
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto shared = std::make_shared<const Entry>(std::move(entry));
   auto [it, inserted] = entries_.emplace(name, std::move(shared));
   if (!inserted) {
@@ -173,7 +173,7 @@ Status EstimatorRegistry::RegisterAlias(std::string alias,
                                         std::string canonical) {
   std::string alias_name = ToLower(alias);
   std::string canonical_name = ToLower(canonical);
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto it = entries_.find(canonical_name);
   if (it == entries_.end()) {
     return Status::NotFound(StrFormat("estimator '%s' is not registered",
@@ -188,12 +188,12 @@ Status EstimatorRegistry::RegisterAlias(std::string alias,
 }
 
 bool EstimatorRegistry::Contains(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return entries_.find(ToLower(name)) != entries_.end();
 }
 
 std::vector<std::string> EstimatorRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<std::string> names = canonical_names_;
   std::sort(names.begin(), names.end());
   return names;
@@ -201,7 +201,7 @@ std::vector<std::string> EstimatorRegistry::Names() const {
 
 Result<std::shared_ptr<const EstimatorRegistry::Entry>>
 EstimatorRegistry::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = entries_.find(ToLower(name));
   if (it == entries_.end()) {
     return Status::NotFound(StrFormat(

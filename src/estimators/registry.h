@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "crowd/response_log.h"
@@ -212,10 +212,16 @@ class EstimatorRegistry {
   static EstimatorRegistry& Global();
 
  private:
-  mutable std::mutex mutex_;
+  // Reader/writer split: registration happens once at start-up, but every
+  // spec parse / session open / CLI listing goes through Find/Contains —
+  // those take shared locks and never serialize against each other.
+  mutable SharedMutex mutex_{LockRank::kEstimatorRegistry,
+                             "estimator-registry"};
   // Alias and canonical names both map to the shared entry.
-  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
-  std::vector<std::string> canonical_names_;  // registration order
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_
+      DQM_GUARDED_BY(mutex_);
+  std::vector<std::string> canonical_names_
+      DQM_GUARDED_BY(mutex_);  // registration order
 };
 
 namespace internal {

@@ -1,0 +1,65 @@
+#ifndef DQM_TELEMETRY_METRIC_NAMES_H_
+#define DQM_TELEMETRY_METRIC_NAMES_H_
+
+// The single home of every exported metric name. Instrumentation sites refer
+// to these constants instead of spelling the string; tools/dqm_lint.py
+// enforces both halves of the contract — a "dqm_*" string literal anywhere
+// else in src/ is a lint error, and every name declared here must match the
+// canonical grammar `[a-z][a-z0-9_]*` (the `name{k=v,...}` exposition
+// identity adds sorted labels on top, at the registry layer).
+//
+// Keeping the names in one translation-unit-visible table is what makes the
+// exposition surface reviewable: a metrics rename is one diff hunk here plus
+// the call sites the compiler then finds for free.
+
+namespace dqm::telemetry::metric_names {
+
+// --- Striped ingest (crowd/response_log.cc) -------------------------------
+/// Stripe-lock acquisitions by committers, labeled stripe="<index>".
+inline constexpr char kStripeLockAcquisitionsTotal[] =
+    "dqm_stripe_lock_acquisitions_total";
+/// The subset of acquisitions that had to block.
+inline constexpr char kStripeLockContendedTotal[] =
+    "dqm_stripe_lock_contended_total";
+/// Nanoseconds committers spent blocked on stripe locks.
+inline constexpr char kStripeLockWaitNsTotal[] =
+    "dqm_stripe_lock_wait_ns_total";
+/// Nanoseconds stripe locks were held (sampled 1 in 64).
+inline constexpr char kStripeLockHoldNsTotal[] =
+    "dqm_stripe_lock_hold_ns_total";
+/// Publish-side pause phase: acquiring every stripe lock.
+inline constexpr char kPublishPauseNs[] = "dqm_publish_pause_ns";
+/// Publish-side fold phase: the reconcile scan under the pause.
+inline constexpr char kPublishFoldNs[] = "dqm_publish_fold_ns";
+/// Hottest stripe's share of a perfectly even spread (1.0 = balanced).
+inline constexpr char kStripeImbalanceRatio[] = "dqm_stripe_imbalance_ratio";
+
+// --- Dawid-Skene EM (crowd/dawid_skene.cc) --------------------------------
+inline constexpr char kEmFitsTotal[] = "dqm_em_fits_total";
+inline constexpr char kEmSweepsTotal[] = "dqm_em_sweeps_total";
+inline constexpr char kEmConvergedTotal[] = "dqm_em_converged_total";
+inline constexpr char kEmLastConvergenceDelta[] =
+    "dqm_em_last_convergence_delta";
+
+// --- Engine registry (engine/engine.cc) -----------------------------------
+inline constexpr char kEngineSessionsOpen[] = "dqm_engine_sessions_open";
+inline constexpr char kEngineRetainedBytes[] = "dqm_engine_retained_bytes";
+
+// --- Session serving paths (engine/session.cc) ----------------------------
+inline constexpr char kSeqlockReadRetriesTotal[] =
+    "dqm_seqlock_read_retries_total";
+inline constexpr char kCommitBatchesTotal[] = "dqm_commit_batches_total";
+inline constexpr char kCommitVotesTotal[] = "dqm_commit_votes_total";
+inline constexpr char kPublishesTotal[] = "dqm_publishes_total";
+inline constexpr char kPublishDeferredTotal[] = "dqm_publish_deferred_total";
+inline constexpr char kCommitBatchVotes[] = "dqm_commit_batch_votes";
+inline constexpr char kCommitLatencyNs[] = "dqm_commit_latency_ns";
+inline constexpr char kPublishLatencyNs[] = "dqm_publish_latency_ns";
+inline constexpr char kPublishEstimateNs[] = "dqm_publish_estimate_ns";
+/// Per-session×estimator gauges, labeled estimator=..., session=...
+inline constexpr char kSessionQuality[] = "dqm_session_quality";
+inline constexpr char kSessionTotalErrors[] = "dqm_session_total_errors";
+
+}  // namespace dqm::telemetry::metric_names
+
+#endif  // DQM_TELEMETRY_METRIC_NAMES_H_

@@ -159,7 +159,7 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreateLocked(
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kCounter);
   entry.pinned = true;
   return entry.counter.get();
@@ -167,21 +167,21 @@ Counter* MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kHistogram);
   entry.pinned = true;
   return entry.histogram.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name, LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kGauge);
   entry.pinned = true;
   return entry.gauge.get();
 }
 
 Gauge* MetricsRegistry::AcquireGauge(std::string_view name, LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = FindOrCreateLocked(name, std::move(labels), Type::kGauge);
   ++entry.refs;
   return entry.gauge.get();
@@ -189,7 +189,7 @@ Gauge* MetricsRegistry::AcquireGauge(std::string_view name, LabelSet labels) {
 
 void MetricsRegistry::ReleaseGauge(std::string_view name,
                                    const LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   LabelSet sorted = labels;
   std::sort(sorted.begin(), sorted.end());
   auto it = entries_.find(EncodeKey(name, sorted));
@@ -203,7 +203,7 @@ void MetricsRegistry::ReleaseGauge(std::string_view name,
 }
 
 MetricsRegistry::Collection MetricsRegistry::Collect() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Collection out;
   // entries_ iterates in key order, which is (name, sorted labels) order —
   // the deterministic exposition order the golden tests pin down.
@@ -226,12 +226,12 @@ MetricsRegistry::Collection MetricsRegistry::Collect() const {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, entry] : entries_) {
     switch (entry.type) {
       case Type::kCounter:

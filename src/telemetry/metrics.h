@@ -7,13 +7,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/align.h"
+#include "common/mutex.h"
 
 namespace dqm::telemetry {
 
@@ -227,12 +227,13 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
   };
 
-  Entry& FindOrCreateLocked(std::string_view name, LabelSet labels, Type type);
+  Entry& FindOrCreateLocked(std::string_view name, LabelSet labels, Type type)
+      DQM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{LockRank::kTelemetry, "metrics-registry"};
   /// Keyed by "name{k=v,...}" with labels sorted — one canonical spelling
   /// per identity.
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_ DQM_GUARDED_BY(mutex_);
 };
 
 }  // namespace dqm::telemetry

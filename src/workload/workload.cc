@@ -22,7 +22,7 @@ Status WorkloadRegistry::Register(Entry entry) {
   }
   std::string name = ToLower(entry.name);
   entry.name = name;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] =
       entries_.emplace(name, std::make_shared<const Entry>(std::move(entry)));
   if (!inserted) {
@@ -34,17 +34,17 @@ Status WorkloadRegistry::Register(Entry entry) {
 }
 
 bool WorkloadRegistry::Contains(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.find(ToLower(name)) != entries_.end();
 }
 
 std::vector<std::string> WorkloadRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return names_;
 }
 
 Result<std::string> WorkloadRegistry::Help(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(ToLower(name));
   if (it == entries_.end()) {
     return Status::NotFound(StrFormat("unknown workload '%s'",
@@ -57,7 +57,7 @@ Result<std::unique_ptr<Workload>> WorkloadRegistry::Create(
     const EstimatorSpec& spec) const {
   std::shared_ptr<const Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(ToLower(spec.name));
     if (it == entries_.end()) {
       return Status::NotFound(

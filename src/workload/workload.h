@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "crowd/response_log.h"
@@ -105,9 +105,11 @@ class WorkloadRegistry {
   static WorkloadRegistry& Global();
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
-  std::vector<std::string> names_;  // registration order
+  mutable Mutex mutex_{LockRank::kWorkloadRegistry, "workload-registry"};
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_
+      DQM_GUARDED_BY(mutex_);
+  std::vector<std::string> names_
+      DQM_GUARDED_BY(mutex_);  // registration order
 };
 
 namespace internal {

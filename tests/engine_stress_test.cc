@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
 #include "crowd/vote.h"
 #include "telemetry/metrics.h"
 
@@ -370,6 +371,28 @@ TEST(EngineStressTest, RefreshTelemetryDuringSessionChurn) {
       EXPECT_EQ(gauge.value, 0.0) << gauge.name;
     }
   }
+}
+
+TEST(EngineStressTest, LockOrderCheckerCatchesDeliberateInversion) {
+  // The serving hierarchy is engine-shard < session < stripe < telemetry: a
+  // session callback that re-entered the engine registry (shard rank) while
+  // its own session lock was held would deadlock against CloseSession, which
+  // nests the other way. Debug builds must catch exactly that inversion at
+  // the acquisition site — with a report, not a hang — before the lock
+  // blocks. Release builds compile the checker out; the CI TSan job runs the
+  // Debug tree where this bites.
+  if (!Mutex::OrderCheckingEnabled()) {
+    GTEST_SKIP() << "lock-order checker compiled out (Release build)";
+  }
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex shard(LockRank::kEngineShard, "engine-shard");
+  Mutex session(LockRank::kSession, "session");
+  EXPECT_DEATH(
+      {
+        MutexLock holding_session(session);
+        MutexLock reentering_registry(shard);  // rank 100 under rank 200
+      },
+      "lock order inversion");
 }
 
 }  // namespace

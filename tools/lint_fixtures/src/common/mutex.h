@@ -1,0 +1,23 @@
+#ifndef DQM_COMMON_MUTEX_H_
+#define DQM_COMMON_MUTEX_H_
+
+// Fixture twin of the real wrapper header: raw standard-library
+// synchronization is allowed here and nowhere else. This file must produce
+// zero findings — it proves the raw-sync allowlist.
+
+#include <mutex>
+
+namespace dqm {
+
+class Mutex {
+ public:
+  void Lock() { mu_.lock(); }
+  void Unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace dqm
+
+#endif  // DQM_COMMON_MUTEX_H_

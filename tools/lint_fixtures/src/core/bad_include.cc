@@ -1,0 +1,12 @@
+// Fixture: include-hygiene findings — a project header pulled in with angle
+// brackets, and a standard header pulled in with quotes.
+
+#include <common/mutex.h>
+
+#include "vector"
+
+#include "core/no_guard.h"
+
+namespace dqm::core {
+int Use() { return Answer(); }
+}  // namespace dqm::core

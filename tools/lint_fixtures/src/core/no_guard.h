@@ -1,0 +1,7 @@
+// Fixture: a project header without the DQM_CORE_NO_GUARD_H_ include guard
+// is an include-hygiene finding.
+#pragma once
+
+namespace dqm::core {
+inline int Answer() { return 42; }
+}  // namespace dqm::core

@@ -1,0 +1,22 @@
+// Fixture: a hand-rolled seqlock outside SnapshotCell / FlightRecorder is a
+// seqlock finding — the odd/even sequence protocol must be consumed through
+// the audited helpers.
+
+#include <atomic>
+#include <cstdint>
+
+namespace dqm::crowd {
+
+struct RogueCell {
+  std::atomic<uint64_t> seq{0};
+  uint64_t payload = 0;
+};
+
+void RogueStore(RogueCell& cell, uint64_t value) {
+  uint64_t seq = cell.seq.load(std::memory_order_relaxed);
+  cell.seq.store(seq + 1, std::memory_order_relaxed);
+  cell.payload = value;
+  cell.seq.store(seq + 2, std::memory_order_release);
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,19 @@
+// Fixture: serving-path DQM_CHECKs must carry an `// invariant:`
+// justification within the preceding lines. The first check below has none
+// (finding); the second is justified (clean); the third is suppressed.
+
+#define DQM_CHECK(cond) (void)(cond)
+#define DQM_CHECK_GT(a, b) (void)((a) > (b))
+
+namespace dqm::engine {
+
+void Serve(int num_shards, bool ready) {
+  DQM_CHECK_GT(num_shards, 0);
+
+  // invariant: callers flip ready exactly once, before the first request.
+  DQM_CHECK(ready);
+
+  DQM_CHECK(num_shards < 64);  // dqm-lint: allow(check-discipline)
+}
+
+}  // namespace dqm::engine

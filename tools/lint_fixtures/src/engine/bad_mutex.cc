@@ -1,0 +1,28 @@
+// Fixture: every raw standard-library synchronization primitive outside
+// common/mutex.h is a raw-sync finding. A std::mutex spelled in a comment is
+// not: the stripper removes it before the rule runs.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace dqm::engine {
+
+struct BadCache {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+int CountUnderLock(BadCache& cache) {
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return 0;
+}
+
+// A justified escape hatch stays silent:
+// (the real tree uses this for the checker's own graph mutex)
+struct Bootstrap {
+  std::mutex graph_mu;  // dqm-lint: allow(raw-sync)
+};
+
+}  // namespace dqm::engine

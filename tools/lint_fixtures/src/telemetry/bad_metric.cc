@@ -1,0 +1,14 @@
+// Fixture: a "dqm_*" string literal outside telemetry/metric_names.h is a
+// metric-name finding even when the name itself is well-formed — the point
+// is that the registry of record stays the single minting site. Mentioning
+// dqm_some_counter in a comment is fine.
+
+#include "telemetry/metric_names.h"
+
+namespace dqm::telemetry {
+
+const char* RogueName() { return "dqm_rogue_counter_total"; }
+
+const char* SanctionedName() { return metric_names::kGoodCounter; }
+
+}  // namespace dqm::telemetry

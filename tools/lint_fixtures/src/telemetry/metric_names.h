@@ -1,0 +1,18 @@
+#ifndef DQM_TELEMETRY_METRIC_NAMES_H_
+#define DQM_TELEMETRY_METRIC_NAMES_H_
+
+// Fixture twin of the registry of record. Declaring a name here is the only
+// sanctioned way to mint one — but the name must still match the canonical
+// grammar dqm_[a-z][a-z0-9_]*.
+
+namespace dqm::telemetry::metric_names {
+
+// Fine: lowercase, underscores, leading letter after the prefix.
+inline constexpr char kGoodCounter[] = "dqm_good_counter_total";
+
+// metric-name finding: uppercase and '-' violate the grammar.
+inline constexpr char kBadCounter[] = "dqm_Bad-Counter";
+
+}  // namespace dqm::telemetry::metric_names
+
+#endif  // DQM_TELEMETRY_METRIC_NAMES_H_
