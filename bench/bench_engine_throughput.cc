@@ -11,7 +11,11 @@
 // attached ingesting until 100k+ accumulated votes, showing that
 // warm-started EM keeps per-batch latency flat in history while the
 // cold-refit path ("em-voting?warm=0") pays a full EM fit per batch — plus
-// the kCounts vs kFullEvents retained-memory curve.
+// the kCounts vs kFullEvents retained-memory curve and (f) the durability
+// overhead rows: the same single-producer striped workload with the
+// write-ahead log off vs on across group-commit cadences, reporting
+// absolute durable throughput (the gated number), the on/off ratio, WAL
+// bytes written, and fsync count.
 //
 //   $ ./bench_engine_throughput [--tasks=500] [--batch=512]
 //       [--methods=chao92,em-voting] [--writer_threads=1,2,4,8]
@@ -27,6 +31,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <span>
@@ -45,6 +50,8 @@
 #include "engine/engine.h"
 #include "estimators/registry.h"
 #include "figure_common.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -731,6 +738,79 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(mem_table.Render().c_str(), stdout);
+
+  // --- (f) Durability overhead: the identical single-producer striped
+  // workload with the write-ahead log off vs on, across group-commit
+  // cadences (all >= 256 votes). Checkpoints stay off so the rows isolate
+  // the WAL append + fsync cost. The on/off ratio is informative — the
+  // in-memory tally path is a pure counter increment, so NO disk-backed
+  // log tracks it — while the gated acceptance number is absolute durable
+  // throughput: within 1.5x of the in-memory single-writer ingest floor
+  // (bench/floors.json, "durability_wal4096.votes_per_sec"). ---
+  std::printf("\n== durability: WAL group-commit overhead ==\n");
+  {
+    namespace fs = std::filesystem;
+    const fs::path scratch = fs::temp_directory_path() / "dqm_bench_durability";
+    const size_t writers = 1;
+    IngestResult off =
+        MeasureMultiWriter(tally_panel, coalesced, writers, events, batch_size,
+                           writer_batches, scenario.num_items);
+    json.AddResult("durability_off",
+                   {{"votes_per_sec", off.votes_per_sec},
+                    {"p50_commit_ms", off.p50_batch_ms},
+                    {"p99_commit_ms", off.p99_batch_ms}});
+    dqm::AsciiTable durability_table({"config", "votes/sec", "p50 commit ms",
+                                      "p99 commit ms", "on/off", "wal MiB",
+                                      "fsyncs"});
+    durability_table.AddRow({"off", dqm::StrFormat("%.0f", off.votes_per_sec),
+                             dqm::StrFormat("%.4f", off.p50_batch_ms),
+                             dqm::StrFormat("%.4f", off.p99_batch_ms), "1.00",
+                             "-", "-"});
+    auto& registry = dqm::telemetry::MetricsRegistry::Global();
+    dqm::telemetry::Counter* wal_bytes = registry.GetCounter(
+        dqm::telemetry::metric_names::kWalBytesWrittenTotal);
+    dqm::telemetry::Counter* wal_fsyncs =
+        registry.GetCounter(dqm::telemetry::metric_names::kWalFsyncsTotal);
+    for (uint64_t group_commit :
+         {uint64_t{16384}, uint64_t{4096}, uint64_t{256}}) {
+      std::error_code ec;
+      fs::remove_all(scratch, ec);  // Create() refuses a non-empty dir
+      dqm::engine::SessionOptions durable = coalesced;
+      durable.durability_dir = scratch.string();
+      durable.wal_group_commit_votes = group_commit;
+      durable.checkpoint_every_votes = 0;
+      uint64_t bytes_before = wal_bytes->Value();
+      uint64_t fsyncs_before = wal_fsyncs->Value();
+      IngestResult on =
+          MeasureMultiWriter(tally_panel, durable, writers, events, batch_size,
+                             writer_batches, scenario.num_items);
+      double wal_mib =
+          static_cast<double>(wal_bytes->Value() - bytes_before) /
+          (1024.0 * 1024.0);
+      double fsync_count =
+          static_cast<double>(wal_fsyncs->Value() - fsyncs_before);
+      double ratio = on.votes_per_sec / std::max(off.votes_per_sec, 1e-9);
+      std::string key = dqm::StrFormat("durability_wal%llu",
+                                       static_cast<unsigned long long>(
+                                           group_commit));
+      durability_table.AddRow(
+          {dqm::StrFormat("wal gc=%llu",
+                          static_cast<unsigned long long>(group_commit)),
+           dqm::StrFormat("%.0f", on.votes_per_sec),
+           dqm::StrFormat("%.4f", on.p50_batch_ms),
+           dqm::StrFormat("%.4f", on.p99_batch_ms),
+           dqm::StrFormat("%.2f", ratio), dqm::StrFormat("%.2f", wal_mib),
+           dqm::StrFormat("%.0f", fsync_count)});
+      json.AddResult(key, {{"votes_per_sec", on.votes_per_sec},
+                           {"p50_commit_ms", on.p50_batch_ms},
+                           {"p99_commit_ms", on.p99_batch_ms},
+                           {"on_off_ratio", ratio},
+                           {"wal_mib_written", wal_mib},
+                           {"wal_fsyncs", fsync_count}});
+      fs::remove_all(scratch, ec);
+    }
+    std::fputs(durability_table.Render().c_str(), stdout);
+  }
 
   std::printf("\n");
   dqm::bench::EmitBenchJson(json);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include <sys/resource.h>
 
@@ -85,9 +86,14 @@ bool WriteBenchArtifact(std::string_view bench_name) {
   path += bench_name;
   path += ".json";
 
-  std::string body = StrFormat("{\"bench\":\"%s\",\"peak_rss_mb\":%s,\"runs\":[",
-                               JsonEscape(std::string(bench_name)).c_str(),
-                               JsonNumber(PeakRssMb()).c_str());
+  // hardware_concurrency lets the floor gate (tools/check_bench_json.py)
+  // skip multi-writer scaling floors when the artifact came from a
+  // single-core machine, where "4 writers" measures scheduler thrash.
+  std::string body = StrFormat(
+      "{\"bench\":\"%s\",\"peak_rss_mb\":%s,\"hardware_concurrency\":%u,"
+      "\"runs\":[",
+      JsonEscape(std::string(bench_name)).c_str(),
+      JsonNumber(PeakRssMb()).c_str(), std::thread::hardware_concurrency());
   const std::vector<std::string>& lines = QueuedBenchLines();
   for (size_t i = 0; i < lines.size(); ++i) {
     if (i > 0) body += ",";

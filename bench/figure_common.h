@@ -86,7 +86,8 @@ void EmitBenchJson(const BenchJsonWriter& json);
 
 /// Writes all queued lines, wrapped as
 ///
-///   {"bench":"<bench_name>","peak_rss_mb":<mb>,"runs":[<line>, ...]}
+///   {"bench":"<bench_name>","peak_rss_mb":<mb>,
+///    "hardware_concurrency":<threads>,"runs":[<line>, ...]}
 ///
 /// to BENCH_<bench_name>.json in $DQM_BENCH_JSON_DIR (default: the current
 /// directory). Call once at the end of main. Returns false — after printing

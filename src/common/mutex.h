@@ -1,6 +1,7 @@
 #ifndef DQM_COMMON_MUTEX_H_
 #define DQM_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -127,6 +128,10 @@ enum class LockRank : int {
   kEngineShard = 100,
   /// EstimationSession publish/commit mutex (engine/session.h).
   kSession = 200,
+  /// Per-session WAL buffer/file mutex (engine/durability.h). Sits between
+  /// the session mutex (checkpoints run under it) and the stripe locks (the
+  /// checkpoint quiesce pauses stripes while holding the WAL lock).
+  kWal = 250,
   /// ResponseLog per-stripe ingest lock (crowd/response_log.h). Same-rank:
   /// multiple stripes are held at once only in ascending address order.
   kStripe = 300,
@@ -356,6 +361,14 @@ class CondVar {
 
   /// Blocks until notified. May wake spuriously — wait in a predicate loop.
   void Wait(Mutex& mu) DQM_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until notified or `timeout` elapses. Returns false on timeout.
+  /// May wake spuriously — wait in a predicate loop.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      DQM_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

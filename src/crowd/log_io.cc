@@ -4,6 +4,7 @@
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "crowd/wal.h"
 
 namespace dqm::crowd {
 
@@ -57,9 +58,14 @@ Result<ResponseLog> ResponseLogIo::FromCsv(std::string_view text,
     DQM_ASSIGN_OR_RETURN(uint32_t task, ParseU32(row[0], "task", r));
     DQM_ASSIGN_OR_RETURN(uint32_t worker, ParseU32(row[1], "worker", r));
     DQM_ASSIGN_OR_RETURN(uint32_t item, ParseU32(row[2], "item", r));
-    if (item >= num_items) {
-      return Status::OutOfRange(StrFormat(
-          "row %zu: item %u >= num_items %zu", r, item, num_items));
+    // Same bounds gate the WAL replay uses (crowd/wal.h): item inside the
+    // universe, worker/task under the allocation caps. Without it a row
+    // claiming worker 4294967295 reaches consumers that size O(max id)
+    // state on the serving path.
+    if (Status bounds = ValidateVoteBounds(task, worker, item, num_items);
+        !bounds.ok()) {
+      return Status(bounds.code(), StrFormat("row %zu: %s", r,
+                                             bounds.message().c_str()));
     }
     std::string vote_text = ToLower(StripWhitespace(row[3]));
     Vote vote;
@@ -92,8 +98,21 @@ Status ResponseLogIo::WriteFile(const ResponseLog& log,
 
 Result<ResponseLog> ResponseLogIo::ReadFile(const std::string& path,
                                             size_t num_items) {
-  DQM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, Csv::ReadFile(path));
-  return FromCsv(Csv::Format(rows), num_items);
+  auto rows = Csv::ReadFile(path);
+  if (!rows.ok()) {
+    return Status(rows.status().code(),
+                  StrFormat("%s: %s", path.c_str(),
+                            rows.status().message().c_str()));
+  }
+  Result<ResponseLog> log = FromCsv(Csv::Format(*rows), num_items);
+  if (!log.ok()) {
+    // FromCsv errors carry `row N:` context; prefix the file so callers see
+    // file:line-style provenance.
+    return Status(log.status().code(),
+                  StrFormat("%s: %s", path.c_str(),
+                            log.status().message().c_str()));
+  }
+  return log;
 }
 
 }  // namespace dqm::crowd

@@ -149,7 +149,12 @@ size_t ResponseLog::RetainedBytes() const {
                  compacted_.MemoryBytes() +
                  (positive_.capacity() + total_.capacity()) * sizeof(uint32_t);
   if (concurrent_ != nullptr) {
-    bytes += concurrent_->num_stripes * sizeof(Stripe);
+    // The striped-mode fixed overhead was previously dropped from this sum,
+    // under-reporting every striped kCounts session: the control block, the
+    // per-stripe metric-pointer table, and the stripe array itself all count.
+    bytes += sizeof(ConcurrentState) +
+             concurrent_->stripe_metrics.capacity() * sizeof(StripeMetrics) +
+             concurrent_->num_stripes * sizeof(Stripe);
     for (size_t s = 0; s < concurrent_->num_stripes; ++s) {
       // The shard's vectors grow under the stripe lock; take it (one stripe
       // at a time, never nested) so a live committer can't resize them

@@ -155,6 +155,15 @@ class ResponseLog {
                : nullptr;
   }
 
+  /// True when this log maintains a per-(worker, item) count matrix a
+  /// checkpoint can serialize: kCounts retention, minus striped logs that
+  /// opted out of pair counts (tally-only panels). Selects the snapshot
+  /// variant in crowd/wal.h's CheckpointFromLog.
+  bool maintains_pair_counts() const {
+    return retention_ == RetentionPolicy::kCounts &&
+           (concurrent_ == nullptr || concurrent_->maintain_pair_counts);
+  }
+
   /// Appends every live count-matrix block to `out`: the single compacted
   /// store under kCounts, one shard per stripe in concurrent ingest mode.
   /// Returns false under kFullEvents (no matrix is maintained; rebuild from

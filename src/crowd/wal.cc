@@ -1,0 +1,592 @@
+#include "crowd/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dqm::crowd {
+
+namespace {
+
+// --- File-format constants -------------------------------------------------
+
+constexpr uint32_t kWalMagic = 0x4C415744;         // "DWAL" on disk
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderBytes = 16;             // magic + version + gen
+constexpr size_t kRecordFrameBytes = 8;            // payload_size + crc
+constexpr size_t kVoteBytes = 13;                  // 3 x u32 + vote byte
+
+constexpr uint32_t kCheckpointMagic = 0x50435144;  // "DQCP" on disk
+constexpr uint32_t kCheckpointVersion = 1;
+
+constexpr size_t kEmitBatchVotes = 4096;
+
+// --- Little-endian (de)serialization helpers -------------------------------
+
+void PutU32(std::vector<uint8_t>& out, uint32_t value) {
+  out.push_back(static_cast<uint8_t>(value));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+  out.push_back(static_cast<uint8_t>(value >> 16));
+  out.push_back(static_cast<uint8_t>(value >> 24));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t value) {
+  PutU32(out, static_cast<uint32_t>(value));
+  PutU32(out, static_cast<uint32_t>(value >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Status ErrnoError(const char* op, const std::string& path) {
+  return Status::IOError(StrFormat("%s '%s': %s", op, path.c_str(),
+                                   std::strerror(errno)));
+}
+
+/// write(2) until `size` bytes landed, riding out EINTR / short writes.
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExactAt(int fd, uint8_t* data, size_t size, uint64_t offset,
+                   const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd, data + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("read", path);
+    }
+    if (n == 0) {
+      return Status::IOError(
+          StrFormat("read '%s': unexpected end of file", path.c_str()));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return ErrnoError("fsync", path);
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so a just-renamed entry survives
+/// power loss.
+Status FsyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("open directory", dir);
+  Status status = FsyncFd(fd, dir);
+  ::close(fd);
+  return status;
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto& table = Crc32Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+Status ValidateVoteBounds(uint32_t task, uint32_t worker, uint32_t item,
+                          size_t num_items) {
+  if (item >= num_items) {
+    return Status::OutOfRange(StrFormat("item id %u >= num_items %zu", item,
+                                        num_items));
+  }
+  if (worker > kMaxWorkerId) {
+    return Status::OutOfRange(
+        StrFormat("worker id %u exceeds the cap %u", worker, kMaxWorkerId));
+  }
+  if (task > kMaxTaskId) {
+    return Status::OutOfRange(
+        StrFormat("task id %u exceeds the cap %u", task, kMaxTaskId));
+  }
+  return Status::OK();
+}
+
+// --- VoteWal ---------------------------------------------------------------
+
+VoteWal::~VoteWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+VoteWal::VoteWal(VoteWal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      generation_(other.generation_),
+      bytes_written_(other.bytes_written_),
+      buffer_(std::move(other.buffer_)),
+      replay_scratch_(std::move(other.replay_scratch_)) {}
+
+VoteWal& VoteWal::operator=(VoteWal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    generation_ = other.generation_;
+    bytes_written_ = other.bytes_written_;
+    buffer_ = std::move(other.buffer_);
+    replay_scratch_ = std::move(other.replay_scratch_);
+  }
+  return *this;
+}
+
+Status VoteWal::WriteHeader(uint64_t generation) {
+  std::vector<uint8_t> header;
+  header.reserve(kWalHeaderBytes);
+  PutU32(header, kWalMagic);
+  PutU32(header, kWalVersion);
+  PutU64(header, generation);
+  DQM_RETURN_NOT_OK(WriteAll(fd_, header.data(), header.size(), path_));
+  DQM_RETURN_NOT_OK(FsyncFd(fd_, path_));
+  bytes_written_ += header.size();
+  generation_ = generation;
+  return Status::OK();
+}
+
+Result<VoteWal> VoteWal::Open(const std::string& path) {
+  VoteWal wal;
+  wal.path_ = path;
+  wal.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal.fd_ < 0) return ErrnoError("open", path);
+  struct stat st;
+  if (::fstat(wal.fd_, &st) != 0) return ErrnoError("stat", path);
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < kWalHeaderBytes) {
+    // Fresh file, or a crash landed mid-way through the very first header
+    // write (the header is synced before any record can follow it, so a
+    // short file cannot hold committed votes). Start at generation 1.
+    if (size != 0 && ::ftruncate(wal.fd_, 0) != 0) {
+      return ErrnoError("truncate", path);
+    }
+    if (::lseek(wal.fd_, 0, SEEK_SET) < 0) return ErrnoError("seek", path);
+    DQM_RETURN_NOT_OK(wal.WriteHeader(1));
+  } else {
+    uint8_t header[kWalHeaderBytes];
+    DQM_RETURN_NOT_OK(ReadExactAt(wal.fd_, header, kWalHeaderBytes, 0, path));
+    if (GetU32(header) != kWalMagic) {
+      return Status::InvalidArgument(
+          StrFormat("'%s' is not a DQM vote WAL (bad magic)", path.c_str()));
+    }
+    uint32_t version = GetU32(header + 4);
+    if (version != kWalVersion) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': unsupported WAL version %u", path.c_str(), version));
+    }
+    wal.generation_ = GetU64(header + 8);
+    if (::lseek(wal.fd_, 0, SEEK_END) < 0) return ErrnoError("seek", path);
+  }
+  return wal;
+}
+
+void VoteWal::Append(std::span<const VoteEvent> events) {
+  if (events.empty()) return;
+  const uint32_t count = static_cast<uint32_t>(events.size());
+  const size_t payload_size = 4 + kVoteBytes * events.size();
+  const size_t record_start = buffer_.size();
+  buffer_.reserve(record_start + kRecordFrameBytes + payload_size);
+  PutU32(buffer_, static_cast<uint32_t>(payload_size));
+  PutU32(buffer_, 0);  // crc placeholder, patched below
+  PutU32(buffer_, count);
+  for (const VoteEvent& event : events) {
+    PutU32(buffer_, event.task);
+    PutU32(buffer_, event.worker);
+    PutU32(buffer_, event.item);
+    buffer_.push_back(static_cast<uint8_t>(event.vote));
+  }
+  const uint8_t* payload = buffer_.data() + record_start + kRecordFrameBytes;
+  uint32_t crc = Crc32(payload, payload_size);
+  uint8_t* crc_at = buffer_.data() + record_start + 4;
+  crc_at[0] = static_cast<uint8_t>(crc);
+  crc_at[1] = static_cast<uint8_t>(crc >> 8);
+  crc_at[2] = static_cast<uint8_t>(crc >> 16);
+  crc_at[3] = static_cast<uint8_t>(crc >> 24);
+}
+
+Status VoteWal::WriteBuffered() {
+  if (buffer_.empty()) return Status::OK();
+  Status status = WriteAll(fd_, buffer_.data(), buffer_.size(), path_);
+  if (status.ok()) bytes_written_ += buffer_.size();
+  // Drop the buffer on either outcome: on error the owner rejects the batch
+  // before applying it, and whatever partial record reached the disk is
+  // truncated by the next recovery pass.
+  buffer_.clear();
+  return status;
+}
+
+Status VoteWal::Sync() {
+  DQM_RETURN_NOT_OK(WriteBuffered());
+  return FsyncFd(fd_, path_);
+}
+
+Result<VoteWal::ReplayStats> VoteWal::ReplayAndTruncate(
+    size_t num_items,
+    const std::function<Status(std::span<const VoteEvent>)>& apply) {
+  ReplayStats stats;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return ErrnoError("stat", path_);
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size <= kWalHeaderBytes) return stats;
+  const size_t body_size = static_cast<size_t>(file_size - kWalHeaderBytes);
+  std::vector<uint8_t> body(body_size);
+  DQM_RETURN_NOT_OK(
+      ReadExactAt(fd_, body.data(), body_size, kWalHeaderBytes, path_));
+
+  size_t offset = 0;
+  size_t good_end = 0;
+  bool torn = false;
+  while (body_size - offset >= kRecordFrameBytes) {
+    const uint32_t payload_size = GetU32(body.data() + offset);
+    if (payload_size < 4 || (payload_size - 4) % kVoteBytes != 0 ||
+        payload_size > body_size - offset - kRecordFrameBytes) {
+      torn = true;  // framing damage, or the record runs past end of file
+      break;
+    }
+    const uint32_t stored_crc = GetU32(body.data() + offset + 4);
+    const uint8_t* payload = body.data() + offset + kRecordFrameBytes;
+    if (Crc32(payload, payload_size) != stored_crc) {
+      torn = true;
+      break;
+    }
+    const uint32_t count = GetU32(payload);
+    if (4 + kVoteBytes * static_cast<size_t>(count) != payload_size) {
+      torn = true;
+      break;
+    }
+    replay_scratch_.clear();
+    replay_scratch_.reserve(count);
+    bool valid = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* vote = payload + 4 + kVoteBytes * static_cast<size_t>(i);
+      VoteEvent event;
+      event.task = GetU32(vote);
+      event.worker = GetU32(vote + 4);
+      event.item = GetU32(vote + 8);
+      const uint8_t vote_byte = vote[12];
+      // The same validation path the CSV reader uses: a record whose ids or
+      // vote byte fail the bounds check is treated as corruption and
+      // truncated away rather than fed to the pipeline.
+      if (vote_byte > 1 ||
+          !ValidateVoteBounds(event.task, event.worker, event.item, num_items)
+               .ok()) {
+        valid = false;
+        break;
+      }
+      event.vote = vote_byte == 1 ? Vote::kDirty : Vote::kClean;
+      replay_scratch_.push_back(event);
+    }
+    if (!valid) {
+      torn = true;
+      break;
+    }
+    DQM_RETURN_NOT_OK(apply(std::span<const VoteEvent>(replay_scratch_)));
+    stats.votes += count;
+    ++stats.records;
+    offset += kRecordFrameBytes + payload_size;
+    good_end = offset;
+  }
+  if (offset < body_size || torn) {
+    // Torn tail: physically cut the file back to the last intact record so
+    // the WAL is clean for future appends and re-recoveries.
+    stats.torn_records = 1;
+    const uint64_t keep = kWalHeaderBytes + good_end;
+    DQM_LOG(Warning) << "WAL '" << path_ << "': truncating "
+                     << (file_size - keep)
+                     << " trailing bytes (torn or corrupt record)";
+    if (::ftruncate(fd_, static_cast<off_t>(keep)) != 0) {
+      return ErrnoError("truncate", path_);
+    }
+    DQM_RETURN_NOT_OK(FsyncFd(fd_, path_));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) return ErrnoError("seek", path_);
+  return stats;
+}
+
+Status VoteWal::Reset(uint64_t new_generation) {
+  buffer_.clear();
+  if (::ftruncate(fd_, 0) != 0) return ErrnoError("truncate", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return ErrnoError("seek", path_);
+  return WriteHeader(new_generation);
+}
+
+// --- Checkpoints -----------------------------------------------------------
+
+Result<CheckpointData> CheckpointFromLog(const ResponseLog& log,
+                                         uint64_t wal_generation) {
+  if (log.retention() != RetentionPolicy::kCounts) {
+    return Status::FailedPrecondition(
+        "checkpoints serialize kCounts compacted state; this log retains "
+        "full events");
+  }
+  CheckpointData data;
+  data.wal_generation = wal_generation;
+  data.num_items = log.num_items();
+  data.num_events = log.num_events();
+  data.num_tasks = log.num_tasks();
+  data.num_workers = log.num_workers();
+  if (log.maintains_pair_counts()) {
+    data.variant = CheckpointData::Variant::kPairs;
+    std::vector<const CompactedVoteStore*> blocks;
+    log.AppendCountMatrixBlocks(blocks);
+    size_t pairs = 0;
+    for (const CompactedVoteStore* block : blocks) pairs += block->num_pairs();
+    data.workers.reserve(pairs);
+    data.items.reserve(pairs);
+    data.dirty.reserve(pairs);
+    data.clean.reserve(pairs);
+    // Shards are concatenated in stripe order; within a shard slots keep
+    // their first-arrival order. Restoring replays the same concatenation,
+    // which routes each pair back to its stripe and rebuilds every shard
+    // slot-for-slot.
+    for (const CompactedVoteStore* block : blocks) {
+      data.workers.insert(data.workers.end(), block->workers().begin(),
+                          block->workers().end());
+      data.items.insert(data.items.end(), block->items().begin(),
+                        block->items().end());
+      data.dirty.insert(data.dirty.end(), block->dirty_counts().begin(),
+                        block->dirty_counts().end());
+      data.clean.insert(data.clean.end(), block->clean_counts().begin(),
+                        block->clean_counts().end());
+    }
+  } else {
+    data.variant = CheckpointData::Variant::kTallies;
+    std::span<const uint32_t> positive = log.positive_counts();
+    std::span<const uint32_t> total = log.total_counts();
+    data.positive.assign(positive.begin(), positive.end());
+    data.total.assign(total.begin(), total.end());
+  }
+  return data;
+}
+
+namespace {
+
+void PutColumn(std::vector<uint8_t>& out, const std::vector<uint32_t>& col) {
+  for (uint32_t v : col) PutU32(out, v);
+}
+
+void GetColumn(const uint8_t* data, size_t n, std::vector<uint32_t>& col) {
+  col.resize(n);
+  for (size_t i = 0; i < n; ++i) col[i] = GetU32(data + 4 * i);
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& path,
+                           const CheckpointData& data) {
+  const bool pairs = data.variant == CheckpointData::Variant::kPairs;
+  const size_t n = pairs ? data.workers.size() : data.positive.size();
+  std::vector<uint8_t> bytes;
+  bytes.reserve(57 + 4 * n * (pairs ? 4 : 2) + 4);
+  PutU32(bytes, kCheckpointMagic);
+  PutU32(bytes, kCheckpointVersion);
+  PutU64(bytes, data.wal_generation);
+  PutU64(bytes, data.num_items);
+  PutU64(bytes, data.num_events);
+  PutU64(bytes, data.num_tasks);
+  PutU64(bytes, data.num_workers);
+  bytes.push_back(static_cast<uint8_t>(data.variant));
+  PutU64(bytes, n);
+  if (pairs) {
+    PutColumn(bytes, data.workers);
+    PutColumn(bytes, data.items);
+    PutColumn(bytes, data.dirty);
+    PutColumn(bytes, data.clean);
+  } else {
+    PutColumn(bytes, data.positive);
+    PutColumn(bytes, data.total);
+  }
+  PutU32(bytes, Crc32(bytes.data(), bytes.size()));
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError("open", tmp);
+  Status status = WriteAll(fd, bytes.data(), bytes.size(), tmp);
+  if (status.ok()) status = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (!status.ok()) return status;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoError("rename", tmp);
+  }
+  // The rename is the commit point; syncing the directory makes it stick
+  // across power loss.
+  return FsyncParentDir(path);
+}
+
+Result<CheckpointData> ReadCheckpointFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = ErrnoError("stat", path);
+    ::close(fd);
+    return status;
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  Status read = bytes.empty()
+                    ? Status::OK()
+                    : ReadExactAt(fd, bytes.data(), bytes.size(), 0, path);
+  ::close(fd);
+  DQM_RETURN_NOT_OK(read);
+
+  auto corrupt = [&path](const char* why) {
+    return Status::IOError(
+        StrFormat("corrupt checkpoint '%s': %s", path.c_str(), why));
+  };
+  constexpr size_t kFixedBytes = 57;  // through the column length
+  if (bytes.size() < kFixedBytes + 4) return corrupt("file too short");
+  if (Crc32(bytes.data(), bytes.size() - 4) !=
+      GetU32(bytes.data() + bytes.size() - 4)) {
+    return corrupt("checksum mismatch");
+  }
+  if (GetU32(bytes.data()) != kCheckpointMagic) return corrupt("bad magic");
+  if (GetU32(bytes.data() + 4) != kCheckpointVersion) {
+    return corrupt("unsupported version");
+  }
+  CheckpointData data;
+  data.wal_generation = GetU64(bytes.data() + 8);
+  data.num_items = GetU64(bytes.data() + 16);
+  data.num_events = GetU64(bytes.data() + 24);
+  data.num_tasks = GetU64(bytes.data() + 32);
+  data.num_workers = GetU64(bytes.data() + 40);
+  const uint8_t variant = bytes[48];
+  if (variant > 1) return corrupt("unknown variant");
+  data.variant = static_cast<CheckpointData::Variant>(variant);
+  const uint64_t n = GetU64(bytes.data() + 49);
+  const size_t num_columns =
+      data.variant == CheckpointData::Variant::kPairs ? 4 : 2;
+  if (bytes.size() != kFixedBytes + 4 * n * num_columns + 4) {
+    return corrupt("column size mismatch");
+  }
+  const uint8_t* cols = bytes.data() + kFixedBytes;
+  uint64_t events = 0;
+  if (data.variant == CheckpointData::Variant::kPairs) {
+    GetColumn(cols + 0 * 4 * n, n, data.workers);
+    GetColumn(cols + 1 * 4 * n, n, data.items);
+    GetColumn(cols + 2 * 4 * n, n, data.dirty);
+    GetColumn(cols + 3 * 4 * n, n, data.clean);
+    for (size_t i = 0; i < n; ++i) {
+      if (data.dirty[i] + data.clean[i] == 0) return corrupt("empty pair slot");
+      DQM_RETURN_NOT_OK(ValidateVoteBounds(0, data.workers[i], data.items[i],
+                                           data.num_items));
+      events += data.dirty[i] + data.clean[i];
+    }
+  } else {
+    if (n != data.num_items) return corrupt("tally column length != items");
+    GetColumn(cols + 0 * 4 * n, n, data.positive);
+    GetColumn(cols + 1 * 4 * n, n, data.total);
+    for (size_t i = 0; i < n; ++i) {
+      if (data.positive[i] > data.total[i]) {
+        return corrupt("positive tally exceeds total");
+      }
+      events += data.total[i];
+    }
+  }
+  if (events != data.num_events) return corrupt("vote count mismatch");
+  if (data.num_events > 0 && (data.num_tasks == 0 || data.num_workers == 0)) {
+    return corrupt("votes without task/worker bounds");
+  }
+  if (data.num_tasks > static_cast<uint64_t>(kMaxTaskId) + 1 ||
+      data.num_workers > static_cast<uint64_t>(kMaxWorkerId) + 1) {
+    return corrupt("task/worker bound exceeds id cap");
+  }
+  return data;
+}
+
+Status EmitCheckpointVotes(
+    const CheckpointData& data,
+    const std::function<Status(std::span<const VoteEvent>)>& apply) {
+  if (data.num_events == 0) return Status::OK();
+  std::vector<VoteEvent> batch;
+  batch.reserve(kEmitBatchVotes);
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    Status status = apply(std::span<const VoteEvent>(batch));
+    batch.clear();
+    return status;
+  };
+  // All synthetic votes carry the max observed task id so the rebuilt
+  // pipeline's task bound lands exactly on num_tasks (tasks are not part of
+  // the compacted state — only their bound survives a checkpoint).
+  const uint32_t task = static_cast<uint32_t>(data.num_tasks - 1);
+  auto emit = [&](uint32_t worker, uint32_t item, Vote vote,
+                  uint32_t count) -> Status {
+    for (uint32_t i = 0; i < count; ++i) {
+      batch.push_back(VoteEvent{task, worker, item, vote});
+      if (batch.size() == kEmitBatchVotes) DQM_RETURN_NOT_OK(flush());
+    }
+    return Status::OK();
+  };
+  if (data.variant == CheckpointData::Variant::kPairs) {
+    for (size_t slot = 0; slot < data.workers.size(); ++slot) {
+      DQM_RETURN_NOT_OK(emit(data.workers[slot], data.items[slot],
+                             Vote::kDirty, data.dirty[slot]));
+      DQM_RETURN_NOT_OK(emit(data.workers[slot], data.items[slot],
+                             Vote::kClean, data.clean[slot]));
+    }
+  } else {
+    // Tally-only panels never read (worker, item) pairs, so the synthetic
+    // worker id only has to restore the worker *bound*.
+    const uint32_t worker = static_cast<uint32_t>(data.num_workers - 1);
+    for (size_t item = 0; item < data.total.size(); ++item) {
+      DQM_RETURN_NOT_OK(emit(worker, static_cast<uint32_t>(item), Vote::kDirty,
+                             data.positive[item]));
+      DQM_RETURN_NOT_OK(
+          emit(worker, static_cast<uint32_t>(item), Vote::kClean,
+               data.total[item] - data.positive[item]));
+    }
+  }
+  return flush();
+}
+
+}  // namespace dqm::crowd

@@ -1,0 +1,586 @@
+#include "engine/durability.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "telemetry/metric_names.h"
+
+namespace dqm::engine {
+
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kWalFile[] = "wal.log";
+constexpr char kCheckpointFile[] = "checkpoint.bin";
+
+Status ErrnoError(const char* op, const std::string& path) {
+  return Status::IOError(
+      StrFormat("%s '%s': %s", op, path.c_str(), std::strerror(errno)));
+}
+
+Status FsyncPath(const std::string& path, bool directory) {
+  int flags = O_RDONLY | O_CLOEXEC | (directory ? O_DIRECTORY : 0);
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return ErrnoError("open", path);
+  Status status =
+      ::fsync(fd) == 0 ? Status::OK() : ErrnoError("fsync", path);
+  ::close(fd);
+  return status;
+}
+
+/// Atomic small-file write: tmp + fsync + rename + fsync parent.
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError("open", tmp);
+  size_t done = 0;
+  Status status;
+  while (done < content.size()) {
+    ssize_t n = ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = ErrnoError("write", tmp);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (status.ok() && ::fsync(fd) != 0) status = ErrnoError("fsync", tmp);
+  ::close(fd);
+  if (!status.ok()) return status;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoError("rename", tmp);
+  }
+  size_t slash = path.find_last_of('/');
+  return FsyncPath(slash == std::string::npos ? "." : path.substr(0, slash),
+                   /*directory=*/true);
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("no such file: '%s'", path.c_str()));
+    }
+    return ErrnoError("open", path);
+  }
+  std::string content;
+  char buf[4096];
+  Status status;
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = ErrnoError("read", path);
+      break;
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  return content;
+}
+
+Result<uint64_t> ParseU64(std::string_view text, const char* key) {
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(
+        StrFormat("manifest key %s: '%.*s' is not an unsigned integer", key,
+                  static_cast<int>(text.size()), text.data()));
+  }
+  return value;
+}
+
+/// Durability-wide metrics, resolved once (the function-local-static
+/// pattern every hot path in the repo uses).
+struct DurabilityMetrics {
+  telemetry::Counter* appends;
+  telemetry::Counter* votes;
+  telemetry::Counter* bytes;
+  telemetry::Counter* fsyncs;
+  telemetry::Counter* replayed;
+  telemetry::Counter* torn;
+  telemetry::Counter* checkpoints;
+  telemetry::Histogram* fsync_ns;
+  telemetry::Histogram* checkpoint_ns;
+
+  DurabilityMetrics() {
+    namespace names = telemetry::metric_names;
+    auto& registry = telemetry::MetricsRegistry::Global();
+    appends = registry.GetCounter(names::kWalAppendsTotal);
+    votes = registry.GetCounter(names::kWalVotesTotal);
+    bytes = registry.GetCounter(names::kWalBytesWrittenTotal);
+    fsyncs = registry.GetCounter(names::kWalFsyncsTotal);
+    replayed = registry.GetCounter(names::kWalReplayedVotesTotal);
+    torn = registry.GetCounter(names::kWalTornRecordsTotal);
+    checkpoints = registry.GetCounter(names::kCheckpointsTotal);
+    fsync_ns = registry.GetHistogram(names::kWalFsyncNs);
+    checkpoint_ns = registry.GetHistogram(names::kCheckpointWriteNs);
+  }
+};
+
+DurabilityMetrics& Metrics() {
+  static DurabilityMetrics* metrics = new DurabilityMetrics();
+  return *metrics;
+}
+
+bool IsUnreservedChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+         c == '~';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string PercentEncode(std::string_view raw) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (IsUnreservedChar(c)) {
+      out.push_back(c);
+    } else {
+      unsigned char b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> PercentDecode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    char c = encoded[i];
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 2 >= encoded.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "truncated percent escape in '%.*s'",
+          static_cast<int>(encoded.size()), encoded.data()));
+    }
+    int hi = HexValue(encoded[i + 1]);
+    int lo = HexValue(encoded[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "bad percent escape in '%.*s'", static_cast<int>(encoded.size()),
+          encoded.data()));
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
+  std::vector<std::string> encoded_specs;
+  encoded_specs.reserve(m.specs.size());
+  for (const std::string& spec : m.specs) {
+    encoded_specs.push_back(PercentEncode(spec));
+  }
+  std::string content = StrFormat(
+      "name=%s\n"
+      "num_items=%llu\n"
+      "specs=%s\n"
+      "cadence=%s\n"
+      "ingest_stripes=%llu\n"
+      "publish_every_votes=%llu\n"
+      "wal_group_commit_votes=%llu\n"
+      "wal_group_commit_ms=%llu\n"
+      "checkpoint_every_votes=%llu\n",
+      PercentEncode(m.name).c_str(),
+      static_cast<unsigned long long>(m.num_items),
+      Join(encoded_specs, ",").c_str(), m.cadence.c_str(),
+      static_cast<unsigned long long>(m.ingest_stripes),
+      static_cast<unsigned long long>(m.publish_every_votes),
+      static_cast<unsigned long long>(m.wal_group_commit_votes),
+      static_cast<unsigned long long>(m.wal_group_commit_ms),
+      static_cast<unsigned long long>(m.checkpoint_every_votes));
+  return WriteFileAtomic(path, content);
+}
+
+Result<SessionManifest> ReadManifestFile(const std::string& path) {
+  DQM_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  SessionManifest m;
+  bool saw_name = false;
+  bool saw_items = false;
+  for (std::string_view line : Split(content, '\n')) {
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: malformed manifest line '%.*s'", path.c_str(),
+          static_cast<int>(line.size()), line.data()));
+    }
+    std::string_view key = line.substr(0, eq);
+    std::string_view value = line.substr(eq + 1);
+    if (key == "name") {
+      DQM_ASSIGN_OR_RETURN(m.name, PercentDecode(value));
+      saw_name = true;
+    } else if (key == "num_items") {
+      DQM_ASSIGN_OR_RETURN(m.num_items, ParseU64(value, "num_items"));
+      saw_items = true;
+    } else if (key == "specs") {
+      m.specs.clear();
+      if (!value.empty()) {
+        for (std::string_view spec : Split(value, ',')) {
+          DQM_ASSIGN_OR_RETURN(std::string decoded, PercentDecode(spec));
+          m.specs.push_back(std::move(decoded));
+        }
+      }
+    } else if (key == "cadence") {
+      m.cadence = std::string(value);
+    } else if (key == "ingest_stripes") {
+      DQM_ASSIGN_OR_RETURN(m.ingest_stripes,
+                           ParseU64(value, "ingest_stripes"));
+    } else if (key == "publish_every_votes") {
+      DQM_ASSIGN_OR_RETURN(m.publish_every_votes,
+                           ParseU64(value, "publish_every_votes"));
+    } else if (key == "wal_group_commit_votes") {
+      DQM_ASSIGN_OR_RETURN(m.wal_group_commit_votes,
+                           ParseU64(value, "wal_group_commit_votes"));
+    } else if (key == "wal_group_commit_ms") {
+      DQM_ASSIGN_OR_RETURN(m.wal_group_commit_ms,
+                           ParseU64(value, "wal_group_commit_ms"));
+    } else if (key == "checkpoint_every_votes") {
+      DQM_ASSIGN_OR_RETURN(m.checkpoint_every_votes,
+                           ParseU64(value, "checkpoint_every_votes"));
+    }
+    // Unknown keys are skipped: a manifest written by a newer build stays
+    // recoverable by this one.
+  }
+  if (!saw_name || !saw_items) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: manifest is missing required keys (name, num_items)",
+        path.c_str()));
+  }
+  return m;
+}
+
+std::string SessionManifestPath(const std::string& session_dir) {
+  return session_dir + "/" + kManifestFile;
+}
+
+// --- SessionDurability -----------------------------------------------------
+
+SessionDurability::SessionDurability(DurabilityOptions options)
+    : options_([&options] {
+        options.group_commit_votes =
+            std::max<uint64_t>(options.group_commit_votes, 1);
+        return std::move(options);
+      }()) {}
+
+std::string SessionDurability::wal_path() const {
+  return options_.dir + "/" + kWalFile;
+}
+
+std::string SessionDurability::checkpoint_path() const {
+  return options_.dir + "/" + kCheckpointFile;
+}
+
+Result<std::unique_ptr<SessionDurability>> SessionDurability::Create(
+    const DurabilityOptions& options, const SessionManifest& manifest) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::exists(options.dir, ec)) {
+    if (!fs::is_empty(options.dir, ec)) {
+      return Status::FailedPrecondition(StrFormat(
+          "durability dir '%s' already holds session state; recover it via "
+          "RecoverSessions instead of opening fresh",
+          options.dir.c_str()));
+    }
+  } else {
+    fs::create_directories(options.dir, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("mkdir '%s': %s", options.dir.c_str(),
+                                       ec.message().c_str()));
+    }
+  }
+  std::unique_ptr<SessionDurability> durability(
+      new SessionDurability(options));
+  // Manifest before WAL: a directory with a manifest is recoverable; one
+  // without (a crash inside Create) is skipped by RecoverSessions with a
+  // warning instead of surfacing a half-created session.
+  DQM_RETURN_NOT_OK(WriteManifestFile(
+      durability->options_.dir + "/" + kManifestFile, manifest));
+  DQM_RETURN_NOT_OK(durability->OpenWal());
+  durability->checkpoint_bytes_gauge_ =
+      telemetry::MetricsRegistry::Global().AcquireGauge(
+          telemetry::metric_names::kCheckpointBytes,
+          {{"session", durability->options_.session_name}});
+  durability->StartFlusher();
+  return durability;
+}
+
+Result<std::unique_ptr<SessionDurability>> SessionDurability::Attach(
+    const DurabilityOptions& options) {
+  std::unique_ptr<SessionDurability> durability(
+      new SessionDurability(options));
+  struct stat st;
+  const std::string manifest_path =
+      durability->options_.dir + "/" + kManifestFile;
+  if (::stat(manifest_path.c_str(), &st) != 0) {
+    return Status::NotFound(StrFormat(
+        "'%s' is not a session durability dir (no %s)",
+        durability->options_.dir.c_str(), kManifestFile));
+  }
+  DQM_RETURN_NOT_OK(durability->OpenWal());
+  durability->checkpoint_bytes_gauge_ =
+      telemetry::MetricsRegistry::Global().AcquireGauge(
+          telemetry::metric_names::kCheckpointBytes,
+          {{"session", durability->options_.session_name}});
+  durability->StartFlusher();
+  return durability;
+}
+
+SessionDurability::~SessionDurability() {
+  if (flusher_.joinable()) {
+    {
+      MutexLock lock(wal_mutex_);
+      stop_flusher_ = true;
+    }
+    flusher_cv_.NotifyAll();
+    flusher_.join();
+  }
+  {
+    MutexLock lock(wal_mutex_);
+    if (wal_.is_open() &&
+        (wal_.buffered_bytes() > 0 || pending_votes_ > 0)) {
+      Status status = FlushLocked(/*sync=*/true);
+      if (!status.ok()) {
+        DQM_LOG(Error) << "WAL close flush failed: " << status.message();
+      }
+    }
+  }
+  if (checkpoint_bytes_gauge_ != nullptr) {
+    telemetry::MetricsRegistry::Global().ReleaseGauge(
+        telemetry::metric_names::kCheckpointBytes,
+        {{"session", options_.session_name}});
+  }
+}
+
+Status SessionDurability::OpenWal() {
+  DQM_ASSIGN_OR_RETURN(crowd::VoteWal wal, crowd::VoteWal::Open(wal_path()));
+  MutexLock lock(wal_mutex_);
+  wal_ = std::move(wal);
+  return Status::OK();
+}
+
+void SessionDurability::StartFlusher() {
+  if (options_.group_commit_ms == 0) return;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void SessionDurability::FlusherLoop() {
+  MutexLock lock(wal_mutex_);
+  while (!stop_flusher_) {
+    flusher_cv_.WaitFor(wal_mutex_,
+                        std::chrono::milliseconds(options_.group_commit_ms));
+    if (stop_flusher_) break;
+    if (pending_votes_ > 0 || wal_.buffered_bytes() > 0) {
+      Status status = FlushLocked(/*sync=*/true);
+      if (!status.ok()) {
+        DQM_LOG(Error) << "timed WAL flush for '" << wal_.path()
+                       << "' failed: " << status.message();
+      }
+    }
+  }
+}
+
+void SessionDurability::RunHook(Phase phase) {
+  if (phase_hook_) phase_hook_(phase);
+}
+
+void SessionDurability::SetPhaseHookForTest(std::function<void(Phase)> hook) {
+  MutexLock lock(wal_mutex_);
+  phase_hook_ = std::move(hook);
+}
+
+Status SessionDurability::FlushLocked(bool sync) {
+  DurabilityMetrics& tm = Metrics();
+  const uint64_t before = wal_.bytes_written();
+  Status status;
+  if (sync) {
+    const bool timed = telemetry::Enabled();
+    const uint64_t start = timed ? telemetry::NowNanos() : 0;
+    status = wal_.Sync();
+    if (timed) tm.fsync_ns->Record(telemetry::NowNanos() - start);
+    tm.fsyncs->Increment();
+  } else {
+    status = wal_.WriteBuffered();
+  }
+  tm.bytes->Add(wal_.bytes_written() - before);
+  if (status.ok() && sync) {
+    pending_votes_ = 0;
+    RunHook(Phase::kFsync);
+  }
+  return status;
+}
+
+Status SessionDurability::AppendBatch(
+    std::span<const crowd::VoteEvent> votes) {
+  if (votes.empty()) return Status::OK();
+  DurabilityMetrics& tm = Metrics();
+  MutexLock lock(wal_mutex_);
+  wal_.Append(votes);
+  pending_votes_ += votes.size();
+  tm.appends->Increment();
+  tm.votes->Add(votes.size());
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  RunHook(Phase::kAppend);
+  if (pending_votes_ >= options_.group_commit_votes) {
+    Status status = FlushLocked(/*sync=*/true);
+    if (!status.ok()) {
+      // The record never reached the file (the WAL dropped its buffer), so
+      // the caller must reject the batch: un-count the in-flight marker it
+      // will never apply.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+void SessionDurability::NoteApplied() {
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+Status SessionDurability::Flush() {
+  MutexLock lock(wal_mutex_);
+  if (wal_.buffered_bytes() == 0 && pending_votes_ == 0) return Status::OK();
+  return FlushLocked(/*sync=*/true);
+}
+
+Status SessionDurability::CommitCheckpoint(
+    const std::function<Result<crowd::CheckpointData>(uint64_t generation)>&
+        build) {
+  DurabilityMetrics& tm = Metrics();
+  const bool timed = telemetry::Enabled();
+  const uint64_t start = timed ? telemetry::NowNanos() : 0;
+  MutexLock lock(wal_mutex_);
+  // Quiesce: new appends are blocked by the WAL mutex; batches already
+  // appended (their records die with the Reset below) must finish applying
+  // before the snapshot is cut, or their votes would exist nowhere after a
+  // crash. Appliers don't need this mutex to finish, so the spin is
+  // deadlock-free.
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  const uint64_t next_generation = wal_.generation() + 1;
+  Result<crowd::CheckpointData> data = build(next_generation);
+  if (!data.ok()) return data.status();
+  DQM_RETURN_NOT_OK(crowd::WriteCheckpointFile(checkpoint_path(), *data));
+  tm.checkpoints->Increment();
+  if (checkpoint_bytes_gauge_ != nullptr) {
+    struct stat st;
+    if (::stat(checkpoint_path().c_str(), &st) == 0) {
+      checkpoint_bytes_gauge_->Set(static_cast<double>(st.st_size));
+    }
+  }
+  RunHook(Phase::kCheckpointWrite);
+  // A crash here leaves checkpoint generation G+1 next to a WAL at G —
+  // Recover detects exactly that and discards the (now superseded) WAL.
+  DQM_RETURN_NOT_OK(wal_.Reset(next_generation));
+  pending_votes_ = 0;
+  RunHook(Phase::kWalReset);
+  if (timed) tm.checkpoint_ns->Record(telemetry::NowNanos() - start);
+  return Status::OK();
+}
+
+Result<SessionDurability::RecoveryStats> SessionDurability::Recover(
+    size_t num_items,
+    const std::function<Status(std::span<const crowd::VoteEvent>)>& restore) {
+  DurabilityMetrics& tm = Metrics();
+  MutexLock lock(wal_mutex_);
+  RecoveryStats stats;
+  uint64_t checkpoint_generation = 0;
+  const std::string cp = checkpoint_path();
+  struct stat st;
+  if (::stat(cp.c_str(), &st) == 0) {
+    DQM_ASSIGN_OR_RETURN(crowd::CheckpointData data,
+                         crowd::ReadCheckpointFile(cp));
+    if (data.num_items != num_items) {
+      return Status::Internal(StrFormat(
+          "checkpoint '%s' snapshots %llu items but the session has %zu",
+          cp.c_str(), static_cast<unsigned long long>(data.num_items),
+          num_items));
+    }
+    DQM_RETURN_NOT_OK(crowd::EmitCheckpointVotes(data, restore));
+    stats.had_checkpoint = true;
+    stats.checkpoint_votes = data.num_events;
+    checkpoint_generation = data.wal_generation;
+    if (checkpoint_bytes_gauge_ != nullptr) {
+      checkpoint_bytes_gauge_->Set(static_cast<double>(st.st_size));
+    }
+  }
+  const uint64_t wal_generation = wal_.generation();
+  bool replay_tail = true;
+  if (checkpoint_generation == 0) {
+    if (wal_generation != 1) {
+      // A WAL only moves past generation 1 via a checkpoint commit, whose
+      // snapshot file was rename-committed *first* — its absence means the
+      // directory lost a durable file, which recovery must not paper over.
+      return Status::Internal(StrFormat(
+          "WAL '%s' is at generation %llu but no checkpoint exists",
+          wal_.path().c_str(),
+          static_cast<unsigned long long>(wal_generation)));
+    }
+  } else if (wal_generation == checkpoint_generation) {
+    // Normal shape: the WAL is the tail that post-dates the snapshot.
+  } else if (wal_generation < checkpoint_generation) {
+    // Crash between the checkpoint rename and the WAL reset: every record
+    // in this WAL is already inside the snapshot. Complete the interrupted
+    // commit by discarding them now.
+    DQM_LOG(Warning) << "WAL '" << wal_.path() << "' (generation "
+                     << wal_generation
+                     << ") predates its checkpoint (generation "
+                     << checkpoint_generation
+                     << "); completing the interrupted checkpoint commit";
+    DQM_RETURN_NOT_OK(wal_.Reset(checkpoint_generation));
+    replay_tail = false;
+  } else {
+    return Status::Internal(StrFormat(
+        "WAL '%s' generation %llu is ahead of checkpoint generation %llu",
+        wal_.path().c_str(), static_cast<unsigned long long>(wal_generation),
+        static_cast<unsigned long long>(checkpoint_generation)));
+  }
+  if (replay_tail) {
+    DQM_ASSIGN_OR_RETURN(crowd::VoteWal::ReplayStats replay,
+                         wal_.ReplayAndTruncate(num_items, restore));
+    stats.replayed_votes = replay.votes;
+    stats.torn_records = replay.torn_records;
+    tm.replayed->Add(replay.votes);
+    tm.torn->Add(replay.torn_records);
+  }
+  return stats;
+}
+
+size_t SessionDurability::RetainedBytes() const {
+  MutexLock lock(wal_mutex_);
+  return wal_.RetainedBytes();
+}
+
+}  // namespace dqm::engine

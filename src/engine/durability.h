@@ -1,0 +1,224 @@
+#ifndef DQM_ENGINE_DURABILITY_H_
+#define DQM_ENGINE_DURABILITY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "crowd/vote.h"
+#include "crowd/wal.h"
+#include "telemetry/metrics.h"
+
+namespace dqm::engine {
+
+/// Per-session durability knobs (resolved from SessionOptions by the
+/// engine; `dir` is this session's own directory, not the engine root).
+struct DurabilityOptions {
+  std::string dir;
+  /// Session name, for the session=... label on the checkpoint-size gauge.
+  std::string session_name;
+  /// fsync the WAL whenever at least this many votes accumulated since the
+  /// last sync (clamped to >= 1; 1 = fsync every batch).
+  uint64_t group_commit_votes = 256;
+  /// Additionally fsync at most this many milliseconds after a vote was
+  /// buffered (0 = no timed flusher): bounds the durability lag of a
+  /// trickle workload that never fills a vote-count group.
+  uint64_t group_commit_ms = 0;
+  /// Checkpoint whenever the session's committed total crosses a multiple
+  /// of this (0 = never; recovery then replays the whole WAL).
+  uint64_t checkpoint_every_votes = 0;
+};
+
+/// Everything needed to rebuild a session's configuration at recovery,
+/// persisted as a key=value text file (`MANIFEST`) in the session dir.
+/// Holds primitives only — the engine re-derives SessionOptions from it —
+/// so this header stays independent of engine/session.h.
+struct SessionManifest {
+  std::string name;
+  uint64_t num_items = 0;
+  std::vector<std::string> specs;
+  /// ParsePublishCadenceSpec spelling ("every_batch" | "manual" |
+  /// "every_n_votes:N").
+  std::string cadence = "every_batch";
+  /// The RESOLVED stripe count the live session used (log.num_stripes();
+  /// 0 = serialized path) — recorded so recovery rebuilds the same stripe
+  /// layout deterministically instead of re-deriving it from the hardware
+  /// it happens to recover on.
+  uint64_t ingest_stripes = 0;
+  uint64_t publish_every_votes = 4096;
+  uint64_t wal_group_commit_votes = 256;
+  uint64_t wal_group_commit_ms = 0;
+  uint64_t checkpoint_every_votes = 0;
+};
+
+/// Escapes a session name into a filesystem-safe token ('/' and friends
+/// percent-encoded); decodes exactly.
+std::string PercentEncode(std::string_view raw);
+Result<std::string> PercentDecode(std::string_view encoded);
+
+/// Manifest (de)serialization: key=value lines, written tmp+rename+fsync.
+Status WriteManifestFile(const std::string& path, const SessionManifest& m);
+Result<SessionManifest> ReadManifestFile(const std::string& path);
+
+/// Path of the manifest inside a session directory — what
+/// DqmEngine::RecoverSessions probes each subdirectory for.
+std::string SessionManifestPath(const std::string& session_dir);
+
+/// One session's durability engine: the WAL group-commit policy, the
+/// checkpoint protocol, and recovery. Owns the session directory layout
+///
+///   <dir>/MANIFEST         session configuration (written once at create)
+///   <dir>/wal.log          crowd::VoteWal (tail since the last checkpoint)
+///   <dir>/checkpoint.bin   crowd checkpoint file (latest committed one)
+///
+/// ## Commit protocol (see EstimationSession::AddVotes)
+///
+/// The session appends every accepted batch here BEFORE applying it:
+/// AppendBatch buffers the record under the WAL mutex and write(2)+fsyncs
+/// when the group-commit cadence says so — an IOError rejects the batch
+/// before a single vote reaches the pipeline, keeping the WAL a superset
+/// of the applied state. After applying, the session calls NoteApplied,
+/// which is what lets a checkpoint quiesce: CommitCheckpoint blocks new
+/// appends (WAL mutex), drains appended-but-unapplied batches
+/// (in_flight == 0), snapshots the log via the caller's build callback,
+/// rename-commits the checkpoint file carrying generation G+1, then
+/// resets the WAL to G+1. A crash between those last two steps is healed
+/// by the generation compare in Recover.
+///
+/// Lock order: session (200) -> WAL (250) -> stripes (300); the checkpoint
+/// build callback pauses stripes while holding both outer locks.
+class SessionDurability {
+ public:
+  /// Kill points, in commit order, for crash-recovery tests: the hook runs
+  /// with the WAL mutex held immediately AFTER the named step completed.
+  enum class Phase {
+    kAppend,           // batch buffered (user-space only — dies with us)
+    kFsync,            // group-commit fsync returned
+    kCheckpointWrite,  // checkpoint file rename-committed, WAL not yet reset
+    kWalReset,         // WAL truncated to the new generation
+  };
+
+  /// Creates a FRESH session directory (mkdir -p), writes the manifest, and
+  /// opens an empty WAL. FailedPrecondition when the directory already
+  /// holds state — recovering an existing session must go through
+  /// DqmEngine::RecoverSessions, not OpenSession.
+  static Result<std::unique_ptr<SessionDurability>> Create(
+      const DurabilityOptions& options, const SessionManifest& manifest);
+
+  /// Attaches to an EXISTING session directory for recovery (the caller has
+  /// already read the manifest). Opens the WAL but replays nothing until
+  /// Recover.
+  static Result<std::unique_ptr<SessionDurability>> Attach(
+      const DurabilityOptions& options);
+
+  /// Stops the timed flusher and flushes+fsyncs any buffered records
+  /// (best-effort; failures are logged).
+  ~SessionDurability();
+
+  SessionDurability(const SessionDurability&) = delete;
+  SessionDurability& operator=(const SessionDurability&) = delete;
+
+  /// Logs one accepted batch: buffers the record, marks it in-flight, and
+  /// runs the group-commit cadence (write+fsync once enough votes
+  /// accumulated). On error the batch is NOT in the WAL and must be
+  /// rejected before being applied.
+  Status AppendBatch(std::span<const crowd::VoteEvent> votes)
+      DQM_EXCLUDES(wal_mutex_);
+
+  /// Marks one AppendBatch'd batch as applied to the in-memory log. Must be
+  /// called exactly once per successful AppendBatch, after the apply.
+  void NoteApplied();
+
+  /// write(2)+fsyncs everything buffered regardless of cadence — the
+  /// explicit durability point (close, tests, CLI flush).
+  Status Flush() DQM_EXCLUDES(wal_mutex_);
+
+  bool checkpoints_enabled() const {
+    return options_.checkpoint_every_votes > 0;
+  }
+  uint64_t checkpoint_every_votes() const {
+    return options_.checkpoint_every_votes;
+  }
+
+  /// Snapshots the session state and swaps it in for the WAL. `build` runs
+  /// with the WAL quiesced (appends blocked, in-flight batches drained) and
+  /// must return the log's checkpoint data carrying the generation it is
+  /// passed; the caller is responsible for holding the session mutex so the
+  /// serialized apply path is also quiet. Failures leave the WAL intact
+  /// (the previous checkpoint, if any, stays committed).
+  Status CommitCheckpoint(
+      const std::function<Result<crowd::CheckpointData>(uint64_t generation)>&
+          build) DQM_EXCLUDES(wal_mutex_);
+
+  struct RecoveryStats {
+    /// Votes re-emitted from the checkpoint snapshot.
+    uint64_t checkpoint_votes = 0;
+    /// Votes replayed from the WAL tail.
+    uint64_t replayed_votes = 0;
+    uint64_t torn_records = 0;
+    bool had_checkpoint = false;
+  };
+
+  /// Full recovery: loads the latest checkpoint (if any) and replays the
+  /// WAL tail through `restore`, healing the checkpoint/WAL generation
+  /// seam and truncating a torn tail. Call once, before the first
+  /// AppendBatch, with the session not yet serving.
+  Result<RecoveryStats> Recover(
+      size_t num_items,
+      const std::function<Status(std::span<const crowd::VoteEvent>)>& restore)
+      DQM_EXCLUDES(wal_mutex_);
+
+  /// Heap retained by the WAL buffer + replay scratch — rolled into the
+  /// session's RetainedBytes accounting.
+  size_t RetainedBytes() const DQM_EXCLUDES(wal_mutex_);
+
+  const DurabilityOptions& options() const { return options_; }
+  const std::string& dir() const { return options_.dir; }
+  std::string wal_path() const;
+  std::string checkpoint_path() const;
+
+  /// Installs a crash-injection hook for tests (called with the WAL mutex
+  /// held after each Phase completes). Install before concurrent use.
+  void SetPhaseHookForTest(std::function<void(Phase)> hook)
+      DQM_EXCLUDES(wal_mutex_);
+
+ private:
+  explicit SessionDurability(DurabilityOptions options);
+
+  Status OpenWal() DQM_EXCLUDES(wal_mutex_);
+  Status FlushLocked(bool sync) DQM_REQUIRES(wal_mutex_);
+  void RunHook(Phase phase) DQM_REQUIRES(wal_mutex_);
+  void StartFlusher();
+  void FlusherLoop() DQM_EXCLUDES(wal_mutex_);
+
+  const DurabilityOptions options_;
+  mutable Mutex wal_mutex_{LockRank::kWal, "session-wal"};
+  crowd::VoteWal wal_ DQM_GUARDED_BY(wal_mutex_);
+  /// Votes buffered/written since the last fsync — the group-commit gauge.
+  uint64_t pending_votes_ DQM_GUARDED_BY(wal_mutex_) = 0;
+  /// Batches appended to the WAL but not yet applied to the in-memory log.
+  /// Incremented under wal_mutex_ (AppendBatch), decremented lock-free
+  /// (NoteApplied) so the checkpoint quiesce can drain it while holding the
+  /// mutex without deadlocking the appliers.
+  std::atomic<uint64_t> in_flight_{0};
+  std::function<void(Phase)> phase_hook_ DQM_GUARDED_BY(wal_mutex_);
+  bool stop_flusher_ DQM_GUARDED_BY(wal_mutex_) = false;
+  CondVar flusher_cv_;
+  std::thread flusher_;
+  /// Refcounted per-session checkpoint-size gauge (released in the dtor).
+  telemetry::Gauge* checkpoint_bytes_gauge_ = nullptr;
+};
+
+}  // namespace dqm::engine
+
+#endif  // DQM_ENGINE_DURABILITY_H_

@@ -1,14 +1,70 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "engine/durability.h"
 #include "telemetry/metrics.h"
 #include "telemetry/metric_names.h"
 
 namespace dqm::engine {
+
+namespace {
+
+/// Inverse of ParsePublishCadenceSpec — the spelling the manifest records.
+std::string CadenceSpecString(const SessionOptions& options) {
+  switch (options.cadence) {
+    case PublishCadence::kEveryBatch:
+      return "every_batch";
+    case PublishCadence::kManual:
+      return "manual";
+    case PublishCadence::kEveryNVotes:
+      return StrFormat(
+          "every_n_votes:%llu",
+          static_cast<unsigned long long>(options.publish_every_votes));
+  }
+  return "every_batch";
+}
+
+DurabilityOptions MakeDurabilityOptions(const std::string& name,
+                                        const SessionOptions& options) {
+  DurabilityOptions durability;
+  durability.dir = options.durability_dir + "/" + PercentEncode(name);
+  durability.session_name = name;
+  durability.group_commit_votes = options.wal_group_commit_votes;
+  durability.group_commit_ms = options.wal_group_commit_ms;
+  durability.checkpoint_every_votes = options.checkpoint_every_votes;
+  return durability;
+}
+
+Result<std::unique_ptr<SessionDurability>> CreateSessionDurability(
+    const std::string& name, size_t num_items,
+    std::span<const std::string> specs, const SessionOptions& options,
+    bool supports_concurrent_ingest) {
+  SessionManifest manifest;
+  manifest.name = name;
+  manifest.num_items = num_items;
+  manifest.specs.assign(specs.begin(), specs.end());
+  manifest.cadence = CadenceSpecString(options);
+  // Record the RESOLVED stripe count (0 = serialized): an "auto" request
+  // resolves against the hardware it first ran on, and recovery must
+  // rebuild that layout — not re-roll it on whatever machine recovers.
+  manifest.ingest_stripes =
+      ResolveIngestStripes(options, supports_concurrent_ingest);
+  manifest.publish_every_votes = options.publish_every_votes;
+  manifest.wal_group_commit_votes = options.wal_group_commit_votes;
+  manifest.wal_group_commit_ms = options.wal_group_commit_ms;
+  manifest.checkpoint_every_votes = options.checkpoint_every_votes;
+  return SessionDurability::Create(MakeDurabilityOptions(name, options),
+                                   manifest);
+}
+
+}  // namespace
 
 DqmEngine::DqmEngine(const Options& options)
     : num_shards_(options.num_shards),
@@ -82,9 +138,93 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
       core::DataQualityMetric metric,
       core::DataQualityMetric::Create(num_items, specs,
                                       crowd::RetentionPolicy::kCounts));
-  auto session = std::make_shared<EstimationSession>(name, std::move(metric),
-                                                     session_options);
+  std::unique_ptr<SessionDurability> durability;
+  if (!session_options.durability_dir.empty()) {
+    // Directory + manifest + empty WAL exist before the session does, so
+    // from the first accepted batch onward the write-ahead invariant holds.
+    DQM_ASSIGN_OR_RETURN(
+        durability,
+        CreateSessionDurability(name, num_items, specs, session_options,
+                                metric.SupportsConcurrentIngest()));
+  }
+  auto session = std::make_shared<EstimationSession>(
+      name, std::move(metric), session_options, std::move(durability));
   return InsertSession(name, [&] { return session; });
+}
+
+Result<std::vector<DqmEngine::RecoveredSession>> DqmEngine::RecoverSessions(
+    const std::string& root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound(StrFormat(
+        "durability root '%s' is not a directory", root.c_str()));
+  }
+  std::vector<std::string> dirs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path().string());
+  }
+  if (ec) {
+    return Status::IOError(StrFormat("scanning '%s': %s", root.c_str(),
+                                     ec.message().c_str()));
+  }
+  std::sort(dirs.begin(), dirs.end());
+  std::vector<RecoveredSession> recovered;
+  for (const std::string& dir : dirs) {
+    Result<SessionManifest> manifest_or =
+        ReadManifestFile(SessionManifestPath(dir));
+    if (!manifest_or.ok()) {
+      // No (readable) manifest means OpenSession crashed before the
+      // rename-commit — by the write order there can be no WAL with
+      // accepted votes in such a directory, so skipping loses nothing.
+      DQM_LOG(Warning) << "RecoverSessions: skipping '" << dir
+                       << "': " << manifest_or.status().message();
+      continue;
+    }
+    SessionManifest manifest = std::move(manifest_or).value();
+    DQM_ASSIGN_OR_RETURN(SessionOptions options,
+                         ParsePublishCadenceSpec(manifest.cadence));
+    options.publish_every_votes = manifest.publish_every_votes;
+    // 0 in the manifest means the serialized path was resolved at create
+    // time; 1 pins it (0 in SessionOptions would re-run auto-resolution).
+    options.ingest_stripes = manifest.ingest_stripes == 0
+                                 ? 1
+                                 : manifest.ingest_stripes;
+    options.durability_dir = root;
+    options.wal_group_commit_votes = manifest.wal_group_commit_votes;
+    options.wal_group_commit_ms = manifest.wal_group_commit_ms;
+    options.checkpoint_every_votes = manifest.checkpoint_every_votes;
+    DQM_RETURN_NOT_OK(PrecheckName(manifest.name));
+    DQM_ASSIGN_OR_RETURN(
+        core::DataQualityMetric metric,
+        core::DataQualityMetric::Create(manifest.num_items, manifest.specs,
+                                        crowd::RetentionPolicy::kCounts));
+    DurabilityOptions durability_options =
+        MakeDurabilityOptions(manifest.name, options);
+    // Trust the directory actually scanned over the re-derived encoding, in
+    // case the tree was relocated by hand.
+    durability_options.dir = dir;
+    DQM_ASSIGN_OR_RETURN(std::unique_ptr<SessionDurability> durability,
+                         SessionDurability::Attach(durability_options));
+    auto session = std::make_shared<EstimationSession>(
+        manifest.name, std::move(metric), options, std::move(durability));
+    DQM_ASSIGN_OR_RETURN(EstimationSession::RecoveryReport report,
+                         session->RecoverFromDurability());
+    DQM_RETURN_NOT_OK(
+        InsertSession(manifest.name, [&] { return session; }).status());
+    RecoveredSession row;
+    row.name = manifest.name;
+    row.num_items = manifest.num_items;
+    row.votes_restored = report.votes_restored;
+    row.torn_records = report.torn_records;
+    row.had_checkpoint = report.had_checkpoint;
+    recovered.push_back(std::move(row));
+  }
+  std::sort(recovered.begin(), recovered.end(),
+            [](const RecoveredSession& a, const RecoveredSession& b) {
+              return a.name < b.name;
+            });
+  return recovered;
 }
 
 Result<std::shared_ptr<EstimationSession>> DqmEngine::GetSession(

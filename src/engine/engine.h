@@ -2,6 +2,7 @@
 #define DQM_ENGINE_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -80,10 +81,41 @@ class DqmEngine {
   /// coalesced cadence (kEveryNVotes / kManual) many writer threads can
   /// ingest into the one session while a single publisher runs the
   /// estimator pipeline.
+  ///
+  /// When SessionOptions::durability_dir is set this also creates the
+  /// session's durability directory (`<dir>/<percent-encoded name>/` with
+  /// manifest + WAL) and every accepted batch is write-ahead logged before
+  /// it is applied. FailedPrecondition when that directory already holds
+  /// state — an existing durable session must be re-opened through
+  /// RecoverSessions, never overwritten by OpenSession.
   Result<std::shared_ptr<EstimationSession>> OpenSession(
       const std::string& name, size_t num_items,
       std::span<const std::string> specs,
       const SessionOptions& session_options);
+
+  /// One session rebuilt by RecoverSessions.
+  struct RecoveredSession {
+    std::string name;
+    uint64_t num_items = 0;
+    /// Checkpoint-restored plus WAL-replayed votes.
+    uint64_t votes_restored = 0;
+    /// Trailing WAL records dropped (and truncated away) as torn.
+    uint64_t torn_records = 0;
+    bool had_checkpoint = false;
+  };
+
+  /// Scans `root` (a SessionOptions::durability_dir) and re-opens every
+  /// durable session found under it: reads each subdirectory's manifest,
+  /// rebuilds the exact serving configuration (estimator panel, cadence,
+  /// recorded stripe layout), restores the latest checkpoint, replays the
+  /// WAL tail (truncating a torn final record), publishes the recovered
+  /// estimates, and registers the session under its original name.
+  /// Returns per-session reports sorted by name. Subdirectories without a
+  /// manifest (a crash inside OpenSession before the manifest committed)
+  /// are skipped with a warning; a corrupt checkpoint or unreadable WAL
+  /// fails the whole call — silent data loss is not an option here.
+  Result<std::vector<RecoveredSession>> RecoverSessions(
+      const std::string& root);
 
   /// Looks up an open session (NotFound otherwise). The returned handle
   /// stays valid after CloseSession — closing only unregisters the name.

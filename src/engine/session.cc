@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "engine/durability.h"
 #include "telemetry/metric_names.h"
 
 namespace dqm::engine {
@@ -146,6 +147,40 @@ Result<SessionOptions> ParsePublishCadenceSpec(std::string_view spec,
       static_cast<int>(spec.size()), spec.data()));
 }
 
+Result<SessionOptions> ParseWalGroupCommitSpec(std::string_view spec,
+                                               SessionOptions base) {
+  std::string_view digits = spec;
+  bool is_ms = false;
+  if (digits.size() >= 2 && digits.substr(digits.size() - 2) == "ms") {
+    is_ms = true;
+    digits.remove_suffix(2);
+  }
+  if (digits.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "bad WAL group commit '%.*s': expected N (votes) or Nms",
+        static_cast<int>(spec.size()), spec.data()));
+  }
+  uint64_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(StrFormat(
+          "bad WAL group commit '%.*s': expected N (votes) or Nms",
+          static_cast<int>(spec.size()), spec.data()));
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "WAL group commit threshold must be positive");
+  }
+  if (is_ms) {
+    base.wal_group_commit_ms = n;
+  } else {
+    base.wal_group_commit_votes = n;
+  }
+  return base;
+}
+
 namespace {
 
 /// Engine-wide hot-path metrics, resolved once. Latency histograms are fed
@@ -201,33 +236,50 @@ size_t DefaultStripeCount() {
 
 }  // namespace
 
+size_t ResolveIngestStripes(const SessionOptions& options,
+                            bool supports_concurrent_ingest) {
+  // Stripe on explicit request (>= 2), or automatically when the cadence is
+  // coalesced — never by default under kEveryBatch, where the serialized
+  // O(batch) commit+publish beats a striped O(num_items) reconcile per
+  // batch for a single producer.
+  const bool want_striping =
+      options.ingest_stripes >= 2 ||
+      (options.ingest_stripes == 0 &&
+       options.cadence != PublishCadence::kEveryBatch);
+  if (!want_striping || !supports_concurrent_ingest) return 0;
+  return options.ingest_stripes == 0 ? DefaultStripeCount()
+                                     : options.ingest_stripes;
+}
+
 EstimationSession::EstimationSession(
     std::string name, size_t num_items,
     const core::DataQualityMetric::Options& options)
     : EstimationSession(std::move(name),
                         core::DataQualityMetric(num_items, options)) {}
 
-EstimationSession::EstimationSession(std::string name,
-                                     core::DataQualityMetric metric,
-                                     const SessionOptions& session_options)
+EstimationSession::EstimationSession(
+    std::string name, core::DataQualityMetric metric,
+    const SessionOptions& session_options,
+    std::unique_ptr<SessionDurability> durability)
     : name_(std::move(name)),
       num_items_(metric.num_items()),
       options_(session_options),
+      durability_(std::move(durability)),
       metric_(std::move(metric)),
       estimator_names_(InitialNames(metric_)),
       snapshot_(estimator_names_.size()) {
-  // Stripe on explicit request (>= 2), or automatically when the cadence is
-  // coalesced — never by default under kEveryBatch, where the serialized
-  // O(batch) commit+publish beats a striped O(num_items) reconcile per
-  // batch for a single producer.
-  const bool want_striping =
-      options_.ingest_stripes >= 2 ||
-      (options_.ingest_stripes == 0 &&
-       options_.cadence != PublishCadence::kEveryBatch);
-  if (want_striping && metric_.SupportsConcurrentIngest()) {
-    metric_.EnableConcurrentIngest(options_.ingest_stripes == 0
-                                       ? DefaultStripeCount()
-                                       : options_.ingest_stripes);
+  // Checkpoints serialize the restorable kCounts compacted state; panels
+  // outside it (order-sensitive SWITCH, kFullEvents retention) keep the
+  // full-order WAL instead — decided before striping flips the log's mode.
+  checkpointable_ = durability_ != nullptr &&
+                    durability_->checkpoints_enabled() &&
+                    metric_.SupportsConcurrentIngest();
+  // One resolution path (shared with the engine's durability manifest, so
+  // a recovered session reproduces this layout exactly).
+  const size_t resolved_stripes =
+      ResolveIngestStripes(options_, metric_.SupportsConcurrentIngest());
+  if (resolved_stripes >= 2) {
+    metric_.EnableConcurrentIngest(resolved_stripes);
     striped_ = true;
   }
   snapshot_.Store(InitialSnapshot(num_items_, estimator_names_.size()));
@@ -284,11 +336,22 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
   const bool timed = telemetry::Enabled();
 
   if (striped_) {
+    // Write-ahead first: the batch is in the WAL (buffer or disk, per the
+    // group-commit cadence) before a single vote is applied, so the log on
+    // disk is always a superset of the applied state. A WAL failure rejects
+    // the batch here. The WAL mutex is taken WITHOUT the session mutex on
+    // this path — the checkpoint quiesce drains the append->apply window
+    // via the in-flight count instead (NoteApplied below).
+    if (durability_ != nullptr) {
+      Status logged = durability_->AppendBatch(votes);
+      if (!logged.ok()) return logged;
+    }
     // The cheap commit: stripe-local tally increments only, no session
     // mutex — N producers commit into this session concurrently, bounded
     // by stripe collisions rather than lock hand-off latency.
     const uint64_t commit_start = timed ? telemetry::NowNanos() : 0;
     metric_.CommitVotesConcurrent(votes);
+    if (durability_ != nullptr) durability_->NoteApplied();
     uint64_t after = committed_votes_.fetch_add(votes.size(),
                                                 std::memory_order_relaxed) +
                      votes.size();
@@ -316,15 +379,24 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
         tm.deferred->Increment();
         break;
     }
+    if (checkpointable_) MaybeCheckpoint(after, votes.size());
     return Status::OK();
   }
 
   MutexLock lock(mutex_);
+  // Serialized path: append under the session mutex (session -> WAL nests
+  // in rank order), so during a checkpoint — which holds the session mutex
+  // — there is never an appended-but-unapplied batch to wait for.
+  if (durability_ != nullptr) {
+    Status logged = durability_->AppendBatch(votes);
+    if (!logged.ok()) return logged;
+  }
   const uint64_t commit_start = timed ? telemetry::NowNanos() : 0;
   for (const crowd::VoteEvent& event : votes) {
     metric_.AddVote(event.task, event.worker, event.item,
                     event.vote == crowd::Vote::kDirty);
   }
+  if (durability_ != nullptr) durability_->NoteApplied();
   uint64_t after = committed_votes_.fetch_add(votes.size(),
                                               std::memory_order_relaxed) +
                    votes.size();
@@ -352,7 +424,40 @@ Status EstimationSession::AddVotes(std::span<const crowd::VoteEvent> votes) {
       tm.deferred->Increment();
       break;
   }
+  if (checkpointable_) {
+    const uint64_t n =
+        std::max<uint64_t>(options_.checkpoint_every_votes, 1);
+    if ((after - votes.size()) / n != after / n) CheckpointLocked();
+  }
   return Status::OK();
+}
+
+void EstimationSession::MaybeCheckpoint(uint64_t after, uint64_t batch) {
+  const uint64_t n = std::max<uint64_t>(options_.checkpoint_every_votes, 1);
+  if ((after - batch) / n == after / n) return;
+  MutexLock lock(mutex_);
+  CheckpointLocked();
+}
+
+void EstimationSession::CheckpointLocked() {
+  Status status = durability_->CommitCheckpoint(
+      [this](uint64_t generation) -> Result<crowd::CheckpointData> {
+        // Cut the snapshot with committers paused: the WAL quiesce already
+        // drained appended-but-unapplied batches, the reconcile pause stops
+        // the striped committers mid-air (serialized sessions are quiet
+        // under mutex_ by construction), and the fold brings every derived
+        // aggregate current before it is serialized.
+        crowd::ResponseLog::IngestPause pause =
+            metric_.ReconcileForEstimates();
+        return crowd::CheckpointFromLog(metric_.log(), generation);
+      });
+  if (!status.ok()) {
+    // The batch is applied AND write-ahead logged, so failing to compact
+    // the WAL into a snapshot loses nothing — recovery just replays a
+    // longer tail. Log and serve on.
+    DQM_LOG(Error) << "session '" << name_
+                   << "': checkpoint failed: " << status.message();
+  }
 }
 
 void EstimationSession::Publish() {
@@ -429,6 +534,56 @@ void EstimationSession::PublishLocked() {
   }
 }
 
+Result<EstimationSession::RecoveryReport>
+EstimationSession::RecoverFromDurability() {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("session '%s' is not durable", name_.c_str()));
+  }
+  SessionDurability::RecoveryStats stats;
+  {
+    // Recover invokes the restore callback under wal_mutex_ (rank 250), so
+    // the callback must not acquire the session mutex (rank 200) — that is
+    // the inversion of the session -> WAL edge the commit/checkpoint paths
+    // establish. Instead hold mutex_ across the whole Recover call: same
+    // ascending edge, and it gives the serialized replay the exact
+    // exclusion the serialized commit path has. The striped branch only
+    // takes per-stripe locks (rank 300), still ascending.
+    MutexLock lock(mutex_);
+    auto restore =
+        [this](std::span<const crowd::VoteEvent> votes) -> Status {
+      if (striped_) {
+        metric_.CommitVotesConcurrent(votes);
+      } else {
+        for (const crowd::VoteEvent& event : votes) {
+          metric_.AddVote(event.task, event.worker, event.item,
+                          event.vote == crowd::Vote::kDirty);
+        }
+      }
+      committed_votes_.fetch_add(votes.size(), std::memory_order_relaxed);
+      return Status::OK();
+    };
+    Result<SessionDurability::RecoveryStats> recovered =
+        durability_->Recover(num_items_, restore);
+    if (!recovered.ok()) return recovered.status();
+    stats = *recovered;
+  }
+  // Recovery replays into the log without publishing; one publish at the
+  // end brings the snapshot (and the exported quality gauges) current so
+  // queries against the recovered session see the recovered estimates.
+  Publish();
+  RecoveryReport report;
+  report.votes_restored = stats.checkpoint_votes + stats.replayed_votes;
+  report.torn_records = stats.torn_records;
+  report.had_checkpoint = stats.had_checkpoint;
+  return report;
+}
+
+Status EstimationSession::FlushDurability() {
+  if (durability_ == nullptr) return Status::OK();
+  return durability_->Flush();
+}
+
 size_t EstimationSession::RetainedBytes() const {
   // The session mutex excludes concurrent publishes (whose pause guard
   // holds every stripe lock — the log's RetainedBytes takes them one at a
@@ -436,7 +591,12 @@ size_t EstimationSession::RetainedBytes() const {
   // striped path hold single stripe locks only, which the log read waits
   // out per stripe.
   MutexLock lock(mutex_);
-  return metric_.log().RetainedBytes();
+  size_t bytes = metric_.log().RetainedBytes();
+  // WAL buffer + replay scratch ride on the same accounting: durable
+  // sessions retain them for the session's lifetime (session -> WAL nests
+  // in rank order).
+  if (durability_ != nullptr) bytes += durability_->RetainedBytes();
+  return bytes;
 }
 
 Snapshot EstimationSession::snapshot() const {

@@ -137,6 +137,26 @@ struct SessionOptions {
   /// universe). Panels containing an order-sensitive estimator (SWITCH)
   /// fall back to the serialized path regardless.
   size_t ingest_stripes = 0;
+  /// Root directory for durable sessions ("" = in-memory only, the
+  /// historical behavior). Each session gets its own subdirectory
+  /// (percent-encoded name) holding manifest, WAL, and checkpoint; votes
+  /// are write-ahead logged before being applied, and
+  /// DqmEngine::RecoverSessions(root) rebuilds every session after a crash.
+  std::string durability_dir;
+  /// WAL group commit: fsync once this many votes accumulated since the
+  /// last sync (>= 1; 1 = fsync every batch). Also the ParseWalGroupCommitSpec
+  /// "N" spelling.
+  uint64_t wal_group_commit_votes = 256;
+  /// Optional time-based group commit: fsync at most this many ms after a
+  /// vote was buffered (0 = off). The "Nms" spelling.
+  uint64_t wal_group_commit_ms = 0;
+  /// Checkpoint the compacted log state whenever the committed-vote total
+  /// crosses a multiple of this, truncating the WAL (0 = never checkpoint;
+  /// recovery replays the whole WAL). Only takes effect for panels on the
+  /// concurrent-capable kCounts path; order-sensitive panels (SWITCH) get
+  /// WAL-only durability — a checkpoint's synthetic replay cannot
+  /// reproduce arrival order, which those estimators consume.
+  uint64_t checkpoint_every_votes = 0;
 };
 
 /// Parses "every_batch" | "manual" | "every_n_votes[:N]" (e.g.
@@ -144,6 +164,23 @@ struct SessionOptions {
 /// CLI / bench flags use. InvalidArgument on anything else.
 Result<SessionOptions> ParsePublishCadenceSpec(std::string_view spec,
                                                SessionOptions base = {});
+
+/// Parses the WAL group-commit spelling the CLI / bench flags use into
+/// `base`'s wal_group_commit fields: "N" (votes) or "Nms" (milliseconds;
+/// keeps the vote threshold too — whichever fires first syncs).
+/// InvalidArgument on anything else.
+Result<SessionOptions> ParseWalGroupCommitSpec(std::string_view spec,
+                                               SessionOptions base = {});
+
+/// Resolves SessionOptions::ingest_stripes against a panel's capability:
+/// 0 = the serialized commit path, otherwise the stripe count the session
+/// will enable (auto requests resolve against this machine's hardware).
+/// The engine records the RESOLVED value in a durable session's manifest so
+/// recovery rebuilds the same stripe layout on any machine.
+size_t ResolveIngestStripes(const SessionOptions& options,
+                            bool supports_concurrent_ingest);
+
+class SessionDurability;
 
 /// One live estimation stream: a `core::DataQualityMetric` (possibly with
 /// several attached estimators) made safe for concurrent use. Readers poll
@@ -176,9 +213,12 @@ class EstimationSession {
                         core::DataQualityMetric::Options());
 
   /// Wraps an already-configured pipeline (the engine's spec-based
-  /// OpenSession path).
+  /// OpenSession path). `durability`, when non-null, write-ahead logs every
+  /// committed batch (the engine constructs it from
+  /// SessionOptions::durability_dir).
   EstimationSession(std::string name, core::DataQualityMetric metric,
-                    const SessionOptions& session_options = SessionOptions());
+                    const SessionOptions& session_options = SessionOptions(),
+                    std::unique_ptr<SessionDurability> durability = nullptr);
 
   EstimationSession(const EstimationSession&) = delete;
   EstimationSession& operator=(const EstimationSession&) = delete;
@@ -248,6 +288,34 @@ class EstimationSession {
   /// Snapshot() is lock-free and safe from any thread.
   const telemetry::FlightRecorder& flight_recorder() const { return flight_; }
 
+  /// True when this session write-ahead logs its votes.
+  bool durable() const { return durability_ != nullptr; }
+
+  /// Test access to the durability engine (crash-injection phase hooks).
+  /// nullptr for in-memory sessions.
+  SessionDurability* durability_for_test() { return durability_.get(); }
+
+  /// What RecoverFromDurability rebuilt (surfaced per session by
+  /// DqmEngine::RecoverSessions).
+  struct RecoveryReport {
+    /// Checkpoint-restored + WAL-replayed votes.
+    uint64_t votes_restored = 0;
+    /// Torn/corrupt trailing WAL records truncated away.
+    uint64_t torn_records = 0;
+    bool had_checkpoint = false;
+  };
+
+  /// Replays this session's durable state (checkpoint + WAL tail) into the
+  /// pipeline and publishes one snapshot of the recovered estimates. Call
+  /// exactly once, before the first AddVotes, on a freshly constructed
+  /// session (DqmEngine::RecoverSessions does).
+  Result<RecoveryReport> RecoverFromDurability() DQM_EXCLUDES(mutex_);
+
+  /// Forces the WAL to disk (write + fsync) regardless of the group-commit
+  /// cadence — the explicit durability barrier. No-op for in-memory
+  /// sessions.
+  Status FlushDurability() DQM_EXCLUDES(mutex_);
+
  private:
   /// Refreshes the publish scratch from the metric and stores the seqlock
   /// snapshot. Caller holds mutex_ (and, for striped sessions, the log's
@@ -259,9 +327,28 @@ class EstimationSession {
   /// spans, quality gauges).
   void PublishInternalLocked() DQM_REQUIRES(mutex_);
 
+  /// Commits a checkpoint when the committed total crossed a
+  /// checkpoint_every_votes boundary with this batch (the crossing
+  /// committer pays). Failures are logged, not returned — the votes are
+  /// already applied AND in the WAL, so the session stays correct and
+  /// recoverable either way.
+  void MaybeCheckpoint(uint64_t after, uint64_t batch) DQM_EXCLUDES(mutex_);
+
+  /// The checkpoint commit itself: quiesces the WAL, cuts the snapshot
+  /// (reconcile pause + CheckpointFromLog), rename-commits, resets the WAL.
+  /// Failures are logged (see MaybeCheckpoint).
+  void CheckpointLocked() DQM_REQUIRES(mutex_);
+
   const std::string name_;
   const size_t num_items_;
   const SessionOptions options_;
+  /// Write-ahead log + checkpoints; null for in-memory sessions. Owns its
+  /// own kWal-ranked mutex (see engine/durability.h for the commit
+  /// protocol); declared before metric_ so appends outlive nothing.
+  std::unique_ptr<SessionDurability> durability_;
+  /// Checkpoints need the snapshot-restorable kCounts state; panels outside
+  /// it (SWITCH / kFullEvents) get WAL-only durability.
+  bool checkpointable_ = false;
   bool striped_ = false;
   /// Total votes committed; drives the kEveryNVotes trigger on the striped
   /// path without any shared lock.

@@ -60,6 +60,31 @@ inline constexpr char kPublishEstimateNs[] = "dqm_publish_estimate_ns";
 inline constexpr char kSessionQuality[] = "dqm_session_quality";
 inline constexpr char kSessionTotalErrors[] = "dqm_session_total_errors";
 
+// --- Durability: write-ahead log (engine/durability.cc) -------------------
+/// Record batches appended to WAL user-space buffers.
+inline constexpr char kWalAppendsTotal[] = "dqm_wal_appends_total";
+/// Votes carried by those batches.
+inline constexpr char kWalVotesTotal[] = "dqm_wal_votes_total";
+/// Bytes handed to write(2) (record framing included).
+inline constexpr char kWalBytesWrittenTotal[] = "dqm_wal_bytes_written_total";
+/// fsync(2) calls issued by the group-commit cadence, flushes, and closes.
+inline constexpr char kWalFsyncsTotal[] = "dqm_wal_fsyncs_total";
+/// Wall time of each fsync(2).
+inline constexpr char kWalFsyncNs[] = "dqm_wal_fsync_ns";
+/// Votes replayed from WAL tails during recovery.
+inline constexpr char kWalReplayedVotesTotal[] =
+    "dqm_wal_replayed_votes_total";
+/// Torn or corrupt trailing records truncated during recovery.
+inline constexpr char kWalTornRecordsTotal[] = "dqm_wal_torn_records_total";
+
+// --- Durability: checkpoints (engine/durability.cc) -----------------------
+/// Checkpoints committed (snapshot written + WAL reset).
+inline constexpr char kCheckpointsTotal[] = "dqm_checkpoints_total";
+/// Wall time of a checkpoint commit (quiesce + serialize + rename + reset).
+inline constexpr char kCheckpointWriteNs[] = "dqm_checkpoint_write_ns";
+/// Size of the most recent checkpoint file, labeled session=...
+inline constexpr char kCheckpointBytes[] = "dqm_checkpoint_bytes";
+
 }  // namespace dqm::telemetry::metric_names
 
 #endif  // DQM_TELEMETRY_METRIC_NAMES_H_

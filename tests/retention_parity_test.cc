@@ -183,6 +183,26 @@ TEST(RetentionParityTest, RandomizedStoreParityAgainstShadowModel) {
   EXPECT_EQ(store_dirty_total, expected_dirty_total);
 }
 
+TEST(RetentionParityTest, StripedRetainedBytesCountsFixedOverhead) {
+  // Regression: RetainedBytes used to drop the striped-mode fixed overhead
+  // (control block, stripe array, per-stripe metric table), reporting a
+  // freshly striped log as no larger than a serialized one. The roll-up
+  // gauge the engine exports was under-reporting every striped session.
+  ResponseLog serial(256, RetentionPolicy::kCounts);
+  ResponseLog striped(256, RetentionPolicy::kCounts);
+  striped.EnableConcurrentIngest(4, /*maintain_pair_counts=*/true);
+  EXPECT_GT(striped.RetainedBytes(), serial.RetainedBytes());
+
+  // And the gap persists (shards counted too) once votes flow.
+  std::vector<VoteEvent> votes;
+  for (uint32_t i = 0; i < 500; ++i) {
+    votes.push_back({0, i % 9, i % 256, i % 4 ? Vote::kClean : Vote::kDirty});
+  }
+  for (const VoteEvent& event : votes) serial.Append(event);
+  striped.AppendConcurrent(votes);
+  EXPECT_GT(striped.RetainedBytes(), serial.RetainedBytes());
+}
+
 TEST(RetentionParityDeathTest, EventsUnavailableUnderCounts) {
   ResponseLog log(4, RetentionPolicy::kCounts);
   log.Append({0, 0, 1, Vote::kDirty});

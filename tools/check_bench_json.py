@@ -15,11 +15,19 @@ Checks, per file (artifact mode):
      lists whose entries carry name/labels/value (histograms: count, p50/p95/
      p99/max, buckets).
   3. Every floor registered for that bench name is present and has not
-     regressed. Two floor spellings:
+     regressed. Three floor spellings:
        - a bare number is a healthy-machine baseline gated with slack:
          value >= baseline / allowed_regression (default 5x);
        - {"min": <x>} is an absolute minimum with NO slack — for ratio
-         metrics (telemetry on/off) where 5x slack would gate nothing.
+         metrics (telemetry on/off) where 5x slack would gate nothing;
+       - {"baseline": <x>} is the bare-number spelling as an object, so it
+         can carry extra keys.
+     Either object spelling may add "min_hardware_concurrency": <n>; the
+     floor is then skipped (with a logged reason) when the artifact's
+     "hardware_concurrency" is below <n>. This is how multi-writer scaling
+     floors avoid failing on single-core CI runners, where an artifact
+     reporting hardware_concurrency == 1 measured scheduler thrash, not
+     scaling.
 
 With --telemetry, each file is instead a standalone telemetry dump (the
 dqm_engine_cli --metrics_json output, i.e. the bare exposition object), and
@@ -136,6 +144,11 @@ def load_artifact(path):
         raise ValueError("'bench' must be a non-empty string")
     if not isinstance(artifact["runs"], list):
         raise ValueError("'runs' must be a list")
+    if "hardware_concurrency" in artifact and (
+            not isinstance(artifact["hardware_concurrency"], int) or
+            artifact["hardware_concurrency"] < 0):
+        raise ValueError("'hardware_concurrency' must be a non-negative "
+                         "integer")
     for run in artifact["runs"]:
         if not isinstance(run, dict) or "results" not in run:
             raise ValueError("every run needs a 'results' list")
@@ -165,19 +178,37 @@ def collect_metrics(artifact):
     return metrics
 
 
-def check_floor(path, key, value, floor, allowed):
+def check_floor(path, key, value, floor, allowed, hardware_concurrency):
     """One floor check; returns the error count (0 or 1)."""
     if isinstance(floor, dict):
-        # {"min": x} — an absolute bar, no regression slack. Used for
-        # ratios, where dividing a baseline by 5 would gate nothing.
-        if "min" not in floor:
-            return fail(f"{path}: floor '{key}' object needs a 'min' key")
-        minimum = float(floor["min"])
-        if value < minimum:
-            return fail(f"{path}: {key} = {value:g} below the absolute "
-                        f"minimum {minimum:g}")
-        print(f"  floor ok: {key} = {value:g} >= {minimum:g} (absolute)")
-        return 0
+        required = floor.get("min_hardware_concurrency")
+        if required is not None:
+            if hardware_concurrency is None:
+                # Artifact predates the field: apply the floor normally
+                # rather than silently waiving a gate.
+                print(f"  floor note: '{key}' wants >= {required} hardware "
+                      "threads but the artifact does not report "
+                      "hardware_concurrency; applying the floor anyway")
+            elif hardware_concurrency < required:
+                print(f"  floor skipped: '{key}' needs >= {required} "
+                      f"hardware threads, artifact reports "
+                      f"{hardware_concurrency} — multi-writer scaling is "
+                      "meaningless on this machine")
+                return 0
+        if "min" in floor:
+            # {"min": x} — an absolute bar, no regression slack. Used for
+            # ratios, where dividing a baseline by 5 would gate nothing.
+            minimum = float(floor["min"])
+            if value < minimum:
+                return fail(f"{path}: {key} = {value:g} below the absolute "
+                            f"minimum {minimum:g}")
+            print(f"  floor ok: {key} = {value:g} >= {minimum:g} (absolute)")
+            return 0
+        if "baseline" in floor:
+            floor = float(floor["baseline"])
+        else:
+            return fail(f"{path}: floor '{key}' object needs a 'min' or "
+                        "'baseline' key")
     minimum = float(floor) / allowed
     if value < minimum:
         return fail(f"{path}: {key} = {value:g} regressed below "
@@ -249,7 +280,8 @@ def main():
             if key not in metrics:
                 errors += fail(f"{path}: floor metric '{key}' missing")
                 continue
-            errors += check_floor(path, key, metrics[key], floor, allowed)
+            errors += check_floor(path, key, metrics[key], floor, allowed,
+                                  artifact.get("hardware_concurrency"))
 
     return 1 if errors else 0
 

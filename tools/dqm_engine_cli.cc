@@ -18,6 +18,14 @@
 // names from the workload registry); each is ingested in the batch pattern
 // its arrival process produced, so bursty workloads hit the engine the way
 // a live burst would.
+//
+// --durability_dir=/var/lib/dqm makes every session durable: votes are
+// write-ahead logged (group commit tuned by --wal_group_commit) and
+// checkpointed every --checkpoint_every votes under <dir>/<session>.
+// --recover rebuilds all sessions found under that root (manifest +
+// checkpoint + WAL tail) and prints the report instead of ingesting;
+// --crash_after_ingest _Exit(0)s right after ingest, skipping every
+// destructor and flush — the crash half of the CI crash/recover smoke.
 
 #include <algorithm>
 #include <atomic>
@@ -25,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -392,6 +401,29 @@ int main(int argc, char** argv) {
       "when sessions publish snapshots: every_batch | every_n_votes[:N] | "
       "manual (manual/every_n sessions are flushed once after ingest)");
   int64_t* batch = flags.AddInt("batch", 256, "votes per ingest batch");
+  std::string* durability_dir = flags.AddString(
+      "durability_dir", "",
+      "root directory for durable sessions: every session write-ahead logs "
+      "its votes and checkpoints under <dir>/<session-name>; pair with "
+      "--recover to rebuild after a crash");
+  std::string* wal_group_commit = flags.AddString(
+      "wal_group_commit", "",
+      "WAL group-commit spelling: \"N\" (fsync once N votes buffered) or "
+      "\"Nms\" (fsync at most N ms after a vote was buffered); default 256");
+  int64_t* checkpoint_every = flags.AddInt(
+      "checkpoint_every", 0,
+      "checkpoint the compacted session state every N committed votes, "
+      "truncating the WAL (0 = WAL-only durability)");
+  bool* recover = flags.AddBool(
+      "recover", false,
+      "instead of ingesting, rebuild every session found under "
+      "--durability_dir (manifest + checkpoint + WAL tail) and print the "
+      "report");
+  bool* crash_after_ingest = flags.AddBool(
+      "crash_after_ingest", false,
+      "simulate a crash: _Exit(0) immediately after ingest, skipping "
+      "publishes, flushes, and destructors (the crash half of the "
+      "crash/recover smoke)");
   int64_t* demo_datasets = flags.AddInt(
       "demo_datasets", 6, "datasets simulated when no CSV files are given");
   int64_t* demo_tasks =
@@ -459,6 +491,64 @@ int main(int argc, char** argv) {
   if (*ingest_threads > 1 && session_options->ingest_stripes == 0) {
     session_options->ingest_stripes = std::max<size_t>(
         2, static_cast<size_t>(std::min<int64_t>(*ingest_threads, 16)));
+  }
+  session_options->durability_dir = *durability_dir;
+  if (!wal_group_commit->empty()) {
+    dqm::Result<dqm::engine::SessionOptions> with_wal =
+        dqm::engine::ParseWalGroupCommitSpec(*wal_group_commit,
+                                             *session_options);
+    if (!with_wal.ok()) {
+      std::fprintf(stderr, "%s\n", with_wal.status().ToString().c_str());
+      return 1;
+    }
+    *session_options = *with_wal;
+  }
+  session_options->checkpoint_every_votes =
+      static_cast<uint64_t>(std::max<int64_t>(0, *checkpoint_every));
+
+  // --recover short-circuits the ingest pipeline entirely: the datasets are
+  // whatever the durability root says they were.
+  if (*recover) {
+    if (durability_dir->empty()) {
+      std::fprintf(stderr, "--recover needs --durability_dir\n");
+      return 1;
+    }
+    if (!flags.positional().empty() || !workloads->empty()) {
+      std::fprintf(stderr,
+                   "--recover rebuilds sessions from --durability_dir; drop "
+                   "the CSV/--workload arguments\n");
+      return 1;
+    }
+    dqm::engine::DqmEngine engine;
+    dqm::Result<std::vector<dqm::engine::DqmEngine::RecoveredSession>> recovered =
+        engine.RecoverSessions(*durability_dir);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recover %s: %s\n", durability_dir->c_str(),
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %zu session(s) from %s\n", recovered->size(),
+                durability_dir->c_str());
+    dqm::AsciiTable recovery_table(
+        {"session", "items", "votes restored", "torn records", "checkpoint"});
+    for (const dqm::engine::DqmEngine::RecoveredSession& r : *recovered) {
+      recovery_table.AddRow(
+          {r.name,
+           dqm::StrFormat("%llu", static_cast<unsigned long long>(r.num_items)),
+           dqm::StrFormat("%llu",
+                          static_cast<unsigned long long>(r.votes_restored)),
+           dqm::StrFormat("%llu",
+                          static_cast<unsigned long long>(r.torn_records)),
+           r.had_checkpoint ? "yes" : "no"});
+    }
+    std::fputs(recovery_table.Render().c_str(), stdout);
+    std::printf("engine report — recovered sessions\n");
+    PrintReport(engine);
+    PrintTelemetrySummary(engine);
+    if (!metrics_json->empty() || !metrics_prom->empty()) {
+      DumpMetrics(engine, *metrics_json, *metrics_prom);
+    }
+    return 0;
   }
 
   // One dataset per positional CSV file, generated workload, or simulated
@@ -587,6 +677,15 @@ int main(int argc, char** argv) {
                    outcomes[d].ToString().c_str());
       return 1;
     }
+  }
+  if (*crash_after_ingest) {
+    // The crash half of the crash/recover smoke: die with the sessions
+    // still open. _Exit skips destructors and stdio flushes, so anything a
+    // real crash would lose (the unsynced WAL group-commit tail) is lost
+    // here too; recovery must come entirely from what fsync already pinned.
+    std::printf("crash_after_ingest: exiting without clean shutdown\n");
+    std::fflush(stdout);
+    std::_Exit(0);
   }
   // Manual / coalesced cadences leave a committed tail unpublished; flush
   // every session so the report reflects the full stream.
