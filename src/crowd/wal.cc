@@ -166,6 +166,12 @@ VoteWal::VoteWal(VoteWal&& other) noexcept
       path_(std::move(other.path_)),
       generation_(other.generation_),
       bytes_written_(other.bytes_written_),
+      durable_size_(other.durable_size_),
+      written_size_(other.written_size_),
+      sealed_(other.sealed_),
+      seal_reason_(std::move(other.seal_reason_)),
+      fail_next_write_(other.fail_next_write_),
+      fail_next_sync_(other.fail_next_sync_),
       buffer_(std::move(other.buffer_)),
       replay_scratch_(std::move(other.replay_scratch_)) {}
 
@@ -176,6 +182,12 @@ VoteWal& VoteWal::operator=(VoteWal&& other) noexcept {
     path_ = std::move(other.path_);
     generation_ = other.generation_;
     bytes_written_ = other.bytes_written_;
+    durable_size_ = other.durable_size_;
+    written_size_ = other.written_size_;
+    sealed_ = other.sealed_;
+    seal_reason_ = std::move(other.seal_reason_);
+    fail_next_write_ = other.fail_next_write_;
+    fail_next_sync_ = other.fail_next_sync_;
     buffer_ = std::move(other.buffer_);
     replay_scratch_ = std::move(other.replay_scratch_);
   }
@@ -191,6 +203,8 @@ Status VoteWal::WriteHeader(uint64_t generation) {
   DQM_RETURN_NOT_OK(WriteAll(fd_, header.data(), header.size(), path_));
   DQM_RETURN_NOT_OK(FsyncFd(fd_, path_));
   bytes_written_ += header.size();
+  written_size_ = kWalHeaderBytes;
+  durable_size_ = kWalHeaderBytes;
   generation_ = generation;
   return Status::OK();
 }
@@ -226,12 +240,16 @@ Result<VoteWal> VoteWal::Open(const std::string& path) {
     }
     wal.generation_ = GetU64(header + 8);
     if (::lseek(wal.fd_, 0, SEEK_END) < 0) return ErrnoError("seek", path);
+    // Whatever an earlier process left on disk is the durable baseline; a
+    // torn tail inside it is found and cut by ReplayAndTruncate.
+    wal.written_size_ = size;
+    wal.durable_size_ = size;
   }
   return wal;
 }
 
 void VoteWal::Append(std::span<const VoteEvent> events) {
-  if (events.empty()) return;
+  if (sealed_ || events.empty()) return;
   const uint32_t count = static_cast<uint32_t>(events.size());
   const size_t payload_size = 4 + kVoteBytes * events.size();
   const size_t record_start = buffer_.size();
@@ -254,20 +272,73 @@ void VoteWal::Append(std::span<const VoteEvent> events) {
   crc_at[3] = static_cast<uint8_t>(crc >> 24);
 }
 
+void VoteWal::Seal(const Status& cause) {
+  sealed_ = true;
+  seal_reason_ = cause.message();
+  buffer_.clear();
+  // Cut the file back to the last fsync-acknowledged boundary: everything
+  // past it belongs to batches the owner is rejecting (or to a torn write)
+  // and must not resurrect at recovery as CRC-valid records. Best effort —
+  // if the truncate or its fsync also fails, the seal still guarantees no
+  // later append lands past the damage, so recovery's scan can at worst
+  // see the rejected tail, never lose an acknowledged record behind it.
+  if (::ftruncate(fd_, static_cast<off_t>(durable_size_)) == 0 &&
+      ::lseek(fd_, static_cast<off_t>(durable_size_), SEEK_SET) >= 0) {
+    written_size_ = durable_size_;
+    ::fsync(fd_);
+  }
+}
+
+Status VoteWal::SealedStatus() const {
+  return Status::IOError(StrFormat(
+      "WAL '%s' is sealed after an I/O failure (%s); appends are rejected "
+      "until a checkpoint resets it", path_.c_str(), seal_reason_.c_str()));
+}
+
 Status VoteWal::WriteBuffered() {
+  if (sealed_) return SealedStatus();
   if (buffer_.empty()) return Status::OK();
-  Status status = WriteAll(fd_, buffer_.data(), buffer_.size(), path_);
-  if (status.ok()) bytes_written_ += buffer_.size();
-  // Drop the buffer on either outcome: on error the owner rejects the batch
-  // before applying it, and whatever partial record reached the disk is
-  // truncated by the next recovery pass.
+  Status status;
+  if (fail_next_write_) {
+    fail_next_write_ = false;
+    status = Status::IOError(
+        StrFormat("write '%s': injected test fault", path_.c_str()));
+  } else {
+    status = WriteAll(fd_, buffer_.data(), buffer_.size(), path_);
+  }
+  if (!status.ok()) {
+    // A failed or short write leaves the fd offset and an unknown number of
+    // torn bytes past the durable boundary; seal so no future append can be
+    // acknowledged behind them (recovery truncates at the first bad record).
+    Seal(status);
+    return status;
+  }
+  bytes_written_ += buffer_.size();
+  written_size_ += buffer_.size();
   buffer_.clear();
   return status;
 }
 
 Status VoteWal::Sync() {
+  if (sealed_) return SealedStatus();
   DQM_RETURN_NOT_OK(WriteBuffered());
-  return FsyncFd(fd_, path_);
+  Status status;
+  if (fail_next_sync_) {
+    fail_next_sync_ = false;
+    status = Status::IOError(
+        StrFormat("fsync '%s': injected test fault", path_.c_str()));
+  } else {
+    status = FsyncFd(fd_, path_);
+  }
+  if (!status.ok()) {
+    // The records reached write(2) but their durability was never
+    // acknowledged, so the owner rejects the batch — truncate them away
+    // (they are complete, CRC-valid frames that replay would apply).
+    Seal(status);
+    return status;
+  }
+  durable_size_ = written_size_;
+  return status;
 }
 
 Result<VoteWal::ReplayStats> VoteWal::ReplayAndTruncate(
@@ -348,6 +419,11 @@ Result<VoteWal::ReplayStats> VoteWal::ReplayAndTruncate(
       return ErrnoError("truncate", path_);
     }
     DQM_RETURN_NOT_OK(FsyncFd(fd_, path_));
+    written_size_ = keep;
+    durable_size_ = keep;
+  } else {
+    written_size_ = file_size;
+    durable_size_ = file_size;
   }
   if (::lseek(fd_, 0, SEEK_END) < 0) return ErrnoError("seek", path_);
   return stats;
@@ -355,9 +431,28 @@ Result<VoteWal::ReplayStats> VoteWal::ReplayAndTruncate(
 
 Status VoteWal::Reset(uint64_t new_generation) {
   buffer_.clear();
-  if (::ftruncate(fd_, 0) != 0) return ErrnoError("truncate", path_);
-  if (::lseek(fd_, 0, SEEK_SET) < 0) return ErrnoError("seek", path_);
-  return WriteHeader(new_generation);
+  if (::ftruncate(fd_, 0) != 0) {
+    Status status = ErrnoError("truncate", path_);
+    Seal(status);
+    return status;
+  }
+  written_size_ = 0;
+  durable_size_ = 0;
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    Status status = ErrnoError("seek", path_);
+    Seal(status);
+    return status;
+  }
+  Status status = WriteHeader(new_generation);
+  if (!status.ok()) {
+    Seal(status);
+    return status;
+  }
+  // A clean, empty, synced file: safe to unseal — every vote the dropped
+  // tail ever held is inside the checkpoint that triggered this Reset.
+  sealed_ = false;
+  seal_reason_.clear();
+  return Status::OK();
 }
 
 // --- Checkpoints -----------------------------------------------------------
@@ -505,6 +600,12 @@ Result<CheckpointData> ReadCheckpointFile(const std::string& path) {
   const uint64_t n = GetU64(bytes.data() + 49);
   const size_t num_columns =
       data.variant == CheckpointData::Variant::kPairs ? 4 : 2;
+  // Bound the column count before multiplying: a crafted n (e.g. 2^60 with
+  // 4 columns) wraps 4*n*num_columns in uint64, slips past the equality
+  // check, and turns into a giant resize instead of a corruption error.
+  if (n > (bytes.size() - kFixedBytes - 4) / (4 * num_columns)) {
+    return corrupt("column count exceeds file size");
+  }
   if (bytes.size() != kFixedBytes + 4 * n * num_columns + 4) {
     return corrupt("column size mismatch");
   }
@@ -516,10 +617,14 @@ Result<CheckpointData> ReadCheckpointFile(const std::string& path) {
     GetColumn(cols + 2 * 4 * n, n, data.dirty);
     GetColumn(cols + 3 * 4 * n, n, data.clean);
     for (size_t i = 0; i < n; ++i) {
-      if (data.dirty[i] + data.clean[i] == 0) return corrupt("empty pair slot");
+      // Widened before summing so a crafted pair of ~2^31 counts cannot
+      // wrap to a small value and pass the vote-count consistency check.
+      const uint64_t slot_votes =
+          static_cast<uint64_t>(data.dirty[i]) + data.clean[i];
+      if (slot_votes == 0) return corrupt("empty pair slot");
       DQM_RETURN_NOT_OK(ValidateVoteBounds(0, data.workers[i], data.items[i],
                                            data.num_items));
-      events += data.dirty[i] + data.clean[i];
+      events += slot_votes;
     }
   } else {
     if (n != data.num_items) return corrupt("tally column length != items");

@@ -63,6 +63,14 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 // the owner (engine::SessionDurability); this class is single-threaded by
 // contract and owns only the format and the fd.
 //
+// A failed write(2) or fsync(2) SEALS the log: the file is cut back to the
+// last fsync-acknowledged boundary (so bytes of a rejected batch can never
+// resurrect at recovery as CRC-valid records, and later appends can never
+// land after torn bytes) and every subsequent Append/WriteBuffered/Sync is
+// refused until Reset() re-establishes a clean file. Without the seal, an
+// append after a partial write would be acknowledged durable yet sit past
+// a torn record that recovery truncates at — silently losing it.
+//
 // The `generation` ties the WAL to its checkpoint: a checkpoint commit
 // writes the snapshot carrying generation G+1, then Reset(G+1) truncates
 // the WAL to a fresh header. Recovery compares the two (see
@@ -88,17 +96,34 @@ class VoteWal {
   uint64_t generation() const { return generation_; }
 
   /// Serializes one record (the whole batch) into the user-space buffer.
-  /// No syscall — the votes are NOT yet durable in any sense.
+  /// No syscall — the votes are NOT yet durable in any sense. No-op on a
+  /// sealed log.
   void Append(std::span<const VoteEvent> events);
 
   /// write(2)s everything buffered. After OK the records survive a process
-  /// kill (page cache), not a power loss. On error the buffer is dropped:
-  /// the batch was rejected before being applied, and a partial record on
-  /// disk is truncated by the next recovery.
+  /// kill (page cache), not a power loss. On error the log seals (see
+  /// class comment): the buffer is dropped, the file is cut back to the
+  /// last synced boundary, and the batch must be rejected by the owner.
   Status WriteBuffered();
 
   /// WriteBuffered + fsync(2) — the full group-commit durability point.
+  /// A failed fsync also seals: the written-but-unacknowledged records are
+  /// truncated away so a rejected batch cannot be replayed at recovery.
   Status Sync();
+
+  /// True once an I/O failure sealed the log. Appends are refused until a
+  /// Reset() (the checkpoint commit tail) re-establishes a clean file.
+  bool sealed() const { return sealed_; }
+
+  /// The error every operation on a sealed log returns (carries the
+  /// original failure's message).
+  Status SealedStatus() const;
+
+  /// Test fault injection: the next WriteBuffered (resp. the fsync inside
+  /// the next Sync) fails as if the device errored, exercising the seal
+  /// path without a real I/O failure.
+  void InjectWriteErrorForTest() { fail_next_write_ = true; }
+  void InjectSyncErrorForTest() { fail_next_sync_ = true; }
 
   /// Bytes currently sitting in the user-space buffer (lost on kill).
   size_t buffered_bytes() const { return buffer_.size(); }
@@ -130,16 +155,31 @@ class VoteWal {
       const std::function<Status(std::span<const VoteEvent>)>& apply);
 
   /// Discards the buffer and every record: truncates to a fresh header
-  /// carrying `new_generation`, then fsyncs. The checkpoint-commit tail.
+  /// carrying `new_generation`, then fsyncs. The checkpoint-commit tail;
+  /// on success it also unseals the log (the checkpoint now carries every
+  /// vote the dropped tail ever held).
   Status Reset(uint64_t new_generation);
 
  private:
   Status WriteHeader(uint64_t generation);
+  /// Marks the log sealed after `cause` and cuts the file back to
+  /// `durable_size_` (best effort — the seal alone already stops appends
+  /// from landing past the damage).
+  void Seal(const Status& cause);
 
   int fd_ = -1;
   std::string path_;
   uint64_t generation_ = 0;
   uint64_t bytes_written_ = 0;
+  /// File size covered by the last successful fsync — the boundary Seal()
+  /// truncates back to.
+  uint64_t durable_size_ = 0;
+  /// File size including write(2)n-but-unsynced bytes.
+  uint64_t written_size_ = 0;
+  bool sealed_ = false;
+  std::string seal_reason_;
+  bool fail_next_write_ = false;
+  bool fail_next_sync_ = false;
   std::vector<uint8_t> buffer_;
   std::vector<VoteEvent> replay_scratch_;
 };

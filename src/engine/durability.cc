@@ -38,6 +38,13 @@ Status FsyncPath(const std::string& path, bool directory) {
   return status;
 }
 
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
 /// Atomic small-file write: tmp + fsync + rename + fsync parent.
 Status WriteFileAtomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
@@ -112,6 +119,8 @@ struct DurabilityMetrics {
   telemetry::Counter* fsyncs;
   telemetry::Counter* replayed;
   telemetry::Counter* torn;
+  telemetry::Counter* seals;
+  telemetry::Counter* dropped;
   telemetry::Counter* checkpoints;
   telemetry::Histogram* fsync_ns;
   telemetry::Histogram* checkpoint_ns;
@@ -125,6 +134,8 @@ struct DurabilityMetrics {
     fsyncs = registry.GetCounter(names::kWalFsyncsTotal);
     replayed = registry.GetCounter(names::kWalReplayedVotesTotal);
     torn = registry.GetCounter(names::kWalTornRecordsTotal);
+    seals = registry.GetCounter(names::kWalSealsTotal);
+    dropped = registry.GetCounter(names::kWalDroppedVotesTotal);
     checkpoints = registry.GetCounter(names::kCheckpointsTotal);
     fsync_ns = registry.GetHistogram(names::kWalFsyncNs);
     checkpoint_ns = registry.GetHistogram(names::kCheckpointWriteNs);
@@ -313,10 +324,22 @@ Result<std::unique_ptr<SessionDurability>> SessionDurability::Create(
           options.dir.c_str()));
     }
   } else {
+    // Record the directories create_directories is about to make (deepest
+    // first) so each new dirent can be fsynced into its parent below —
+    // otherwise the session directory itself can vanish at power loss even
+    // though every vote record inside it was fsync'd.
+    std::vector<std::string> created;
+    for (fs::path p(options.dir); !p.empty() && !fs::exists(p, ec);
+         p = p.parent_path()) {
+      created.push_back(p.string());
+    }
     fs::create_directories(options.dir, ec);
     if (ec) {
       return Status::IOError(StrFormat("mkdir '%s': %s", options.dir.c_str(),
                                        ec.message().c_str()));
+    }
+    for (auto it = created.rbegin(); it != created.rend(); ++it) {
+      DQM_RETURN_NOT_OK(FsyncPath(ParentDir(*it), /*directory=*/true));
     }
   }
   std::unique_ptr<SessionDurability> durability(
@@ -327,6 +350,11 @@ Result<std::unique_ptr<SessionDurability>> SessionDurability::Create(
   DQM_RETURN_NOT_OK(WriteManifestFile(
       durability->options_.dir + "/" + kManifestFile, manifest));
   DQM_RETURN_NOT_OK(durability->OpenWal());
+  // wal.log was just created; the manifest's atomic write synced the
+  // session directory BEFORE it existed, so its dirent needs its own fsync
+  // to survive power loss.
+  DQM_RETURN_NOT_OK(
+      FsyncPath(durability->options_.dir, /*directory=*/true));
   durability->checkpoint_bytes_gauge_ =
       telemetry::MetricsRegistry::Global().AcquireGauge(
           telemetry::metric_names::kCheckpointBytes,
@@ -348,6 +376,10 @@ Result<std::unique_ptr<SessionDurability>> SessionDurability::Attach(
         durability->options_.dir.c_str(), kManifestFile));
   }
   DQM_RETURN_NOT_OK(durability->OpenWal());
+  // OpenWal recreates wal.log if it was missing (a crash between the
+  // manifest commit and the WAL's creation); persist that dirent too.
+  DQM_RETURN_NOT_OK(
+      FsyncPath(durability->options_.dir, /*directory=*/true));
   durability->checkpoint_bytes_gauge_ =
       telemetry::MetricsRegistry::Global().AcquireGauge(
           telemetry::metric_names::kCheckpointBytes,
@@ -422,6 +454,7 @@ void SessionDurability::SetPhaseHookForTest(std::function<void(Phase)> hook) {
 Status SessionDurability::FlushLocked(bool sync) {
   DurabilityMetrics& tm = Metrics();
   const uint64_t before = wal_.bytes_written();
+  const bool was_sealed = wal_.sealed();
   Status status;
   if (sync) {
     const bool timed = telemetry::Enabled();
@@ -437,6 +470,16 @@ Status SessionDurability::FlushLocked(bool sync) {
     pending_votes_ = 0;
     RunHook(Phase::kFsync);
   }
+  if (!status.ok() && !was_sealed) {
+    // The failure sealed the WAL and dropped everything unsynced: those
+    // votes exist only in the in-memory session until the next checkpoint
+    // re-snapshots them. Zero the group-commit gauge so it tracks the (now
+    // empty) backlog instead of forcing a doomed sync per batch, and count
+    // the loss where an operator can see it.
+    tm.seals->Increment();
+    tm.dropped->Add(pending_votes_);
+    pending_votes_ = 0;
+  }
   return status;
 }
 
@@ -445,6 +488,12 @@ Status SessionDurability::AppendBatch(
   if (votes.empty()) return Status::OK();
   DurabilityMetrics& tm = Metrics();
   MutexLock lock(wal_mutex_);
+  if (wal_.sealed()) {
+    // A sealed WAL cannot take new records without breaking the on-disk
+    // superset invariant (they would sit past the failure point). Reject
+    // until a checkpoint commit resets the log.
+    return wal_.SealedStatus();
+  }
   wal_.Append(votes);
   pending_votes_ += votes.size();
   tm.appends->Increment();
@@ -470,6 +519,10 @@ void SessionDurability::NoteApplied() {
 
 Status SessionDurability::Flush() {
   MutexLock lock(wal_mutex_);
+  // A sealed WAL has nothing buffered, but reporting OK would claim a
+  // durability point that does not exist — the session holds applied votes
+  // the log dropped.
+  if (wal_.sealed()) return wal_.SealedStatus();
   if (wal_.buffered_bytes() == 0 && pending_votes_ == 0) return Status::OK();
   return FlushLocked(/*sync=*/true);
 }

@@ -87,7 +87,11 @@ std::string SessionManifestPath(const std::string& session_dir);
 /// AppendBatch buffers the record under the WAL mutex and write(2)+fsyncs
 /// when the group-commit cadence says so — an IOError rejects the batch
 /// before a single vote reaches the pipeline, keeping the WAL a superset
-/// of the applied state. After applying, the session calls NoteApplied,
+/// of the applied state. A write/fsync failure additionally SEALS the WAL
+/// (see crowd::VoteWal): the file is cut back to the last fsync'd record
+/// and every later AppendBatch/Flush fails until a checkpoint commit
+/// resets the log — fail-stop durability, never a silently lossy log.
+/// After applying, the session calls NoteApplied,
 /// which is what lets a checkpoint quiesce: CommitCheckpoint blocks new
 /// appends (WAL mutex), drains appended-but-unapplied batches
 /// (in_flight == 0), snapshots the log via the caller's build callback,
@@ -191,6 +195,19 @@ class SessionDurability {
   /// held after each Phase completes). Install before concurrent use.
   void SetPhaseHookForTest(std::function<void(Phase)> hook)
       DQM_EXCLUDES(wal_mutex_);
+
+  /// Makes the next WAL fsync fail as if the device errored, sealing the
+  /// log — for flush-failure / seal-and-heal tests.
+  void InjectWalSyncErrorForTest() DQM_EXCLUDES(wal_mutex_) {
+    MutexLock lock(wal_mutex_);
+    wal_.InjectSyncErrorForTest();
+  }
+
+  /// True once an I/O failure sealed the WAL (appends are being rejected).
+  bool wal_sealed() const DQM_EXCLUDES(wal_mutex_) {
+    MutexLock lock(wal_mutex_);
+    return wal_.sealed();
+  }
 
  private:
   explicit SessionDurability(DurabilityOptions options);

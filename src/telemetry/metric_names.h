@@ -76,6 +76,12 @@ inline constexpr char kWalReplayedVotesTotal[] =
     "dqm_wal_replayed_votes_total";
 /// Torn or corrupt trailing records truncated during recovery.
 inline constexpr char kWalTornRecordsTotal[] = "dqm_wal_torn_records_total";
+/// WAL seal events: a write/fsync failure made the log reject all further
+/// appends until a checkpoint reset.
+inline constexpr char kWalSealsTotal[] = "dqm_wal_seals_total";
+/// Unsynced votes dropped from the WAL by a failed flush (they live only
+/// in the in-memory session until the next checkpoint re-snapshots them).
+inline constexpr char kWalDroppedVotesTotal[] = "dqm_wal_dropped_votes_total";
 
 // --- Durability: checkpoints (engine/durability.cc) -----------------------
 /// Checkpoints committed (snapshot written + WAL reset).

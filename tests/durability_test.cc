@@ -223,6 +223,78 @@ TEST(VoteWalTest, OutOfBoundsVoteInTailIsRejectedAsTorn) {
   EXPECT_EQ(stats.torn_records, 1u);
 }
 
+TEST(VoteWalTest, FailedSyncSealsAndDiscardsUnacknowledgedRecords) {
+  // A complete write followed by a failed fsync: the batch is rejected, so
+  // its CRC-valid frames must not resurrect at recovery — and the log must
+  // refuse new appends, which would otherwise be acknowledged durable
+  // while sitting behind bytes recovery may truncate.
+  std::string dir = ScratchDir("wal_seal_sync");
+  std::string path = dir + "/wal.log";
+  std::vector<VoteEvent> votes = MakeVotes(30, 8);
+  auto wal = VoteWal::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  wal->Append(std::span<const VoteEvent>(votes.data(), 10));
+  ASSERT_TRUE(wal->Sync().ok());
+
+  wal->Append(std::span<const VoteEvent>(votes.data() + 10, 10));
+  wal->InjectSyncErrorForTest();
+  ASSERT_FALSE(wal->Sync().ok());
+  EXPECT_TRUE(wal->sealed());
+  // Sealed: appends are no-ops, syncs keep failing with the seal error.
+  wal->Append(std::span<const VoteEvent>(votes.data() + 20, 10));
+  EXPECT_EQ(wal->buffered_bytes(), 0u);
+  Status still_sealed = wal->Sync();
+  ASSERT_FALSE(still_sealed.ok());
+  EXPECT_NE(still_sealed.message().find("sealed"), std::string::npos);
+
+  // On disk: exactly the acknowledged prefix, with no torn tail.
+  {
+    auto reopened = VoteWal::Open(path);
+    ASSERT_TRUE(reopened.ok());
+    VoteWal::ReplayStats stats;
+    auto replayed = CollectReplay(*reopened, 8, &stats);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(stats.votes, 10u);
+    EXPECT_EQ(stats.torn_records, 0u);
+    EXPECT_TRUE(SameEvents(
+        *replayed, std::vector<VoteEvent>(votes.begin(), votes.begin() + 10)));
+  }
+
+  // A checkpoint-style Reset re-establishes a clean, appendable log.
+  ASSERT_TRUE(wal->Reset(2).ok());
+  EXPECT_FALSE(wal->sealed());
+  wal->Append(std::span<const VoteEvent>(votes.data() + 10, 10));
+  ASSERT_TRUE(wal->Sync().ok());
+  auto again = VoteWal::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->generation(), 2u);
+  VoteWal::ReplayStats stats;
+  auto replayed = CollectReplay(*again, 8, &stats);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(stats.votes, 10u);
+}
+
+TEST(VoteWalTest, FailedWriteSealsWithoutTearingDurablePrefix) {
+  std::string dir = ScratchDir("wal_seal_write");
+  std::string path = dir + "/wal.log";
+  std::vector<VoteEvent> votes = MakeVotes(20, 8);
+  auto wal = VoteWal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  wal->Append(std::span<const VoteEvent>(votes.data(), 10));
+  ASSERT_TRUE(wal->Sync().ok());
+  wal->Append(std::span<const VoteEvent>(votes.data() + 10, 10));
+  wal->InjectWriteErrorForTest();
+  ASSERT_FALSE(wal->Sync().ok());
+  EXPECT_TRUE(wal->sealed());
+  auto reopened = VoteWal::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  VoteWal::ReplayStats stats;
+  auto replayed = CollectReplay(*reopened, 8, &stats);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(stats.votes, 10u);
+  EXPECT_EQ(stats.torn_records, 0u);
+}
+
 TEST(CheckpointTest, PairsVariantRoundTripsThroughDiskAndSyntheticReplay) {
   std::string dir = ScratchDir("ckpt_pairs");
   std::vector<VoteEvent> votes = MakeVotes(500, 24);
@@ -291,6 +363,44 @@ TEST(CheckpointTest, CorruptionFailsLoudly) {
   ASSERT_FALSE(loaded.ok());
   // A rename-committed checkpoint that fails its CRC is real corruption —
   // never silently treated as absent.
+  EXPECT_NE(loaded.status().message().find("corrupt checkpoint"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(CheckpointTest, OverflowingColumnCountIsRejectedNotAllocated) {
+  // A crafted 61-byte kPairs checkpoint whose column count n = 2^60 wraps
+  // the shape arithmetic (4 * n * 4 columns == 0 mod 2^64), so an
+  // unguarded equality check passes and the loader attempts a 2^60-slot
+  // resize. The CRC is honest over the crafted bytes, so only the bound
+  // check can catch it — expect a loud corruption error, not bad_alloc.
+  std::string dir = ScratchDir("ckpt_overflow");
+  std::string path = dir + "/checkpoint.bin";
+  std::vector<uint8_t> bytes;
+  auto put32 = [&](uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  auto put64 = [&](uint64_t v) {
+    put32(static_cast<uint32_t>(v));
+    put32(static_cast<uint32_t>(v >> 32));
+  };
+  put32(0x50435144u);  // magic "DQCP"
+  put32(1);            // version
+  put64(1);            // wal_generation
+  put64(8);            // num_items
+  put64(0);            // num_events
+  put64(1);            // num_tasks
+  put64(1);            // num_workers
+  bytes.push_back(0);  // variant kPairs
+  put64(uint64_t{1} << 60);  // column count
+  put32(crowd::Crc32(bytes.data(), bytes.size()));
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = crowd::ReadCheckpointFile(path);
+  ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("corrupt checkpoint"),
             std::string::npos)
       << loaded.status().ToString();
@@ -384,6 +494,74 @@ TEST(EngineDurabilityTest, RetainedBytesCountsWalBuffers) {
   ASSERT_TRUE((*in_memory)->AddVotes(votes).ok());
   ASSERT_TRUE((*on_disk)->AddVotes(votes).ok());
   EXPECT_GT((*on_disk)->RetainedBytes(), (*in_memory)->RetainedBytes());
+}
+
+TEST(SessionDurabilityTest, FlushFailureSealsWalUntilCheckpointHeals) {
+  std::string root = ScratchDir("seal_heal");
+  DurabilityOptions options;
+  options.dir = root + "/s";
+  options.session_name = "s";
+  options.group_commit_votes = 1;  // fsync every batch
+  SessionManifest manifest;
+  manifest.name = "s";
+  manifest.num_items = 8;
+  auto durability = SessionDurability::Create(options, manifest);
+  ASSERT_TRUE(durability.ok()) << durability.status().ToString();
+  std::vector<VoteEvent> votes = MakeVotes(15, 8);
+
+  ASSERT_TRUE(
+      (*durability)
+          ->AppendBatch(std::span<const VoteEvent>(votes.data(), 5))
+          .ok());
+  (*durability)->NoteApplied();
+
+  (*durability)->InjectWalSyncErrorForTest();
+  Status failed =
+      (*durability)
+          ->AppendBatch(std::span<const VoteEvent>(votes.data() + 5, 5));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE((*durability)->wal_sealed());
+  // Sealed: later batches and explicit flushes fail fast with the seal
+  // error instead of piling doomed fsyncs or claiming a durability point.
+  Status rejected =
+      (*durability)
+          ->AppendBatch(std::span<const VoteEvent>(votes.data() + 10, 5));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.message().find("sealed"), std::string::npos);
+  EXPECT_FALSE((*durability)->Flush().ok());
+
+  // A checkpoint commit re-snapshots the full in-memory state (here: the
+  // one applied batch) and resets the WAL, healing the seal.
+  crowd::ResponseLog log(8, crowd::RetentionPolicy::kCounts);
+  for (size_t i = 0; i < 5; ++i) log.Append(votes[i]);
+  Status healed = (*durability)
+                      ->CommitCheckpoint([&](uint64_t generation) {
+                        return crowd::CheckpointFromLog(log, generation);
+                      });
+  ASSERT_TRUE(healed.ok()) << healed.ToString();
+  EXPECT_FALSE((*durability)->wal_sealed());
+  ASSERT_TRUE(
+      (*durability)
+          ->AppendBatch(std::span<const VoteEvent>(votes.data() + 5, 5))
+          .ok());
+  (*durability)->NoteApplied();
+  ASSERT_TRUE((*durability)->Flush().ok());
+
+  // Recovery over the healed directory sees checkpoint + tail = 10 votes.
+  durability->reset();
+  DurabilityOptions attach_options = options;
+  auto attached = SessionDurability::Attach(attach_options);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  uint64_t restored = 0;
+  auto recovered = (*attached)->Recover(
+      8, [&](std::span<const VoteEvent> events) -> Status {
+        restored += events.size();
+        return Status::OK();
+      });
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->had_checkpoint);
+  EXPECT_EQ(recovered->checkpoint_votes + recovered->replayed_votes, 10u);
+  EXPECT_EQ(restored, 10u);
 }
 
 // --- crash / recover / parity ---------------------------------------------
