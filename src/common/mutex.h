@@ -143,6 +143,10 @@ enum class LockRank : int {
   kWorkloadRegistry = 510,
   /// ThreadPool queue mutex (common/thread_pool.h).
   kThreadPool = 600,
+  /// Failpoint registry configuration map (common/failpoint.h). Armed
+  /// failpoints are evaluated from I/O paths that may hold any data lock
+  /// (session, WAL, stripes), so this must outrank all of them.
+  kFailpoint = 800,
   /// Log-emission stream lock (common/logging.cc) — DQM_LOG may fire while
   /// holding any other lock, so this must outrank everything.
   kLogging = 900,

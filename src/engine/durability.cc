@@ -11,13 +11,17 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "crowd/io.h"
 #include "telemetry/metric_names.h"
 
 namespace dqm::engine {
 
 namespace {
+
+namespace io = ::dqm::crowd::io;
 
 constexpr char kManifestFile[] = "MANIFEST";
 constexpr char kWalFile[] = "wal.log";
@@ -28,12 +32,14 @@ Status ErrnoError(const char* op, const std::string& path) {
       StrFormat("%s '%s': %s", op, path.c_str(), std::strerror(errno)));
 }
 
+// Every write/fsync/rename/read edge in this file goes through the
+// failpoint-instrumented, retrying wrappers in crowd/io.h (enforced by the
+// raw-syscall lint rule); only stat and close stay raw.
+
 Status FsyncPath(const std::string& path, bool directory) {
   int flags = O_RDONLY | O_CLOEXEC | (directory ? O_DIRECTORY : 0);
-  int fd = ::open(path.c_str(), flags);
-  if (fd < 0) return ErrnoError("open", path);
-  Status status =
-      ::fsync(fd) == 0 ? Status::OK() : ErrnoError("fsync", path);
+  DQM_ASSIGN_OR_RETURN(int fd, io::Open(fpn::kDirSync, path, flags));
+  Status status = io::Fsync(fpn::kDirSync, fd, path);
   ::close(fd);
   return status;
 }
@@ -48,53 +54,40 @@ std::string ParentDir(const std::string& path) {
 /// Atomic small-file write: tmp + fsync + rename + fsync parent.
 Status WriteFileAtomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) return ErrnoError("open", tmp);
-  size_t done = 0;
-  Status status;
-  while (done < content.size()) {
-    ssize_t n = ::write(fd, content.data() + done, content.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      status = ErrnoError("write", tmp);
-      break;
-    }
-    done += static_cast<size_t>(n);
-  }
-  if (status.ok() && ::fsync(fd) != 0) status = ErrnoError("fsync", tmp);
+  DQM_ASSIGN_OR_RETURN(
+      int fd, io::Open(fpn::kManifestOpen, tmp,
+                       O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  Status status = io::WriteAll(
+      fpn::kManifestWrite, fd,
+      reinterpret_cast<const uint8_t*>(content.data()), content.size(), tmp);
+  if (status.ok()) status = io::Fsync(fpn::kManifestFsync, fd, tmp);
   ::close(fd);
   if (!status.ok()) return status;
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return ErrnoError("rename", tmp);
-  }
-  size_t slash = path.find_last_of('/');
-  return FsyncPath(slash == std::string::npos ? "." : path.substr(0, slash),
-                   /*directory=*/true);
+  DQM_RETURN_NOT_OK(io::Rename(fpn::kManifestRename, tmp, path));
+  return FsyncPath(ParentDir(path), /*directory=*/true);
 }
 
 Result<std::string> ReadWholeFile(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      return Status::NotFound(StrFormat("no such file: '%s'", path.c_str()));
-    }
-    return ErrnoError("open", path);
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) {
+    return Status::NotFound(StrFormat("no such file: '%s'", path.c_str()));
   }
-  std::string content;
-  char buf[4096];
-  Status status;
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      status = ErrnoError("read", path);
-      break;
-    }
-    if (n == 0) break;
-    content.append(buf, static_cast<size_t>(n));
+  DQM_ASSIGN_OR_RETURN(
+      int fd, io::Open(fpn::kManifestOpen, path, O_RDONLY | O_CLOEXEC));
+  if (::fstat(fd, &st) != 0) {
+    Status status = ErrnoError("stat", path);
+    ::close(fd);
+    return status;
   }
+  std::string content(static_cast<size_t>(st.st_size), '\0');
+  Status read =
+      content.empty()
+          ? Status::OK()
+          : io::ReadExactAt(fpn::kManifestRead, fd,
+                            reinterpret_cast<uint8_t*>(content.data()),
+                            content.size(), 0, path);
   ::close(fd);
-  if (!status.ok()) return status;
+  if (!read.ok()) return read;
   return content;
 }
 
@@ -122,6 +115,9 @@ struct DurabilityMetrics {
   telemetry::Counter* seals;
   telemetry::Counter* dropped;
   telemetry::Counter* checkpoints;
+  telemetry::Counter* degraded_votes;
+  telemetry::Counter* degraded_rearms;
+  telemetry::Gauge* sessions_degraded;
   telemetry::Histogram* fsync_ns;
   telemetry::Histogram* checkpoint_ns;
 
@@ -137,6 +133,9 @@ struct DurabilityMetrics {
     seals = registry.GetCounter(names::kWalSealsTotal);
     dropped = registry.GetCounter(names::kWalDroppedVotesTotal);
     checkpoints = registry.GetCounter(names::kCheckpointsTotal);
+    degraded_votes = registry.GetCounter(names::kDegradedVotesTotal);
+    degraded_rearms = registry.GetCounter(names::kDegradedRearmsTotal);
+    sessions_degraded = registry.GetGauge(names::kSessionsDegraded);
     fsync_ns = registry.GetHistogram(names::kWalFsyncNs);
     checkpoint_ns = registry.GetHistogram(names::kCheckpointWriteNs);
   }
@@ -161,6 +160,28 @@ int HexValue(char c) {
 }
 
 }  // namespace
+
+const char* DurabilityFailurePolicyName(DurabilityFailurePolicy policy) {
+  switch (policy) {
+    case DurabilityFailurePolicy::kFailStop:
+      return "fail_stop";
+    case DurabilityFailurePolicy::kDegradeToVolatile:
+      return "degrade_to_volatile";
+  }
+  return "fail_stop";
+}
+
+Result<DurabilityFailurePolicy> ParseDurabilityFailurePolicy(
+    std::string_view text) {
+  if (text == "fail_stop") return DurabilityFailurePolicy::kFailStop;
+  if (text == "degrade_to_volatile") {
+    return DurabilityFailurePolicy::kDegradeToVolatile;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown durability failure policy '%.*s' (want fail_stop or "
+      "degrade_to_volatile)",
+      static_cast<int>(text.size()), text.data()));
+}
 
 std::string PercentEncode(std::string_view raw) {
   static constexpr char kHex[] = "0123456789ABCDEF";
@@ -221,7 +242,8 @@ Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
       "publish_every_votes=%llu\n"
       "wal_group_commit_votes=%llu\n"
       "wal_group_commit_ms=%llu\n"
-      "checkpoint_every_votes=%llu\n",
+      "checkpoint_every_votes=%llu\n"
+      "durability_failure_policy=%s\n",
       PercentEncode(m.name).c_str(),
       static_cast<unsigned long long>(m.num_items),
       Join(encoded_specs, ",").c_str(), m.cadence.c_str(),
@@ -229,7 +251,8 @@ Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
       static_cast<unsigned long long>(m.publish_every_votes),
       static_cast<unsigned long long>(m.wal_group_commit_votes),
       static_cast<unsigned long long>(m.wal_group_commit_ms),
-      static_cast<unsigned long long>(m.checkpoint_every_votes));
+      static_cast<unsigned long long>(m.checkpoint_every_votes),
+      DurabilityFailurePolicyName(m.failure_policy));
   return WriteFileAtomic(path, content);
 }
 
@@ -279,6 +302,9 @@ Result<SessionManifest> ReadManifestFile(const std::string& path) {
     } else if (key == "checkpoint_every_votes") {
       DQM_ASSIGN_OR_RETURN(m.checkpoint_every_votes,
                            ParseU64(value, "checkpoint_every_votes"));
+    } else if (key == "durability_failure_policy") {
+      DQM_ASSIGN_OR_RETURN(m.failure_policy,
+                           ParseDurabilityFailurePolicy(value));
     }
     // Unknown keys are skipped: a manifest written by a newer build stays
     // recoverable by this one.
@@ -407,6 +433,10 @@ SessionDurability::~SessionDurability() {
       }
     }
   }
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // The gauge counts LIVE degraded sessions; this one is going away.
+    Metrics().sessions_degraded->Add(-1.0);
+  }
   if (checkpoint_bytes_gauge_ != nullptr) {
     telemetry::MetricsRegistry::Global().ReleaseGauge(
         telemetry::metric_names::kCheckpointBytes,
@@ -432,6 +462,13 @@ void SessionDurability::FlusherLoop() {
     flusher_cv_.WaitFor(wal_mutex_,
                         std::chrono::milliseconds(options_.group_commit_ms));
     if (stop_flusher_) break;
+    // The flusher's own kill/skip point: error and return actions drop
+    // this wake (the next one retries); delay stalls the flusher with the
+    // WAL lock held, modeling a slow device backing up the appenders.
+    if (auto injected = failpoint::Eval(fpn::kFlusherWake);
+        injected.op != failpoint::EvalResult::Op::kNone) {
+      continue;
+    }
     if (pending_votes_ > 0 || wal_.buffered_bytes() > 0) {
       Status status = FlushLocked(/*sync=*/true);
       if (!status.ok()) {
@@ -478,9 +515,29 @@ Status SessionDurability::FlushLocked(bool sync) {
     // the loss where an operator can see it.
     tm.seals->Increment();
     tm.dropped->Add(pending_votes_);
+    if (options_.failure_policy ==
+        DurabilityFailurePolicy::kDegradeToVolatile) {
+      // Everything unsynced was acknowledged to callers; under degradation
+      // those votes stay committed in memory, so account them as acked-
+      // without-durability before the gauge is zeroed.
+      EnterDegradedLocked(status);
+      degraded_votes_.fetch_add(pending_votes_, std::memory_order_acq_rel);
+      tm.degraded_votes->Add(pending_votes_);
+    }
     pending_votes_ = 0;
   }
   return status;
+}
+
+void SessionDurability::EnterDegradedLocked(const Status& cause) {
+  if (degraded_.load(std::memory_order_relaxed)) return;
+  degraded_.store(true, std::memory_order_release);
+  Metrics().sessions_degraded->Add(1.0);
+  DQM_LOG(Warning) << "session '" << options_.session_name
+                   << "': durability DEGRADED to volatile mode ("
+                   << cause.message()
+                   << "); commits continue in memory only until a "
+                      "checkpoint re-arms the WAL";
 }
 
 Status SessionDurability::AppendBatch(
@@ -489,6 +546,18 @@ Status SessionDurability::AppendBatch(
   DurabilityMetrics& tm = Metrics();
   MutexLock lock(wal_mutex_);
   if (wal_.sealed()) {
+    if (options_.failure_policy ==
+        DurabilityFailurePolicy::kDegradeToVolatile) {
+      // Volatile mode: the batch is accepted into memory with no durable
+      // record. EnterDegradedLocked is idempotent but normally a no-op
+      // here (the seal that got us here already flipped the flag).
+      EnterDegradedLocked(wal_.SealedStatus());
+      degraded_votes_.fetch_add(votes.size(), std::memory_order_acq_rel);
+      tm.degraded_votes->Add(votes.size());
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      RunHook(Phase::kAppend);
+      return Status::OK();
+    }
     // A sealed WAL cannot take new records without breaking the on-disk
     // superset invariant (they would sit past the failure point). Reject
     // until a checkpoint commit resets the log.
@@ -503,6 +572,13 @@ Status SessionDurability::AppendBatch(
   if (pending_votes_ >= options_.group_commit_votes) {
     Status status = FlushLocked(/*sync=*/true);
     if (!status.ok()) {
+      if (options_.failure_policy ==
+          DurabilityFailurePolicy::kDegradeToVolatile) {
+        // FlushLocked just accounted this batch (it was part of the
+        // unsynced backlog) and flipped the session degraded; the caller
+        // applies it in memory, so the in-flight marker stands.
+        return Status::OK();
+      }
       // The record never reached the file (the WAL dropped its buffer), so
       // the caller must reject the batch: un-count the in-flight marker it
       // will never apply.
@@ -519,10 +595,19 @@ void SessionDurability::NoteApplied() {
 
 Status SessionDurability::Flush() {
   MutexLock lock(wal_mutex_);
-  // A sealed WAL has nothing buffered, but reporting OK would claim a
-  // durability point that does not exist — the session holds applied votes
-  // the log dropped.
-  if (wal_.sealed()) return wal_.SealedStatus();
+  if (wal_.sealed()) {
+    // Degraded sessions are volatile BY POLICY: a flush has nothing to do
+    // and callers (close paths, CLI) should not error on it. The degraded
+    // flag and dropped-vote count are the honest signal.
+    if (options_.failure_policy ==
+        DurabilityFailurePolicy::kDegradeToVolatile) {
+      return Status::OK();
+    }
+    // A sealed WAL has nothing buffered, but reporting OK would claim a
+    // durability point that does not exist — the session holds applied
+    // votes the log dropped.
+    return wal_.SealedStatus();
+  }
   if (wal_.buffered_bytes() == 0 && pending_votes_ == 0) return Status::OK();
   return FlushLocked(/*sync=*/true);
 }
@@ -558,6 +643,19 @@ Status SessionDurability::CommitCheckpoint(
   // Recover detects exactly that and discards the (now superseded) WAL.
   DQM_RETURN_NOT_OK(wal_.Reset(next_generation));
   pending_votes_ = 0;
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // The checkpoint that just committed snapshots every vote accepted
+    // while degraded, and Reset unsealed the WAL: durability is re-armed.
+    // dropped_durability_votes() stays as the audit trail.
+    degraded_.store(false, std::memory_order_release);
+    tm.sessions_degraded->Add(-1.0);
+    tm.degraded_rearms->Increment();
+    DQM_LOG(Info) << "session '" << options_.session_name
+                  << "': durability re-armed by checkpoint (generation "
+                  << next_generation << ") after "
+                  << degraded_votes_.load(std::memory_order_relaxed)
+                  << " votes were acknowledged without durability";
+  }
   RunHook(Phase::kWalReset);
   if (timed) tm.checkpoint_ns->Record(telemetry::NowNanos() - start);
   return Status::OK();

@@ -21,6 +21,38 @@
 
 namespace dqm::engine {
 
+/// What a session does when its WAL seals (an I/O failure survived the
+/// retry budget): fail-stop rejects every later batch until a checkpoint
+/// reset; degrade-to-volatile keeps committing in memory, loudly flagging
+/// itself (snapshots, dqm_sessions_degraded) and counting every vote acked
+/// without a durable record, then re-arms at the next successful
+/// checkpoint reset.
+enum class DurabilityFailurePolicy : uint8_t {
+  kFailStop = 0,
+  kDegradeToVolatile = 1,
+};
+
+/// Canonical spellings, as accepted by --durability_failure_policy and the
+/// manifest: "fail_stop" | "degrade_to_volatile".
+const char* DurabilityFailurePolicyName(DurabilityFailurePolicy policy);
+Result<DurabilityFailurePolicy> ParseDurabilityFailurePolicy(
+    std::string_view text);
+
+/// Failpoint names for the durability edges owned by this layer (the
+/// WAL/checkpoint edges live in crowd/io.h).
+namespace fpn {
+inline constexpr char kManifestOpen[] = "dqm.manifest.open";
+inline constexpr char kManifestRead[] = "dqm.manifest.read";
+inline constexpr char kManifestWrite[] = "dqm.manifest.write";
+inline constexpr char kManifestFsync[] = "dqm.manifest.fsync";
+inline constexpr char kManifestRename[] = "dqm.manifest.rename";
+/// fsync of a directory fd (session dir dirents; manifest parent).
+inline constexpr char kDirSync[] = "dqm.durability.dirsync";
+/// Evaluated by the group-commit flusher thread at each wake: error and
+/// return actions skip that flush cycle, delay stalls it (lock held).
+inline constexpr char kFlusherWake[] = "dqm.wal.flusher";
+}  // namespace fpn
+
 /// Per-session durability knobs (resolved from SessionOptions by the
 /// engine; `dir` is this session's own directory, not the engine root).
 struct DurabilityOptions {
@@ -37,6 +69,8 @@ struct DurabilityOptions {
   /// Checkpoint whenever the session's committed total crosses a multiple
   /// of this (0 = never; recovery then replays the whole WAL).
   uint64_t checkpoint_every_votes = 0;
+  /// What to do when the WAL seals; see DurabilityFailurePolicy.
+  DurabilityFailurePolicy failure_policy = DurabilityFailurePolicy::kFailStop;
 };
 
 /// Everything needed to rebuild a session's configuration at recovery,
@@ -59,6 +93,9 @@ struct SessionManifest {
   uint64_t wal_group_commit_votes = 256;
   uint64_t wal_group_commit_ms = 0;
   uint64_t checkpoint_every_votes = 0;
+  /// Persisted as its canonical spelling; manifests from before this key
+  /// existed recover as fail_stop (the old behavior).
+  DurabilityFailurePolicy failure_policy = DurabilityFailurePolicy::kFailStop;
 };
 
 /// Escapes a session name into a filesystem-safe token ('/' and friends
@@ -209,11 +246,29 @@ class SessionDurability {
     return wal_.sealed();
   }
 
+  /// True while the session is running with durability degraded to
+  /// volatile mode (degrade_to_volatile policy, WAL sealed). Cleared by
+  /// the checkpoint reset that re-arms durability.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Cumulative votes this session acknowledged WITHOUT a durable record —
+  /// what a crash during the degraded windows would lose. Monotonic across
+  /// re-arms (it is an audit trail, not a live backlog: a successful
+  /// checkpoint makes the in-memory state durable again).
+  uint64_t dropped_durability_votes() const {
+    return degraded_votes_.load(std::memory_order_acquire);
+  }
+
  private:
   explicit SessionDurability(DurabilityOptions options);
 
   Status OpenWal() DQM_EXCLUDES(wal_mutex_);
   Status FlushLocked(bool sync) DQM_REQUIRES(wal_mutex_);
+  /// Flips the session into degraded mode (gauge, log) the first time a
+  /// seal is absorbed under degrade_to_volatile.
+  void EnterDegradedLocked(const Status& cause) DQM_REQUIRES(wal_mutex_);
   void RunHook(Phase phase) DQM_REQUIRES(wal_mutex_);
   void StartFlusher();
   void FlusherLoop() DQM_EXCLUDES(wal_mutex_);
@@ -228,6 +283,10 @@ class SessionDurability {
   /// (NoteApplied) so the checkpoint quiesce can drain it while holding the
   /// mutex without deadlocking the appliers.
   std::atomic<uint64_t> in_flight_{0};
+  /// Degradation state (degrade_to_volatile policy). Written under
+  /// wal_mutex_; atomics so snapshot readers see them lock-free.
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> degraded_votes_{0};
   std::function<void(Phase)> phase_hook_ DQM_GUARDED_BY(wal_mutex_);
   bool stop_flusher_ DQM_GUARDED_BY(wal_mutex_) = false;
   CondVar flusher_cv_;

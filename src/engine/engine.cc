@@ -39,6 +39,7 @@ DurabilityOptions MakeDurabilityOptions(const std::string& name,
   durability.group_commit_votes = options.wal_group_commit_votes;
   durability.group_commit_ms = options.wal_group_commit_ms;
   durability.checkpoint_every_votes = options.checkpoint_every_votes;
+  durability.failure_policy = options.durability_failure_policy;
   return durability;
 }
 
@@ -60,6 +61,7 @@ Result<std::unique_ptr<SessionDurability>> CreateSessionDurability(
   manifest.wal_group_commit_votes = options.wal_group_commit_votes;
   manifest.wal_group_commit_ms = options.wal_group_commit_ms;
   manifest.checkpoint_every_votes = options.checkpoint_every_votes;
+  manifest.failure_policy = options.durability_failure_policy;
   return SessionDurability::Create(MakeDurabilityOptions(name, options),
                                    manifest);
 }
@@ -152,7 +154,7 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
   return InsertSession(name, [&] { return session; });
 }
 
-Result<std::vector<DqmEngine::RecoveredSession>> DqmEngine::RecoverSessions(
+Result<std::vector<std::string>> DqmEngine::ListSessionDirs(
     const std::string& root) {
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -169,6 +171,55 @@ Result<std::vector<DqmEngine::RecoveredSession>> DqmEngine::RecoverSessions(
                                      ec.message().c_str()));
   }
   std::sort(dirs.begin(), dirs.end());
+  return dirs;
+}
+
+Result<DqmEngine::RecoveredSession> DqmEngine::RecoverSessionDir(
+    const std::string& dir, const std::string& root,
+    SessionManifest manifest) {
+  DQM_ASSIGN_OR_RETURN(SessionOptions options,
+                       ParsePublishCadenceSpec(manifest.cadence));
+  options.publish_every_votes = manifest.publish_every_votes;
+  // 0 in the manifest means the serialized path was resolved at create
+  // time; 1 pins it (0 in SessionOptions would re-run auto-resolution).
+  options.ingest_stripes = manifest.ingest_stripes == 0
+                               ? 1
+                               : manifest.ingest_stripes;
+  options.durability_dir = root;
+  options.wal_group_commit_votes = manifest.wal_group_commit_votes;
+  options.wal_group_commit_ms = manifest.wal_group_commit_ms;
+  options.checkpoint_every_votes = manifest.checkpoint_every_votes;
+  options.durability_failure_policy = manifest.failure_policy;
+  DQM_RETURN_NOT_OK(PrecheckName(manifest.name));
+  DQM_ASSIGN_OR_RETURN(
+      core::DataQualityMetric metric,
+      core::DataQualityMetric::Create(manifest.num_items, manifest.specs,
+                                      crowd::RetentionPolicy::kCounts));
+  DurabilityOptions durability_options =
+      MakeDurabilityOptions(manifest.name, options);
+  // Trust the directory actually scanned over the re-derived encoding, in
+  // case the tree was relocated by hand.
+  durability_options.dir = dir;
+  DQM_ASSIGN_OR_RETURN(std::unique_ptr<SessionDurability> durability,
+                       SessionDurability::Attach(durability_options));
+  auto session = std::make_shared<EstimationSession>(
+      manifest.name, std::move(metric), options, std::move(durability));
+  DQM_ASSIGN_OR_RETURN(EstimationSession::RecoveryReport report,
+                       session->RecoverFromDurability());
+  DQM_RETURN_NOT_OK(
+      InsertSession(manifest.name, [&] { return session; }).status());
+  RecoveredSession row;
+  row.name = manifest.name;
+  row.num_items = manifest.num_items;
+  row.votes_restored = report.votes_restored;
+  row.torn_records = report.torn_records;
+  row.had_checkpoint = report.had_checkpoint;
+  return row;
+}
+
+Result<std::vector<DqmEngine::RecoveredSession>> DqmEngine::RecoverSessions(
+    const std::string& root) {
+  DQM_ASSIGN_OR_RETURN(std::vector<std::string> dirs, ListSessionDirs(root));
   std::vector<RecoveredSession> recovered;
   for (const std::string& dir : dirs) {
     Result<SessionManifest> manifest_or =
@@ -181,43 +232,9 @@ Result<std::vector<DqmEngine::RecoveredSession>> DqmEngine::RecoverSessions(
                        << "': " << manifest_or.status().message();
       continue;
     }
-    SessionManifest manifest = std::move(manifest_or).value();
-    DQM_ASSIGN_OR_RETURN(SessionOptions options,
-                         ParsePublishCadenceSpec(manifest.cadence));
-    options.publish_every_votes = manifest.publish_every_votes;
-    // 0 in the manifest means the serialized path was resolved at create
-    // time; 1 pins it (0 in SessionOptions would re-run auto-resolution).
-    options.ingest_stripes = manifest.ingest_stripes == 0
-                                 ? 1
-                                 : manifest.ingest_stripes;
-    options.durability_dir = root;
-    options.wal_group_commit_votes = manifest.wal_group_commit_votes;
-    options.wal_group_commit_ms = manifest.wal_group_commit_ms;
-    options.checkpoint_every_votes = manifest.checkpoint_every_votes;
-    DQM_RETURN_NOT_OK(PrecheckName(manifest.name));
     DQM_ASSIGN_OR_RETURN(
-        core::DataQualityMetric metric,
-        core::DataQualityMetric::Create(manifest.num_items, manifest.specs,
-                                        crowd::RetentionPolicy::kCounts));
-    DurabilityOptions durability_options =
-        MakeDurabilityOptions(manifest.name, options);
-    // Trust the directory actually scanned over the re-derived encoding, in
-    // case the tree was relocated by hand.
-    durability_options.dir = dir;
-    DQM_ASSIGN_OR_RETURN(std::unique_ptr<SessionDurability> durability,
-                         SessionDurability::Attach(durability_options));
-    auto session = std::make_shared<EstimationSession>(
-        manifest.name, std::move(metric), options, std::move(durability));
-    DQM_ASSIGN_OR_RETURN(EstimationSession::RecoveryReport report,
-                         session->RecoverFromDurability());
-    DQM_RETURN_NOT_OK(
-        InsertSession(manifest.name, [&] { return session; }).status());
-    RecoveredSession row;
-    row.name = manifest.name;
-    row.num_items = manifest.num_items;
-    row.votes_restored = report.votes_restored;
-    row.torn_records = report.torn_records;
-    row.had_checkpoint = report.had_checkpoint;
+        RecoveredSession row,
+        RecoverSessionDir(dir, root, std::move(manifest_or).value()));
     recovered.push_back(std::move(row));
   }
   std::sort(recovered.begin(), recovered.end(),
@@ -225,6 +242,40 @@ Result<std::vector<DqmEngine::RecoveredSession>> DqmEngine::RecoverSessions(
               return a.name < b.name;
             });
   return recovered;
+}
+
+Result<std::vector<DqmEngine::SessionRecoveryOutcome>>
+DqmEngine::RecoverSessionsKeepGoing(const std::string& root) {
+  DQM_ASSIGN_OR_RETURN(std::vector<std::string> dirs, ListSessionDirs(root));
+  std::vector<SessionRecoveryOutcome> outcomes;
+  outcomes.reserve(dirs.size());
+  for (const std::string& dir : dirs) {
+    SessionRecoveryOutcome outcome;
+    outcome.dir = dir;
+    Result<SessionManifest> manifest_or =
+        ReadManifestFile(SessionManifestPath(dir));
+    if (!manifest_or.ok()) {
+      outcome.state = SessionRecoveryOutcome::State::kSkipped;
+      outcome.detail = manifest_or.status().message();
+      outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    SessionManifest manifest = std::move(manifest_or).value();
+    outcome.name = manifest.name;
+    Result<RecoveredSession> row =
+        RecoverSessionDir(dir, root, std::move(manifest));
+    if (row.ok()) {
+      outcome.state = SessionRecoveryOutcome::State::kRecovered;
+      outcome.report = std::move(row).value();
+    } else {
+      outcome.state = SessionRecoveryOutcome::State::kFailed;
+      outcome.detail = row.status().message();
+      DQM_LOG(Warning) << "RecoverSessionsKeepGoing: '" << dir
+                       << "' failed: " << outcome.detail;
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
 }
 
 Result<std::shared_ptr<EstimationSession>> DqmEngine::GetSession(

@@ -117,6 +117,41 @@ class DqmEngine {
   Result<std::vector<RecoveredSession>> RecoverSessions(
       const std::string& root);
 
+  /// One subdirectory's fate under RecoverSessionsKeepGoing.
+  struct SessionRecoveryOutcome {
+    enum class State : uint8_t {
+      /// Session rebuilt and registered; `report` is valid.
+      kRecovered,
+      /// No readable manifest — a crash inside OpenSession before the
+      /// manifest committed. Nothing durable can live here; not an error.
+      kSkipped,
+      /// Recovery failed (corrupt checkpoint, unreadable WAL, name
+      /// collision, ...); `detail` carries the failure message.
+      kFailed,
+    };
+    /// Durability subdirectory this outcome describes.
+    std::string dir;
+    /// Session name from the manifest; empty when the manifest itself was
+    /// unreadable (kSkipped, or a kFailed before the manifest parsed).
+    std::string name;
+    State state = State::kFailed;
+    /// Why the session was skipped or failed; empty on kRecovered.
+    std::string detail;
+    /// Valid only when state == kRecovered.
+    RecoveredSession report;
+  };
+
+  /// Like RecoverSessions, but a broken session directory does not abort
+  /// the scan: every subdirectory gets an outcome row and the healthy
+  /// sessions still come up. This is the operator-facing triage mode
+  /// (`dqm_engine_cli --recover --recover_keep_going`) — the strict
+  /// variant remains the right default for programmatic recovery, where
+  /// partially coming up must not masquerade as success. Outcomes are
+  /// sorted by directory; this call itself only fails when `root` cannot
+  /// be scanned at all.
+  Result<std::vector<SessionRecoveryOutcome>> RecoverSessionsKeepGoing(
+      const std::string& root);
+
   /// Looks up an open session (NotFound otherwise). The returned handle
   /// stays valid after CloseSession — closing only unregisters the name.
   Result<std::shared_ptr<EstimationSession>> GetSession(
@@ -192,6 +227,17 @@ class DqmEngine {
   Result<std::shared_ptr<EstimationSession>> InsertSession(
       const std::string& name,
       const std::function<std::shared_ptr<EstimationSession>()>& make_session);
+
+  /// Rebuilds and registers the session living in durability directory
+  /// `dir` from its already-parsed manifest. Shared by the strict and
+  /// keep-going recovery scans.
+  Result<RecoveredSession> RecoverSessionDir(const std::string& dir,
+                                             const std::string& root,
+                                             SessionManifest manifest);
+
+  /// Lists the session subdirectories of a durability root, sorted.
+  static Result<std::vector<std::string>> ListSessionDirs(
+      const std::string& root);
 
   size_t num_shards_;
   std::unique_ptr<Shard[]> shards_;

@@ -167,7 +167,13 @@ Result<SessionOptions> ParseWalGroupCommitSpec(std::string_view spec,
           "bad WAL group commit '%.*s': expected N (votes) or Nms",
           static_cast<int>(spec.size()), spec.data()));
     }
-    n = n * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (n > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(StrFormat(
+          "bad WAL group commit '%.*s': overflows uint64",
+          static_cast<int>(spec.size()), spec.data()));
+    }
+    n = n * 10 + digit;
   }
   if (n == 0) {
     return Status::InvalidArgument(
@@ -610,6 +616,15 @@ void EstimationSession::SnapshotInto(Snapshot& out) const {
   out.method_name = estimator_names_.front();
   for (size_t i = 0; i < out.estimates.size(); ++i) {
     out.estimates[i].name = estimator_names_[i];
+  }
+  // Durability health rides outside the seqlock cell: set it every read so
+  // a reused `out` never carries a stale flag.
+  if (durability_ != nullptr) {
+    out.durability_degraded = durability_->degraded();
+    out.dropped_durability_votes = durability_->dropped_durability_votes();
+  } else {
+    out.durability_degraded = false;
+    out.dropped_durability_votes = 0;
   }
 }
 

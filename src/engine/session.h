@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "core/dqm.h"
 #include "crowd/vote.h"
+#include "engine/durability.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
@@ -57,6 +58,14 @@ struct Snapshot {
   std::string method_name;
   /// One row per configured estimator, in spec order.
   std::vector<EstimatorEstimate> estimates;
+  /// Durability health, read from the session's durability engine at
+  /// snapshot time (not part of the seqlock cell — it is health metadata,
+  /// not published estimator state, and may be a publish newer than
+  /// `version`). Always false/0 for in-memory sessions.
+  bool durability_degraded = false;
+  /// Cumulative votes acknowledged without a durable record (see
+  /// SessionDurability::dropped_durability_votes).
+  uint64_t dropped_durability_votes = 0;
 };
 
 /// Seqlock-published Snapshot storage: a version word plus the snapshot's
@@ -157,6 +166,12 @@ struct SessionOptions {
   /// WAL-only durability — a checkpoint's synthetic replay cannot
   /// reproduce arrival order, which those estimators consume.
   uint64_t checkpoint_every_votes = 0;
+  /// What the session does when its WAL seals after an I/O failure:
+  /// fail_stop (reject batches until a checkpoint reset — the default) or
+  /// degrade_to_volatile (keep committing in memory, flagged in snapshots
+  /// and dqm_sessions_degraded, re-arming at the next checkpoint).
+  DurabilityFailurePolicy durability_failure_policy =
+      DurabilityFailurePolicy::kFailStop;
 };
 
 /// Parses "every_batch" | "manual" | "every_n_votes[:N]" (e.g.

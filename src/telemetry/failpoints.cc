@@ -1,0 +1,18 @@
+#include "telemetry/failpoints.h"
+
+#include "common/failpoint.h"
+#include "telemetry/metric_names.h"
+
+namespace dqm::telemetry {
+
+void SyncFailpointMetrics(MetricsRegistry& registry) {
+  for (const failpoint::FailpointInfo& info :
+       failpoint::Registry::Global().Collect()) {
+    Counter* counter = registry.GetCounter(metric_names::kFailpointHitsTotal,
+                                           {{"failpoint", info.name}});
+    const uint64_t exported = counter->Value();
+    if (info.hits > exported) counter->Add(info.hits - exported);
+  }
+}
+
+}  // namespace dqm::telemetry

@@ -1,0 +1,20 @@
+#ifndef DQM_TELEMETRY_FAILPOINTS_H_
+#define DQM_TELEMETRY_FAILPOINTS_H_
+
+#include "telemetry/metrics.h"
+
+namespace dqm::telemetry {
+
+/// Mirrors the failpoint registry's per-point hit counters into
+/// dqm_failpoint_hits_total{failpoint="<name>"} counters on `registry`.
+///
+/// The failpoint substrate lives in common/ and cannot link telemetry, so
+/// its counters are plain atomics; this pull-based bridge is called by
+/// exposition surfaces (CLI dumps, tests) right before collecting. Safe to
+/// call repeatedly — each call advances the counters by the delta since
+/// the last sync. A process with nothing ever armed exports nothing.
+void SyncFailpointMetrics(MetricsRegistry& registry = MetricsRegistry::Global());
+
+}  // namespace dqm::telemetry
+
+#endif  // DQM_TELEMETRY_FAILPOINTS_H_

@@ -82,6 +82,29 @@ inline constexpr char kWalSealsTotal[] = "dqm_wal_seals_total";
 /// Unsynced votes dropped from the WAL by a failed flush (they live only
 /// in the in-memory session until the next checkpoint re-snapshots them).
 inline constexpr char kWalDroppedVotesTotal[] = "dqm_wal_dropped_votes_total";
+/// Transient-errno (EINTR/EAGAIN) syscall retries absorbed by the
+/// durability I/O wrappers (crowd/io.cc) before anything sealed.
+inline constexpr char kWalRetriesTotal[] = "dqm_wal_retries_total";
+/// Transient errors that exhausted the bounded retry budget and surfaced
+/// to the caller (usually sealing the WAL).
+inline constexpr char kWalRetryExhaustedTotal[] =
+    "dqm_wal_retry_exhausted_total";
+
+// --- Durability: degradation (engine/durability.cc) -----------------------
+/// Sessions currently running with durability degraded to volatile mode
+/// (their WAL directory is failing; commits continue in memory only).
+inline constexpr char kSessionsDegraded[] = "dqm_sessions_degraded";
+/// Votes acknowledged while degraded, i.e. committed without any durable
+/// record — what a crash during degradation would lose.
+inline constexpr char kDegradedVotesTotal[] = "dqm_degraded_votes_total";
+/// Sessions that re-armed durability after a successful checkpoint reset.
+inline constexpr char kDegradedRearmsTotal[] = "dqm_degraded_rearms_total";
+
+// --- Fault injection (common/failpoint.h, telemetry/failpoints.cc) --------
+/// Armed failpoint evaluations, labeled failpoint="<name>". Pushed from
+/// the failpoint registry by SyncFailpointMetrics (exposition surfaces
+/// call it before collecting).
+inline constexpr char kFailpointHitsTotal[] = "dqm_failpoint_hits_total";
 
 // --- Durability: checkpoints (engine/durability.cc) -----------------------
 /// Checkpoints committed (snapshot written + WAL reset).

@@ -275,6 +275,69 @@ TEST(SessionOptionsTest, ParsePublishCadenceSpec) {
   EXPECT_FALSE(ParsePublishCadenceSpec("every_n_votes:12x").ok());
 }
 
+TEST(SessionOptionsTest, ParseWalGroupCommitSpec) {
+  SessionOptions base;
+  Result<SessionOptions> by_votes = ParseWalGroupCommitSpec("128", base);
+  ASSERT_TRUE(by_votes.ok()) << by_votes.status().ToString();
+  EXPECT_EQ(by_votes->wal_group_commit_votes, 128u);
+  EXPECT_EQ(by_votes->wal_group_commit_ms, base.wal_group_commit_ms);
+
+  Result<SessionOptions> by_ms = ParseWalGroupCommitSpec("25ms", base);
+  ASSERT_TRUE(by_ms.ok()) << by_ms.status().ToString();
+  EXPECT_EQ(by_ms->wal_group_commit_ms, 25u);
+  EXPECT_EQ(by_ms->wal_group_commit_votes, base.wal_group_commit_votes);
+
+  // Largest representable value parses; one digit more overflows.
+  Result<SessionOptions> max =
+      ParseWalGroupCommitSpec("18446744073709551615", base);
+  ASSERT_TRUE(max.ok()) << max.status().ToString();
+  EXPECT_EQ(max->wal_group_commit_votes, UINT64_MAX);
+}
+
+TEST(SessionOptionsTest, ParseWalGroupCommitSpecRejectsGarbage) {
+  SessionOptions base;
+  EXPECT_FALSE(ParseWalGroupCommitSpec("", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("ms", base).ok());  // unit, no digits
+  EXPECT_FALSE(ParseWalGroupCommitSpec("0", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("0ms", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("-5", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("12sec", base).ok());  // garbage unit
+  EXPECT_FALSE(ParseWalGroupCommitSpec("12 ms", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("1.5ms", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("ten", base).ok());
+  // 2^64 and far beyond: the per-digit guard must catch these, not wrap.
+  Result<SessionOptions> overflow =
+      ParseWalGroupCommitSpec("18446744073709551616", base);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("overflow"), std::string::npos);
+  EXPECT_FALSE(ParseWalGroupCommitSpec("99999999999999999999999", base).ok());
+  EXPECT_FALSE(ParseWalGroupCommitSpec("99999999999999999999ms", base).ok());
+}
+
+TEST(SessionOptionsTest, ParseDurabilityFailurePolicySpellings) {
+  Result<DurabilityFailurePolicy> fail_stop =
+      ParseDurabilityFailurePolicy("fail_stop");
+  ASSERT_TRUE(fail_stop.ok());
+  EXPECT_EQ(*fail_stop, DurabilityFailurePolicy::kFailStop);
+  Result<DurabilityFailurePolicy> degrade =
+      ParseDurabilityFailurePolicy("degrade_to_volatile");
+  ASSERT_TRUE(degrade.ok());
+  EXPECT_EQ(*degrade, DurabilityFailurePolicy::kDegradeToVolatile);
+
+  EXPECT_FALSE(ParseDurabilityFailurePolicy("").ok());
+  EXPECT_FALSE(ParseDurabilityFailurePolicy("FAIL_STOP").ok());
+  EXPECT_FALSE(ParseDurabilityFailurePolicy("degrade").ok());
+  EXPECT_FALSE(ParseDurabilityFailurePolicy("volatile").ok());
+
+  // Round trip through the manifest spelling.
+  EXPECT_EQ(*ParseDurabilityFailurePolicy(
+                DurabilityFailurePolicyName(DurabilityFailurePolicy::kFailStop)),
+            DurabilityFailurePolicy::kFailStop);
+  EXPECT_EQ(*ParseDurabilityFailurePolicy(DurabilityFailurePolicyName(
+                DurabilityFailurePolicy::kDegradeToVolatile)),
+            DurabilityFailurePolicy::kDegradeToVolatile);
+}
+
 TEST(EstimationSessionTest, PanelCadenceAndStripesDecideCommitPath) {
   const std::vector<std::string> tally_panel = {"chao92", "voting", "nominal"};
   const std::vector<std::string> switch_panel = {"switch", "chao92"};

@@ -45,16 +45,19 @@
 #include <vector>
 
 #include "common/ascii.h"
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
+#include "crowd/io.h"
 #include "crowd/log_io.h"
 #include "engine/engine.h"
 #include "estimators/registry.h"
 #include "telemetry/export.h"
+#include "telemetry/failpoints.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "workload/workload.h"
@@ -173,6 +176,7 @@ bool WriteTextFile(const std::string& path, const std::string& body) {
 void DumpMetrics(const dqm::engine::DqmEngine& engine,
                  const std::string& json_path, const std::string& prom_path) {
   engine.RefreshTelemetry();
+  dqm::telemetry::SyncFailpointMetrics();
   const dqm::telemetry::MetricsRegistry& registry =
       dqm::telemetry::MetricsRegistry::Global();
   if (!json_path.empty()) {
@@ -253,6 +257,7 @@ std::string LabelsSuffix(const dqm::telemetry::LabelSet& labels) {
 /// digest, printed even when no --metrics_* file was requested.
 void PrintTelemetrySummary(const dqm::engine::DqmEngine& engine) {
   engine.RefreshTelemetry();
+  dqm::telemetry::SyncFailpointMetrics();
   dqm::telemetry::MetricsRegistry::Collection collection =
       dqm::telemetry::MetricsRegistry::Global().Collect();
 
@@ -419,6 +424,27 @@ int main(int argc, char** argv) {
       "instead of ingesting, rebuild every session found under "
       "--durability_dir (manifest + checkpoint + WAL tail) and print the "
       "report");
+  bool* recover_keep_going = flags.AddBool(
+      "recover_keep_going", false,
+      "with --recover: a broken session directory no longer aborts the "
+      "scan — print recovered / skipped / failed per directory and exit "
+      "non-zero only if any session actually failed");
+  std::string* durability_failure_policy = flags.AddString(
+      "durability_failure_policy", "fail_stop",
+      "what a durable session does when its WAL permanently fails: "
+      "fail_stop (reject further ingest) or degrade_to_volatile (keep "
+      "committing in memory, flagged degraded until a checkpoint re-arms "
+      "durability)");
+  std::string* failpoints = flags.AddString(
+      "failpoints", "",
+      "arm fault-injection points before any I/O, e.g. "
+      "\"dqm.wal.fsync=error(EIO)%0.3;dqm.checkpoint.rename=crash\" "
+      "(same grammar as DQM_FAILPOINTS; see common/failpoint.h)");
+  int64_t* io_retry_max_attempts = flags.AddInt(
+      "io_retry_max_attempts", 0,
+      "total attempts per WAL/checkpoint syscall for transient errno "
+      "classes (EINTR/EAGAIN) before the error surfaces; 0 keeps the "
+      "built-in default");
   bool* crash_after_ingest = flags.AddBool(
       "crash_after_ingest", false,
       "simulate a crash: _Exit(0) immediately after ingest, skipping "
@@ -448,6 +474,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.Usage().c_str());
     return 1;
+  }
+
+  // Fault-injection setup runs before any engine I/O so even the first
+  // manifest write sees the armed failpoints.
+  if (!failpoints->empty()) {
+    dqm::Status armed = dqm::failpoint::Configure(*failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", armed.ToString().c_str());
+      return 1;
+    }
+  }
+  if (*io_retry_max_attempts != 0) {
+    if (*io_retry_max_attempts < 1) {
+      std::fprintf(stderr, "--io_retry_max_attempts must be >= 1\n");
+      return 1;
+    }
+    dqm::crowd::io::RetryOptions retry = dqm::crowd::io::GetRetryOptions();
+    retry.max_attempts = static_cast<int>(*io_retry_max_attempts);
+    dqm::crowd::io::SetRetryOptions(retry);
   }
 
   // --method (deprecated) maps 1:1 onto a single-entry spec list; the old
@@ -493,6 +538,16 @@ int main(int argc, char** argv) {
         2, static_cast<size_t>(std::min<int64_t>(*ingest_threads, 16)));
   }
   session_options->durability_dir = *durability_dir;
+  {
+    dqm::Result<dqm::engine::DurabilityFailurePolicy> policy =
+        dqm::engine::ParseDurabilityFailurePolicy(*durability_failure_policy);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "--durability_failure_policy: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    session_options->durability_failure_policy = *policy;
+  }
   if (!wal_group_commit->empty()) {
     dqm::Result<dqm::engine::SessionOptions> with_wal =
         dqm::engine::ParseWalGroupCommitSpec(*wal_group_commit,
@@ -506,6 +561,10 @@ int main(int argc, char** argv) {
   session_options->checkpoint_every_votes =
       static_cast<uint64_t>(std::max<int64_t>(0, *checkpoint_every));
 
+  if (*recover_keep_going && !*recover) {
+    std::fprintf(stderr, "--recover_keep_going needs --recover\n");
+    return 1;
+  }
   // --recover short-circuits the ingest pipeline entirely: the datasets are
   // whatever the durability root says they were.
   if (*recover) {
@@ -520,6 +579,57 @@ int main(int argc, char** argv) {
       return 1;
     }
     dqm::engine::DqmEngine engine;
+    if (*recover_keep_going) {
+      using Outcome = dqm::engine::DqmEngine::SessionRecoveryOutcome;
+      dqm::Result<std::vector<Outcome>> outcomes =
+          engine.RecoverSessionsKeepGoing(*durability_dir);
+      if (!outcomes.ok()) {
+        std::fprintf(stderr, "recover %s: %s\n", durability_dir->c_str(),
+                     outcomes.status().ToString().c_str());
+        return 1;
+      }
+      size_t recovered_n = 0, skipped_n = 0, failed_n = 0;
+      dqm::AsciiTable outcome_table(
+          {"directory", "session", "outcome", "votes restored", "detail"});
+      for (const Outcome& o : *outcomes) {
+        const char* state = "failed";
+        std::string votes = "-";
+        switch (o.state) {
+          case Outcome::State::kRecovered:
+            state = "recovered";
+            ++recovered_n;
+            votes = dqm::StrFormat(
+                "%llu",
+                static_cast<unsigned long long>(o.report.votes_restored));
+            break;
+          case Outcome::State::kSkipped:
+            state = "skipped";
+            ++skipped_n;
+            break;
+          case Outcome::State::kFailed:
+            ++failed_n;
+            break;
+        }
+        outcome_table.AddRow({o.dir, o.name.empty() ? "-" : o.name, state,
+                              votes, o.detail.empty() ? "-" : o.detail});
+      }
+      std::printf(
+          "recover (keep going) %s: %zu recovered, %zu skipped, %zu "
+          "failed\n",
+          durability_dir->c_str(), recovered_n, skipped_n, failed_n);
+      std::fputs(outcome_table.Render().c_str(), stdout);
+      if (recovered_n > 0) {
+        std::printf("engine report — recovered sessions\n");
+        PrintReport(engine);
+      }
+      PrintTelemetrySummary(engine);
+      if (!metrics_json->empty() || !metrics_prom->empty()) {
+        DumpMetrics(engine, *metrics_json, *metrics_prom);
+      }
+      // Skipped directories are the benign half-open case; only a session
+      // that should have come back and didn't is an operator problem.
+      return failed_n > 0 ? 1 : 0;
+    }
     dqm::Result<std::vector<dqm::engine::DqmEngine::RecoveredSession>> recovered =
         engine.RecoverSessions(*durability_dir);
     if (!recovered.ok()) {

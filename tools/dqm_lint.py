@@ -34,6 +34,14 @@ Rules (each suppressible on a single line with `// dqm-lint: allow(<rule>)`):
                     angle brackets (never quotes); every header under src/
                     carries a DQM_*_H_ include guard.
 
+  raw-syscall       Inside the failpoint-instrumented durability files
+                    (crowd/wal.cc, engine/durability.cc), raw POSIX I/O
+                    calls (::write, ::fsync, ::rename, ::pread, ...) are
+                    forbidden: every syscall edge must go through the
+                    crowd/io.h wrappers so fault injection, retry, and the
+                    dqm_wal_retries_total accounting see it. A raw call is
+                    an edge chaos tests cannot reach.
+
 Usage:
   tools/dqm_lint.py --root src [--compile-commands build/compile_commands.json]
   tools/dqm_lint.py --root tools/lint_fixtures/src
@@ -62,6 +70,10 @@ SEQLOCK_ALLOWED = {
 METRIC_NAMES_HEADER = "telemetry/metric_names.h"
 SERVING_PATH_PREFIXES = ("engine/",)
 SERVING_PATH_FILES = ("crowd/response_log.h", "crowd/response_log.cc")
+# Files whose syscall edges are failpoint-instrumented: every POSIX I/O
+# call must route through the crowd/io.h wrappers (crowd/io.cc itself is
+# the one place the raw calls live).
+FAILPOINT_WRAPPED_FILES = {"crowd/wal.cc", "engine/durability.cc"}
 
 # --- rule patterns ----------------------------------------------------------
 
@@ -91,6 +103,11 @@ QUOTED_STD_HEADERS = {
     "string", "string_view", "thread", "utility", "vector",
 }
 INCLUDE_LINE = re.compile(r'#\s*include\s*(<([^>]+)>|"([^"]+)")')
+# Global-scope POSIX I/O calls (the leading `::` with no qualifier before
+# it keeps namespaced wrappers like io::Open out of scope).
+RAW_SYSCALL = re.compile(
+    r"(?<![\w:])::\s*(write|pwrite|pwritev|read|pread|preadv|fsync"
+    r"|fdatasync|rename|renameat|ftruncate|open|openat)\s*\(")
 SUPPRESS = re.compile(r"dqm-lint:\s*allow\(([a-z-]+)\)")
 
 
@@ -200,6 +217,7 @@ class Linter:
         code_lines, comment_lines = strip_comments_and_strings(text)
 
         self._raw_sync(rel, raw_lines, code_lines)
+        self._raw_syscall(rel, raw_lines, code_lines)
         self._seqlock(rel, raw_lines, code_lines)
         self._metric_name(rel, raw_lines)
         self._check_discipline(rel, raw_lines, code_lines, comment_lines)
@@ -219,6 +237,22 @@ class Linter:
                     "outside common/mutex.h; use the annotated dqm::Mutex "
                     "wrappers so the thread-safety analysis and lock-order "
                     "checker see this lock",
+                    raw[i])
+
+    # -- raw-syscall --------------------------------------------------------
+
+    def _raw_syscall(self, rel, raw, code):
+        if rel not in FAILPOINT_WRAPPED_FILES:
+            return
+        for i, line in enumerate(code):
+            m = RAW_SYSCALL.search(line)
+            if m:
+                self.report(
+                    rel, i + 1, "raw-syscall",
+                    f"raw ::{m.group(1)}() in a failpoint-instrumented file; "
+                    "route it through the crowd/io.h wrappers so fault "
+                    "injection, transient-errno retry, and the retry "
+                    "counters see this edge",
                     raw[i])
 
     # -- seqlock ------------------------------------------------------------

@@ -1,0 +1,23 @@
+// raw-syscall fixture twin of the real crowd/wal.cc: the genuine file must
+// issue every durability syscall through the crowd/io.h wrappers; the raw
+// calls below are exactly the violations the rule exists to catch (plus
+// one suppressed call proving the escape hatch).
+
+namespace dqm::crowd {
+
+int WriteHeaderRaw(int fd, const void* data, unsigned long size) {
+  long n = ::write(fd, data, size);
+  if (n >= 0 && ::fsync(fd) != 0) return -1;
+  return static_cast<int>(n);
+}
+
+long ReplayRaw(int fd, void* buffer, unsigned long size) {
+  return ::pread(fd, buffer, size, 16);
+}
+
+int CommitRaw(const char* from, const char* to, int dir_fd) {
+  if (::rename(from, to) != 0) return -1;
+  return ::fsync(dir_fd);  // dqm-lint: allow(raw-syscall)
+}
+
+}  // namespace dqm::crowd

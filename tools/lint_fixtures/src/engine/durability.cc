@@ -1,0 +1,15 @@
+// raw-syscall fixture twin of the real engine/durability.cc: the manifest
+// tmp+rename dance and directory syncs must go through the instrumented
+// crowd/io.h wrappers, never the raw calls.
+
+namespace dqm::engine {
+
+bool PublishManifestRaw(const char* tmp, const char* path) {
+  return ::rename(tmp, path) == 0;
+}
+
+int TruncateWalRaw(int fd, long size) {
+  return ::ftruncate(fd, size);
+}
+
+}  // namespace dqm::engine
