@@ -48,6 +48,7 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "engine/engine.h"
+#include "engine/replication.h"
 #include "estimators/registry.h"
 #include "figure_common.h"
 #include "telemetry/metric_names.h"
@@ -136,12 +137,13 @@ IngestResult MeasureIngest(const std::vector<std::string>& specs,
 /// is flushed with an explicit Publish and the final snapshot is checked
 /// against the committed vote count — the sweep never reports a number a
 /// torn pipeline produced.
-IngestResult MeasureMultiWriter(const std::vector<std::string>& panel,
-                                const dqm::engine::SessionOptions& options,
-                                size_t writers,
-                                const std::vector<dqm::crowd::VoteEvent>& events,
-                                size_t batch_size, size_t batches_per_writer,
-                                size_t num_items) {
+IngestResult MeasureMultiWriter(
+    const std::vector<std::string>& panel,
+    const dqm::engine::SessionOptions& options, size_t writers,
+    const std::vector<dqm::crowd::VoteEvent>& events, size_t batch_size,
+    size_t batches_per_writer, size_t num_items,
+    std::shared_ptr<dqm::engine::ReplicationTransport> replicate_to =
+        nullptr) {
   dqm::engine::DqmEngine engine;
   std::shared_ptr<dqm::engine::EstimationSession> session =
       engine
@@ -151,6 +153,14 @@ IngestResult MeasureMultiWriter(const std::vector<std::string>& panel,
   DQM_CHECK(session->concurrent_ingest())
       << "the writer sweep measures the striped path; panel "
       << dqm::Join(panel, ",") << " fell back to serialized commits";
+  // Replication rides the commit path (the ship hook runs inside the WAL
+  // flush), so the replicator must be live for the timed window.
+  std::unique_ptr<dqm::engine::SessionReplicator> replicator;
+  if (replicate_to != nullptr) {
+    replicator = dqm::engine::SessionReplicator::Start(session,
+                                                       std::move(replicate_to))
+                     .value();
+  }
 
   std::vector<std::vector<double>> commit_ms(writers);
   dqm::ThreadPool pool(writers);
@@ -173,6 +183,12 @@ IngestResult MeasureMultiWriter(const std::vector<std::string>& panel,
   DQM_CHECK_EQ(final_snapshot.num_votes,
                static_cast<uint64_t>(writers) * batches_per_writer *
                    batch_size);
+  if (replicator != nullptr) {
+    // A row measured while the ship pipeline silently errored would gate
+    // nothing — the overhead being measured includes every successful Put.
+    DQM_CHECK_EQ(replicator->stats().ship_errors, uint64_t{0})
+        << "replication fell behind during the measurement";
+  }
 
   IngestResult result;
   std::vector<double> all_ms;
@@ -810,6 +826,67 @@ int main(int argc, char** argv) {
       fs::remove_all(scratch, ec);
     }
     std::fputs(durability_table.Render().c_str(), stdout);
+
+    // --- (g) Replication overhead: the gc=4096 durable workload with a
+    // hot-standby ship pipeline attached (LocalDirTransport, every WAL
+    // flush ships a segment before the barrier returns) vs the same
+    // workload shipping nothing. The gated number is absolute replicated
+    // throughput (bench/floors.json, "replication_on.votes_per_sec") —
+    // like the durability rows, the per-segment write+fsync+rename cost
+    // does not scale with CPU speed. ---
+    std::printf("\n== replication: hot-standby shipping overhead ==\n");
+    const fs::path ship_scratch =
+        fs::temp_directory_path() / "dqm_bench_repl_ship";
+    dqm::AsciiTable replication_table(
+        {"config", "votes/sec", "p50 commit ms", "p99 commit ms", "on/off",
+         "segments"});
+    {
+      std::error_code ec;
+      fs::remove_all(scratch, ec);
+      dqm::engine::SessionOptions durable = coalesced;
+      durable.durability_dir = scratch.string();
+      durable.wal_group_commit_votes = 4096;
+      durable.checkpoint_every_votes = 0;
+      IngestResult off =
+          MeasureMultiWriter(tally_panel, durable, writers, events, batch_size,
+                             writer_batches, scenario.num_items);
+      json.AddResult("replication_off",
+                     {{"votes_per_sec", off.votes_per_sec},
+                      {"p50_commit_ms", off.p50_batch_ms},
+                      {"p99_commit_ms", off.p99_batch_ms}});
+      replication_table.AddRow(
+          {"replication off", dqm::StrFormat("%.0f", off.votes_per_sec),
+           dqm::StrFormat("%.4f", off.p50_batch_ms),
+           dqm::StrFormat("%.4f", off.p99_batch_ms), "1.00", "-"});
+
+      fs::remove_all(scratch, ec);
+      fs::remove_all(ship_scratch, ec);
+      std::shared_ptr<dqm::engine::ReplicationTransport> transport =
+          dqm::engine::LocalDirTransport::Open(ship_scratch.string()).value();
+      dqm::telemetry::Counter* segments =
+          dqm::telemetry::MetricsRegistry::Global().GetCounter(
+              dqm::telemetry::metric_names::kReplicaSegmentsShippedTotal);
+      uint64_t segments_before = segments->Value();
+      IngestResult on =
+          MeasureMultiWriter(tally_panel, durable, writers, events, batch_size,
+                             writer_batches, scenario.num_items, transport);
+      double shipped =
+          static_cast<double>(segments->Value() - segments_before);
+      double ratio = on.votes_per_sec / std::max(off.votes_per_sec, 1e-9);
+      replication_table.AddRow(
+          {"replication on", dqm::StrFormat("%.0f", on.votes_per_sec),
+           dqm::StrFormat("%.4f", on.p50_batch_ms),
+           dqm::StrFormat("%.4f", on.p99_batch_ms),
+           dqm::StrFormat("%.2f", ratio), dqm::StrFormat("%.0f", shipped)});
+      json.AddResult("replication_on", {{"votes_per_sec", on.votes_per_sec},
+                                        {"p50_commit_ms", on.p50_batch_ms},
+                                        {"p99_commit_ms", on.p99_batch_ms},
+                                        {"on_off_ratio", ratio},
+                                        {"segments_shipped", shipped}});
+      fs::remove_all(scratch, ec);
+      fs::remove_all(ship_scratch, ec);
+    }
+    std::fputs(replication_table.Render().c_str(), stdout);
   }
 
   std::printf("\n");

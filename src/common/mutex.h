@@ -132,6 +132,11 @@ enum class LockRank : int {
   /// the session mutex (checkpoints run under it) and the stripe locks (the
   /// checkpoint quiesce pauses stripes while holding the WAL lock).
   kWal = 250,
+  /// SessionReplicator ship-state mutex (engine/replication.h). The ship
+  /// hook fires from SessionDurability's commit path while wal_mutex_
+  /// (kWal) is held, so this must sit above kWal; it sits below the stripe
+  /// locks because shipping never touches the ingest path.
+  kReplication = 275,
   /// ResponseLog per-stripe ingest lock (crowd/response_log.h). Same-rank:
   /// multiple stripes are held at once only in ascending address order.
   kStripe = 300,

@@ -45,10 +45,6 @@ Status ErrnoError(const char* op, const std::string& path, int err) {
       StrFormat("%s '%s': %s", op, path.c_str(), std::strerror(err)));
 }
 
-bool IsTransient(int err) {
-  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK;
-}
-
 /// One syscall's transient-errno budget: the first transient error retries
 /// immediately, later ones back off exponentially up to the cap.
 class TransientRetrier {
@@ -62,7 +58,7 @@ class TransientRetrier {
   /// exhaustion counter only ticks when a transient error RAN OUT of
   /// budget; non-transient errors surface without touching either counter.
   bool ShouldRetry(int err) {
-    if (!IsTransient(err)) return false;
+    if (!IsTransientErrno(err)) return false;
     if (retries_left_ <= 0) {
       Metrics().exhausted->Increment();
       return false;
@@ -85,6 +81,19 @@ class TransientRetrier {
 };
 
 }  // namespace
+
+bool IsTransientErrno(int err) {
+  if (err == EINTR || err == EAGAIN) return true;
+  // On Linux/BSD EWOULDBLOCK == EAGAIN and this branch compiles away; POSIX
+  // permits them to be distinct values (SVR4-lineage systems), and a
+  // duplicate-case `err == EWOULDBLOCK` above would then silently be the
+  // only thing keeping the distinct value transient — spell the platform
+  // split explicitly so neither spelling regresses.
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+  if (err == EWOULDBLOCK) return true;
+#endif
+  return false;
+}
 
 RetryOptions GetRetryOptions() {
   RetryOptions options;

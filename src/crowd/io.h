@@ -46,7 +46,20 @@ inline constexpr char kCheckpointWrite[] = "dqm.checkpoint.write";
 inline constexpr char kCheckpointFsync[] = "dqm.checkpoint.fsync";
 inline constexpr char kCheckpointRename[] = "dqm.checkpoint.rename";
 inline constexpr char kCheckpointDirsync[] = "dqm.checkpoint.dirsync";
+/// Replication transport edges (engine/replication.cc, LocalDirTransport).
+inline constexpr char kReplOpen[] = "dqm.repl.open";
+inline constexpr char kReplRead[] = "dqm.repl.read";
+inline constexpr char kReplWrite[] = "dqm.repl.write";
+inline constexpr char kReplFsync[] = "dqm.repl.fsync";
+inline constexpr char kReplRename[] = "dqm.repl.rename";
+inline constexpr char kReplDirsync[] = "dqm.repl.dirsync";
 }  // namespace fpn
+
+/// True for the errno classes the retry loop treats as transient: EINTR and
+/// EAGAIN/EWOULDBLOCK. Spelled to stay correct on platforms where
+/// EWOULDBLOCK is a distinct value rather than an alias of EAGAIN (POSIX
+/// allows either; historically some SVR4-lineage systems differ).
+bool IsTransientErrno(int err);
 
 /// Budget for riding out transient errnos, process-global. The defaults
 /// absorb bursts of EINTR/EAGAIN in well under a group-commit interval;

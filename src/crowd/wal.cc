@@ -21,12 +21,17 @@ namespace {
 
 constexpr uint32_t kWalMagic = 0x4C415744;         // "DWAL" on disk
 constexpr uint32_t kWalVersion = 1;
-constexpr size_t kWalHeaderBytes = 16;             // magic + version + gen
+// kWalHeaderBytes (magic + version + gen) lives in wal.h — replication
+// ships body slices relative to it.
 constexpr size_t kRecordFrameBytes = 8;            // payload_size + crc
 constexpr size_t kVoteBytes = 13;                  // 3 x u32 + vote byte
 
 constexpr uint32_t kCheckpointMagic = 0x50435144;  // "DQCP" on disk
 constexpr uint32_t kCheckpointVersion = 1;
+
+constexpr uint32_t kSegmentMagic = 0x47455344;     // "DSEG" on disk
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 52;         // through payload_size
 
 constexpr size_t kEmitBatchVotes = 4096;
 
@@ -303,6 +308,64 @@ Status VoteWal::Sync() {
   return status;
 }
 
+Result<WalScanResult> ScanWalRecords(
+    std::span<const uint8_t> body, size_t num_items,
+    const std::function<Status(std::span<const VoteEvent>)>& apply,
+    std::vector<VoteEvent>& scratch) {
+  WalScanResult result;
+  const size_t body_size = body.size();
+  size_t offset = 0;
+  while (body_size - offset >= kRecordFrameBytes) {
+    const uint32_t payload_size = GetU32(body.data() + offset);
+    if (payload_size < 4 || (payload_size - 4) % kVoteBytes != 0 ||
+        payload_size > body_size - offset - kRecordFrameBytes) {
+      result.torn = true;  // framing damage, or record runs past end of body
+      return result;
+    }
+    const uint32_t stored_crc = GetU32(body.data() + offset + 4);
+    const uint8_t* payload = body.data() + offset + kRecordFrameBytes;
+    if (Crc32(payload, payload_size) != stored_crc) {
+      result.torn = true;
+      return result;
+    }
+    const uint32_t count = GetU32(payload);
+    if (4 + kVoteBytes * static_cast<size_t>(count) != payload_size) {
+      result.torn = true;
+      return result;
+    }
+    scratch.clear();
+    scratch.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* vote = payload + 4 + kVoteBytes * static_cast<size_t>(i);
+      VoteEvent event;
+      event.task = GetU32(vote);
+      event.worker = GetU32(vote + 4);
+      event.item = GetU32(vote + 8);
+      const uint8_t vote_byte = vote[12];
+      // The same validation path the CSV reader uses: a record whose ids or
+      // vote byte fail the bounds check is treated as corruption, never fed
+      // to the pipeline.
+      if (vote_byte > 1 ||
+          !ValidateVoteBounds(event.task, event.worker, event.item, num_items)
+               .ok()) {
+        result.torn = true;
+        return result;
+      }
+      event.vote = vote_byte == 1 ? Vote::kDirty : Vote::kClean;
+      scratch.push_back(event);
+    }
+    DQM_RETURN_NOT_OK(apply(std::span<const VoteEvent>(scratch)));
+    result.votes += count;
+    ++result.records;
+    offset += kRecordFrameBytes + payload_size;
+    result.clean_end = offset;
+  }
+  // A partial trailing frame header (under kRecordFrameBytes) is a torn
+  // write too.
+  result.torn = result.torn || offset < body_size;
+  return result;
+}
+
 Result<VoteWal::ReplayStats> VoteWal::ReplayAndTruncate(
     size_t num_items,
     const std::function<Status(std::span<const VoteEvent>)>& apply) {
@@ -316,64 +379,17 @@ Result<VoteWal::ReplayStats> VoteWal::ReplayAndTruncate(
   DQM_RETURN_NOT_OK(io::ReadExactAt(fpn::kWalRead, fd_, body.data(),
                                     body_size, kWalHeaderBytes, path_));
 
-  size_t offset = 0;
-  size_t good_end = 0;
-  bool torn = false;
-  while (body_size - offset >= kRecordFrameBytes) {
-    const uint32_t payload_size = GetU32(body.data() + offset);
-    if (payload_size < 4 || (payload_size - 4) % kVoteBytes != 0 ||
-        payload_size > body_size - offset - kRecordFrameBytes) {
-      torn = true;  // framing damage, or the record runs past end of file
-      break;
-    }
-    const uint32_t stored_crc = GetU32(body.data() + offset + 4);
-    const uint8_t* payload = body.data() + offset + kRecordFrameBytes;
-    if (Crc32(payload, payload_size) != stored_crc) {
-      torn = true;
-      break;
-    }
-    const uint32_t count = GetU32(payload);
-    if (4 + kVoteBytes * static_cast<size_t>(count) != payload_size) {
-      torn = true;
-      break;
-    }
-    replay_scratch_.clear();
-    replay_scratch_.reserve(count);
-    bool valid = true;
-    for (uint32_t i = 0; i < count; ++i) {
-      const uint8_t* vote = payload + 4 + kVoteBytes * static_cast<size_t>(i);
-      VoteEvent event;
-      event.task = GetU32(vote);
-      event.worker = GetU32(vote + 4);
-      event.item = GetU32(vote + 8);
-      const uint8_t vote_byte = vote[12];
-      // The same validation path the CSV reader uses: a record whose ids or
-      // vote byte fail the bounds check is treated as corruption and
-      // truncated away rather than fed to the pipeline.
-      if (vote_byte > 1 ||
-          !ValidateVoteBounds(event.task, event.worker, event.item, num_items)
-               .ok()) {
-        valid = false;
-        break;
-      }
-      event.vote = vote_byte == 1 ? Vote::kDirty : Vote::kClean;
-      replay_scratch_.push_back(event);
-    }
-    if (!valid) {
-      torn = true;
-      break;
-    }
-    DQM_RETURN_NOT_OK(apply(std::span<const VoteEvent>(replay_scratch_)));
-    stats.votes += count;
-    ++stats.records;
-    offset += kRecordFrameBytes + payload_size;
-    good_end = offset;
-  }
-  if (offset < body_size || torn) {
+  DQM_ASSIGN_OR_RETURN(
+      WalScanResult scan,
+      ScanWalRecords(std::span<const uint8_t>(body), num_items, apply,
+                     replay_scratch_));
+  stats.votes = scan.votes;
+  stats.records = scan.records;
+  if (scan.torn) {
     // Torn tail: physically cut the file back to the last intact record so
     // the WAL is clean for future appends and re-recoveries.
     stats.torn_records = 1;
-    const uint64_t keep = kWalHeaderBytes + good_end;
+    const uint64_t keep = kWalHeaderBytes + scan.clean_end;
     DQM_LOG(Warning) << "WAL '" << path_ << "': truncating "
                      << (file_size - keep)
                      << " trailing bytes (torn or corrupt record)";
@@ -413,6 +429,54 @@ Status VoteWal::Reset(uint64_t new_generation) {
   sealed_ = false;
   seal_reason_.clear();
   return Status::OK();
+}
+
+// --- WAL segments ----------------------------------------------------------
+
+void EncodeWalSegment(const WalSegment& segment, std::vector<uint8_t>& out) {
+  out.clear();
+  out.reserve(kSegmentHeaderBytes + segment.payload.size() + 4);
+  PutU32(out, kSegmentMagic);
+  PutU32(out, kSegmentVersion);
+  PutU64(out, segment.generation);
+  PutU64(out, segment.seq);
+  PutU64(out, segment.start_offset);
+  PutU64(out, segment.cum_votes);
+  PutU64(out, segment.fencing_token);
+  PutU32(out, static_cast<uint32_t>(segment.payload.size()));
+  out.insert(out.end(), segment.payload.begin(), segment.payload.end());
+  PutU32(out, Crc32(out.data(), out.size()));
+}
+
+Result<WalSegment> DecodeWalSegment(std::span<const uint8_t> bytes,
+                                    const std::string& context) {
+  auto corrupt = [&context](const char* why) {
+    return Status::IOError(
+        StrFormat("corrupt WAL segment '%s': %s", context.c_str(), why));
+  };
+  if (bytes.size() < kSegmentHeaderBytes + 4) return corrupt("too short");
+  if (Crc32(bytes.data(), bytes.size() - 4) !=
+      GetU32(bytes.data() + bytes.size() - 4)) {
+    return corrupt("checksum mismatch");
+  }
+  if (GetU32(bytes.data()) != kSegmentMagic) return corrupt("bad magic");
+  if (GetU32(bytes.data() + 4) != kSegmentVersion) {
+    return corrupt("unsupported version");
+  }
+  WalSegment segment;
+  segment.generation = GetU64(bytes.data() + 8);
+  segment.seq = GetU64(bytes.data() + 16);
+  segment.start_offset = GetU64(bytes.data() + 24);
+  segment.cum_votes = GetU64(bytes.data() + 32);
+  segment.fencing_token = GetU64(bytes.data() + 40);
+  const uint32_t payload_size = GetU32(bytes.data() + 48);
+  if (payload_size != bytes.size() - kSegmentHeaderBytes - 4) {
+    return corrupt("payload size mismatch");
+  }
+  if (segment.seq == 0) return corrupt("zero sequence number");
+  segment.payload.assign(bytes.begin() + kSegmentHeaderBytes,
+                         bytes.end() - 4);
+  return segment;
 }
 
 // --- Checkpoints -----------------------------------------------------------
@@ -534,10 +598,14 @@ Result<CheckpointData> ReadCheckpointFile(const std::string& path) {
                                       bytes.size(), 0, path);
   ::close(fd);
   DQM_RETURN_NOT_OK(read);
+  return DecodeCheckpoint(std::span<const uint8_t>(bytes), path);
+}
 
-  auto corrupt = [&path](const char* why) {
+Result<CheckpointData> DecodeCheckpoint(std::span<const uint8_t> bytes,
+                                        const std::string& context) {
+  auto corrupt = [&context](const char* why) {
     return Status::IOError(
-        StrFormat("corrupt checkpoint '%s': %s", path.c_str(), why));
+        StrFormat("corrupt checkpoint '%s': %s", context.c_str(), why));
   };
   constexpr size_t kFixedBytes = 57;  // through the column length
   if (bytes.size() < kFixedBytes + 4) return corrupt("file too short");

@@ -46,6 +46,12 @@ Status ValidateVoteBounds(uint32_t task, uint32_t worker, uint32_t item,
 /// and bit rot.
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
+/// Size of the WAL file header (magic + version + generation). Record bytes
+/// start at this offset; replication ships the body in [kWalHeaderBytes,
+/// durable_size) slices, so the offset is part of the shipped-segment
+/// contract.
+inline constexpr size_t kWalHeaderBytes = 16;
+
 // ---------------------------------------------------------------------------
 // VoteWal — the per-session write-ahead vote log (format + file layer).
 //
@@ -129,6 +135,10 @@ class VoteWal {
   size_t buffered_bytes() const { return buffer_.size(); }
   /// Cumulative bytes handed to write(2) since Open.
   uint64_t bytes_written() const { return bytes_written_; }
+  /// File size covered by the last acknowledged fsync — the boundary every
+  /// durability guarantee (and the replication ship cursor) is defined
+  /// against. Bytes past it may be torn or belong to rejected batches.
+  uint64_t durable_size() const { return durable_size_; }
   /// Heap owned by the buffer + replay scratch — feeds the session's
   /// RetainedBytes accounting.
   size_t RetainedBytes() const {
@@ -183,6 +193,67 @@ class VoteWal {
   std::vector<uint8_t> buffer_;
   std::vector<VoteEvent> replay_scratch_;
 };
+
+// ---------------------------------------------------------------------------
+// Record scanning — shared between recovery and replication.
+// ---------------------------------------------------------------------------
+
+struct WalScanResult {
+  uint64_t votes = 0;
+  uint64_t records = 0;
+  /// Byte offset (into the scanned body) just past the last intact record.
+  size_t clean_end = 0;
+  /// True when damage (bad framing, CRC mismatch, out-of-bounds vote) or a
+  /// short tail was found after `clean_end`.
+  bool torn = false;
+};
+
+/// Scans `body` (WAL record frames, no file header) record by record,
+/// verifying framing, CRC, and vote bounds, handing each intact batch to
+/// `apply` in order. Stops at the first damaged or incomplete record and
+/// reports it via `torn`/`clean_end` — the caller decides whether that means
+/// "truncate the tail" (recovery) or "reject the artifact" (a shipped
+/// segment must scan clean end to end). An `apply` error propagates.
+Result<WalScanResult> ScanWalRecords(
+    std::span<const uint8_t> body, size_t num_items,
+    const std::function<Status(std::span<const VoteEvent>)>& apply,
+    std::vector<VoteEvent>& scratch);
+
+// ---------------------------------------------------------------------------
+// WAL segments — the unit of replication shipping.
+//
+// A segment is a self-describing slice of the primary WAL's fsync-
+// acknowledged body: `payload` holds raw record frames copied from
+// [start_offset, start_offset + payload.size()) of wal.log, and the header
+// pins where the slice belongs (generation, 1-based sequence number within
+// the generation, byte offset) plus the primary's cumulative durable vote
+// count after the slice (feeds replica lag) and the fencing token it was
+// shipped under (a promoted standby raises the fence so a zombie primary's
+// stale segments are rejected at the transport). The trailing CRC covers
+// header + payload, so a torn upload is detected before any byte is applied.
+//
+// Wire layout (little-endian):
+//   u32 magic 'DSEG' | u32 version (1) | u64 generation | u64 seq
+//   | u64 start_offset | u64 cum_votes | u64 fencing_token
+//   | u32 payload_size | payload | u32 crc32(all preceding bytes)
+// ---------------------------------------------------------------------------
+struct WalSegment {
+  uint64_t generation = 0;
+  uint64_t seq = 0;           // 1-based within a generation
+  uint64_t start_offset = 0;  // byte offset of payload within wal.log
+  uint64_t cum_votes = 0;     // primary durable votes after this segment
+  uint64_t fencing_token = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes `segment` (header + payload + CRC) into `out` (cleared first).
+void EncodeWalSegment(const WalSegment& segment, std::vector<uint8_t>& out);
+
+/// Parses + fully validates one encoded segment (magic, version, size
+/// framing, CRC). `context` names the artifact for error messages. Any
+/// damage is a hard error — a segment is applied whole or not at all.
+Result<WalSegment> DecodeWalSegment(std::span<const uint8_t> bytes,
+                                    const std::string& context);
 
 // ---------------------------------------------------------------------------
 // Checkpoints — the kCounts CompactedVoteStore state as a snapshot format.
@@ -242,6 +313,13 @@ Status WriteCheckpointFile(const std::string& path, const CheckpointData& data);
 /// count consistency). A checkpoint is rename-committed, so any damage here
 /// is real corruption and fails recovery loudly rather than silently.
 Result<CheckpointData> ReadCheckpointFile(const std::string& path);
+
+/// Validates + parses an in-memory checkpoint image (the byte-level half of
+/// ReadCheckpointFile) — used by the standby applier, which receives
+/// checkpoints as transport artifacts rather than local files. `context`
+/// names the source for error messages.
+Result<CheckpointData> DecodeCheckpoint(std::span<const uint8_t> bytes,
+                                        const std::string& context);
 
 /// Re-emits the checkpoint's state as a synthetic vote stream, in slot
 /// (kPairs) or item (kTallies) order, batched through `apply`. Feeding the

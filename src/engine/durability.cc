@@ -70,7 +70,11 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
 Result<std::string> ReadWholeFile(const std::string& path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) {
-    return Status::NotFound(StrFormat("no such file: '%s'", path.c_str()));
+    // Keep the strerror text: recovery outcome tables surface this message
+    // verbatim, and "No such file or directory" names the failure class for
+    // an operator the way a bare path does not.
+    return Status::NotFound(StrFormat("no such file: '%s': %s", path.c_str(),
+                                      std::strerror(ENOENT)));
   }
   DQM_ASSIGN_OR_RETURN(
       int fd, io::Open(fpn::kManifestOpen, path, O_RDONLY | O_CLOEXEC));
@@ -227,7 +231,7 @@ Result<std::string> PercentDecode(std::string_view encoded) {
   return out;
 }
 
-Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
+std::string ManifestContent(const SessionManifest& m) {
   std::vector<std::string> encoded_specs;
   encoded_specs.reserve(m.specs.size());
   for (const std::string& spec : m.specs) {
@@ -243,7 +247,8 @@ Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
       "wal_group_commit_votes=%llu\n"
       "wal_group_commit_ms=%llu\n"
       "checkpoint_every_votes=%llu\n"
-      "durability_failure_policy=%s\n",
+      "durability_failure_policy=%s\n"
+      "fencing_token=%llu\n",
       PercentEncode(m.name).c_str(),
       static_cast<unsigned long long>(m.num_items),
       Join(encoded_specs, ",").c_str(), m.cadence.c_str(),
@@ -252,12 +257,17 @@ Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
       static_cast<unsigned long long>(m.wal_group_commit_votes),
       static_cast<unsigned long long>(m.wal_group_commit_ms),
       static_cast<unsigned long long>(m.checkpoint_every_votes),
-      DurabilityFailurePolicyName(m.failure_policy));
-  return WriteFileAtomic(path, content);
+      DurabilityFailurePolicyName(m.failure_policy),
+      static_cast<unsigned long long>(m.fencing_token));
+  return content;
 }
 
-Result<SessionManifest> ReadManifestFile(const std::string& path) {
-  DQM_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+Status WriteManifestFile(const std::string& path, const SessionManifest& m) {
+  return WriteFileAtomic(path, ManifestContent(m));
+}
+
+Result<SessionManifest> ParseManifestContent(std::string_view content,
+                                             const std::string& context) {
   SessionManifest m;
   bool saw_name = false;
   bool saw_items = false;
@@ -266,7 +276,7 @@ Result<SessionManifest> ReadManifestFile(const std::string& path) {
     size_t eq = line.find('=');
     if (eq == std::string_view::npos) {
       return Status::InvalidArgument(StrFormat(
-          "%s: malformed manifest line '%.*s'", path.c_str(),
+          "%s: malformed manifest line '%.*s'", context.c_str(),
           static_cast<int>(line.size()), line.data()));
     }
     std::string_view key = line.substr(0, eq);
@@ -305,6 +315,8 @@ Result<SessionManifest> ReadManifestFile(const std::string& path) {
     } else if (key == "durability_failure_policy") {
       DQM_ASSIGN_OR_RETURN(m.failure_policy,
                            ParseDurabilityFailurePolicy(value));
+    } else if (key == "fencing_token") {
+      DQM_ASSIGN_OR_RETURN(m.fencing_token, ParseU64(value, "fencing_token"));
     }
     // Unknown keys are skipped: a manifest written by a newer build stays
     // recoverable by this one.
@@ -312,9 +324,14 @@ Result<SessionManifest> ReadManifestFile(const std::string& path) {
   if (!saw_name || !saw_items) {
     return Status::InvalidArgument(StrFormat(
         "%s: manifest is missing required keys (name, num_items)",
-        path.c_str()));
+        context.c_str()));
   }
   return m;
+}
+
+Result<SessionManifest> ReadManifestFile(const std::string& path) {
+  DQM_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  return ParseManifestContent(content, path);
 }
 
 std::string SessionManifestPath(const std::string& session_dir) {
@@ -488,6 +505,12 @@ void SessionDurability::SetPhaseHookForTest(std::function<void(Phase)> hook) {
   phase_hook_ = std::move(hook);
 }
 
+void SessionDurability::SetShipHook(
+    std::function<void(const ShipEvent&)> hook) {
+  MutexLock lock(wal_mutex_);
+  ship_hook_ = std::move(hook);
+}
+
 Status SessionDurability::FlushLocked(bool sync) {
   DurabilityMetrics& tm = Metrics();
   const uint64_t before = wal_.bytes_written();
@@ -506,6 +529,17 @@ Status SessionDurability::FlushLocked(bool sync) {
   if (status.ok() && sync) {
     pending_votes_ = 0;
     RunHook(Phase::kFsync);
+    if (ship_hook_) {
+      // Fired before the commit is acknowledged to the caller (we are still
+      // inside its AppendBatch/Flush), so a crash inside the ship path can
+      // only lose votes that were never acked — the no-lost-ack guarantee
+      // the failover drill asserts.
+      ShipEvent event;
+      event.kind = ShipEvent::Kind::kWalDurable;
+      event.generation = wal_.generation();
+      event.durable_size = wal_.durable_size();
+      ship_hook_(event);
+    }
   }
   if (!status.ok() && !was_sealed) {
     // The failure sealed the WAL and dropped everything unsynced: those
@@ -657,6 +691,14 @@ Status SessionDurability::CommitCheckpoint(
                   << " votes were acknowledged without durability";
   }
   RunHook(Phase::kWalReset);
+  if (ship_hook_) {
+    ShipEvent event;
+    event.kind = ShipEvent::Kind::kCheckpoint;
+    event.generation = next_generation;
+    event.durable_size = wal_.durable_size();
+    event.checkpoint_votes = data->num_events;
+    ship_hook_(event);
+  }
   if (timed) tm.checkpoint_ns->Record(telemetry::NowNanos() - start);
   return Status::OK();
 }

@@ -96,6 +96,12 @@ struct SessionManifest {
   /// Persisted as its canonical spelling; manifests from before this key
   /// existed recover as fail_stop (the old behavior).
   DurabilityFailurePolicy failure_policy = DurabilityFailurePolicy::kFailStop;
+  /// Monotonic replication fencing token. A primary stamps every shipped
+  /// artifact with its token; promoting a standby raises the transport
+  /// fence past the old primary's token, so a zombie primary's late pushes
+  /// are rejected (no split-brain double-apply). Manifests from before this
+  /// key existed recover as epoch 1.
+  uint64_t fencing_token = 1;
 };
 
 /// Escapes a session name into a filesystem-safe token ('/' and friends
@@ -106,6 +112,16 @@ Result<std::string> PercentDecode(std::string_view encoded);
 /// Manifest (de)serialization: key=value lines, written tmp+rename+fsync.
 Status WriteManifestFile(const std::string& path, const SessionManifest& m);
 Result<SessionManifest> ReadManifestFile(const std::string& path);
+
+/// Parses manifest content already in memory (the replication path receives
+/// manifests as shipped artifact bytes). `context` names the source for
+/// error messages; ReadManifestFile is this plus the file read.
+Result<SessionManifest> ParseManifestContent(std::string_view content,
+                                             const std::string& context);
+
+/// Serializes `m` to the exact key=value text WriteManifestFile persists —
+/// what a primary ships as the manifest artifact.
+std::string ManifestContent(const SessionManifest& m);
 
 /// Path of the manifest inside a session directory — what
 /// DqmEngine::RecoverSessions probes each subdirectory for.
@@ -233,6 +249,46 @@ class SessionDurability {
   void SetPhaseHookForTest(std::function<void(Phase)> hook)
       DQM_EXCLUDES(wal_mutex_);
 
+  /// One durability event worth shipping to a replica. Fired synchronously
+  /// with the WAL mutex held, so the hook sees events in exact commit order
+  /// and the reported durable boundary cannot move under it. The hook must
+  /// not call back into this SessionDurability and must only take locks
+  /// ranked above kWal (the replicator uses LockRank::kReplication).
+  struct ShipEvent {
+    enum class Kind : uint8_t {
+      /// A group-commit fsync was acknowledged: WAL bytes up to
+      /// `durable_size` are durable and eligible for shipping.
+      kWalDurable,
+      /// A checkpoint was rename-committed and the WAL reset to
+      /// `generation`; `checkpoint_votes` is the snapshot's num_events.
+      kCheckpoint,
+    };
+    Kind kind = Kind::kWalDurable;
+    uint64_t generation = 0;
+    /// WAL file size (including the header) covered by the last fsync.
+    uint64_t durable_size = 0;
+    uint64_t checkpoint_votes = 0;
+  };
+
+  /// Installs (or clears, with nullptr) the replication ship hook. Ship
+  /// failures must be absorbed by the hook (log + count + mark divergent):
+  /// a replica falling behind must never fail a primary commit.
+  void SetShipHook(std::function<void(const ShipEvent&)> hook)
+      DQM_EXCLUDES(wal_mutex_);
+
+  /// The WAL's fsync-acknowledged file size (header included) — the durable
+  /// prefix boundary a replica may trust.
+  uint64_t DurableWalSize() const DQM_EXCLUDES(wal_mutex_) {
+    MutexLock lock(wal_mutex_);
+    return wal_.durable_size();
+  }
+
+  /// Current WAL generation (advances at each checkpoint commit).
+  uint64_t WalGeneration() const DQM_EXCLUDES(wal_mutex_) {
+    MutexLock lock(wal_mutex_);
+    return wal_.generation();
+  }
+
   /// Makes the next WAL fsync fail as if the device errored, sealing the
   /// log — for flush-failure / seal-and-heal tests.
   void InjectWalSyncErrorForTest() DQM_EXCLUDES(wal_mutex_) {
@@ -288,6 +344,7 @@ class SessionDurability {
   std::atomic<bool> degraded_{false};
   std::atomic<uint64_t> degraded_votes_{0};
   std::function<void(Phase)> phase_hook_ DQM_GUARDED_BY(wal_mutex_);
+  std::function<void(const ShipEvent&)> ship_hook_ DQM_GUARDED_BY(wal_mutex_);
   bool stop_flusher_ DQM_GUARDED_BY(wal_mutex_) = false;
   CondVar flusher_cv_;
   std::thread flusher_;

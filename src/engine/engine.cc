@@ -150,7 +150,8 @@ Result<std::shared_ptr<EstimationSession>> DqmEngine::OpenSession(
                                 metric.SupportsConcurrentIngest()));
   }
   auto session = std::make_shared<EstimationSession>(
-      name, std::move(metric), session_options, std::move(durability));
+      name, std::move(metric), session_options, std::move(durability),
+      std::vector<std::string>(specs.begin(), specs.end()));
   return InsertSession(name, [&] { return session; });
 }
 
@@ -203,7 +204,8 @@ Result<DqmEngine::RecoveredSession> DqmEngine::RecoverSessionDir(
   DQM_ASSIGN_OR_RETURN(std::unique_ptr<SessionDurability> durability,
                        SessionDurability::Attach(durability_options));
   auto session = std::make_shared<EstimationSession>(
-      manifest.name, std::move(metric), options, std::move(durability));
+      manifest.name, std::move(metric), options, std::move(durability),
+      manifest.specs);
   DQM_ASSIGN_OR_RETURN(EstimationSession::RecoveryReport report,
                        session->RecoverFromDurability());
   DQM_RETURN_NOT_OK(
@@ -214,6 +216,14 @@ Result<DqmEngine::RecoveredSession> DqmEngine::RecoverSessionDir(
   row.votes_restored = report.votes_restored;
   row.torn_records = report.torn_records;
   row.had_checkpoint = report.had_checkpoint;
+  // A session can come up serving with its durability already compromised
+  // (e.g. a fault sealed the WAL during the recovery-time flush under
+  // degrade_to_volatile) — surface that per session instead of letting
+  // "recovered" read as "crash-safe again".
+  if (SessionDurability* durability_engine = session->durability_engine()) {
+    row.degraded =
+        durability_engine->degraded() || durability_engine->wal_sealed();
+  }
   return row;
 }
 
@@ -350,6 +360,59 @@ Status DqmEngine::CloseSession(const std::string& name) {
     return Status::NotFound(
         StrFormat("no open session named '%s'", name.c_str()));
   }
+  return Status::OK();
+}
+
+Status DqmEngine::MigrateSession(const std::string& name, DqmEngine& target,
+                                 const std::string& target_durability_root) {
+  if (&target == this) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot migrate session '%s' to its own engine", name.c_str()));
+  }
+  DQM_ASSIGN_OR_RETURN(std::shared_ptr<EstimationSession> session,
+                       GetSession(name));
+  if (session->specs().empty()) {
+    return Status::FailedPrecondition(StrFormat(
+        "session '%s' was opened without estimator specs; its panel cannot "
+        "be rebuilt on the target engine", name.c_str()));
+  }
+  // Durable barrier first: after this, everything the export cut will see
+  // is also on disk at the source, so a crash mid-migration loses nothing
+  // (the source stays registered until the hand-off completes).
+  DQM_RETURN_NOT_OK(session->FlushDurability());
+  DQM_ASSIGN_OR_RETURN(crowd::CheckpointData state, session->ExportState());
+  SessionOptions options = session->options();
+  options.durability_dir = target_durability_root;
+  DQM_ASSIGN_OR_RETURN(
+      std::shared_ptr<EstimationSession> moved,
+      target.OpenSession(name, session->num_items(), session->specs(),
+                         options));
+  // The synthetic replay rebuilds tallies and pair counts bit-identically
+  // through the target's ordinary ingest path (and write-ahead logs them
+  // when the target is durable).
+  Status restored = crowd::EmitCheckpointVotes(
+      state, [&moved](std::span<const crowd::VoteEvent> votes) {
+        return moved->AddVotes(votes);
+      });
+  if (restored.ok() && moved->committed_votes() != state.num_events) {
+    restored = Status::Internal(StrFormat(
+        "migration of '%s' restored %llu votes but the source exported %llu",
+        name.c_str(),
+        static_cast<unsigned long long>(moved->committed_votes()),
+        static_cast<unsigned long long>(state.num_events)));
+  }
+  if (!restored.ok()) {
+    // Roll back the half-built target; the source keeps serving.
+    Status closed = target.CloseSession(name);
+    (void)closed;
+    return restored;
+  }
+  moved->Publish();
+  DQM_RETURN_NOT_OK(CloseSession(name));
+  static telemetry::Counter* migrated =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          telemetry::metric_names::kSessionsMigratedTotal);
+  migrated->Increment();
   return Status::OK();
 }
 

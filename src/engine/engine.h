@@ -102,6 +102,12 @@ class DqmEngine {
     /// Trailing WAL records dropped (and truncated away) as torn.
     uint64_t torn_records = 0;
     bool had_checkpoint = false;
+    /// True when the session came up serving but with durability already
+    /// degraded to volatile mode (or its WAL sealed) — it recovered, but it
+    /// is NOT crash-safe until a checkpoint re-arms it. Operators triaging
+    /// a keep-going recovery need this distinction surfaced, not buried in
+    /// logs.
+    bool degraded = false;
   };
 
   /// Scans `root` (a SessionOptions::durability_dir) and re-opens every
@@ -186,6 +192,21 @@ class DqmEngine {
   /// Unregisters a session. In-flight operations holding its handle finish
   /// safely; NotFound when no such session is open.
   Status CloseSession(const std::string& name);
+
+  /// Planned movement of a session to another engine: flushes the source's
+  /// WAL, exports its compacted state (quiescing ingest for the cut),
+  /// rebuilds an identical session on `target` (same specs and serving
+  /// options; `target_durability_root` gives the target its own durable
+  /// home, "" = in-memory), verifies the restored vote count, publishes,
+  /// and closes the source registration. The caller must stop routing
+  /// traffic to the source before migrating — votes ingested after the
+  /// export cut would stay behind. FailedPrecondition for panels whose
+  /// state cannot be rebuilt from compacted counts (SWITCH / full-event
+  /// retention) and for sessions opened without spec strings; on any
+  /// failure the source stays registered and serving, and a half-built
+  /// target session is closed.
+  Status MigrateSession(const std::string& name, DqmEngine& target,
+                        const std::string& target_durability_root = "");
 
   size_t num_sessions() const;
 

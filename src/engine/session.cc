@@ -266,10 +266,12 @@ EstimationSession::EstimationSession(
 EstimationSession::EstimationSession(
     std::string name, core::DataQualityMetric metric,
     const SessionOptions& session_options,
-    std::unique_ptr<SessionDurability> durability)
+    std::unique_ptr<SessionDurability> durability,
+    std::vector<std::string> specs)
     : name_(std::move(name)),
       num_items_(metric.num_items()),
       options_(session_options),
+      specs_(std::move(specs)),
       durability_(std::move(durability)),
       metric_(std::move(metric)),
       estimator_names_(InitialNames(metric_)),
@@ -588,6 +590,16 @@ EstimationSession::RecoverFromDurability() {
 Status EstimationSession::FlushDurability() {
   if (durability_ == nullptr) return Status::OK();
   return durability_->Flush();
+}
+
+Result<crowd::CheckpointData> EstimationSession::ExportState() {
+  // Same quiescing discipline as a checkpoint cut, minus the WAL protocol:
+  // mutex_ stills the serialized path, the reconcile pause stills striped
+  // committers, and CheckpointFromLog rejects panels whose state cannot be
+  // rebuilt from compacted counts (SWITCH / kFullEvents).
+  MutexLock lock(mutex_);
+  crowd::ResponseLog::IngestPause pause = metric_.ReconcileForEstimates();
+  return crowd::CheckpointFromLog(metric_.log(), /*wal_generation=*/1);
 }
 
 size_t EstimationSession::RetainedBytes() const {

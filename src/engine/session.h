@@ -230,10 +230,13 @@ class EstimationSession {
   /// Wraps an already-configured pipeline (the engine's spec-based
   /// OpenSession path). `durability`, when non-null, write-ahead logs every
   /// committed batch (the engine constructs it from
-  /// SessionOptions::durability_dir).
+  /// SessionOptions::durability_dir). `specs` are the estimator spec
+  /// strings the pipeline was built from — retained verbatim so the session
+  /// can be re-created elsewhere (MigrateSession, standby opens).
   EstimationSession(std::string name, core::DataQualityMetric metric,
                     const SessionOptions& session_options = SessionOptions(),
-                    std::unique_ptr<SessionDurability> durability = nullptr);
+                    std::unique_ptr<SessionDurability> durability = nullptr,
+                    std::vector<std::string> specs = {});
 
   EstimationSession(const EstimationSession&) = delete;
   EstimationSession& operator=(const EstimationSession&) = delete;
@@ -306,9 +309,26 @@ class EstimationSession {
   /// True when this session write-ahead logs its votes.
   bool durable() const { return durability_ != nullptr; }
 
+  /// Estimator spec strings this session was opened with (empty for
+  /// sessions built from a raw DataQualityMetric without specs). What
+  /// MigrateSession / the standby open path use to rebuild the panel.
+  const std::vector<std::string>& specs() const { return specs_; }
+
+  /// The session's durability engine — the attach point for replication
+  /// (ship hooks, durable WAL boundary). nullptr for in-memory sessions.
+  SessionDurability* durability_engine() { return durability_.get(); }
+
   /// Test access to the durability engine (crash-injection phase hooks).
   /// nullptr for in-memory sessions.
   SessionDurability* durability_for_test() { return durability_.get(); }
+
+  /// Snapshots this session's full compacted state as checkpoint data
+  /// (generation 1), quiescing ingest for the duration — the source half of
+  /// a migration: EmitCheckpointVotes over the result rebuilds tallies and
+  /// pair counts bit-identically through a fresh session's ingest path.
+  /// FailedPrecondition for panels outside the snapshot-restorable kCounts
+  /// state (SWITCH / full-event retention), which cannot move this way.
+  Result<crowd::CheckpointData> ExportState() DQM_EXCLUDES(mutex_);
 
   /// What RecoverFromDurability rebuilt (surfaced per session by
   /// DqmEngine::RecoverSessions).
@@ -357,6 +377,8 @@ class EstimationSession {
   const std::string name_;
   const size_t num_items_;
   const SessionOptions options_;
+  /// Estimator specs the panel was built from (see specs()).
+  const std::vector<std::string> specs_;
   /// Write-ahead log + checkpoints; null for in-memory sessions. Owns its
   /// own kWal-ranked mutex (see engine/durability.h for the commit
   /// protocol); declared before metric_ so appends outlive nothing.

@@ -114,6 +114,42 @@ inline constexpr char kCheckpointWriteNs[] = "dqm_checkpoint_write_ns";
 /// Size of the most recent checkpoint file, labeled session=...
 inline constexpr char kCheckpointBytes[] = "dqm_checkpoint_bytes";
 
+// --- Replication (engine/replication.cc) ----------------------------------
+/// Durable primary votes not yet applied on the standby, labeled
+/// session=... Drains to 0 on an idle, healthy pair.
+inline constexpr char kReplicaLagVotes[] = "dqm_replica_lag_votes";
+/// Durable primary WAL bytes not yet shipped, labeled session=...
+inline constexpr char kReplicaLagBytes[] = "dqm_replica_lag_bytes";
+/// WAL segments shipped by primaries.
+inline constexpr char kReplicaSegmentsShippedTotal[] =
+    "dqm_replica_segments_shipped_total";
+/// Checkpoint artifacts shipped by primaries.
+inline constexpr char kReplicaCheckpointsShippedTotal[] =
+    "dqm_replica_checkpoints_shipped_total";
+/// Ship attempts that failed (transport error or fencing rejection); the
+/// primary keeps serving and the standby resyncs from a fresh checkpoint.
+inline constexpr char kReplicaShipErrorsTotal[] =
+    "dqm_replica_ship_errors_total";
+/// Segments a standby verified and applied.
+inline constexpr char kReplicaSegmentsAppliedTotal[] =
+    "dqm_replica_segments_applied_total";
+/// Divergence events a standby detected (generation/CRC mismatch, sequence
+/// gap, offset mismatch) — each forces a checkpoint resync.
+inline constexpr char kReplicaDivergencesTotal[] =
+    "dqm_replica_divergences_total";
+/// Full standby resyncs from a shipped checkpoint.
+inline constexpr char kReplicaResyncsTotal[] = "dqm_replica_resyncs_total";
+/// Artifact pushes rejected by the transport fence (a zombie primary
+/// writing with a stale fencing token).
+inline constexpr char kReplicaFenceRejectionsTotal[] =
+    "dqm_replica_fence_rejections_total";
+/// Standby promotions to serving primary.
+inline constexpr char kReplicaPromotionsTotal[] =
+    "dqm_replica_promotions_total";
+/// Planned session migrations between engines.
+inline constexpr char kSessionsMigratedTotal[] =
+    "dqm_sessions_migrated_total";
+
 }  // namespace dqm::telemetry::metric_names
 
 #endif  // DQM_TELEMETRY_METRIC_NAMES_H_

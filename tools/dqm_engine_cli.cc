@@ -26,6 +26,13 @@
 // checkpoint + WAL tail) and prints the report instead of ingesting;
 // --crash_after_ingest _Exit(0)s right after ingest, skipping every
 // destructor and flush — the crash half of the CI crash/recover smoke.
+//
+// --replicate_to=/mnt/standby ships every durable session's checkpoints and
+// sealed WAL segments to a per-session transport directory while ingest
+// runs (requires --durability_dir). On another host / in another process,
+// --standby=/mnt/standby replays everything shipped into warm sessions and
+// prints a standby report; add --promote to fence off the old primary and
+// serve — the failover half of the replication drill.
 
 #include <algorithm>
 #include <atomic>
@@ -35,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -54,7 +62,9 @@
 #include "core/scenario.h"
 #include "crowd/io.h"
 #include "crowd/log_io.h"
+#include "engine/durability.h"
 #include "engine/engine.h"
+#include "engine/replication.h"
 #include "estimators/registry.h"
 #include "telemetry/export.h"
 #include "telemetry/failpoints.h"
@@ -429,6 +439,23 @@ int main(int argc, char** argv) {
       "with --recover: a broken session directory no longer aborts the "
       "scan — print recovered / skipped / failed per directory and exit "
       "non-zero only if any session actually failed");
+  std::string* replicate_to = flags.AddString(
+      "replicate_to", "",
+      "hot-standby shipping root (requires --durability_dir): every durable "
+      "session streams its checkpoints and fsync-acknowledged WAL segments "
+      "into <dir>/<session-name>/ while ingest runs, ready for --standby on "
+      "the other side");
+  std::string* standby = flags.AddString(
+      "standby", "",
+      "standby mode: replay every session transport found under this "
+      "--replicate_to root into warm sessions and print the standby report "
+      "(pair with --durability_dir to make the standby itself durable); "
+      "add --promote to take over");
+  bool* promote = flags.AddBool(
+      "promote", false,
+      "with --standby: after the final drain, raise the fencing token past "
+      "every one observed (the old primary's late pushes are rejected from "
+      "then on) and print the promoted serving report");
   std::string* durability_failure_policy = flags.AddString(
       "durability_failure_policy", "fail_stop",
       "what a durable session does when its WAL permanently fails: "
@@ -565,6 +592,117 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--recover_keep_going needs --recover\n");
     return 1;
   }
+  if (*promote && standby->empty()) {
+    std::fprintf(stderr, "--promote needs --standby\n");
+    return 1;
+  }
+  if (!replicate_to->empty() && durability_dir->empty()) {
+    std::fprintf(stderr,
+                 "--replicate_to ships the WAL, so sessions must be durable: "
+                 "add --durability_dir\n");
+    return 1;
+  }
+
+  // --standby short-circuits ingest like --recover does: the sessions are
+  // whatever the shipping root says the primary had.
+  if (!standby->empty()) {
+    if (*recover || !replicate_to->empty()) {
+      std::fprintf(stderr,
+                   "--standby is a replay role; drop --recover/--replicate_to\n");
+      return 1;
+    }
+    if (!flags.positional().empty() || !workloads->empty()) {
+      std::fprintf(stderr,
+                   "--standby replays shipped sessions; drop the CSV/"
+                   "--workload arguments\n");
+      return 1;
+    }
+    std::vector<std::string> transports;
+    {
+      std::error_code ec;
+      std::filesystem::directory_iterator it(*standby, ec);
+      if (ec) {
+        std::fprintf(stderr, "--standby: cannot scan %s: %s\n",
+                     standby->c_str(), ec.message().c_str());
+        return 1;
+      }
+      for (const std::filesystem::directory_entry& entry : it) {
+        if (entry.is_directory()) transports.push_back(entry.path().string());
+      }
+      std::sort(transports.begin(), transports.end());
+    }
+    dqm::engine::DqmEngine engine;
+    std::vector<std::unique_ptr<dqm::engine::StandbyApplier>> appliers;
+    size_t failed_n = 0;
+    dqm::AsciiTable standby_table({"transport", "session", "votes applied",
+                                   "generation", "state"});
+    for (const std::string& dir : transports) {
+      dqm::Result<std::unique_ptr<dqm::engine::LocalDirTransport>> transport =
+          dqm::engine::LocalDirTransport::Open(dir);
+      dqm::Result<std::unique_ptr<dqm::engine::StandbyApplier>> applier =
+          dqm::Status::Internal("unopened");
+      if (transport.ok()) {
+        applier = dqm::engine::StandbyApplier::Open(
+            engine, std::move(transport).value(),
+            {.durability_dir = *durability_dir});
+      } else {
+        applier = transport.status();
+      }
+      if (!applier.ok()) {
+        ++failed_n;
+        standby_table.AddRow({dir, "-", "-", "-",
+                              applier.status().ToString()});
+        continue;
+      }
+      const dqm::engine::StandbyApplier& a = **applier;
+      standby_table.AddRow(
+          {dir, a.session_name(),
+           dqm::StrFormat("%llu",
+                          static_cast<unsigned long long>(a.applied_votes())),
+           dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                      a.applied_generation())),
+           a.divergent() ? "DIVERGED (awaiting checkpoint)" : "in sync"});
+      appliers.push_back(std::move(applier).value());
+    }
+    std::printf("standby %s: %zu session(s) replayed, %zu failed\n",
+                standby->c_str(), appliers.size(), failed_n);
+    std::fputs(standby_table.Render().c_str(), stdout);
+    if (*promote) {
+      dqm::AsciiTable promote_table(
+          {"session", "fencing token", "votes served", "generation"});
+      for (std::unique_ptr<dqm::engine::StandbyApplier>& applier : appliers) {
+        dqm::Result<dqm::engine::StandbyApplier::PromotionReport> report =
+            applier->Promote();
+        if (!report.ok()) {
+          std::fprintf(stderr, "promote %s: %s\n",
+                       applier->session_name().c_str(),
+                       report.status().ToString().c_str());
+          ++failed_n;
+          continue;
+        }
+        promote_table.AddRow(
+            {applier->session_name(),
+             dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                        report->fencing_token)),
+             dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                        report->applied_votes)),
+             dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                        report->generation))});
+      }
+      std::printf("promoted — the old primary is fenced off\n");
+      std::fputs(promote_table.Render().c_str(), stdout);
+    }
+    if (!appliers.empty()) {
+      std::printf("engine report — %s sessions\n",
+                  *promote ? "promoted" : "standby");
+      PrintReport(engine);
+    }
+    PrintTelemetrySummary(engine);
+    if (!metrics_json->empty() || !metrics_prom->empty()) {
+      DumpMetrics(engine, *metrics_json, *metrics_prom);
+    }
+    return failed_n > 0 ? 1 : 0;
+  }
   // --recover short-circuits the ingest pipeline entirely: the datasets are
   // whatever the durability root says they were.
   if (*recover) {
@@ -596,7 +734,10 @@ int main(int argc, char** argv) {
         std::string votes = "-";
         switch (o.state) {
           case Outcome::State::kRecovered:
-            state = "recovered";
+            // A session can come back serving but already degraded to
+            // volatile durability (or with a sealed WAL) — an operator
+            // triaging the table needs that distinction up front.
+            state = o.report.degraded ? "recovered (degraded)" : "recovered";
             ++recovered_n;
             votes = dqm::StrFormat(
                 "%llu",
@@ -639,8 +780,8 @@ int main(int argc, char** argv) {
     }
     std::printf("recovered %zu session(s) from %s\n", recovered->size(),
                 durability_dir->c_str());
-    dqm::AsciiTable recovery_table(
-        {"session", "items", "votes restored", "torn records", "checkpoint"});
+    dqm::AsciiTable recovery_table({"session", "items", "votes restored",
+                                    "torn records", "checkpoint", "durability"});
     for (const dqm::engine::DqmEngine::RecoveredSession& r : *recovered) {
       recovery_table.AddRow(
           {r.name,
@@ -649,7 +790,7 @@ int main(int argc, char** argv) {
                           static_cast<unsigned long long>(r.votes_restored)),
            dqm::StrFormat("%llu",
                           static_cast<unsigned long long>(r.torn_records)),
-           r.had_checkpoint ? "yes" : "no"});
+           r.had_checkpoint ? "yes" : "no", r.degraded ? "DEGRADED" : "ok"});
     }
     std::fputs(recovery_table.Render().c_str(), stdout);
     std::printf("engine report — recovered sessions\n");
@@ -765,6 +906,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Hot-standby shipping: one replicator per session, each with its own
+  // transport directory, installed before the first vote so the standby
+  // sees the complete durable stream. They stay alive through ingest (and
+  // through a --crash_after_ingest _Exit — dying with segments shipped is
+  // exactly the failover drill).
+  std::vector<std::unique_ptr<dqm::engine::SessionReplicator>> replicators;
+  if (!replicate_to->empty()) {
+    for (const Dataset& dataset : datasets) {
+      dqm::Result<std::shared_ptr<dqm::engine::EstimationSession>> session =
+          engine.GetSession(dataset.name);
+      if (!session.ok()) continue;
+      dqm::Result<std::unique_ptr<dqm::engine::LocalDirTransport>> transport =
+          dqm::engine::LocalDirTransport::Open(
+              *replicate_to + "/" + dqm::engine::PercentEncode(dataset.name));
+      dqm::Result<std::unique_ptr<dqm::engine::SessionReplicator>> replicator =
+          dqm::Status::Internal("unopened");
+      if (transport.ok()) {
+        replicator = dqm::engine::SessionReplicator::Start(
+            std::move(session).value(), std::move(transport).value());
+      } else {
+        replicator = transport.status();
+      }
+      if (!replicator.ok()) {
+        std::fprintf(stderr, "replicate %s: %s\n", dataset.name.c_str(),
+                     replicator.status().ToString().c_str());
+        return 1;
+      }
+      replicators.push_back(std::move(replicator).value());
+    }
+    std::printf("replicating %zu session(s) to %s\n", replicators.size(),
+                replicate_to->c_str());
+  }
+
   size_t workers = *threads <= 0 ? dqm::ThreadPool::DefaultThreadCount()
                                  : static_cast<size_t>(*threads);
   size_t producers_per_session =
@@ -808,6 +982,32 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  if (!replicators.empty()) {
+    dqm::AsciiTable replication_table({"session", "token", "generation",
+                                       "segments", "checkpoints",
+                                       "votes shipped", "ship errors"});
+    for (const std::unique_ptr<dqm::engine::SessionReplicator>& replicator :
+         replicators) {
+      dqm::engine::ReplicationStats stats = replicator->stats();
+      replication_table.AddRow(
+          {replicator->session_name(),
+           dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                      replicator->fencing_token())),
+           dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                      stats.shipped_generation)),
+           dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                      stats.segments_shipped)),
+           dqm::StrFormat("%llu", static_cast<unsigned long long>(
+                                      stats.checkpoints_shipped)),
+           dqm::StrFormat("%llu",
+                          static_cast<unsigned long long>(stats.shipped_votes)),
+           dqm::StrFormat("%llu",
+                          static_cast<unsigned long long>(stats.ship_errors))});
+    }
+    std::printf("replication — shipped to %s\n", replicate_to->c_str());
+    std::fputs(replication_table.Render().c_str(), stdout);
   }
 
   std::printf("engine report — methods=%s, %zu sessions\n",

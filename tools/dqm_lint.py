@@ -34,13 +34,16 @@ Rules (each suppressible on a single line with `// dqm-lint: allow(<rule>)`):
                     angle brackets (never quotes); every header under src/
                     carries a DQM_*_H_ include guard.
 
-  raw-syscall       Inside the failpoint-instrumented durability files
-                    (crowd/wal.cc, engine/durability.cc), raw POSIX I/O
-                    calls (::write, ::fsync, ::rename, ::pread, ...) are
-                    forbidden: every syscall edge must go through the
-                    crowd/io.h wrappers so fault injection, retry, and the
-                    dqm_wal_retries_total accounting see it. A raw call is
-                    an edge chaos tests cannot reach.
+  raw-syscall       Inside the failpoint-instrumented durability sources
+                    (the FAILPOINT_WRAPPED_GLOBS patterns: crowd/wal*.cc,
+                    engine/durability*.cc, engine/replication*.cc), raw
+                    POSIX I/O calls (::write, ::fsync, ::rename, ::pread,
+                    ...) are forbidden: every syscall edge must go through
+                    the crowd/io.h wrappers so fault injection, retry, and
+                    the dqm_wal_retries_total accounting see it. A raw call
+                    is an edge chaos tests cannot reach. The patterns are
+                    globs, not a file list, so a new WAL or replication TU
+                    is covered the day it lands.
 
 Usage:
   tools/dqm_lint.py --root src [--compile-commands build/compile_commands.json]
@@ -53,6 +56,7 @@ as TUs); without it, every *.h/*.cc under --root is scanned.
 """
 
 import argparse
+import fnmatch
 import json
 import re
 import sys
@@ -70,10 +74,17 @@ SEQLOCK_ALLOWED = {
 METRIC_NAMES_HEADER = "telemetry/metric_names.h"
 SERVING_PATH_PREFIXES = ("engine/",)
 SERVING_PATH_FILES = ("crowd/response_log.h", "crowd/response_log.cc")
-# Files whose syscall edges are failpoint-instrumented: every POSIX I/O
+# Glob patterns (fnmatch, matched against the src/-relative path) naming the
+# sources whose syscall edges are failpoint-instrumented: every POSIX I/O
 # call must route through the crowd/io.h wrappers (crowd/io.cc itself is
-# the one place the raw calls live).
-FAILPOINT_WRAPPED_FILES = {"crowd/wal.cc", "engine/durability.cc"}
+# the one place the raw calls live, and stays exempt). Globs rather than a
+# file list so a new durability-touching TU (a wal_*.cc split, a second
+# replication transport) is covered without editing this policy.
+FAILPOINT_WRAPPED_GLOBS = (
+    "crowd/wal*.cc",
+    "engine/durability*.cc",
+    "engine/replication*.cc",
+)
 
 # --- rule patterns ----------------------------------------------------------
 
@@ -242,7 +253,7 @@ class Linter:
     # -- raw-syscall --------------------------------------------------------
 
     def _raw_syscall(self, rel, raw, code):
-        if rel not in FAILPOINT_WRAPPED_FILES:
+        if not any(fnmatch.fnmatch(rel, g) for g in FAILPOINT_WRAPPED_GLOBS):
             return
         for i, line in enumerate(code):
             m = RAW_SYSCALL.search(line)

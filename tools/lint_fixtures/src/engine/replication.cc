@@ -1,0 +1,15 @@
+// raw-syscall fixture twin of the real engine/replication.cc: segment and
+// checkpoint shipping I/O must go through the instrumented crowd/io.h
+// wrappers so chaos tests can reach every replication edge.
+
+namespace dqm::engine {
+
+long ShipSegmentRaw(int fd, const void* buf, unsigned long n, long off) {
+  return ::pwrite(fd, buf, n, off);
+}
+
+int OpenTransportArtifactRaw(const char* path) {
+  return ::open(path, 0);
+}
+
+}  // namespace dqm::engine
